@@ -1,0 +1,61 @@
+// Command prefbench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+// outcomes).
+//
+// Usage:
+//
+//	prefbench -exp all                  # every experiment at default scale
+//	prefbench -exp e1 -rows 140000      # the §3.3 benchmark at 1/10 scale
+//	prefbench -exp e4 -latency 1.0      # COSIMA with realistic shop latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: "+strings.Join(bench.Names(), ", ")+" or 'all'")
+		rows    = flag.Int("rows", 0, "job relation size for e1/a1 (default 140000)")
+		seed    = flag.Int64("seed", 0, "generator seed (default 2002)")
+		latency = flag.Float64("latency", -1, "COSIMA latency scale; 1.0 = realistic 300-900ms shops (default 0)")
+		runs    = flag.Int("cosima-runs", 0, "COSIMA meta-searches for e4 (default 200)")
+		quick   = flag.Bool("quick", false, "use the small test-scale configuration")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.TestConfig()
+	}
+	if *rows > 0 {
+		cfg.JobRows = *rows
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *latency >= 0 {
+		cfg.CosimaLatencyScale = *latency
+	}
+	if *runs > 0 {
+		cfg.CosimaRuns = *runs
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.Names()
+	}
+	for _, name := range names {
+		out, err := bench.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,77 @@
+// Command prefgen emits the synthetic benchmark datasets as CSV (no
+// header), suitable for the storage layer's LoadCSV or external tools.
+//
+// Usage:
+//
+//	prefgen -kind jobs -n 140000 > jobs.csv
+//	prefgen -kind skyline -n 5000 -dims 4 -dist anti > points.csv
+//	prefgen -kind cars -n 1000 -seed 7 > cars.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/value"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "jobs", "dataset: jobs, cars, appliances, oldtimer, skyline")
+		n    = flag.Int("n", 1000, "row count")
+		seed = flag.Int64("seed", 2002, "generator seed")
+		dims = flag.Int("dims", 3, "dimensions (skyline only)")
+		dist = flag.String("dist", "indep", "distribution (skyline only): indep, corr, anti")
+	)
+	flag.Parse()
+
+	var rows []value.Row
+	switch *kind {
+	case "jobs":
+		rows = datagen.Jobs(*n, *seed)
+	case "cars":
+		rows = datagen.Cars(*n, *seed)
+	case "appliances":
+		rows = datagen.Appliances(*n, *seed)
+	case "oldtimer":
+		rows = datagen.Oldtimers()
+	case "skyline":
+		var d datagen.Distribution
+		switch *dist {
+		case "indep":
+			d = datagen.Independent
+		case "corr":
+			d = datagen.Correlated
+		case "anti":
+			d = datagen.AntiCorrelated
+		default:
+			fmt.Fprintf(os.Stderr, "prefgen: unknown distribution %q\n", *dist)
+			os.Exit(1)
+		}
+		rows = datagen.Skyline(*n, *dims, d, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "prefgen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			if v.K == value.Null {
+				s = ""
+			}
+			if strings.ContainsAny(s, ",\"\n") {
+				s = "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+			}
+			cells[i] = s
+		}
+		fmt.Fprintln(w, strings.Join(cells, ","))
+	}
+}

@@ -1,0 +1,164 @@
+// Command prefsql is an interactive shell and script runner for
+// Preference SQL.
+//
+// Usage:
+//
+//	prefsql                 # interactive shell on an empty database
+//	prefsql -f script.sql   # run a script, then exit
+//	prefsql -f setup.sql -i # run a script, then drop into the shell
+//
+// Shell commands besides SQL statements (terminated by ';'):
+//
+//	\explain SELECT ...   show the SQL92 rewriting of a preference query
+//	\mode native|rewrite  switch the execution strategy
+//	\algo auto|nl|bnl|sfs select the native BMO algorithm
+//	\tables               list tables and views
+//	\prefs                list named preferences (CREATE PREFERENCE ...)
+//	\q                    quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/bmo"
+)
+
+func main() {
+	var (
+		file        = flag.String("f", "", "SQL script to execute")
+		interactive = flag.Bool("i", false, "enter the shell after -f")
+		timing      = flag.Bool("timing", false, "print execution time per statement")
+	)
+	flag.Parse()
+
+	db := prefsql.Open()
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefsql: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runStatement(db, string(data), *timing); err != nil {
+			fmt.Fprintf(os.Stderr, "prefsql: %v\n", err)
+			os.Exit(1)
+		}
+		if !*interactive {
+			return
+		}
+	}
+	repl(db, *timing)
+}
+
+func repl(db *prefsql.DB, timing bool) {
+	fmt.Println("Preference SQL shell — end statements with ';', \\q to quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "prefsql> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if done := command(db, trimmed); done {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			prompt = "prefsql> "
+			if err := runStatement(db, stmt, timing); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+			continue
+		}
+		if buf.Len() > 0 {
+			prompt = "    ...> "
+		}
+	}
+}
+
+// command handles backslash meta-commands; it reports whether to quit.
+func command(db *prefsql.DB, line string) bool {
+	parts := strings.SplitN(line, " ", 2)
+	arg := ""
+	if len(parts) == 2 {
+		arg = strings.TrimSpace(parts[1])
+	}
+	switch parts[0] {
+	case "\\q", "\\quit", "\\exit":
+		return true
+	case "\\explain":
+		script, err := db.ExplainRewrite(strings.TrimSuffix(arg, ";"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return false
+		}
+		fmt.Println(script)
+	case "\\mode":
+		switch arg {
+		case "native":
+			db.SetMode(prefsql.ModeNative)
+		case "rewrite":
+			db.SetMode(prefsql.ModeRewrite)
+		default:
+			fmt.Fprintln(os.Stderr, "usage: \\mode native|rewrite")
+		}
+	case "\\algo":
+		switch arg {
+		case "auto":
+			db.SetAlgorithm(bmo.Auto)
+		case "nl":
+			db.SetAlgorithm(bmo.NestedLoop)
+		case "bnl":
+			db.SetAlgorithm(bmo.BlockNestedLoop)
+		case "sfs":
+			db.SetAlgorithm(bmo.SortFilter)
+		default:
+			fmt.Fprintln(os.Stderr, "usage: \\algo auto|nl|bnl|sfs")
+		}
+	case "\\prefs":
+		for _, name := range db.Internal().PreferenceNames() {
+			fmt.Printf("preference %s\n", name)
+		}
+	case "\\tables":
+		cat := db.Internal().Engine().Catalog()
+		for _, name := range cat.TableNames() {
+			tbl, _ := cat.Table(name)
+			fmt.Printf("table %s (%d rows)\n", name, tbl.RowCount())
+		}
+		for _, name := range cat.ViewNames() {
+			fmt.Printf("view  %s\n", name)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s\n", parts[0])
+	}
+	return false
+}
+
+func runStatement(db *prefsql.DB, sql string, timing bool) error {
+	start := time.Now()
+	res, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prefsql.Format(res))
+	if timing {
+		fmt.Printf("(%v)\n", time.Since(start).Round(time.Microsecond))
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestRunStatement(t *testing.T) {
+	db := prefsql.Open()
+	if err := runStatement(db, "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStatement(db, "SELECT * FROM t;", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStatement(db, "SELEKT;", false); err == nil {
+		t.Error("bad SQL should error")
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	db := prefsql.Open()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("CREATE VIEW v AS SELECT * FROM t")
+	db.MustExec("CREATE PREFERENCE fav AS LOWEST(a)")
+
+	if command(db, "\\q") != true {
+		t.Error("\\q should quit")
+	}
+	for _, cmd := range []string{
+		"\\tables",
+		"\\prefs",
+		"\\mode rewrite",
+		"\\mode native",
+		"\\mode bogus",
+		"\\algo bnl",
+		"\\algo bogus",
+		"\\explain SELECT * FROM t PREFERRING LOWEST(a)",
+		"\\explain SELECT * FROM t", // error path: not a preference query
+		"\\unknowncommand",
+	} {
+		if command(db, cmd) {
+			t.Errorf("%s should not quit", cmd)
+		}
+	}
+}
+
+func TestScriptFileFlow(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "setup.sql")
+	content := `CREATE TABLE trips (id INT, duration INT);
+INSERT INTO trips VALUES (1, 7), (2, 13);
+SELECT id FROM trips PREFERRING duration AROUND 14;`
+	if err := os.WriteFile(script, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := prefsql.Open()
+	data, err := os.ReadFile(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runStatement(db, string(data), false); err != nil {
+		t.Fatalf("script: %v", err)
+	}
+}

@@ -1,0 +1,31 @@
+// Package prefsql is a pure-Go reimplementation of Preference SQL
+// (Kießling & Köstler, VLDB 2002): standard SQL extended with soft
+// constraints under a strict-partial-order preference model and the
+// Best-Matches-Only (BMO) query semantics.
+//
+// A Preference SQL query block is standard SQL plus three clauses:
+//
+//	SELECT <selection>              -- may use TOP / LEVEL / DISTANCE
+//	FROM   <tables>
+//	WHERE  <hard conditions>
+//	PREFERRING <soft conditions>    -- AROUND, BETWEEN, LOWEST, HIGHEST,
+//	                                -- POS (IN / =), NEG (NOT IN / <>),
+//	                                -- CONTAINS, EXPLICIT, ELSE layering,
+//	                                -- AND (Pareto), CASCADE (priorities)
+//	GROUPING <attributes>           -- soft-constraint analogue of GROUP BY
+//	BUT ONLY <quality conditions>   -- quality thresholds on the result
+//	ORDER BY ... / LIMIT ...
+//
+// Quickstart:
+//
+//	db := prefsql.Open()
+//	db.MustExec(`CREATE TABLE trips (id INT, duration INT)`)
+//	db.MustExec(`INSERT INTO trips VALUES (1, 7), (2, 13), (3, 15)`)
+//	res, err := db.Query(`SELECT * FROM trips PREFERRING duration AROUND 14`)
+//
+// Preference queries are evaluated natively by skyline algorithms
+// (block-nested-loop, sort-filter, best-level) or — matching the
+// commercial product's architecture — by rewriting into plain SQL92
+// (level-annotated views plus a correlated NOT EXISTS dominance test) that
+// runs on the embedded SQL engine. Both paths return identical results.
+package prefsql

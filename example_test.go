@@ -1,0 +1,85 @@
+package prefsql_test
+
+import (
+	"fmt"
+
+	prefsql "repro"
+)
+
+// The paper's introductory example: soft constraints return the best
+// available matches instead of an empty result.
+func Example() {
+	db := prefsql.Open()
+	db.MustExec(`CREATE TABLE trips (id INT, duration INT);
+		INSERT INTO trips VALUES (1, 7), (2, 13), (3, 15), (4, 28)`)
+
+	res := db.MustExec(`SELECT id, duration FROM trips
+		PREFERRING duration AROUND 14 ORDER BY id`)
+	for _, row := range res.Rows {
+		fmt.Printf("trip %v, %v days\n", row[0], row[1])
+	}
+	// Output:
+	// trip 2, 13 days
+	// trip 3, 15 days
+}
+
+// Pareto accumulation (AND) returns the Pareto-optimal set: nobody in the
+// answer is beaten on all criteria at once.
+func ExampleDB_pareto() {
+	db := prefsql.Open()
+	db.MustExec(`CREATE TABLE computers (id INT, main_memory INT, cpu_speed INT);
+		INSERT INTO computers VALUES (1, 512, 2000), (2, 256, 3000), (3, 128, 1500)`)
+
+	res := db.MustExec(`SELECT id FROM computers
+		PREFERRING HIGHEST(main_memory) AND HIGHEST(cpu_speed) ORDER BY id`)
+	for _, row := range res.Rows {
+		fmt.Println("computer", row[0])
+	}
+	// Output:
+	// computer 1
+	// computer 2
+}
+
+// Quality functions explain why a tuple is in the answer (§2.2.3).
+func ExampleDB_qualityFunctions() {
+	db := prefsql.Open()
+	db.MustExec(`CREATE TABLE oldtimer (ident VARCHAR, color VARCHAR, age INT);
+		INSERT INTO oldtimer VALUES
+		('Maggie', 'white', 19), ('Bart', 'green', 19), ('Homer', 'yellow', 35),
+		('Selma', 'red', 40), ('Smithers', 'red', 43), ('Skinner', 'yellow', 51)`)
+
+	res := db.MustExec(`SELECT ident, LEVEL(color), DISTANCE(age) FROM oldtimer
+		PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40
+		ORDER BY DISTANCE(age)`)
+	for _, row := range res.Rows {
+		fmt.Printf("%s: color level %v, age distance %v\n", row[0].S, row[1], row[2])
+	}
+	// Output:
+	// Selma: color level 3, age distance 0
+	// Homer: color level 2, age distance 5
+	// Maggie: color level 1, age distance 21
+}
+
+// ExplainRewrite shows the plain-SQL92 translation the commercial
+// middleware shipped to the host database (§3.2).
+func ExampleDB_ExplainRewrite() {
+	db := prefsql.Open()
+	db.MustExec(`CREATE TABLE t (a INT)`)
+	script, _ := db.ExplainRewrite(`SELECT * FROM t PREFERRING LOWEST(a)`)
+	fmt.Println(len(script) > 0)
+	// Output:
+	// true
+}
+
+// BUT ONLY enforces minimal quality standards: an empty result is then
+// the user's explicit intention (§2.2.4).
+func ExampleDB_butOnly() {
+	db := prefsql.Open()
+	db.MustExec(`CREATE TABLE trips (id INT, duration INT);
+		INSERT INTO trips VALUES (1, 7), (2, 28)`)
+	res := db.MustExec(`SELECT id FROM trips
+		PREFERRING duration AROUND 14 BUT ONLY DISTANCE(duration) <= 2`)
+	fmt.Println("matches:", len(res.Rows))
+	// Output:
+	// matches: 0
+}

@@ -1,0 +1,52 @@
+// Carsearch runs the paper's flagship example (§2.2.2): the Opel wish
+// expressed almost one-to-one in Preference SQL — a hard make condition,
+// a Pareto group of category/price/power wishes, then color and mileage
+// cascades — over a generated used-car catalog.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/datagen"
+)
+
+const opelQuery = `
+SELECT id, category, price, power, color, mileage FROM car WHERE make = 'Opel'
+PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND
+            price AROUND 40000 AND HIGHEST(power))
+CASCADE color = 'red' CASCADE LOWEST(mileage)`
+
+func main() {
+	db := prefsql.Open()
+	if err := datagen.Load(db.Internal().Engine(), "car", datagen.CarColumns(), datagen.Cars(500, 42)); err != nil {
+		panic(err)
+	}
+
+	fmt.Println(`"My favorite car must be an Opel. It should be a roadster, but if`)
+	fmt.Println(` there is none, please no passenger car. Equally important I want to`)
+	fmt.Println(` spend around DM 40,000 and the car should be as powerful as possible.`)
+	fmt.Println(` Less important I like a red one. If there remain several choices,`)
+	fmt.Println(` let better mileage decide."`)
+	fmt.Println()
+	fmt.Println(opelQuery)
+	fmt.Println()
+
+	res := db.MustExec(opelQuery)
+	fmt.Print(prefsql.Format(res))
+
+	// The same search with hard constraints only — demonstrating why the
+	// paper argues for soft constraints.
+	hard := `SELECT id FROM car WHERE make = 'Opel' AND category = 'roadster'
+		AND price = 40000 AND color = 'red'`
+	fmt.Println("\nThe equivalent exact-match SQL query finds:")
+	fmt.Print(prefsql.Format(db.MustExec(hard)))
+
+	// Answer explanation: which criteria does the winner meet?
+	fmt.Println("\nAnswer explanation with quality functions (§2.2.3):")
+	fmt.Print(prefsql.Format(db.MustExec(`
+		SELECT id, price, DISTANCE(price), TOP(category), LEVEL(category)
+		FROM car WHERE make = 'Opel'
+		PREFERRING category = 'roadster' ELSE category <> 'passenger'
+		        AND price AROUND 40000`)))
+}

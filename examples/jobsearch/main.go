@@ -1,0 +1,53 @@
+// Jobsearch reproduces the §3.3 scenario interactively: a recruiter
+// pre-selects candidates with hard criteria, then refines with a second
+// selection — comparing the three strategies of the paper's benchmark
+// (conjunctive SQL, disjunctive SQL, Pareto-accumulated Preference SQL).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	rows := flag.Int("rows", 20000, "size of the job-profile relation")
+	flag.Parse()
+
+	db := prefsql.Open()
+	if err := datagen.Load(db.Internal().Engine(), "jobs", datagen.JobColumns(), datagen.Jobs(*rows, 2002)); err != nil {
+		panic(err)
+	}
+	fmt.Printf("Loaded %d synthetic job profiles (the paper used 1.4M real ones).\n\n", *rows)
+
+	pre := "region = 'Bayern' AND salary < 40000"
+	cnt := db.MustExec("SELECT COUNT(*) FROM jobs WHERE " + pre)
+	fmt.Printf("Pre-selection %q -> %s candidates\n\n", pre, cnt.Rows[0][0])
+
+	second := []string{
+		"experience >= 10",
+		"education IN ('master', 'phd')",
+		"age <= 35",
+		"mobility >= 100",
+	}
+
+	conj := fmt.Sprintf("SELECT COUNT(*) FROM jobs WHERE %s AND %s AND %s AND %s AND %s",
+		pre, second[0], second[1], second[2], second[3])
+	fmt.Println("SQL solution 1 — all four second-selection criteria conjunctive:")
+	fmt.Printf("  result size %s (empty-result risk!)\n\n", db.MustExec(conj).Rows[0][0])
+
+	disj := fmt.Sprintf("SELECT COUNT(*) FROM jobs WHERE %s AND (%s OR %s OR %s OR %s)",
+		pre, second[0], second[1], second[2], second[3])
+	fmt.Println("SQL solution 2 — the four criteria disjunctive:")
+	fmt.Printf("  result size %s (flooding risk!)\n\n", db.MustExec(disj).Rows[0][0])
+
+	pref := fmt.Sprintf(`SELECT id, experience, education, age, mobility FROM jobs
+		WHERE %s PREFERRING %s AND %s AND %s AND %s ORDER BY id`,
+		pre, second[0], second[1], second[2], second[3])
+	fmt.Println("Preference SQL — the four criteria Pareto-accumulated soft constraints:")
+	res := db.MustExec(pref)
+	fmt.Print(prefsql.Format(res))
+	fmt.Println("\nBest Matches Only: everyone in this set satisfies a maximal subset of wishes.")
+}

@@ -1,0 +1,46 @@
+// Mobilesearch plays through the paper's §4.2 m-commerce argument: on a
+// WAP phone every retry and every scroll costs time and money, so the
+// first query must deliver only the best results — and ideally start
+// showing them before the full catalog is scanned. The example streams
+// the BMO set progressively and stops after one screenful.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	screen := flag.Int("screen", 4, "results fitting on the phone screen")
+	flag.Parse()
+
+	db := prefsql.Open()
+	if err := datagen.Load(db.Internal().Engine(), "car", datagen.CarColumns(), datagen.Cars(2000, 11)); err != nil {
+		panic(err)
+	}
+
+	// Location-based search: nearby dealer stock only (the WHERE clause),
+	// wishes as soft constraints.
+	query := `SELECT id, price, mileage FROM car
+		WHERE category = 'roadster'
+		PREFERRING LOWEST(price) AND LOWEST(mileage)`
+
+	fmt.Printf("streaming the best roadsters (screen holds %d):\n\n", *screen)
+	shown := 0
+	cols, err := db.QueryProgressive(query, func(row prefsql.Row) bool {
+		shown++
+		fmt.Printf("  #%-4v %6v EUR  %6v km\n", row[0], row[1], row[2])
+		return shown < *screen
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n(%d results shown, columns %v — no retyping, no scrolling)\n", shown, cols)
+
+	// For contrast: the full BMO set size.
+	full := db.MustExec(query)
+	fmt.Printf("full Pareto-optimal set: %d offers\n", len(full.Rows))
+}

@@ -1,0 +1,49 @@
+// Quickstart: the paper's introductory preference queries (§2.2.1) on a
+// tiny travel database — soft constraints that never return an empty
+// answer as long as any candidate exists.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	db := prefsql.Open()
+
+	db.MustExec(`
+		CREATE TABLE trips (id INT, destination VARCHAR, duration INT, price INT);
+		INSERT INTO trips VALUES
+			(1, 'Rome',     7, 900),
+			(2, 'Lisbon',  13, 750),
+			(3, 'Crete',   15, 820),
+			(4, 'Iceland', 28, 2100)`)
+
+	fmt.Println("All trips:")
+	fmt.Print(prefsql.Format(db.MustExec(`SELECT * FROM trips`)))
+
+	// An exact-match query for 14 days finds nothing...
+	fmt.Println("\nHard SQL — WHERE duration = 14:")
+	fmt.Print(prefsql.Format(db.MustExec(`SELECT * FROM trips WHERE duration = 14`)))
+
+	// ...but the preference query returns the best available matches.
+	fmt.Println("\nPreference SQL — PREFERRING duration AROUND 14:")
+	fmt.Print(prefsql.Format(db.MustExec(
+		`SELECT * FROM trips PREFERRING duration AROUND 14 ORDER BY id`)))
+
+	// Pareto accumulation: duration and price equally important.
+	fmt.Println("\nPREFERRING duration AROUND 14 AND LOWEST(price):")
+	fmt.Print(prefsql.Format(db.MustExec(
+		`SELECT *, DISTANCE(duration) FROM trips
+		 PREFERRING duration AROUND 14 AND LOWEST(price) ORDER BY id`)))
+
+	// The same query as the commercial middleware would ship it to a host
+	// database: plain SQL92.
+	script, err := db.ExplainRewrite(`SELECT * FROM trips PREFERRING duration AROUND 14`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nSQL92 rewriting of the AROUND query (§3.2):")
+	fmt.Println(script)
+}

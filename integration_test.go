@@ -1,0 +1,223 @@
+package prefsql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperQueriesEndToEnd walks every query the paper presents in §2
+// through the public facade, in both execution modes.
+func TestPaperQueriesEndToEnd(t *testing.T) {
+	setup := `
+CREATE TABLE trips (id INT, duration INT, start_day DATE);
+INSERT INTO trips VALUES (1, 7, '1999-06-20'), (2, 13, '1999-07-02'), (3, 15, '1999-07-05'), (4, 28, '1999-08-01');
+
+CREATE TABLE apartments (id INT, area INT);
+INSERT INTO apartments VALUES (1, 55), (2, 120), (3, 80), (4, 120);
+
+CREATE TABLE programmers (id INT, exp VARCHAR);
+INSERT INTO programmers VALUES (1, 'java'), (2, 'cobol'), (3, 'C++'), (4, 'perl');
+
+CREATE TABLE hotels (id INT, location VARCHAR);
+INSERT INTO hotels VALUES (1, 'downtown'), (2, 'suburb'), (3, 'airport');
+
+CREATE TABLE computers (id INT, main_memory INT, cpu_speed INT, color VARCHAR);
+INSERT INTO computers VALUES
+	(1, 512, 2000, 'black'), (2, 256, 3000, 'beige'),
+	(3, 512, 1500, 'brown'), (4, 128, 1000, 'black');
+`
+	cases := []struct {
+		name  string
+		query string
+		// wantIDs is the expected id set (order-insensitive)
+		wantIDs []int64
+	}{
+		{
+			"around",
+			"SELECT id FROM trips PREFERRING duration AROUND 14",
+			[]int64{2, 3},
+		},
+		{
+			"highest",
+			"SELECT id FROM apartments PREFERRING HIGHEST(area)",
+			[]int64{2, 4},
+		},
+		{
+			"pos",
+			"SELECT id FROM programmers PREFERRING exp IN ('java', 'C++')",
+			[]int64{1, 3},
+		},
+		{
+			"neg",
+			"SELECT id FROM hotels PREFERRING location <> 'downtown'",
+			[]int64{2, 3},
+		},
+		{
+			"pareto",
+			"SELECT id FROM computers PREFERRING HIGHEST(main_memory) AND HIGHEST(cpu_speed)",
+			[]int64{1, 2},
+		},
+		{
+			"cascade",
+			"SELECT id FROM computers PREFERRING HIGHEST(main_memory) CASCADE color IN ('black', 'brown')",
+			[]int64{1, 3},
+		},
+		{
+			"neg-only-bad-options-left",
+			// all hotels downtown: NEG still returns them (better than nothing)
+			"SELECT id FROM hotels WHERE location = 'downtown' PREFERRING location <> 'downtown'",
+			[]int64{1},
+		},
+		{
+			"but-only-empty-is-intended",
+			"SELECT id FROM trips PREFERRING duration AROUND 20 BUT ONLY DISTANCE(duration) <= 1",
+			nil,
+		},
+	}
+	for _, mode := range []Mode{ModeNative, ModeRewrite} {
+		db := Open()
+		db.SetMode(mode)
+		db.MustExec(setup)
+		for _, tc := range cases {
+			res, err := db.Query(tc.query)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", mode, tc.name, err)
+			}
+			got := map[int64]bool{}
+			for _, r := range res.Rows {
+				got[r[0].I] = true
+			}
+			if len(got) != len(tc.wantIDs) {
+				t.Errorf("%v/%s: got %d rows %v, want ids %v", mode, tc.name, len(res.Rows), got, tc.wantIDs)
+				continue
+			}
+			for _, id := range tc.wantIDs {
+				if !got[id] {
+					t.Errorf("%v/%s: missing id %d (got %v)", mode, tc.name, id, got)
+				}
+			}
+		}
+	}
+}
+
+// TestFullSessionScenario is a realistic application session: schema
+// setup, data loading, named preferences, preference queries with
+// explanation, INSERT ... SELECT with preferences, and cleanup.
+func TestFullSessionScenario(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+		CREATE TABLE cars (id INT PRIMARY KEY, make VARCHAR, price INT, mileage INT, color VARCHAR);
+		CREATE INDEX idx_make ON cars (make);
+		INSERT INTO cars VALUES
+			(1, 'Opel', 41000, 30000, 'red'),
+			(2, 'Opel', 39000, 20000, 'blue'),
+			(3, 'Audi', 52000, 10000, 'red'),
+			(4, 'Opel', 39500, 60000, 'red'),
+			(5, 'Audi', 48000, 80000, 'black');
+		CREATE PREFERENCE budget AS price AROUND 40000;
+		CREATE PREFERENCE lowuse AS LOWEST(mileage);
+	`)
+
+	res := db.MustExec(`SELECT id, DISTANCE(price) FROM cars WHERE make = 'Opel'
+		PREFERRING PREFERENCE budget AND PREFERENCE lowuse ORDER BY id`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("pareto over named prefs: %v", res.Rows)
+	}
+
+	db.MustExec(`CREATE TABLE shortlist (id INT, price INT)`)
+	ins := db.MustExec(`INSERT INTO shortlist
+		SELECT id, price FROM cars WHERE make = 'Opel' PREFERRING PREFERENCE budget`)
+	if ins.Affected == 0 {
+		t.Fatal("shortlist empty")
+	}
+
+	// plain SQL continues to work side by side
+	agg := db.MustExec(`SELECT make, COUNT(*) AS n, MIN(price) FROM cars GROUP BY make ORDER BY make`)
+	if len(agg.Rows) != 2 || agg.Rows[0][0].S != "Audi" {
+		t.Fatalf("aggregation: %v", agg.Rows)
+	}
+
+	db.MustExec(`DROP PREFERENCE budget; DROP PREFERENCE lowuse; DROP TABLE shortlist`)
+}
+
+// TestExplainMatchesPaperPattern pins the §3.2 rewrite pattern at the
+// facade level.
+func TestExplainMatchesPaperPattern(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE Cars (Identifier INT, Make VARCHAR, Diesel VARCHAR)`)
+	script, err := db.ExplainRewrite(`SELECT * FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"CASE WHEN", "IN ('Audi')", "IN ('yes')",
+		"NOT EXISTS", "<=", "<",
+	} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script lacks %q:\n%s", want, script)
+		}
+	}
+}
+
+// TestLargeScaleSmoke keeps a moderately large end-to-end run in the unit
+// suite so regressions in the hot path surface quickly.
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db := Open()
+	db.MustExec(`CREATE TABLE pts (id INT, x INT, y INT)`)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO pts VALUES ")
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		x := (i * 7919) % 1000
+		y := (i * 104729) % 1000
+		sb.WriteString("(")
+		sb.WriteString(itoa(int64(i)))
+		sb.WriteString(", ")
+		sb.WriteString(itoa(int64(x)))
+		sb.WriteString(", ")
+		sb.WriteString(itoa(int64(y)))
+		sb.WriteString(")")
+	}
+	db.MustExec(sb.String())
+	res := db.MustExec(`SELECT id FROM pts PREFERRING LOWEST(x) AND LOWEST(y)`)
+	if len(res.Rows) == 0 || len(res.Rows) > 100 {
+		t.Fatalf("skyline size: %d", len(res.Rows))
+	}
+	// soundness spot check against a direct scan
+	all := db.MustExec(`SELECT x, y FROM pts`)
+	sky := db.MustExec(`SELECT x, y FROM pts PREFERRING LOWEST(x) AND LOWEST(y)`)
+	for _, s := range sky.Rows {
+		for _, a := range all.Rows {
+			if a[0].I <= s[0].I && a[1].I <= s[1].I && (a[0].I < s[0].I || a[1].I < s[1].I) {
+				t.Fatalf("skyline row %v dominated by %v", s, a)
+			}
+		}
+	}
+}
+
+func itoa(i int64) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	n := len(buf)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		n--
+		buf[n] = '-'
+	}
+	return string(buf[n:])
+}

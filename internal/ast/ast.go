@@ -1,0 +1,850 @@
+// Package ast defines the abstract syntax tree for the Preference SQL
+// dialect: standard SQL92 statements and expressions plus the preference
+// extensions of Kießling & Köstler (PREFERRING, GROUPING, BUT ONLY and the
+// preference term language).
+//
+// Every node renders itself back to SQL text via SQL(); the rewriter emits
+// plain-SQL ASTs and serializes them, and tests round-trip parse(SQL(x)).
+package ast
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is any scalar SQL expression.
+type Expr interface {
+	SQL() string
+	exprNode()
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val value.Value
+}
+
+// Column references table.column (Table may be empty).
+type Column struct {
+	Table string
+	Name  string
+}
+
+// Star is the bare `*` or `t.*` select item (also COUNT(*) argument).
+type Star struct {
+	Table string
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT", "-"
+	X  Expr
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	Op   string // = <> < <= > >= + - * / % AND OR ||
+	L, R Expr
+}
+
+// IsNull is `x IS [NOT] NULL`.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// InList is `x [NOT] IN (e1, ..., en)`.
+type InList struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// InSelect is `x [NOT] IN (SELECT ...)`.
+type InSelect struct {
+	X   Expr
+	Sub *Select
+	Not bool
+}
+
+// Between is `x [NOT] BETWEEN lo AND hi`.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// Like is `x [NOT] LIKE pattern` with SQL % and _ wildcards.
+type Like struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+// Exists is `[NOT] EXISTS (SELECT ...)`.
+type Exists struct {
+	Sub *Select
+	Not bool
+}
+
+// ScalarSub is a parenthesized subquery used as a scalar value.
+type ScalarSub struct {
+	Sub *Select
+}
+
+// WhenClause is one WHEN ... THEN ... arm of a CASE.
+type WhenClause struct {
+	When Expr
+	Then Expr
+}
+
+// Case is `CASE [operand] WHEN ... THEN ... [ELSE ...] END`.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil if absent
+}
+
+// FuncCall is a scalar or aggregate function application. The quality
+// functions TOP, LEVEL and DISTANCE of Preference SQL also parse to
+// FuncCall with those (upper-case) names.
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+func (*Literal) exprNode()   {}
+func (*Column) exprNode()    {}
+func (*Star) exprNode()      {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*IsNull) exprNode()    {}
+func (*InList) exprNode()    {}
+func (*InSelect) exprNode()  {}
+func (*Between) exprNode()   {}
+func (*Like) exprNode()      {}
+func (*Exists) exprNode()    {}
+func (*ScalarSub) exprNode() {}
+func (*Case) exprNode()      {}
+func (*FuncCall) exprNode()  {}
+
+// SQL implementations.
+
+func (e *Literal) SQL() string { return e.Val.SQL() }
+
+func (e *Column) SQL() string {
+	if e.Table != "" {
+		return quoteIdent(e.Table) + "." + quoteIdent(e.Name)
+	}
+	return quoteIdent(e.Name)
+}
+
+func (e *Star) SQL() string {
+	if e.Table != "" {
+		return quoteIdent(e.Table) + ".*"
+	}
+	return "*"
+}
+
+func (e *Unary) SQL() string {
+	if e.Op == "NOT" {
+		return "NOT (" + e.X.SQL() + ")"
+	}
+	return e.Op + "(" + e.X.SQL() + ")"
+}
+
+func (e *Binary) SQL() string {
+	return "(" + e.L.SQL() + " " + e.Op + " " + e.R.SQL() + ")"
+}
+
+func (e *IsNull) SQL() string {
+	if e.Not {
+		return "(" + e.X.SQL() + " IS NOT NULL)"
+	}
+	return "(" + e.X.SQL() + " IS NULL)"
+}
+
+func (e *InList) SQL() string {
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.SQL()
+	}
+	op := " IN "
+	if e.Not {
+		op = " NOT IN "
+	}
+	return "(" + e.X.SQL() + op + "(" + strings.Join(parts, ", ") + "))"
+}
+
+func (e *InSelect) SQL() string {
+	op := " IN "
+	if e.Not {
+		op = " NOT IN "
+	}
+	return "(" + e.X.SQL() + op + "(" + e.Sub.SQL() + "))"
+}
+
+func (e *Between) SQL() string {
+	op := " BETWEEN "
+	if e.Not {
+		op = " NOT BETWEEN "
+	}
+	return "(" + e.X.SQL() + op + e.Lo.SQL() + " AND " + e.Hi.SQL() + ")"
+}
+
+func (e *Like) SQL() string {
+	op := " LIKE "
+	if e.Not {
+		op = " NOT LIKE "
+	}
+	return "(" + e.X.SQL() + op + e.Pattern.SQL() + ")"
+}
+
+func (e *Exists) SQL() string {
+	if e.Not {
+		return "NOT EXISTS (" + e.Sub.SQL() + ")"
+	}
+	return "EXISTS (" + e.Sub.SQL() + ")"
+}
+
+func (e *ScalarSub) SQL() string { return "(" + e.Sub.SQL() + ")" }
+
+func (e *Case) SQL() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	if e.Operand != nil {
+		b.WriteString(" " + e.Operand.SQL())
+	}
+	for _, w := range e.Whens {
+		b.WriteString(" WHEN " + w.When.SQL() + " THEN " + w.Then.SQL())
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE " + e.Else.SQL())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func (e *FuncCall) SQL() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.SQL()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(parts, ", ") + ")"
+}
+
+func quoteIdent(s string) string {
+	if s == "" {
+		return s
+	}
+	needs := false
+	for i, r := range s {
+		lower := r >= 'a' && r <= 'z'
+		upper := r >= 'A' && r <= 'Z'
+		digit := r >= '0' && r <= '9'
+		if !(lower || upper || r == '_' || (digit && i > 0)) {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		needs = isReserved(s)
+	}
+	if needs {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// isReserved is a tiny local check to avoid importing lexer (cycle-free).
+func isReserved(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AND", "OR", "NOT",
+		"IN", "LIKE", "BETWEEN", "IS", "NULL", "EXISTS", "CASE", "WHEN", "THEN",
+		"ELSE", "END", "AS", "DISTINCT", "TABLE", "VIEW", "PREFERRING",
+		"GROUPING", "BUT", "ONLY", "CASCADE", "AROUND", "LOWEST", "HIGHEST",
+		"POS", "NEG", "CONTAINS", "EXPLICIT", "TOP", "LEVEL", "DISTANCE",
+		"LEFT", "JOIN", "ON", "UNION", "ALL", "VALUES", "SET", "KEY", "DATE":
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Preference terms (§2.2 of the paper)
+// ---------------------------------------------------------------------------
+
+// Pref is a preference term in the PREFERRING clause: a strict partial
+// order specification, built from base preferences with Pareto (AND),
+// CASCADE and ELSE (layering) constructors.
+type Pref interface {
+	SQL() string
+	prefNode()
+}
+
+// PrefAround is `expr AROUND target`: closer to target is better.
+type PrefAround struct {
+	X      Expr
+	Target Expr
+}
+
+// PrefBetween is `expr BETWEEN [lo, up]`: inside the interval is best,
+// otherwise closer to the nearest boundary is better.
+type PrefBetween struct {
+	X      Expr
+	Lo, Hi Expr
+}
+
+// PrefLowest is `LOWEST(expr)`; PrefHighest is `HIGHEST(expr)`.
+type PrefLowest struct{ X Expr }
+
+// PrefHighest prefers maximal values of X.
+type PrefHighest struct{ X Expr }
+
+// PrefPos is a POS preference: values in the list are preferred. It covers
+// `expr IN (v1, ...)` and the single-value form `expr = v`.
+type PrefPos struct {
+	X      Expr
+	Values []Expr
+}
+
+// PrefNeg is a NEG preference: values in the list are dis-preferred. It
+// covers `expr NOT IN (...)` and `expr <> v`.
+type PrefNeg struct {
+	X      Expr
+	Values []Expr
+}
+
+// PrefContains is `expr CONTAINS ('term', ...)`: rows whose text contains
+// more of the terms are better (simple full-text preference, cf. [LeK99]).
+type PrefContains struct {
+	X     Expr
+	Terms []Expr
+}
+
+// PrefExplicit is `EXPLICIT(expr, b1 > w1, b2 > w2, ...)`: a finite
+// better-than graph over attribute values (base type EXPLICIT, §2.2.1).
+type PrefExplicit struct {
+	X     Expr
+	Edges []ExplicitEdge
+}
+
+// ExplicitEdge is one `better > worse` relationship of an EXPLICIT term.
+type ExplicitEdge struct {
+	Better, Worse Expr
+}
+
+// PrefBool treats an arbitrary boolean condition as a soft constraint:
+// rows satisfying it are better than rows that do not.
+type PrefBool struct {
+	Cond Expr
+}
+
+// PrefElse is layered composition `P1 ELSE P2`: perfect matches of P1 are
+// best; among the rest, P2 decides (used for POS/POS, POS/NEG in §2.2.1).
+type PrefElse struct {
+	First, Second Pref
+}
+
+// PrefPareto is Pareto accumulation `P1 AND P2 AND ...` (equal importance).
+type PrefPareto struct {
+	Parts []Pref
+}
+
+// PrefCascade is `P1 CASCADE P2 CASCADE ...` (ordered importance; ',' is a
+// synonym for CASCADE in the paper).
+type PrefCascade struct {
+	Parts []Pref
+}
+
+// PrefRef references a named persistent preference created with CREATE
+// PREFERENCE (the paper's Preference Definition Language, §2.2).
+type PrefRef struct {
+	Name string
+}
+
+func (*PrefAround) prefNode()   {}
+func (*PrefBetween) prefNode()  {}
+func (*PrefLowest) prefNode()   {}
+func (*PrefHighest) prefNode()  {}
+func (*PrefPos) prefNode()      {}
+func (*PrefNeg) prefNode()      {}
+func (*PrefContains) prefNode() {}
+func (*PrefExplicit) prefNode() {}
+func (*PrefBool) prefNode()     {}
+func (*PrefElse) prefNode()     {}
+func (*PrefPareto) prefNode()   {}
+func (*PrefCascade) prefNode()  {}
+func (*PrefRef) prefNode()      {}
+
+func (p *PrefAround) SQL() string { return p.X.SQL() + " AROUND " + p.Target.SQL() }
+
+func (p *PrefBetween) SQL() string {
+	return p.X.SQL() + " BETWEEN [" + p.Lo.SQL() + ", " + p.Hi.SQL() + "]"
+}
+
+func (p *PrefLowest) SQL() string  { return "LOWEST(" + p.X.SQL() + ")" }
+func (p *PrefHighest) SQL() string { return "HIGHEST(" + p.X.SQL() + ")" }
+
+func (p *PrefPos) SQL() string {
+	if len(p.Values) == 1 {
+		return p.X.SQL() + " = " + p.Values[0].SQL()
+	}
+	return p.X.SQL() + " IN (" + joinExprs(p.Values) + ")"
+}
+
+func (p *PrefNeg) SQL() string {
+	if len(p.Values) == 1 {
+		return p.X.SQL() + " <> " + p.Values[0].SQL()
+	}
+	return p.X.SQL() + " NOT IN (" + joinExprs(p.Values) + ")"
+}
+
+func (p *PrefContains) SQL() string {
+	return p.X.SQL() + " CONTAINS (" + joinExprs(p.Terms) + ")"
+}
+
+func (p *PrefExplicit) SQL() string {
+	parts := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		parts[i] = e.Better.SQL() + " > " + e.Worse.SQL()
+	}
+	return "EXPLICIT(" + p.X.SQL() + ", " + strings.Join(parts, ", ") + ")"
+}
+
+func (p *PrefBool) SQL() string { return "REGULAR(" + p.Cond.SQL() + ")" }
+
+func (p *PrefElse) SQL() string {
+	return p.First.SQL() + " ELSE " + p.Second.SQL()
+}
+
+func (p *PrefPareto) SQL() string {
+	parts := make([]string, len(p.Parts))
+	for i, q := range p.Parts {
+		if needsParens(q, 1) {
+			parts[i] = "(" + q.SQL() + ")"
+		} else {
+			parts[i] = q.SQL()
+		}
+	}
+	return strings.Join(parts, " AND ")
+}
+
+func (p *PrefRef) SQL() string { return "PREFERENCE " + quoteIdent(p.Name) }
+
+func (p *PrefCascade) SQL() string {
+	parts := make([]string, len(p.Parts))
+	for i, q := range p.Parts {
+		if needsParens(q, 0) {
+			parts[i] = "(" + q.SQL() + ")"
+		} else {
+			parts[i] = q.SQL()
+		}
+	}
+	return strings.Join(parts, " CASCADE ")
+}
+
+// needsParens reports whether child q printed at parent precedence level
+// (0 = cascade, 1 = pareto) requires parentheses.
+func needsParens(q Pref, parentLevel int) bool {
+	switch q.(type) {
+	case *PrefCascade:
+		return true
+	case *PrefPareto:
+		return parentLevel >= 1
+	case *PrefElse:
+		// ELSE binds tighter than AND in the paper's example, but we always
+		// parenthesize nested ELSE under Pareto for clarity.
+		return parentLevel >= 1
+	}
+	return false
+}
+
+func joinExprs(xs []Expr) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = x.SQL()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is any executable statement.
+type Stmt interface {
+	SQL() string
+	stmtNode()
+}
+
+// SelectItem is one element of the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY element.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// JoinType distinguishes join flavours.
+type JoinType uint8
+
+// Join flavours.
+const (
+	CrossJoin JoinType = iota
+	InnerJoin
+	LeftJoin
+)
+
+// TableRef is a FROM-clause item.
+type TableRef interface {
+	SQL() string
+	tableNode()
+}
+
+// BaseTable is a named table or view, optionally aliased.
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryTable is a derived table `(SELECT ...) alias`.
+type SubqueryTable struct {
+	Sel   *Select
+	Alias string
+}
+
+// Join combines two table refs.
+type Join struct {
+	Type        JoinType
+	Left, Right TableRef
+	On          Expr // nil for cross join
+}
+
+func (*BaseTable) tableNode()     {}
+func (*SubqueryTable) tableNode() {}
+func (*Join) tableNode()          {}
+
+func (t *BaseTable) SQL() string {
+	if t.Alias != "" {
+		return quoteIdent(t.Name) + " " + quoteIdent(t.Alias)
+	}
+	return quoteIdent(t.Name)
+}
+
+func (t *SubqueryTable) SQL() string {
+	s := "(" + t.Sel.SQL() + ")"
+	if t.Alias != "" {
+		s += " " + quoteIdent(t.Alias)
+	}
+	return s
+}
+
+func (t *Join) SQL() string {
+	switch t.Type {
+	case InnerJoin:
+		return t.Left.SQL() + " JOIN " + t.Right.SQL() + " ON " + t.On.SQL()
+	case LeftJoin:
+		return t.Left.SQL() + " LEFT JOIN " + t.Right.SQL() + " ON " + t.On.SQL()
+	default:
+		return t.Left.SQL() + ", " + t.Right.SQL()
+	}
+}
+
+// Select is the full (Preference) SQL query block of §2.2.5:
+//
+//	SELECT <selection> FROM ... WHERE ... PREFERRING ... GROUPING ...
+//	BUT ONLY ... GROUP BY ... HAVING ... ORDER BY ... LIMIT ...
+type Select struct {
+	Distinct   bool
+	Items      []SelectItem
+	From       []TableRef
+	Where      Expr
+	Preferring Pref
+	Grouping   []*Column
+	ButOnly    Expr
+	GroupBy    []Expr
+	Having     Expr
+	OrderBy    []OrderItem
+	Limit      int64 // -1 = none
+	Offset     int64 // 0 = none
+}
+
+// HasPreference reports whether the query block uses any preference clause.
+func (s *Select) HasPreference() bool { return s.Preferring != nil }
+
+func (s *Select) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.SQL())
+		if it.Alias != "" {
+			b.WriteString(" AS " + quoteIdent(it.Alias))
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, t := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.SQL())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if s.Preferring != nil {
+		b.WriteString(" PREFERRING " + s.Preferring.SQL())
+	}
+	if len(s.Grouping) > 0 {
+		cols := make([]string, len(s.Grouping))
+		for i, c := range s.Grouping {
+			cols[i] = c.SQL()
+		}
+		b.WriteString(" GROUPING " + strings.Join(cols, ", "))
+	}
+	if s.ButOnly != nil {
+		b.WriteString(" BUT ONLY " + s.ButOnly.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, e := range s.GroupBy {
+			parts[i] = e.SQL()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.Expr.SQL()
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT " + itoa(s.Limit))
+	}
+	if s.Offset > 0 {
+		b.WriteString(" OFFSET " + itoa(s.Offset))
+	}
+	return b.String()
+}
+
+// Insert is `INSERT INTO t [(cols)] VALUES (...), ... | SELECT ...`.
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Sel     *Select // nil unless INSERT ... SELECT
+}
+
+// Update is `UPDATE t SET c = e, ... [WHERE ...]`.
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// SetClause is one `col = expr` assignment.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// Delete is `DELETE FROM t [WHERE ...]`.
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// ColumnDef describes one column of CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       value.Kind
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// CreateTable is `CREATE TABLE [IF NOT EXISTS] t (...)`.
+type CreateTable struct {
+	Name        string
+	Cols        []ColumnDef
+	IfNotExists bool
+}
+
+// CreateView is `CREATE VIEW v AS SELECT ...`.
+type CreateView struct {
+	Name string
+	Sel  *Select
+}
+
+// CreateIndex is `CREATE INDEX i ON t (cols)`.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+// Drop is `DROP TABLE|VIEW|INDEX|PREFERENCE [IF EXISTS] name`.
+type Drop struct {
+	Kind     string // "TABLE", "VIEW", "INDEX", "PREFERENCE"
+	Name     string
+	IfExists bool
+}
+
+// CreatePreference is `CREATE PREFERENCE name AS <pref>`: a persistent
+// named preference object (Preference Definition Language, §2.2).
+type CreatePreference struct {
+	Name string
+	Pref Pref
+}
+
+func (*Select) stmtNode()           {}
+func (*Insert) stmtNode()           {}
+func (*Update) stmtNode()           {}
+func (*Delete) stmtNode()           {}
+func (*CreateTable) stmtNode()      {}
+func (*CreateView) stmtNode()       {}
+func (*CreateIndex) stmtNode()      {}
+func (*Drop) stmtNode()             {}
+func (*CreatePreference) stmtNode() {}
+
+func (s *Insert) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + quoteIdent(s.Table))
+	if len(s.Columns) > 0 {
+		cols := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = quoteIdent(c)
+		}
+		b.WriteString(" (" + strings.Join(cols, ", ") + ")")
+	}
+	if s.Sel != nil {
+		b.WriteString(" " + s.Sel.SQL())
+		return b.String()
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(" + joinExprs(row) + ")")
+	}
+	return b.String()
+}
+
+func (s *Update) SQL() string {
+	var b strings.Builder
+	b.WriteString("UPDATE " + quoteIdent(s.Table) + " SET ")
+	for i, set := range s.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteIdent(set.Column) + " = " + set.Expr.SQL())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	return b.String()
+}
+
+func (s *Delete) SQL() string {
+	out := "DELETE FROM " + quoteIdent(s.Table)
+	if s.Where != nil {
+		out += " WHERE " + s.Where.SQL()
+	}
+	return out
+}
+
+func (s *CreateTable) SQL() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	if s.IfNotExists {
+		b.WriteString("IF NOT EXISTS ")
+	}
+	b.WriteString(quoteIdent(s.Name) + " (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteIdent(c.Name) + " " + c.Type.String())
+		if c.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		}
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (s *CreateView) SQL() string {
+	return "CREATE VIEW " + quoteIdent(s.Name) + " AS " + s.Sel.SQL()
+}
+
+func (s *CreateIndex) SQL() string {
+	cols := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = quoteIdent(c)
+	}
+	return "CREATE INDEX " + quoteIdent(s.Name) + " ON " + quoteIdent(s.Table) +
+		" (" + strings.Join(cols, ", ") + ")"
+}
+
+func (s *CreatePreference) SQL() string {
+	return "CREATE PREFERENCE " + quoteIdent(s.Name) + " AS " + s.Pref.SQL()
+}
+
+func (s *Drop) SQL() string {
+	out := "DROP " + s.Kind + " "
+	if s.IfExists {
+		out += "IF EXISTS "
+	}
+	return out + quoteIdent(s.Name)
+}
+
+func itoa(i int64) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		n--
+		buf[n] = '-'
+	}
+	return string(buf[n:])
+}

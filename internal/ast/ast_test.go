@@ -1,0 +1,218 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func lit(v value.Value) *Literal { return &Literal{Val: v} }
+func col(name string) *Column    { return &Column{Name: name} }
+
+func TestExprSQL(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{lit(value.NewInt(42)), "42"},
+		{lit(value.NewText("O'Brien")), "'O''Brien'"},
+		{lit(value.NewNull()), "NULL"},
+		{col("price"), "price"},
+		{&Column{Table: "t", Name: "a"}, "t.a"},
+		{&Star{}, "*"},
+		{&Star{Table: "t"}, "t.*"},
+		{&Unary{Op: "NOT", X: col("b")}, "NOT (b)"},
+		{&Unary{Op: "-", X: col("x")}, "-(x)"},
+		{&Binary{Op: "+", L: col("a"), R: lit(value.NewInt(1))}, "(a + 1)"},
+		{&IsNull{X: col("a")}, "(a IS NULL)"},
+		{&IsNull{X: col("a"), Not: true}, "(a IS NOT NULL)"},
+		{&InList{X: col("c"), List: []Expr{lit(value.NewText("x")), lit(value.NewText("y"))}}, "(c IN ('x', 'y'))"},
+		{&InList{X: col("c"), List: []Expr{lit(value.NewInt(1))}, Not: true}, "(c NOT IN (1))"},
+		{&Between{X: col("a"), Lo: lit(value.NewInt(1)), Hi: lit(value.NewInt(5))}, "(a BETWEEN 1 AND 5)"},
+		{&Like{X: col("s"), Pattern: lit(value.NewText("a%"))}, "(s LIKE 'a%')"},
+		{&Like{X: col("s"), Pattern: lit(value.NewText("a%")), Not: true}, "(s NOT LIKE 'a%')"},
+		{&Case{Whens: []WhenClause{{When: col("p"), Then: lit(value.NewInt(1))}}, Else: lit(value.NewInt(2))},
+			"CASE WHEN p THEN 1 ELSE 2 END"},
+		{&Case{Operand: col("x"), Whens: []WhenClause{{When: lit(value.NewInt(1)), Then: lit(value.NewText("one"))}}},
+			"CASE x WHEN 1 THEN 'one' END"},
+		{&FuncCall{Name: "ABS", Args: []Expr{col("d")}}, "ABS(d)"},
+		{&FuncCall{Name: "COUNT", Args: []Expr{col("d")}, Distinct: true}, "COUNT(DISTINCT d)"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.SQL(); got != tt.want {
+			t.Errorf("SQL() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestQuoteIdentForReservedAndWeirdNames(t *testing.T) {
+	if got := (&Column{Name: "order"}).SQL(); got != `"order"` {
+		t.Errorf("reserved word should be quoted: %q", got)
+	}
+	if got := (&Column{Name: "weird name"}).SQL(); got != `"weird name"` {
+		t.Errorf("space should force quoting: %q", got)
+	}
+	if got := (&Column{Name: "_lvl_1"}).SQL(); got != "_lvl_1" {
+		t.Errorf("underscore names stay bare: %q", got)
+	}
+}
+
+func TestPrefSQL(t *testing.T) {
+	around := &PrefAround{X: col("duration"), Target: lit(value.NewInt(14))}
+	tests := []struct {
+		p    Pref
+		want string
+	}{
+		{around, "duration AROUND 14"},
+		{&PrefBetween{X: col("p"), Lo: lit(value.NewInt(1)), Hi: lit(value.NewInt(2))}, "p BETWEEN [1, 2]"},
+		{&PrefLowest{X: col("m")}, "LOWEST(m)"},
+		{&PrefHighest{X: col("m")}, "HIGHEST(m)"},
+		{&PrefPos{X: col("c"), Values: []Expr{lit(value.NewText("x"))}}, "c = 'x'"},
+		{&PrefPos{X: col("c"), Values: []Expr{lit(value.NewText("x")), lit(value.NewText("y"))}}, "c IN ('x', 'y')"},
+		{&PrefNeg{X: col("c"), Values: []Expr{lit(value.NewText("x"))}}, "c <> 'x'"},
+		{&PrefNeg{X: col("c"), Values: []Expr{lit(value.NewText("x")), lit(value.NewText("y"))}}, "c NOT IN ('x', 'y')"},
+		{&PrefContains{X: col("b"), Terms: []Expr{lit(value.NewText("db"))}}, "b CONTAINS ('db')"},
+		{&PrefExplicit{X: col("c"), Edges: []ExplicitEdge{{Better: lit(value.NewText("a")), Worse: lit(value.NewText("b"))}}},
+			"EXPLICIT(c, 'a' > 'b')"},
+		{&PrefBool{Cond: &Binary{Op: "<", L: col("p"), R: lit(value.NewInt(5))}}, "REGULAR((p < 5))"},
+		{&PrefRef{Name: "fav"}, "PREFERENCE fav"},
+		{&PrefElse{First: &PrefPos{X: col("c"), Values: []Expr{lit(value.NewText("w"))}},
+			Second: &PrefPos{X: col("c"), Values: []Expr{lit(value.NewText("y"))}}},
+			"c = 'w' ELSE c = 'y'"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.SQL(); got != tt.want {
+			t.Errorf("SQL() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestPrefConstructorParenthesization(t *testing.T) {
+	lo := &PrefLowest{X: col("a")}
+	hi := &PrefHighest{X: col("b")}
+	pareto := &PrefPareto{Parts: []Pref{lo, hi}}
+	if got := pareto.SQL(); got != "LOWEST(a) AND HIGHEST(b)" {
+		t.Errorf("pareto: %q", got)
+	}
+	cascade := &PrefCascade{Parts: []Pref{pareto, lo}}
+	if got := cascade.SQL(); got != "LOWEST(a) AND HIGHEST(b) CASCADE LOWEST(a)" {
+		t.Errorf("cascade: %q", got)
+	}
+	// nested cascade under pareto needs parens
+	nested := &PrefPareto{Parts: []Pref{cascade, hi}}
+	if got := nested.SQL(); !strings.Contains(got, "(") {
+		t.Errorf("nested cascade should be parenthesized: %q", got)
+	}
+}
+
+func TestSelectSQLFullBlock(t *testing.T) {
+	sel := &Select{
+		Distinct: true,
+		Items: []SelectItem{
+			{Expr: col("a")},
+			{Expr: &Binary{Op: "+", L: col("b"), R: lit(value.NewInt(1))}, Alias: "b1"},
+		},
+		From:       ast_TableRefs(),
+		Where:      &Binary{Op: ">", L: col("a"), R: lit(value.NewInt(0))},
+		Preferring: &PrefLowest{X: col("b")},
+		Grouping:   []*Column{col("g")},
+		ButOnly:    &Binary{Op: "<=", L: &FuncCall{Name: "DISTANCE", Args: []Expr{col("b")}}, R: lit(value.NewInt(2))},
+		OrderBy:    []OrderItem{{Expr: col("a"), Desc: true}},
+		Limit:      10,
+		Offset:     2,
+	}
+	got := sel.SQL()
+	for _, want := range []string{
+		"SELECT DISTINCT", "AS b1", "FROM t", "WHERE", "PREFERRING LOWEST(b)",
+		"GROUPING g", "BUT ONLY", "ORDER BY a DESC", "LIMIT 10", "OFFSET 2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+// ast_TableRefs avoids a literal slice-of-interface inline for readability.
+func ast_TableRefs() []TableRef {
+	return []TableRef{&BaseTable{Name: "t"}}
+}
+
+func TestStatementSQL(t *testing.T) {
+	tests := []struct {
+		s    Stmt
+		want string
+	}{
+		{&Insert{Table: "t", Columns: []string{"a"}, Rows: [][]Expr{{lit(value.NewInt(1))}}},
+			"INSERT INTO t (a) VALUES (1)"},
+		{&Update{Table: "t", Sets: []SetClause{{Column: "a", Expr: lit(value.NewInt(1))}},
+			Where: &Binary{Op: "=", L: col("b"), R: lit(value.NewInt(2))}},
+			"UPDATE t SET a = 1 WHERE (b = 2)"},
+		{&Delete{Table: "t"}, "DELETE FROM t"},
+		{&CreateTable{Name: "t", Cols: []ColumnDef{{Name: "a", Type: value.Int, PrimaryKey: true}}},
+			"CREATE TABLE t (a INTEGER PRIMARY KEY)"},
+		{&CreateIndex{Name: "i", Table: "t", Columns: []string{"a", "b"}},
+			"CREATE INDEX i ON t (a, b)"},
+		{&Drop{Kind: "TABLE", Name: "t", IfExists: true}, "DROP TABLE IF EXISTS t"},
+		{&CreatePreference{Name: "fav", Pref: &PrefLowest{X: col("p")}},
+			"CREATE PREFERENCE fav AS LOWEST(p)"},
+		{&Drop{Kind: "PREFERENCE", Name: "fav"}, "DROP PREFERENCE fav"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.SQL(); got != tt.want {
+			t.Errorf("SQL() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestJoinSQL(t *testing.T) {
+	j := &Join{Type: InnerJoin, Left: &BaseTable{Name: "a"}, Right: &BaseTable{Name: "b"},
+		On: &Binary{Op: "=", L: &Column{Table: "a", Name: "id"}, R: &Column{Table: "b", Name: "id"}}}
+	if got := j.SQL(); got != "a JOIN b ON (a.id = b.id)" {
+		t.Errorf("join: %q", got)
+	}
+	lj := &Join{Type: LeftJoin, Left: &BaseTable{Name: "a"}, Right: &BaseTable{Name: "b", Alias: "x"},
+		On: lit(value.NewBool(true))}
+	if got := lj.SQL(); got != "a LEFT JOIN b x ON TRUE" {
+		t.Errorf("left join: %q", got)
+	}
+	cj := &Join{Type: CrossJoin, Left: &BaseTable{Name: "a"}, Right: &BaseTable{Name: "b"}}
+	if got := cj.SQL(); got != "a, b" {
+		t.Errorf("cross join: %q", got)
+	}
+	st := &SubqueryTable{Sel: &Select{Items: []SelectItem{{Expr: &Star{}}}, From: ast_TableRefs(), Limit: -1}, Alias: "s"}
+	if got := st.SQL(); got != "(SELECT * FROM t) s" {
+		t.Errorf("subquery table: %q", got)
+	}
+}
+
+func TestInsertSelectSQL(t *testing.T) {
+	ins := &Insert{Table: "m", Sel: &Select{Items: []SelectItem{{Expr: &Star{}}}, From: ast_TableRefs(), Limit: -1}}
+	if got := ins.SQL(); got != "INSERT INTO m SELECT * FROM t" {
+		t.Errorf("insert-select: %q", got)
+	}
+}
+
+func TestHasPreference(t *testing.T) {
+	sel := &Select{Limit: -1}
+	if sel.HasPreference() {
+		t.Error("no pref")
+	}
+	sel.Preferring = &PrefLowest{X: col("a")}
+	if !sel.HasPreference() {
+		t.Error("pref")
+	}
+}
+
+func TestScalarSubAndExistsSQL(t *testing.T) {
+	sub := &Select{Items: []SelectItem{{Expr: lit(value.NewInt(1))}}, From: ast_TableRefs(), Limit: -1}
+	if got := (&ScalarSub{Sub: sub}).SQL(); got != "(SELECT 1 FROM t)" {
+		t.Errorf("scalar sub: %q", got)
+	}
+	if got := (&Exists{Sub: sub, Not: true}).SQL(); got != "NOT EXISTS (SELECT 1 FROM t)" {
+		t.Errorf("not exists: %q", got)
+	}
+	if got := (&InSelect{X: col("a"), Sub: sub}).SQL(); got != "(a IN (SELECT 1 FROM t))" {
+		t.Errorf("in select: %q", got)
+	}
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE1ShapeMatchesPaper(t *testing.T) {
+	cfg := TestConfig()
+	res, tbl, err := E1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != len(cfg.PreSizes)*len(e1CondSets)*4 {
+		t.Fatalf("entries: %d", len(res.Entries))
+	}
+	// The qualitative shape the paper's table demonstrates: per (cond set,
+	// pre-size), conjunctive returns few (often zero) rows, disjunctive
+	// floods, Preference SQL returns a small non-empty BMO set whenever
+	// candidates exist, and the two preference execution paths agree.
+	byKey := map[string]map[string]E1Entry{}
+	for _, e := range res.Entries {
+		key := e.CondSet + "/" + strconv.Itoa(e.PreSize)
+		if byKey[key] == nil {
+			byKey[key] = map[string]E1Entry{}
+		}
+		byKey[key][e.Strategy] = e
+	}
+	for key, group := range byKey {
+		conj := group["SQL conjunctive"]
+		disj := group["SQL disjunctive"]
+		prefR := group["Preference SQL (rewrite)"]
+		prefN := group["Preference SQL (native)"]
+		if prefR.ResultSize != prefN.ResultSize {
+			t.Errorf("%s: rewrite (%d) and native (%d) disagree", key, prefR.ResultSize, prefN.ResultSize)
+		}
+		if conj.PreSize > 0 && prefN.ResultSize == 0 {
+			t.Errorf("%s: BMO must be non-empty when candidates exist", key)
+		}
+		if prefN.ResultSize > disj.ResultSize && disj.ResultSize > 0 {
+			t.Errorf("%s: BMO (%d) larger than disjunctive (%d)", key, prefN.ResultSize, disj.ResultSize)
+		}
+		if conj.ResultSize > disj.ResultSize {
+			t.Errorf("%s: conjunctive (%d) larger than disjunctive (%d)", key, conj.ResultSize, disj.ResultSize)
+		}
+	}
+	if !strings.Contains(tbl.String(), "Preference SQL") {
+		t.Error("table rendering")
+	}
+}
+
+func TestE2GoldenTable(t *testing.T) {
+	res, tbl, err := E2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	out := tbl.String()
+	for _, want := range []string{"Selma", "Homer", "Maggie"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Bart") || strings.Contains(out, "Smithers") || strings.Contains(out, "Skinner") {
+		t.Errorf("dominated tuples leaked:\n%s", out)
+	}
+}
+
+func TestE3RewriteScript(t *testing.T) {
+	script, tbl, err := E3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CREATE VIEW", "NOT EXISTS", "CASE WHEN"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script lacks %q", want)
+		}
+	}
+	if len(tbl.Rows) != 2 {
+		t.Errorf("cars result: %v", tbl.Rows)
+	}
+}
+
+func TestE4CosimaShape(t *testing.T) {
+	cfg := TestConfig()
+	res, tbl, err := E4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != cfg.CosimaRuns {
+		t.Errorf("runs: %d", res.Runs)
+	}
+	if res.ShareSmall < 0.7 {
+		t.Errorf("Pareto sets in 1-20 only %.0f%% of runs", res.ShareSmall*100)
+	}
+	if !strings.Contains(tbl.String(), "Pareto-set size") {
+		t.Error("table rendering")
+	}
+}
+
+func TestE5EshopShape(t *testing.T) {
+	res, tbl, err := E5(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefSize == 0 {
+		t.Error("preference search must return offers")
+	}
+	if res.HardSize > res.PrefSize*10 {
+		t.Errorf("unexpected sizes: hard=%d pref=%d", res.HardSize, res.PrefSize)
+	}
+	if !strings.Contains(tbl.String(), "Preference SQL") {
+		t.Error("table rendering")
+	}
+}
+
+func TestA1AlgorithmsAgree(t *testing.T) {
+	cfg := TestConfig()
+	entries, tbl, err := A1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySize := map[int]map[string]int{}
+	for _, e := range entries {
+		if bySize[e.Candidates] == nil {
+			bySize[e.Candidates] = map[string]int{}
+		}
+		bySize[e.Candidates][e.Method] = e.ResultSize
+	}
+	for size, methods := range bySize {
+		var first int
+		var set bool
+		for m, n := range methods {
+			if !set {
+				first, set = n, true
+				continue
+			}
+			if n != first {
+				t.Errorf("size %d: %s returned %d, others %d", size, m, n, first)
+			}
+		}
+	}
+	if !strings.Contains(tbl.String(), "block-nested-loop") {
+		t.Error("table rendering")
+	}
+}
+
+func TestA2DistributionShape(t *testing.T) {
+	cfg := TestConfig()
+	entries, tbl, err := A2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For fixed dims, anti-correlated skylines are the largest and
+	// correlated the smallest; size grows with dimensionality per
+	// distribution.
+	get := func(dist, dims int) int {
+		for _, e := range entries {
+			if int(e.Dist) == dist && e.Dims == dims {
+				return e.SkylineSize
+			}
+		}
+		t.Fatalf("missing entry %d/%d", dist, dims)
+		return 0
+	}
+	for d := 2; d <= 5; d++ {
+		corr := get(1, d) // datagen.Correlated
+		anti := get(2, d) // datagen.AntiCorrelated
+		if corr > anti {
+			t.Errorf("d=%d: correlated (%d) larger than anti-correlated (%d)", d, corr, anti)
+		}
+	}
+	if get(0, 2) > get(0, 5) {
+		t.Errorf("independent skyline should grow with dims: d2=%d d5=%d", get(0, 2), get(0, 5))
+	}
+	if !strings.Contains(tbl.String(), "anti-correlated") {
+		t.Error("table rendering")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	cfg := TestConfig()
+	for _, name := range []string{"e2", "e3", "e5"} {
+		out, err := Run(name, cfg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if out == "" {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+	if _, err := Run("nope", cfg); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if len(Names()) != 7 {
+		t.Errorf("names: %v", Names())
+	}
+}

@@ -1,0 +1,319 @@
+// Package bmo evaluates the Best-Matches-Only query model (§2.2.5): given
+// a preference (strict partial order) and a set of candidate tuples, it
+// returns all maximal (non-dominated) tuples.
+//
+// Four algorithms are provided:
+//
+//   - NestedLoop: the paper's abstract selection method (§3.2) — for every
+//     tuple, scan for a dominating tuple; O(n²) comparisons.
+//   - BlockNestedLoop: the BNL algorithm of [BKS01] — maintain a window of
+//     mutually incomparable tuples; usually far fewer comparisons.
+//   - SortFilter: SFS-style — presort by a monotone score so that no tuple
+//     can be dominated by a later one, then filter against accepted results
+//     only. Requires all preference components to be score-based.
+//   - BestLevel: single-pass minimum-score scan for one weak-order (single
+//     base preference) — O(n).
+//
+// CASCADE evaluates stage-wise, per the paper's "applying preferences one
+// after the other": BMO(P1 CASCADE P2, R) = BMO(P2, BMO(P1, R)).
+package bmo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+// Algorithm selects the evaluation strategy.
+type Algorithm int
+
+// Available algorithms. Auto picks BestLevel for single weak orders,
+// SortFilter when every component is score-based, and BlockNestedLoop
+// otherwise.
+const (
+	Auto Algorithm = iota
+	NestedLoop
+	BlockNestedLoop
+	SortFilter
+	BestLevel
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case NestedLoop:
+		return "nested-loop"
+	case BlockNestedLoop:
+		return "block-nested-loop"
+	case SortFilter:
+		return "sort-filter-skyline"
+	case BestLevel:
+		return "best-level"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Stats reports work done by an evaluation.
+type Stats struct {
+	Comparisons int // preference comparisons performed
+	MaxWindow   int // peak window size (BNL/SFS)
+	Stages      int // cascade stages evaluated
+}
+
+// Evaluate returns the BMO set of rows under p.
+func Evaluate(p preference.Preference, rows []value.Row, algo Algorithm) ([]value.Row, error) {
+	out, _, err := EvaluateStats(p, rows, algo)
+	return out, err
+}
+
+// EvaluateStats is Evaluate plus work counters.
+func EvaluateStats(p preference.Preference, rows []value.Row, algo Algorithm) ([]value.Row, Stats, error) {
+	var st Stats
+	out, err := evaluate(p, rows, algo, &st)
+	return out, st, err
+}
+
+func evaluate(p preference.Preference, rows []value.Row, algo Algorithm, st *Stats) ([]value.Row, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	// CASCADE: stage-wise reduction.
+	if c, ok := p.(*preference.Cascade); ok {
+		current := rows
+		for _, part := range c.Parts {
+			st.Stages++
+			next, err := evaluate(part, current, algo, st)
+			if err != nil {
+				return nil, err
+			}
+			current = next
+			if len(current) <= 1 {
+				break
+			}
+		}
+		return current, nil
+	}
+
+	switch algo {
+	case NestedLoop:
+		return nestedLoop(p, rows, st)
+	case BlockNestedLoop:
+		return blockNestedLoop(p, rows, st)
+	case SortFilter:
+		return sortFilter(p, rows, st)
+	case BestLevel:
+		s, ok := p.(preference.Scored)
+		if !ok {
+			return nil, fmt.Errorf("bmo: best-level requires a score-based preference, got %s", p.Describe())
+		}
+		return bestLevel(s, rows, st)
+	default: // Auto
+		if s, ok := p.(preference.Scored); ok {
+			return bestLevel(s, rows, st)
+		}
+		if scorers, ok := paretoScorers(p); ok {
+			return sortFilterScored(scorers, p, rows, st)
+		}
+		return blockNestedLoop(p, rows, st)
+	}
+}
+
+// nestedLoop is the paper's §3.2 abstract selection method.
+func nestedLoop(p preference.Preference, rows []value.Row, st *Stats) ([]value.Row, error) {
+	var max []value.Row
+	for i, t1 := range rows {
+		dominated := false
+		for j, t2 := range rows {
+			if i == j {
+				continue
+			}
+			st.Comparisons++
+			o, err := p.Compare(t2, t1)
+			if err != nil {
+				return nil, err
+			}
+			if o == preference.Better {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			max = append(max, t1)
+		}
+	}
+	return max, nil
+}
+
+// blockNestedLoop is BNL with an unbounded in-memory window.
+func blockNestedLoop(p preference.Preference, rows []value.Row, st *Stats) ([]value.Row, error) {
+	var window []value.Row
+	for _, t := range rows {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			st.Comparisons++
+			o, err := p.Compare(w, t)
+			if err != nil {
+				return nil, err
+			}
+			if o == preference.Better {
+				// Window elements are mutually non-dominated, so if w
+				// dominates t, no earlier window element can have been
+				// dominated by t (that would imply it is dominated by w,
+				// violating the invariant): the window is unchanged.
+				dominated = true
+				break
+			}
+			if o == preference.Worse {
+				continue // w is dominated by t: drop it
+			}
+			keep = append(keep, w)
+		}
+		if !dominated {
+			window = append(keep, t)
+		}
+		if len(window) > st.MaxWindow {
+			st.MaxWindow = len(window)
+		}
+	}
+	return window, nil
+}
+
+// sortFilter checks the preference is fully score-based, then runs SFS.
+func sortFilter(p preference.Preference, rows []value.Row, st *Stats) ([]value.Row, error) {
+	if s, ok := p.(preference.Scored); ok {
+		return bestLevel(s, rows, st)
+	}
+	scorers, ok := paretoScorers(p)
+	if !ok {
+		return nil, fmt.Errorf("bmo: sort-filter requires score-based preferences, got %s", p.Describe())
+	}
+	return sortFilterScored(scorers, p, rows, st)
+}
+
+// paretoScorers extracts the component score functions of a Pareto
+// preference whose parts are all weak orders.
+func paretoScorers(p preference.Preference) ([]preference.Scored, bool) {
+	par, ok := p.(*preference.Pareto)
+	if !ok {
+		return nil, false
+	}
+	out := make([]preference.Scored, len(par.Parts))
+	for i, part := range par.Parts {
+		s, ok := part.(preference.Scored)
+		if !ok {
+			return nil, false
+		}
+		out[i] = s
+	}
+	return out, true
+}
+
+// sortFilterScored presorts rows by total score (monotone w.r.t. Pareto
+// dominance: a dominating tuple has component-wise ≤ scores with one <,
+// hence a strictly smaller sum) and filters against accepted rows only.
+func sortFilterScored(scorers []preference.Scored, p preference.Preference, rows []value.Row, st *Stats) ([]value.Row, error) {
+	scored := make([]scoredRow, len(rows))
+	for i, r := range rows {
+		sum := 0.0
+		for _, s := range scorers {
+			v, err := s.Score(r)
+			if err != nil {
+				return nil, err
+			}
+			if math.IsInf(v, 1) {
+				sum = math.Inf(1)
+				break
+			}
+			sum += v
+		}
+		scored[i] = scoredRow{row: r, sum: sum}
+	}
+	sort.SliceStable(scored, func(i, j int) bool { return scored[i].sum < scored[j].sum })
+
+	var result []value.Row
+	for _, sr := range scored {
+		dominated := false
+		for _, w := range result {
+			st.Comparisons++
+			o, err := p.Compare(w, sr.row)
+			if err != nil {
+				return nil, err
+			}
+			if o == preference.Better {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			result = append(result, sr.row)
+			if len(result) > st.MaxWindow {
+				st.MaxWindow = len(result)
+			}
+		}
+	}
+	return result, nil
+}
+
+// bestLevel returns all rows with the minimum score in one pass.
+func bestLevel(s preference.Scored, rows []value.Row, st *Stats) ([]value.Row, error) {
+	best := math.Inf(1)
+	var out []value.Row
+	for _, r := range rows {
+		st.Comparisons++
+		v, err := s.Score(r)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case v < best:
+			best = v
+			out = out[:0]
+			out = append(out, r)
+		case v == best:
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// EvaluateGrouped applies BMO independently within each group (the
+// GROUPING clause of §2.2.5: "performing with soft constraints what
+// GROUP BY does with hard constraints"). Group order follows first
+// appearance; rows keep their relative order within groups.
+func EvaluateGrouped(p preference.Preference, rows []value.Row,
+	groupKey func(value.Row) (string, error), algo Algorithm) ([]value.Row, error) {
+
+	var keys []string
+	groups := map[string][]value.Row{}
+	for _, r := range rows {
+		k, err := groupKey(r)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	var out []value.Row
+	for _, k := range keys {
+		part, err := Evaluate(p, groups[k], algo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// scoredRow pairs a tuple with its monotone sort key for SFS.
+type scoredRow struct {
+	row value.Row
+	sum float64
+}

@@ -1,0 +1,89 @@
+package bmo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+// EvaluateProgressive computes the BMO set incrementally, calling yield for
+// each maximal tuple as soon as it is known to be in the result — the
+// "progressive skyline" behaviour of [TEO01] that the paper cites as an
+// alternative implementation strategy. A first answer can be shown to the
+// e-shopper while the scan is still running.
+//
+// The implementation presorts candidates by a monotone score (the sum of
+// the component scores), which guarantees no later tuple can dominate an
+// earlier one; every accepted tuple is therefore final and can be emitted
+// immediately. It requires a score-based preference (a single weak order
+// or a Pareto accumulation of weak orders). yield returning false stops
+// the evaluation early — the "first page of results" use case.
+//
+// CASCADE is supported by evaluating all stages but the last eagerly and
+// streaming only the final stage.
+func EvaluateProgressive(p preference.Preference, rows []value.Row, yield func(value.Row) bool) error {
+	if c, ok := p.(*preference.Cascade); ok && len(c.Parts) > 0 {
+		current := rows
+		for _, part := range c.Parts[:len(c.Parts)-1] {
+			next, err := Evaluate(part, current, Auto)
+			if err != nil {
+				return err
+			}
+			current = next
+		}
+		return EvaluateProgressive(c.Parts[len(c.Parts)-1], current, yield)
+	}
+
+	var scorers []preference.Scored
+	if s, ok := p.(preference.Scored); ok {
+		scorers = []preference.Scored{s}
+	} else if ps, ok := paretoScorers(p); ok {
+		scorers = ps
+	} else {
+		return fmt.Errorf("bmo: progressive evaluation requires score-based preferences, got %s", p.Describe())
+	}
+
+	scored := make([]scoredRow, len(rows))
+	for i, r := range rows {
+		sum := 0.0
+		for _, s := range scorers {
+			v, err := s.Score(r)
+			if err != nil {
+				return err
+			}
+			if math.IsInf(v, 1) {
+				sum = math.Inf(1)
+				break
+			}
+			sum += v
+		}
+		scored[i] = scoredRow{row: r, sum: sum}
+	}
+	sort.SliceStable(scored, func(i, j int) bool { return scored[i].sum < scored[j].sum })
+
+	var accepted []value.Row
+	for _, sr := range scored {
+		dominated := false
+		for _, w := range accepted {
+			o, err := p.Compare(w, sr.row)
+			if err != nil {
+				return err
+			}
+			if o == preference.Better {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		accepted = append(accepted, sr.row)
+		if !yield(sr.row) {
+			return nil
+		}
+	}
+	return nil
+}

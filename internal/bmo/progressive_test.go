@@ -1,0 +1,113 @@
+package bmo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+func TestProgressiveMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows := make([]value.Row, 300)
+	for i := range rows {
+		rows[i] = intRow(rng.Intn(40), rng.Intn(40))
+	}
+	p := pareto2D()
+	want, err := Evaluate(p, rows, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []value.Row
+	err = EvaluateProgressive(p, rows, func(r value.Row) bool {
+		got = append(got, r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(got, want) {
+		t.Fatalf("progressive (%d) differs from batch (%d)", len(got), len(want))
+	}
+}
+
+func TestProgressiveEmitsInScoreOrder(t *testing.T) {
+	rows := []value.Row{intRow(9, 9), intRow(1, 5), intRow(5, 1), intRow(0, 0)}
+	p := pareto2D()
+	var sums []int64
+	err := EvaluateProgressive(p, rows, func(r value.Row) bool {
+		sums = append(sums, r[0].I+r[1].I)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i] < sums[i-1] {
+			t.Fatalf("not monotone: %v", sums)
+		}
+	}
+	if len(sums) != 1 { // (0,0) dominates everything
+		t.Fatalf("skyline: %v", sums)
+	}
+}
+
+func TestProgressiveEarlyStop(t *testing.T) {
+	rows := []value.Row{intRow(1, 9), intRow(9, 1), intRow(5, 5), intRow(2, 8)}
+	p := pareto2D()
+	count := 0
+	err := EvaluateProgressive(p, rows, func(value.Row) bool {
+		count++
+		return count < 2 // stop after two results
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("early stop: %d", count)
+	}
+}
+
+func TestProgressiveCascade(t *testing.T) {
+	p := &preference.Cascade{Parts: []preference.Preference{
+		&preference.Lowest{Get: colGetter(0), Label: "x"},
+		&preference.Lowest{Get: colGetter(1), Label: "y"},
+	}}
+	rows := []value.Row{intRow(1, 9), intRow(1, 3), intRow(2, 0)}
+	var got []value.Row
+	if err := EvaluateProgressive(p, rows, func(r value.Row) bool {
+		got = append(got, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][1].I != 3 {
+		t.Fatalf("cascade progressive: %v", got)
+	}
+}
+
+func TestProgressiveRejectsExplicit(t *testing.T) {
+	ex, _ := preference.NewExplicit(colGetter(0), "c", [][2]value.Value{
+		{value.NewText("a"), value.NewText("b")},
+	})
+	err := EvaluateProgressive(ex, []value.Row{{value.NewText("a")}}, func(value.Row) bool { return true })
+	if err == nil {
+		t.Fatal("explicit should be rejected")
+	}
+}
+
+func TestProgressiveSingleScored(t *testing.T) {
+	p := &preference.Lowest{Get: colGetter(0), Label: "x"}
+	rows := []value.Row{intRow(5), intRow(2), intRow(2), intRow(9)}
+	var got []value.Row
+	if err := EvaluateProgressive(p, rows, func(r value.Row) bool {
+		got = append(got, r)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("both minima: %v", got)
+	}
+}

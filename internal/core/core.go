@@ -1,0 +1,827 @@
+// Package core is the Preference SQL query processor: the layer that makes
+// PREFERRING / GROUPING / BUT ONLY queries and the quality functions
+// TOP / LEVEL / DISTANCE work on top of the plain SQL engine.
+//
+// It mirrors the paper's architecture (§3.1): statements without
+// preferences pass straight through to the engine; preference queries are
+// evaluated either
+//
+//   - natively, by compiling the PREFERRING term to a strict partial order
+//     and running a BMO algorithm (internal/bmo), or
+//   - by re-writing to standard SQL92 (internal/rewrite) and executing the
+//     rewritten script on the engine — the commercial product's approach.
+//
+// Both paths produce identical result sets; the differential tests in this
+// package and the benchmark harness rely on that.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/bmo"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/parser"
+	"repro/internal/preference"
+	"repro/internal/rewrite"
+	"repro/internal/value"
+)
+
+// Mode selects how preference queries are executed.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeNative evaluates BMO with the in-process algorithms (default).
+	ModeNative Mode = iota
+	// ModeRewrite re-writes to SQL92 views + NOT EXISTS, per §3.2.
+	ModeRewrite
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeRewrite {
+		return "rewrite"
+	}
+	return "native"
+}
+
+// Result is the outcome of one statement (alias of the engine's result).
+type Result = engine.Result
+
+// DB is a Preference SQL database: a plain SQL engine plus the preference
+// layer in front of it.
+type DB struct {
+	eng  *engine.DB
+	mode Mode
+	algo bmo.Algorithm
+
+	prefMu sync.RWMutex
+	prefs  map[string]ast.Pref // Preference Definition Language objects
+}
+
+// Open creates an empty Preference SQL database.
+func Open() *DB { return &DB{eng: engine.New(), prefs: map[string]ast.Pref{}} }
+
+// OpenOn wraps an existing engine instance.
+func OpenOn(eng *engine.DB) *DB { return &DB{eng: eng, prefs: map[string]ast.Pref{}} }
+
+// Engine exposes the underlying plain-SQL engine.
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// SetMode switches between native BMO evaluation and SQL92 rewriting.
+func (db *DB) SetMode(m Mode) { db.mode = m }
+
+// Mode reports the current execution mode.
+func (db *DB) Mode() Mode { return db.mode }
+
+// SetAlgorithm selects the native BMO algorithm (default bmo.Auto).
+func (db *DB) SetAlgorithm(a bmo.Algorithm) { db.algo = a }
+
+// Exec parses and runs a ';'-separated script, returning the last result.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, s := range stmts {
+		res, err = db.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Query is Exec for a single query; the name mirrors database/sql.
+func (db *DB) Query(sql string) (*Result, error) { return db.Exec(sql) }
+
+// ExecStmt runs one parsed statement, routing preference queries through
+// the preference layer and everything else to the engine untouched.
+func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) {
+	switch s := stmt.(type) {
+	case *ast.Select:
+		if s.HasPreference() {
+			return db.queryPreference(s)
+		}
+		if s.ButOnly != nil || len(s.Grouping) > 0 {
+			return nil, fmt.Errorf("core: GROUPING and BUT ONLY require a PREFERRING clause")
+		}
+		return db.eng.Select(s)
+	case *ast.Insert:
+		if s.Sel != nil && s.Sel.HasPreference() {
+			return db.insertPreference(s)
+		}
+		return db.eng.ExecStmt(s)
+	case *ast.CreateView:
+		if s.Sel.HasPreference() {
+			return nil, fmt.Errorf("core: views over PREFERRING queries are not supported")
+		}
+		return db.eng.ExecStmt(s)
+	case *ast.CreatePreference:
+		return db.createPreference(s)
+	case *ast.Drop:
+		if s.Kind == "PREFERENCE" {
+			return db.dropPreference(s)
+		}
+		return db.eng.ExecStmt(s)
+	default:
+		return db.eng.ExecStmt(stmt)
+	}
+}
+
+// createPreference registers a persistent named preference (the paper's
+// Preference Definition Language, §2.2).
+func (db *DB) createPreference(cp *ast.CreatePreference) (*Result, error) {
+	key := strings.ToLower(cp.Name)
+	db.prefMu.Lock()
+	defer db.prefMu.Unlock()
+	if _, ok := db.prefs[key]; ok {
+		return nil, fmt.Errorf("core: preference %s already exists", cp.Name)
+	}
+	// Reject dangling or cyclic references at definition time.
+	if _, err := db.resolvePrefLocked(cp.Pref, map[string]bool{key: true}, 0); err != nil {
+		return nil, err
+	}
+	db.prefs[key] = cp.Pref
+	return &Result{}, nil
+}
+
+func (db *DB) dropPreference(d *ast.Drop) (*Result, error) {
+	key := strings.ToLower(d.Name)
+	db.prefMu.Lock()
+	defer db.prefMu.Unlock()
+	if _, ok := db.prefs[key]; !ok {
+		if d.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("core: no such preference: %s", d.Name)
+	}
+	delete(db.prefs, key)
+	return &Result{}, nil
+}
+
+// PreferenceNames lists the defined persistent preferences, sorted.
+func (db *DB) PreferenceNames() []string {
+	db.prefMu.RLock()
+	defer db.prefMu.RUnlock()
+	out := make([]string, 0, len(db.prefs))
+	for name := range db.prefs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolvePrefs substitutes PREFERENCE name references by their stored
+// definitions, detecting cycles.
+func (db *DB) resolvePrefs(p ast.Pref) (ast.Pref, error) {
+	db.prefMu.RLock()
+	defer db.prefMu.RUnlock()
+	return db.resolvePrefLocked(p, map[string]bool{}, 0)
+}
+
+func (db *DB) resolvePrefLocked(p ast.Pref, visiting map[string]bool, depth int) (ast.Pref, error) {
+	if depth > 64 {
+		return nil, fmt.Errorf("core: preference references nested too deeply")
+	}
+	switch x := p.(type) {
+	case *ast.PrefRef:
+		key := strings.ToLower(x.Name)
+		if visiting[key] {
+			return nil, fmt.Errorf("core: preference %s references itself", x.Name)
+		}
+		def, ok := db.prefs[key]
+		if !ok {
+			return nil, fmt.Errorf("core: no such preference: %s", x.Name)
+		}
+		visiting[key] = true
+		resolved, err := db.resolvePrefLocked(def, visiting, depth+1)
+		delete(visiting, key)
+		return resolved, err
+	case *ast.PrefPareto:
+		parts := make([]ast.Pref, len(x.Parts))
+		for i, q := range x.Parts {
+			r, err := db.resolvePrefLocked(q, visiting, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = r
+		}
+		return &ast.PrefPareto{Parts: parts}, nil
+	case *ast.PrefCascade:
+		parts := make([]ast.Pref, len(x.Parts))
+		for i, q := range x.Parts {
+			r, err := db.resolvePrefLocked(q, visiting, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = r
+		}
+		return &ast.PrefCascade{Parts: parts}, nil
+	case *ast.PrefElse:
+		first, err := db.resolvePrefLocked(x.First, visiting, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		second, err := db.resolvePrefLocked(x.Second, visiting, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.PrefElse{First: first, Second: second}, nil
+	default:
+		return p, nil
+	}
+}
+
+// RewritePlan exposes the §3.2 rewriting of a preference query as a plain
+// SQL92 script (the CLI's EXPLAIN output).
+func (db *DB) RewritePlan(sql string) (*rewrite.Plan, error) {
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	if !sel.HasPreference() {
+		return nil, fmt.Errorf("core: not a preference query")
+	}
+	resolved, err := db.resolvePrefs(sel.Preferring)
+	if err != nil {
+		return nil, err
+	}
+	clone := *sel
+	clone.Preferring = resolved
+	cols, err := db.baseColumns(&clone)
+	if err != nil {
+		return nil, err
+	}
+	return rewrite.Rewrite(&clone, cols)
+}
+
+// ---------------------------------------------------------------------------
+// Preference query execution
+// ---------------------------------------------------------------------------
+
+func (db *DB) queryPreference(sel *ast.Select) (*Result, error) {
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
+	}
+	resolved, err := db.resolvePrefs(sel.Preferring)
+	if err != nil {
+		return nil, err
+	}
+	if resolved != sel.Preferring {
+		clone := *sel
+		clone.Preferring = resolved
+		sel = &clone
+	}
+	if db.mode == ModeRewrite {
+		return db.queryViaRewrite(sel)
+	}
+	return db.queryNative(sel)
+}
+
+// baseColumns returns the output column names of the query's FROM/WHERE
+// part (the schema the rewriter annotates with level columns).
+func (db *DB) baseColumns(sel *ast.Select) ([]string, error) {
+	probe := &ast.Select{
+		Items: []ast.SelectItem{{Expr: &ast.Star{}}},
+		From:  sel.From,
+		Limit: 0,
+	}
+	det, err := db.eng.SelectDetailed(probe)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(det.Cols))
+	for i, c := range det.Cols {
+		cols[i] = c.Name
+	}
+	return cols, nil
+}
+
+func (db *DB) queryViaRewrite(sel *ast.Select) (*Result, error) {
+	cols, err := db.baseColumns(sel)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := rewrite.Rewrite(sel, cols)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range plan.Setup {
+		if _, err := db.eng.ExecStmt(s); err != nil {
+			// drop the views created so far
+			for j := len(plan.Teardown) - len(plan.Setup) + i; j < len(plan.Teardown); j++ {
+				_, _ = db.eng.ExecStmt(plan.Teardown[j])
+			}
+			return nil, fmt.Errorf("core: rewrite setup: %w", err)
+		}
+	}
+	res, qerr := db.eng.Select(plan.Query)
+	for _, s := range plan.Teardown {
+		if _, terr := db.eng.ExecStmt(s); terr != nil && qerr == nil {
+			qerr = terr
+		}
+	}
+	if qerr != nil {
+		return nil, qerr
+	}
+	return res, nil
+}
+
+func (db *DB) queryNative(sel *ast.Select) (*Result, error) {
+	// 1. Candidate relation: FROM + hard WHERE, all columns.
+	candidate := &ast.Select{
+		Items: []ast.SelectItem{{Expr: &ast.Star{}}},
+		From:  sel.From,
+		Where: sel.Where,
+		Limit: -1,
+	}
+	det, err := db.eng.SelectDetailed(candidate)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Compile the preference over that relation.
+	binder := newRelBinder(det.Cols, db.eng)
+	reg := preference.NewRegistry()
+	pref, err := preference.Compile(sel.Preferring, binder, reg)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. BMO evaluation (grouped if GROUPING is present).
+	var bmoRows []value.Row
+	if len(sel.Grouping) > 0 {
+		getters := make([]preference.Getter, len(sel.Grouping))
+		for i, g := range sel.Grouping {
+			getter, err := binder.Getter(g)
+			if err != nil {
+				return nil, err
+			}
+			getters[i] = getter
+		}
+		key := func(row value.Row) (string, error) {
+			var b strings.Builder
+			for _, g := range getters {
+				v, err := g(row)
+				if err != nil {
+					return "", err
+				}
+				b.WriteString(v.Key())
+				b.WriteByte(0x1f)
+			}
+			return b.String(), nil
+		}
+		bmoRows, err = bmo.EvaluateGrouped(pref, det.Rows, key, db.algo)
+	} else {
+		bmoRows, err = bmo.Evaluate(pref, det.Rows, db.algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	q := &qualityCtx{reg: reg, candidates: det.Rows, binder: binder}
+
+	// 4. BUT ONLY quality filter (applied after match-making, §2.2.4).
+	if sel.ButOnly != nil {
+		kept := bmoRows[:0:0]
+		for _, row := range bmoRows {
+			env := &qualityEnv{relEnv: relEnv{cols: binder.cols, row: row}, q: q, row: row}
+			ok, err := binder.ev.EvalBool(sel.ButOnly, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		bmoRows = kept
+	}
+
+	// 5. Projection with quality functions.
+	return db.projectPreference(sel, det.Cols, bmoRows, binder, q)
+}
+
+func (db *DB) projectPreference(sel *ast.Select, cols []engine.ColInfo,
+	rows []value.Row, binder *relBinder, q *qualityCtx) (*Result, error) {
+
+	// Output column plan.
+	type itemPlan struct {
+		star     bool
+		starQual string
+		expr     ast.Expr
+	}
+	var plans []itemPlan
+	var outCols []string
+	for _, it := range sel.Items {
+		if st, ok := it.Expr.(*ast.Star); ok {
+			plans = append(plans, itemPlan{star: true, starQual: st.Table})
+			for _, c := range cols {
+				if st.Table == "" || strings.EqualFold(c.Qualifier, st.Table) {
+					outCols = append(outCols, c.Name)
+				}
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*ast.Column); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.SQL()
+			}
+		}
+		plans = append(plans, itemPlan{expr: it.Expr})
+		outCols = append(outCols, name)
+	}
+
+	type outPair struct {
+		out  value.Row
+		src  value.Row
+		keys value.Row
+	}
+	pairs := make([]outPair, 0, len(rows))
+	for _, row := range rows {
+		env := &qualityEnv{relEnv: relEnv{cols: binder.cols, row: row}, q: q, row: row}
+		out := make(value.Row, 0, len(outCols))
+		for _, p := range plans {
+			if p.star {
+				for ci, c := range cols {
+					if p.starQual == "" || strings.EqualFold(c.Qualifier, p.starQual) {
+						out = append(out, row[ci])
+					}
+				}
+				continue
+			}
+			v, err := binder.ev.Eval(p.expr, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		// ORDER BY keys over the source row (columns + quality functions).
+		var keys value.Row
+		if len(sel.OrderBy) > 0 {
+			keys = make(value.Row, len(sel.OrderBy))
+			for k, ob := range sel.OrderBy {
+				v, err := binder.ev.Eval(ob.Expr, env)
+				if err != nil {
+					return nil, err
+				}
+				keys[k] = v
+			}
+		}
+		pairs = append(pairs, outPair{out: out, src: row, keys: keys})
+	}
+
+	if len(sel.OrderBy) > 0 {
+		sort.SliceStable(pairs, func(a, b int) bool {
+			for k, ob := range sel.OrderBy {
+				va, vb := pairs[a].keys[k], pairs[b].keys[k]
+				c := compareForSort(va, vb)
+				if c == 0 {
+					continue
+				}
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	outRows := make([]value.Row, len(pairs))
+	for i, p := range pairs {
+		outRows[i] = p.out
+	}
+	if sel.Distinct {
+		seen := map[string]bool{}
+		uniq := outRows[:0:0]
+		for _, r := range outRows {
+			k := r.Key()
+			if !seen[k] {
+				seen[k] = true
+				uniq = append(uniq, r)
+			}
+		}
+		outRows = uniq
+	}
+	if sel.Offset > 0 {
+		if sel.Offset >= int64(len(outRows)) {
+			outRows = nil
+		} else {
+			outRows = outRows[sel.Offset:]
+		}
+	}
+	if sel.Limit >= 0 && int64(len(outRows)) > sel.Limit {
+		outRows = outRows[:sel.Limit]
+	}
+	return &Result{Columns: outCols, Rows: outRows}, nil
+}
+
+func compareForSort(a, b value.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	if c, ok := value.Compare(a, b); ok {
+		return c
+	}
+	switch {
+	case a.K < b.K:
+		return -1
+	case a.K > b.K:
+		return 1
+	}
+	return 0
+}
+
+// insertPreference implements §2.2.5: Preference SQL queries as sub-queries
+// of INSERT statements.
+func (db *DB) insertPreference(ins *ast.Insert) (*Result, error) {
+	res, err := db.queryPreference(ins.Sel)
+	if err != nil {
+		return nil, err
+	}
+	tbl, ok := db.eng.Catalog().Table(ins.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: no such table: %s", ins.Table)
+	}
+	colIdx := make([]int, len(ins.Columns))
+	for i, c := range ins.Columns {
+		idx := tbl.Schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: table %s has no column %s", ins.Table, c)
+		}
+		colIdx[i] = idx
+	}
+	n := 0
+	for _, row := range res.Rows {
+		full := row
+		if len(ins.Columns) > 0 {
+			if len(row) != len(colIdx) {
+				return nil, fmt.Errorf("core: INSERT has %d values for %d columns", len(row), len(colIdx))
+			}
+			full = make(value.Row, len(tbl.Schema.Cols))
+			for i, v := range row {
+				full[colIdx[i]] = v
+			}
+		}
+		if err := tbl.Insert(full); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Binder and quality-function environment
+// ---------------------------------------------------------------------------
+
+// relBinder implements preference.Binder over a detailed relation.
+type relBinder struct {
+	cols []engine.ColInfo
+	ev   *expr.Evaluator
+}
+
+func newRelBinder(cols []engine.ColInfo, eng *engine.DB) *relBinder {
+	return &relBinder{cols: cols, ev: &expr.Evaluator{Runner: eng.Runner()}}
+}
+
+// relEnv resolves columns of one candidate row.
+type relEnv struct {
+	cols []engine.ColInfo
+	row  value.Row
+}
+
+// Col implements expr.Env.
+func (e *relEnv) Col(table, name string) (value.Value, bool) {
+	for i, c := range e.cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Qualifier, table) {
+			continue
+		}
+		return e.row[i], true
+	}
+	return value.Value{}, false
+}
+
+// Func implements expr.Env.
+func (e *relEnv) Func(*ast.FuncCall) (value.Value, bool, error) {
+	return value.Value{}, false, nil
+}
+
+// Getter implements preference.Binder.
+func (b *relBinder) Getter(e ast.Expr) (preference.Getter, error) {
+	env := &relEnv{cols: b.cols}
+	return func(row value.Row) (value.Value, error) {
+		env.row = row
+		return b.ev.Eval(e, env)
+	}, nil
+}
+
+// Cond implements preference.Binder.
+func (b *relBinder) Cond(e ast.Expr) (func(value.Row) (bool, error), error) {
+	env := &relEnv{cols: b.cols}
+	return func(row value.Row) (bool, error) {
+		env.row = row
+		return b.ev.EvalBool(e, env)
+	}, nil
+}
+
+// Const implements preference.Binder: preference parameters must not
+// reference columns.
+func (b *relBinder) Const(e ast.Expr) (value.Value, error) {
+	return b.ev.Eval(e, constEnv{})
+}
+
+type constEnv struct{}
+
+func (constEnv) Col(table, name string) (value.Value, bool) { return value.Value{}, false }
+func (constEnv) Func(*ast.FuncCall) (value.Value, bool, error) {
+	return value.Value{}, false, nil
+}
+
+// qualityCtx computes TOP/LEVEL/DISTANCE per §2.2.3. For LOWEST/HIGHEST
+// (no a-priori optimum) distances are relative to the best value in the
+// candidate set; for all other base types they are absolute.
+type qualityCtx struct {
+	reg        *preference.Registry
+	candidates []value.Row
+	binder     *relBinder
+	minScores  map[string]float64 // lazily computed per attribute label
+}
+
+func (q *qualityCtx) quality(name string, arg ast.Expr, row value.Row) (value.Value, error) {
+	label := arg.SQL()
+	p, ok := q.reg.Lookup(label)
+	if !ok {
+		return value.Value{}, fmt.Errorf("%s(%s): no preference on that attribute", name, label)
+	}
+	if ex, isExplicit := p.(*preference.Explicit); isExplicit {
+		lvl, err := ex.Level(row)
+		if err != nil {
+			return value.Value{}, err
+		}
+		switch name {
+		case "LEVEL":
+			return value.NewInt(int64(lvl)), nil
+		case "TOP":
+			return value.NewBool(lvl == 1), nil
+		default:
+			return value.Value{}, fmt.Errorf("DISTANCE is undefined for EXPLICIT preferences")
+		}
+	}
+	s, isScored := p.(preference.Scored)
+	if !isScored {
+		return value.Value{}, fmt.Errorf("%s(%s): unsupported preference type", name, label)
+	}
+	score, err := s.Score(row)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if math.IsInf(score, 1) { // NULL attribute value
+		if name == "TOP" {
+			return value.NewBool(false), nil
+		}
+		return value.NewNull(), nil
+	}
+	dist := score
+	if !s.HasOptimum() {
+		min, err := q.minScore(label, s)
+		if err != nil {
+			return value.Value{}, err
+		}
+		dist = score - min
+	}
+	switch name {
+	case "DISTANCE":
+		return value.NewFloat(dist), nil
+	case "TOP":
+		return value.NewBool(dist == 0), nil
+	case "LEVEL":
+		if s.Discrete() {
+			return value.NewInt(int64(score) + 1), nil
+		}
+		if dist == 0 {
+			return value.NewInt(1), nil
+		}
+		return value.NewInt(2), nil
+	}
+	return value.Value{}, fmt.Errorf("unknown quality function %s", name)
+}
+
+func (q *qualityCtx) minScore(label string, s preference.Scored) (float64, error) {
+	if q.minScores == nil {
+		q.minScores = map[string]float64{}
+	}
+	key := strings.ToLower(label)
+	if v, ok := q.minScores[key]; ok {
+		return v, nil
+	}
+	min := math.Inf(1)
+	for _, row := range q.candidates {
+		sc, err := s.Score(row)
+		if err != nil {
+			return 0, err
+		}
+		if sc < min {
+			min = sc
+		}
+	}
+	q.minScores[key] = min
+	return min, nil
+}
+
+// qualityEnv is relEnv plus interception of the quality functions.
+type qualityEnv struct {
+	relEnv
+	q   *qualityCtx
+	row value.Row
+}
+
+// Func implements expr.Env, binding TOP/LEVEL/DISTANCE.
+func (e *qualityEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
+	switch strings.ToUpper(fc.Name) {
+	case "TOP", "LEVEL", "DISTANCE":
+		if len(fc.Args) != 1 {
+			return value.Value{}, false, fmt.Errorf("%s expects one attribute argument", fc.Name)
+		}
+		v, err := e.q.quality(strings.ToUpper(fc.Name), fc.Args[0], e.row)
+		return v, true, err
+	}
+	return value.Value{}, false, nil
+}
+
+// ---------------------------------------------------------------------------
+// Result formatting
+// ---------------------------------------------------------------------------
+
+// FormatResult renders a result as an aligned text table, the form used by
+// the CLI and the benchmark harness.
+func FormatResult(res *Result) string {
+	if res == nil || len(res.Columns) == 0 {
+		return fmt.Sprintf("(%d rows affected)\n", func() int {
+			if res == nil {
+				return 0
+			}
+			return res.Affected
+		}())
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			for p := len(v); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(res.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(res.Rows))
+	return b.String()
+}

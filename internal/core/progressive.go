@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/bmo"
+	"repro/internal/parser"
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+// QueryProgressive evaluates a preference query incrementally, invoking
+// yield with each projected result row as soon as it is known to be in the
+// Best-Matches-Only set (progressive skyline, cf. [TEO01]). It returns the
+// result column names. yield returning false stops the evaluation — e.g.
+// after filling the first result page of a mobile search (§4.2).
+//
+// Restrictions: ORDER BY, GROUPING and DISTINCT are incompatible with
+// streaming and rejected; LIMIT is honoured by early termination. BUT ONLY
+// filters rows inline. Only score-based preferences stream (EXPLICIT and
+// nested-cascade terms require batch evaluation).
+func (db *DB) QueryProgressive(sql string, yield func(value.Row) bool) ([]string, error) {
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	if !sel.HasPreference() {
+		return nil, fmt.Errorf("core: not a preference query")
+	}
+	if len(sel.OrderBy) > 0 || len(sel.Grouping) > 0 || sel.Distinct {
+		return nil, fmt.Errorf("core: ORDER BY, GROUPING and DISTINCT cannot stream progressively")
+	}
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
+	}
+	resolved, err := db.resolvePrefs(sel.Preferring)
+	if err != nil {
+		return nil, err
+	}
+
+	candidate := &ast.Select{
+		Items: []ast.SelectItem{{Expr: &ast.Star{}}},
+		From:  sel.From,
+		Where: sel.Where,
+		Limit: -1,
+	}
+	det, err := db.eng.SelectDetailed(candidate)
+	if err != nil {
+		return nil, err
+	}
+	binder := newRelBinder(det.Cols, db.eng)
+	reg := preference.NewRegistry()
+	pref, err := preference.Compile(resolved, binder, reg)
+	if err != nil {
+		return nil, err
+	}
+	q := &qualityCtx{reg: reg, candidates: det.Rows, binder: binder}
+
+	// Column names of the projection.
+	var outCols []string
+	for _, it := range sel.Items {
+		if st, ok := it.Expr.(*ast.Star); ok {
+			for _, c := range det.Cols {
+				if st.Table == "" || strings.EqualFold(c.Qualifier, st.Table) {
+					outCols = append(outCols, c.Name)
+				}
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*ast.Column); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.SQL()
+			}
+		}
+		outCols = append(outCols, name)
+	}
+
+	emitted := int64(0)
+	var projErr error
+	err = bmo.EvaluateProgressive(pref, det.Rows, func(row value.Row) bool {
+		env := &qualityEnv{relEnv: relEnv{cols: binder.cols, row: row}, q: q, row: row}
+		if sel.ButOnly != nil {
+			ok, err := binder.ev.EvalBool(sel.ButOnly, env)
+			if err != nil {
+				projErr = err
+				return false
+			}
+			if !ok {
+				return true // filtered out, keep streaming
+			}
+		}
+		out := make(value.Row, 0, len(outCols))
+		for _, it := range sel.Items {
+			if st, ok := it.Expr.(*ast.Star); ok {
+				for ci, c := range det.Cols {
+					if st.Table == "" || strings.EqualFold(c.Qualifier, st.Table) {
+						out = append(out, row[ci])
+					}
+				}
+				continue
+			}
+			v, err := binder.ev.Eval(it.Expr, env)
+			if err != nil {
+				projErr = err
+				return false
+			}
+			out = append(out, v)
+		}
+		emitted++
+		if !yield(out) {
+			return false
+		}
+		return sel.Limit < 0 || emitted < sel.Limit
+	})
+	if projErr != nil {
+		return nil, projErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return outCols, nil
+}

@@ -1,0 +1,138 @@
+package cosima
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShopSearchFiltersByCategory(t *testing.T) {
+	shop := NewShop("test", 0, 200, 1)
+	if shop.CatalogSize() != 200 {
+		t.Fatalf("catalog: %d", shop.CatalogSize())
+	}
+	offers := shop.Search("book")
+	if len(offers) == 0 {
+		t.Fatal("no book offers")
+	}
+	for _, o := range offers {
+		if o.Category != "book" || o.Shop != "test" {
+			t.Fatalf("offer: %+v", o)
+		}
+		if o.Price <= 0 || o.Rating < 1 || o.Rating > 5 || o.Delivery < 1 {
+			t.Fatalf("domain: %+v", o)
+		}
+	}
+}
+
+func TestShopDeterministic(t *testing.T) {
+	a := NewShop("x", 0, 50, 9).Search("cd")
+	b := NewShop("x", 0, 50, 9).Search("cd")
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("offer differs")
+		}
+	}
+}
+
+func TestMetaSearchParetoResult(t *testing.T) {
+	m := &MetaSearcher{Shops: DefaultShops(3, 300, 0, 42)}
+	res, st, err := m.Search("book", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gathered == 0 || st.ResultSize == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.ResultSize != len(res.Rows) {
+		t.Error("stat/result mismatch")
+	}
+	// Pareto-optimality spot check: no offer in the result is dominated by
+	// another result row on (price, rating, delivery).
+	for i, a := range res.Rows {
+		for j, b := range res.Rows {
+			if i == j {
+				continue
+			}
+			if b[2].Num() <= a[2].Num() && b[3].Num() >= a[3].Num() && b[4].Num() <= a[4].Num() &&
+				(b[2].Num() < a[2].Num() || b[3].Num() > a[3].Num() || b[4].Num() < a[4].Num()) {
+				t.Fatalf("result row %v dominated by %v", a, b)
+			}
+		}
+	}
+}
+
+// §4.3: the Pareto-optimal set should be an easy-to-survey choice,
+// predominantly between 1 and 20 offers.
+func TestParetoSetSizesMostlySmall(t *testing.T) {
+	m := &MetaSearcher{Shops: DefaultShops(4, 400, 0, 7)}
+	small := 0
+	runs := 0
+	for _, cat := range Categories {
+		for seedShift := 0; seedShift < 5; seedShift++ {
+			m.Shops = DefaultShops(4, 400, 0, int64(seedShift*31))
+			_, st, err := m.Search(cat, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs++
+			if st.ResultSize >= 1 && st.ResultSize <= 20 {
+				small++
+			}
+		}
+	}
+	if float64(small) < 0.8*float64(runs) {
+		t.Errorf("only %d/%d runs had Pareto sets in 1..20", small, runs)
+	}
+}
+
+// Shop access happens concurrently: total gather time tracks the slowest
+// shop, not the sum (this is why the paper's meta-search stays at 1-2 s).
+func TestConcurrentShopAccess(t *testing.T) {
+	shops := []*Shop{
+		NewShop("a", 30*time.Millisecond, 50, 1),
+		NewShop("b", 30*time.Millisecond, 50, 2),
+		NewShop("c", 30*time.Millisecond, 50, 3),
+	}
+	m := &MetaSearcher{Shops: shops}
+	_, st, err := m.Search("book", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShopTime > 70*time.Millisecond {
+		t.Errorf("shop time %v suggests sequential access", st.ShopTime)
+	}
+	if st.Total < 30*time.Millisecond {
+		t.Errorf("total %v below slowest shop", st.Total)
+	}
+}
+
+func TestCustomPreferenceQuery(t *testing.T) {
+	m := &MetaSearcher{Shops: DefaultShops(2, 100, 0, 5)}
+	res, _, err := m.Search("cd", `SELECT title FROM offers PREFERRING LOWEST(price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Columns) != 1 {
+		t.Fatalf("custom query: %v", res)
+	}
+	if _, _, err := m.Search("cd", "SELEKT"); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestDefaultShopsNaming(t *testing.T) {
+	shops := DefaultShops(8, 10, 0, 1)
+	if len(shops) != 8 {
+		t.Fatal("count")
+	}
+	seen := map[string]bool{}
+	for _, s := range shops {
+		if seen[s.Name] {
+			t.Errorf("duplicate shop name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}

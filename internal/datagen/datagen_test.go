@@ -1,0 +1,141 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestJobsDeterministic(t *testing.T) {
+	a := Jobs(100, 7)
+	b := Jobs(100, 7)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatal("size")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("row %d differs for same seed", i)
+		}
+	}
+	c := Jobs(100, 8)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestJobsSchemaMatchesRows(t *testing.T) {
+	cols := JobColumns()
+	rows := Jobs(10, 1)
+	if len(rows[0]) != len(cols) {
+		t.Fatalf("row width %d vs %d columns", len(rows[0]), len(cols))
+	}
+	// spot-check domains
+	for _, r := range rows {
+		salary := r[6].I
+		if salary < 20000 || salary > 100000 {
+			t.Errorf("salary out of range: %d", salary)
+		}
+		age := r[7].I
+		if age < 18 || age > 64 {
+			t.Errorf("age out of range: %d", age)
+		}
+	}
+}
+
+func TestCarsAppliancesWidths(t *testing.T) {
+	if len(Cars(5, 1)[0]) != len(CarColumns()) {
+		t.Error("cars width")
+	}
+	if len(Appliances(5, 1)[0]) != len(ApplianceColumns()) {
+		t.Error("appliances width")
+	}
+}
+
+func TestOldtimersExactPaperContent(t *testing.T) {
+	rows := Oldtimers()
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[3][0].S != "Selma" || rows[3][1].S != "red" || rows[3][2].I != 40 {
+		t.Errorf("Selma row: %v", rows[3])
+	}
+}
+
+func TestSkylineDistributions(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, AntiCorrelated} {
+		rows := Skyline(500, 3, dist, 42)
+		if len(rows) != 500 || len(rows[0]) != 4 {
+			t.Fatalf("%v: shape", dist)
+		}
+		for _, r := range rows {
+			for j := 1; j <= 3; j++ {
+				v := r[j].F
+				if v < 0 || v > 1 {
+					t.Fatalf("%v: out of range %v", dist, v)
+				}
+			}
+		}
+		if dist.String() == "" {
+			t.Error("name")
+		}
+	}
+}
+
+// Correlated data must produce far smaller skylines than anti-correlated
+// data — the defining property of the [BKS01] distributions.
+func TestSkylineSizeOrdering(t *testing.T) {
+	count := func(dist Distribution) int {
+		rows := Skyline(800, 2, dist, 3)
+		n := 0
+		for i, a := range rows {
+			dominated := false
+			for j, b := range rows {
+				if i == j {
+					continue
+				}
+				if b[1].F <= a[1].F && b[2].F <= a[2].F && (b[1].F < a[1].F || b[2].F < a[2].F) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				n++
+			}
+		}
+		return n
+	}
+	corr := count(Correlated)
+	anti := count(AntiCorrelated)
+	if corr >= anti {
+		t.Errorf("correlated skyline (%d) should be smaller than anti-correlated (%d)", corr, anti)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	db := engine.New()
+	if err := Load(db, "jobs", JobColumns(), Jobs(50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 50 {
+		t.Errorf("count: %v", res.Rows[0])
+	}
+	// reload replaces
+	if err := Load(db, "jobs", JobColumns(), Jobs(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Exec("SELECT COUNT(*) FROM jobs")
+	if res.Rows[0][0].I != 10 {
+		t.Errorf("reload count: %v", res.Rows[0])
+	}
+}

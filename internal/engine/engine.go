@@ -1,0 +1,1234 @@
+// Package engine implements a standard-SQL (SQL92 subset) execution engine
+// over the in-memory storage layer: scans with index probes, joins,
+// grouping and aggregation, DISTINCT, ORDER BY, LIMIT, views, and
+// correlated subqueries (EXISTS / IN / scalar).
+//
+// In the paper's architecture (§3.1) this is the host "standard SQL DB
+// system" that the Preference SQL optimizer re-writes into. The engine
+// deliberately rejects PREFERRING queries: preference semantics lives one
+// layer up, in internal/core, either natively (internal/bmo) or via the
+// SQL92 rewriting of internal/rewrite.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/parser"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// ErrPreferenceQuery is returned when a PREFERRING query reaches the plain
+// SQL engine; such queries must go through the preference layer.
+var ErrPreferenceQuery = errors.New("engine: PREFERRING queries require the preference layer (internal/core)")
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns  []string    // result column names (SELECT only)
+	Rows     []value.Row // result rows (SELECT only)
+	Affected int         // rows changed (INSERT/UPDATE/DELETE)
+}
+
+// DB is one in-memory database instance. It is safe for concurrent readers;
+// writers are serialized by the catalog's lock granularity (statement level).
+type DB struct {
+	cat *storage.Catalog
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{cat: storage.NewCatalog()} }
+
+// Catalog exposes the underlying catalog (used by the preference layer and
+// data generators for bulk loading).
+func (db *DB) Catalog() *storage.Catalog { return db.cat }
+
+// Exec parses and runs a ';'-separated script, returning the result of the
+// last statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return &Result{}, nil
+	}
+	var res *Result
+	for _, s := range stmts {
+		res, err = db.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecStmt runs one parsed statement.
+func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) {
+	switch s := stmt.(type) {
+	case *ast.Select:
+		return db.Select(s)
+	case *ast.Insert:
+		return db.insert(s)
+	case *ast.Update:
+		return db.update(s)
+	case *ast.Delete:
+		return db.delete(s)
+	case *ast.CreateTable:
+		return db.createTable(s)
+	case *ast.CreateView:
+		return db.createView(s)
+	case *ast.CreateIndex:
+		return db.createIndex(s)
+	case *ast.Drop:
+		return db.drop(s)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// Select runs a SELECT statement (no PREFERRING clause).
+func (db *DB) Select(sel *ast.Select) (*Result, error) {
+	if sel.HasPreference() || sel.ButOnly != nil || len(sel.Grouping) > 0 {
+		return nil, ErrPreferenceQuery
+	}
+	ctx := newExecContext(db)
+	rel, err := ctx.evalSelect(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: rel.names(), Rows: rel.rows}, nil
+}
+
+// ColInfo labels one output column with its qualifier (table name or
+// alias; empty for computed columns) and name.
+type ColInfo struct {
+	Qualifier string
+	Name      string
+}
+
+// DetailedResult is a Result that keeps column qualifiers, needed by the
+// preference layer to bind qualified column references.
+type DetailedResult struct {
+	Cols []ColInfo
+	Rows []value.Row
+}
+
+// SelectDetailed runs a plain SELECT and returns qualified column labels.
+func (db *DB) SelectDetailed(sel *ast.Select) (*DetailedResult, error) {
+	if sel.HasPreference() || sel.ButOnly != nil || len(sel.Grouping) > 0 {
+		return nil, ErrPreferenceQuery
+	}
+	ctx := newExecContext(db)
+	rel, err := ctx.evalSelect(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]ColInfo, len(rel.cols))
+	for i, c := range rel.cols {
+		cols[i] = ColInfo{Qualifier: c.qual, Name: c.name}
+	}
+	return &DetailedResult{Cols: cols, Rows: rel.rows}, nil
+}
+
+// Runner returns a subquery runner bound to this database, for expression
+// evaluation outside the engine (the preference layer's binder).
+func (db *DB) Runner() expr.SubqueryRunner { return newExecContext(db) }
+
+// ---------------------------------------------------------------------------
+// Relations and environments
+// ---------------------------------------------------------------------------
+
+// colref labels one column of an intermediate relation with its qualifier
+// (table name or alias) and column name.
+type colref struct {
+	qual string
+	name string
+}
+
+type relation struct {
+	cols []colref
+	rows []value.Row
+}
+
+func (r *relation) names() []string {
+	out := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+// colIndex resolves a (table, name) reference; table may be empty.
+// The second return counts matches (for ambiguity detection).
+func (r *relation) colIndex(table, name string) (int, int) {
+	idx, n := -1, 0
+	for i, c := range r.cols {
+		if !strings.EqualFold(c.name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.qual, table) {
+			continue
+		}
+		if idx < 0 {
+			idx = i
+		}
+		n++
+	}
+	return idx, n
+}
+
+// rowEnv resolves columns of one row of a relation, with aggregate
+// interception and an optional outer (correlation) environment.
+type rowEnv struct {
+	rel   *relation
+	row   value.Row
+	aggs  map[string]value.Value // precomputed aggregates keyed by SQL text
+	outer expr.Env
+}
+
+func (e *rowEnv) Col(table, name string) (value.Value, bool) {
+	if idx, n := e.rel.colIndex(table, name); n > 0 {
+		return e.row[idx], true
+	}
+	if e.outer != nil {
+		return e.outer.Col(table, name)
+	}
+	return value.Value{}, false
+}
+
+func (e *rowEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
+	if e.aggs != nil {
+		if v, ok := e.aggs[fc.SQL()]; ok {
+			return v, true, nil
+		}
+	}
+	if e.outer != nil {
+		return e.outer.Func(fc)
+	}
+	return value.Value{}, false, nil
+}
+
+// ---------------------------------------------------------------------------
+// Execution context
+// ---------------------------------------------------------------------------
+
+// execContext carries per-statement state: the view materialization cache
+// that keeps correlated subqueries from re-materializing the same view for
+// every outer row.
+type execContext struct {
+	db        *DB
+	viewCache map[string]*relation
+	depth     int
+}
+
+func newExecContext(db *DB) *execContext {
+	return &execContext{db: db, viewCache: map[string]*relation{}}
+}
+
+// Subquery implements expr.SubqueryRunner.
+func (ctx *execContext) Subquery(sel *ast.Select, env expr.Env) ([]value.Row, error) {
+	if sel.HasPreference() {
+		return nil, ErrPreferenceQuery
+	}
+	rel, err := ctx.evalSelect(sel, env)
+	if err != nil {
+		return nil, err
+	}
+	return rel.rows, nil
+}
+
+const maxSubqueryDepth = 64
+
+// evalSelect evaluates a plain SELECT with an optional correlation env.
+func (ctx *execContext) evalSelect(sel *ast.Select, outer expr.Env) (*relation, error) {
+	if sel.HasPreference() {
+		return nil, ErrPreferenceQuery
+	}
+	ctx.depth++
+	defer func() { ctx.depth-- }()
+	if ctx.depth > maxSubqueryDepth {
+		return nil, fmt.Errorf("engine: subquery nesting too deep")
+	}
+
+	ev := &expr.Evaluator{Runner: ctx}
+
+	// 1. FROM
+	src, err := ctx.evalFrom(sel.From, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fast streaming path: plain SELECT over one source with WHERE/LIMIT
+	// only (no grouping, ordering, distinct). Enables early exit for
+	// EXISTS probes.
+	simple := len(sel.GroupBy) == 0 && sel.Having == nil && !sel.Distinct &&
+		len(sel.OrderBy) == 0 && !hasAggregates(sel)
+
+	// 2. WHERE
+	var filtered []value.Row
+	if sel.Where != nil {
+		env := &rowEnv{rel: src, outer: outer}
+		for _, row := range src.rows {
+			env.row = row
+			ok, err := ev.EvalBool(sel.Where, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, row)
+				if simple && sel.Limit >= 0 && sel.Offset == 0 && int64(len(filtered)) >= sel.Limit {
+					break
+				}
+			}
+		}
+	} else {
+		filtered = src.rows
+	}
+
+	// 3. GROUP BY / aggregation
+	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
+		return ctx.evalGrouped(sel, src, filtered, outer, ev)
+	}
+
+	// 4. Projection
+	out, err := ctx.project(sel, src, filtered, outer, ev, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. ORDER BY (may reference aliases of the projection or source cols)
+	if len(sel.OrderBy) > 0 {
+		if err := ctx.orderBy(sel, out, src, filtered, outer, ev); err != nil {
+			return nil, err
+		}
+	}
+
+	// 6. DISTINCT
+	if sel.Distinct {
+		out.rows = distinctRows(out.rows)
+	}
+
+	// 7. LIMIT / OFFSET
+	applyLimit(out, sel.Limit, sel.Offset)
+	return out, nil
+}
+
+func applyLimit(rel *relation, limit, offset int64) {
+	if offset > 0 {
+		if offset >= int64(len(rel.rows)) {
+			rel.rows = nil
+		} else {
+			rel.rows = rel.rows[offset:]
+		}
+	}
+	if limit >= 0 && int64(len(rel.rows)) > limit {
+		rel.rows = rel.rows[:limit]
+	}
+}
+
+func distinctRows(rows []value.Row) []value.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := r.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// FROM clause
+// ---------------------------------------------------------------------------
+
+func (ctx *execContext) evalFrom(from []ast.TableRef, outer expr.Env) (*relation, error) {
+	if len(from) == 0 {
+		// SELECT without FROM: one empty row so expressions evaluate once.
+		return &relation{rows: []value.Row{{}}}, nil
+	}
+	rel, err := ctx.evalTableRef(from[0], outer)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range from[1:] {
+		right, err := ctx.evalTableRef(tr, outer)
+		if err != nil {
+			return nil, err
+		}
+		rel = crossProduct(rel, right)
+	}
+	return rel, nil
+}
+
+func (ctx *execContext) evalTableRef(tr ast.TableRef, outer expr.Env) (*relation, error) {
+	switch t := tr.(type) {
+	case *ast.BaseTable:
+		return ctx.evalBaseTable(t, outer)
+	case *ast.SubqueryTable:
+		rel, err := ctx.evalSelect(t.Sel, outer)
+		if err != nil {
+			return nil, err
+		}
+		return aliasRelation(rel, t.Alias), nil
+	case *ast.Join:
+		return ctx.evalJoin(t, outer)
+	}
+	return nil, fmt.Errorf("engine: unsupported table reference %T", tr)
+}
+
+func (ctx *execContext) evalBaseTable(t *ast.BaseTable, outer expr.Env) (*relation, error) {
+	qual := t.Alias
+	if qual == "" {
+		qual = t.Name
+	}
+	// Table?
+	if tbl, ok := ctx.db.cat.Table(t.Name); ok {
+		cols := make([]colref, len(tbl.Schema.Cols))
+		for i, c := range tbl.Schema.Cols {
+			cols[i] = colref{qual: qual, name: c.Name}
+		}
+		return &relation{cols: cols, rows: tbl.Rows()}, nil
+	}
+	// View? Materialize once per statement.
+	if vsel, ok := ctx.db.cat.View(t.Name); ok {
+		key := strings.ToLower(t.Name)
+		rel, cached := ctx.viewCache[key]
+		if !cached {
+			var err error
+			rel, err = ctx.evalSelect(vsel, nil)
+			if err != nil {
+				return nil, fmt.Errorf("view %s: %w", t.Name, err)
+			}
+			ctx.viewCache[key] = rel
+		}
+		return aliasRelation(rel, qual), nil
+	}
+	return nil, fmt.Errorf("engine: no such table or view: %s", t.Name)
+}
+
+// aliasRelation re-qualifies all columns under one alias.
+func aliasRelation(rel *relation, alias string) *relation {
+	cols := make([]colref, len(rel.cols))
+	for i, c := range rel.cols {
+		q := alias
+		if q == "" {
+			q = c.qual
+		}
+		cols[i] = colref{qual: q, name: c.name}
+	}
+	return &relation{cols: cols, rows: rel.rows}
+}
+
+func crossProduct(l, r *relation) *relation {
+	cols := append(append([]colref{}, l.cols...), r.cols...)
+	rows := make([]value.Row, 0, len(l.rows)*len(r.rows))
+	for _, lr := range l.rows {
+		for _, rr := range r.rows {
+			row := make(value.Row, 0, len(lr)+len(rr))
+			row = append(append(row, lr...), rr...)
+			rows = append(rows, row)
+		}
+	}
+	return &relation{cols: cols, rows: rows}
+}
+
+func (ctx *execContext) evalJoin(j *ast.Join, outer expr.Env) (*relation, error) {
+	left, err := ctx.evalTableRef(j.Left, outer)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ctx.evalTableRef(j.Right, outer)
+	if err != nil {
+		return nil, err
+	}
+	if j.Type == ast.CrossJoin {
+		return crossProduct(left, right), nil
+	}
+	cols := append(append([]colref{}, left.cols...), right.cols...)
+	out := &relation{cols: cols}
+	ev := &expr.Evaluator{Runner: ctx}
+
+	// Hash join on simple equi-join conditions; nested loop otherwise.
+	if lcol, rcol, ok := equiJoinCols(j.On, left, right); ok {
+		build := make(map[string][]value.Row, len(right.rows))
+		for _, rr := range right.rows {
+			if rr[rcol].IsNull() {
+				continue
+			}
+			k := rr[rcol].Key()
+			build[k] = append(build[k], rr)
+		}
+		for _, lr := range left.rows {
+			matched := false
+			if !lr[lcol].IsNull() {
+				for _, rr := range build[lr[lcol].Key()] {
+					row := make(value.Row, 0, len(lr)+len(rr))
+					out.rows = append(out.rows, append(append(row, lr...), rr...))
+					matched = true
+				}
+			}
+			if !matched && j.Type == ast.LeftJoin {
+				out.rows = append(out.rows, padRight(lr, len(right.cols)))
+			}
+		}
+		return out, nil
+	}
+
+	env := &rowEnv{rel: out, outer: outer}
+	for _, lr := range left.rows {
+		matched := false
+		for _, rr := range right.rows {
+			row := make(value.Row, 0, len(lr)+len(rr))
+			row = append(append(row, lr...), rr...)
+			env.row = row
+			ok, err := ev.EvalBool(j.On, env)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.rows = append(out.rows, row)
+				matched = true
+			}
+		}
+		if !matched && j.Type == ast.LeftJoin {
+			out.rows = append(out.rows, padRight(lr, len(right.cols)))
+		}
+	}
+	return out, nil
+}
+
+func padRight(lr value.Row, n int) value.Row {
+	row := make(value.Row, len(lr)+n)
+	copy(row, lr)
+	return row
+}
+
+// equiJoinCols recognizes ON conditions of the form l.x = r.y.
+func equiJoinCols(on ast.Expr, left, right *relation) (int, int, bool) {
+	b, ok := on.(*ast.Binary)
+	if !ok || b.Op != "=" {
+		return 0, 0, false
+	}
+	lc, ok1 := b.L.(*ast.Column)
+	rc, ok2 := b.R.(*ast.Column)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	li, ln := left.colIndex(lc.Table, lc.Name)
+	ri, rn := right.colIndex(rc.Table, rc.Name)
+	if ln == 1 && rn == 1 {
+		return li, ri, true
+	}
+	// maybe the columns are swapped
+	li, ln = left.colIndex(rc.Table, rc.Name)
+	ri, rn = right.colIndex(lc.Table, lc.Name)
+	if ln == 1 && rn == 1 {
+		return li, ri, true
+	}
+	return 0, 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Projection and ORDER BY
+// ---------------------------------------------------------------------------
+
+// project computes the SELECT list for each row. aggs, when non-nil, binds
+// pre-computed aggregates (grouped queries).
+func (ctx *execContext) project(sel *ast.Select, src *relation, rows []value.Row,
+	outer expr.Env, ev *expr.Evaluator, aggsPerRow []map[string]value.Value) (*relation, error) {
+
+	var cols []colref
+	type itemPlan struct {
+		star     bool
+		starQual string
+		expr     ast.Expr
+	}
+	var plans []itemPlan
+	for _, it := range sel.Items {
+		if st, ok := it.Expr.(*ast.Star); ok {
+			plans = append(plans, itemPlan{star: true, starQual: st.Table})
+			for _, c := range src.cols {
+				if st.Table == "" || strings.EqualFold(c.qual, st.Table) {
+					cols = append(cols, c)
+				}
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*ast.Column); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.SQL()
+			}
+		}
+		plans = append(plans, itemPlan{expr: it.Expr})
+		cols = append(cols, colref{name: name})
+	}
+
+	out := &relation{cols: cols, rows: make([]value.Row, 0, len(rows))}
+	env := &rowEnv{rel: src, outer: outer}
+	for ri, row := range rows {
+		env.row = row
+		if aggsPerRow != nil {
+			env.aggs = aggsPerRow[ri]
+		}
+		outRow := make(value.Row, 0, len(cols))
+		for _, p := range plans {
+			if p.star {
+				for i, c := range src.cols {
+					if p.starQual == "" || strings.EqualFold(c.qual, p.starQual) {
+						outRow = append(outRow, row[i])
+					}
+				}
+				continue
+			}
+			v, err := ev.Eval(p.expr, env)
+			if err != nil {
+				return nil, err
+			}
+			outRow = append(outRow, v)
+		}
+		out.rows = append(out.rows, outRow)
+	}
+	return out, nil
+}
+
+// orderBy sorts the projected relation. Order expressions can reference
+// projection aliases or source columns.
+func (ctx *execContext) orderBy(sel *ast.Select, out, src *relation,
+	srcRows []value.Row, outer expr.Env, ev *expr.Evaluator) error {
+
+	type pair struct {
+		keys value.Row
+		idx  int
+	}
+	pairs := make([]pair, len(out.rows))
+	for i := range out.rows {
+		env := &dualEnv{
+			primary:  &rowEnv{rel: out, row: out.rows[i]},
+			fallback: &rowEnv{rel: src, row: srcRows[i], outer: outer},
+		}
+		keys := make(value.Row, len(sel.OrderBy))
+		for k, ob := range sel.OrderBy {
+			v, err := ev.Eval(ob.Expr, env)
+			if err != nil {
+				return err
+			}
+			keys[k] = v
+		}
+		pairs[i] = pair{keys: keys, idx: i}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		for k, ob := range sel.OrderBy {
+			c := compareNullsFirst(pairs[a].keys[k], pairs[b].keys[k])
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([]value.Row, len(pairs))
+	for i, p := range pairs {
+		sorted[i] = out.rows[p.idx]
+	}
+	out.rows = sorted
+	return nil
+}
+
+// compareNullsFirst orders values, placing NULL before everything.
+func compareNullsFirst(a, b value.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	if c, ok := value.Compare(a, b); ok {
+		return c
+	}
+	// incomparable kinds: order by kind id for determinism
+	switch {
+	case a.K < b.K:
+		return -1
+	case a.K > b.K:
+		return 1
+	}
+	return 0
+}
+
+// dualEnv tries projection aliases first, then the source row.
+type dualEnv struct {
+	primary, fallback expr.Env
+}
+
+func (d *dualEnv) Col(table, name string) (value.Value, bool) {
+	if table == "" {
+		if v, ok := d.primary.Col(table, name); ok {
+			return v, true
+		}
+	}
+	return d.fallback.Col(table, name)
+}
+
+func (d *dualEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
+	if v, handled, err := d.primary.Func(fc); handled || err != nil {
+		return v, handled, err
+	}
+	return d.fallback.Func(fc)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+func isAggregate(name string) bool { return aggregateNames[strings.ToUpper(name)] }
+
+// hasAggregates reports whether any select item or HAVING uses an aggregate.
+func hasAggregates(sel *ast.Select) bool {
+	for _, it := range sel.Items {
+		if exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return sel.Having != nil && exprHasAggregate(sel.Having)
+}
+
+func exprHasAggregate(e ast.Expr) bool {
+	found := false
+	walkExpr(e, func(x ast.Expr) {
+		if fc, ok := x.(*ast.FuncCall); ok && isAggregate(fc.Name) {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkExpr visits e and all sub-expressions (not descending into subqueries).
+func walkExpr(e ast.Expr, fn func(ast.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *ast.Unary:
+		walkExpr(x.X, fn)
+	case *ast.Binary:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *ast.IsNull:
+		walkExpr(x.X, fn)
+	case *ast.InList:
+		walkExpr(x.X, fn)
+		for _, i := range x.List {
+			walkExpr(i, fn)
+		}
+	case *ast.InSelect:
+		walkExpr(x.X, fn)
+	case *ast.Between:
+		walkExpr(x.X, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *ast.Like:
+		walkExpr(x.X, fn)
+		walkExpr(x.Pattern, fn)
+	case *ast.Case:
+		walkExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			walkExpr(w.When, fn)
+			walkExpr(w.Then, fn)
+		}
+		walkExpr(x.Else, fn)
+	case *ast.FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	}
+}
+
+// collectAggregates gathers all aggregate calls in the statement.
+func collectAggregates(sel *ast.Select) []*ast.FuncCall {
+	var out []*ast.FuncCall
+	seen := map[string]bool{}
+	collect := func(e ast.Expr) {
+		walkExpr(e, func(x ast.Expr) {
+			if fc, ok := x.(*ast.FuncCall); ok && isAggregate(fc.Name) {
+				key := fc.SQL()
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, fc)
+				}
+			}
+		})
+	}
+	for _, it := range sel.Items {
+		collect(it.Expr)
+	}
+	if sel.Having != nil {
+		collect(sel.Having)
+	}
+	for _, ob := range sel.OrderBy {
+		collect(ob.Expr)
+	}
+	return out
+}
+
+func (ctx *execContext) evalGrouped(sel *ast.Select, src *relation,
+	rows []value.Row, outer expr.Env, ev *expr.Evaluator) (*relation, error) {
+
+	aggCalls := collectAggregates(sel)
+
+	// Partition rows by GROUP BY key (single group if no GROUP BY).
+	type group struct {
+		rep  value.Row // representative row for group-by expressions
+		rows []value.Row
+	}
+	var groups []*group
+	index := map[string]*group{}
+	env := &rowEnv{rel: src, outer: outer}
+	for _, row := range rows {
+		var key string
+		if len(sel.GroupBy) > 0 {
+			env.row = row
+			keyVals := make(value.Row, len(sel.GroupBy))
+			for i, ge := range sel.GroupBy {
+				v, err := ev.Eval(ge, env)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[i] = v
+			}
+			key = keyVals.Key()
+		}
+		g, ok := index[key]
+		if !ok {
+			g = &group{rep: row}
+			index[key] = g
+			groups = append(groups, g)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// Aggregates without GROUP BY over an empty input yield one group.
+	if len(groups) == 0 && len(sel.GroupBy) == 0 {
+		groups = append(groups, &group{rep: make(value.Row, len(src.cols))})
+	}
+
+	// Compute aggregates per group.
+	repRows := make([]value.Row, 0, len(groups))
+	aggsPerRow := make([]map[string]value.Value, 0, len(groups))
+	for _, g := range groups {
+		aggs := map[string]value.Value{}
+		for _, fc := range aggCalls {
+			v, err := ctx.computeAggregate(fc, src, g.rows, outer, ev)
+			if err != nil {
+				return nil, err
+			}
+			aggs[fc.SQL()] = v
+		}
+		repRows = append(repRows, g.rep)
+		aggsPerRow = append(aggsPerRow, aggs)
+	}
+
+	// HAVING filter on groups.
+	if sel.Having != nil {
+		keptRows := repRows[:0:0]
+		keptAggs := aggsPerRow[:0:0]
+		for i := range repRows {
+			henv := &rowEnv{rel: src, row: repRows[i], aggs: aggsPerRow[i], outer: outer}
+			ok, err := ev.EvalBool(sel.Having, henv)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keptRows = append(keptRows, repRows[i])
+				keptAggs = append(keptAggs, aggsPerRow[i])
+			}
+		}
+		repRows, aggsPerRow = keptRows, keptAggs
+	}
+
+	out, err := ctx.project(sel, src, repRows, outer, ev, aggsPerRow)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(sel.OrderBy) > 0 {
+		if err := ctx.orderByGrouped(sel, out, src, repRows, aggsPerRow, outer, ev); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Distinct {
+		out.rows = distinctRows(out.rows)
+	}
+	applyLimit(out, sel.Limit, sel.Offset)
+	return out, nil
+}
+
+func (ctx *execContext) orderByGrouped(sel *ast.Select, out, src *relation,
+	repRows []value.Row, aggsPerRow []map[string]value.Value,
+	outer expr.Env, ev *expr.Evaluator) error {
+
+	type pair struct {
+		keys value.Row
+		idx  int
+	}
+	pairs := make([]pair, len(out.rows))
+	for i := range out.rows {
+		env := &dualEnv{
+			primary:  &rowEnv{rel: out, row: out.rows[i]},
+			fallback: &rowEnv{rel: src, row: repRows[i], aggs: aggsPerRow[i], outer: outer},
+		}
+		keys := make(value.Row, len(sel.OrderBy))
+		for k, ob := range sel.OrderBy {
+			v, err := ev.Eval(ob.Expr, env)
+			if err != nil {
+				return err
+			}
+			keys[k] = v
+		}
+		pairs[i] = pair{keys: keys, idx: i}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		for k, ob := range sel.OrderBy {
+			c := compareNullsFirst(pairs[a].keys[k], pairs[b].keys[k])
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([]value.Row, len(pairs))
+	for i, p := range pairs {
+		sorted[i] = out.rows[p.idx]
+	}
+	out.rows = sorted
+	return nil
+}
+
+func (ctx *execContext) computeAggregate(fc *ast.FuncCall, src *relation,
+	rows []value.Row, outer expr.Env, ev *expr.Evaluator) (value.Value, error) {
+
+	name := strings.ToUpper(fc.Name)
+	if len(fc.Args) != 1 {
+		return value.Value{}, fmt.Errorf("%s expects one argument", name)
+	}
+	arg := fc.Args[0]
+	_, isStar := arg.(*ast.Star)
+	if isStar && name != "COUNT" {
+		return value.Value{}, fmt.Errorf("%s(*) is not valid", name)
+	}
+
+	env := &rowEnv{rel: src, outer: outer}
+	var vals []value.Value
+	for _, row := range rows {
+		if isStar {
+			vals = append(vals, value.NewInt(1))
+			continue
+		}
+		env.row = row
+		v, err := ev.Eval(arg, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if v.IsNull() {
+			continue // aggregates skip NULLs
+		}
+		vals = append(vals, v)
+	}
+	if fc.Distinct {
+		seen := map[string]bool{}
+		uniq := vals[:0:0]
+		for _, v := range vals {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			uniq = append(uniq, v)
+		}
+		vals = uniq
+	}
+
+	switch name {
+	case "COUNT":
+		return value.NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return value.NewNull(), nil
+		}
+		allInt := true
+		sum := 0.0
+		for _, v := range vals {
+			if !v.IsNumeric() {
+				return value.Value{}, fmt.Errorf("%s requires numeric values", name)
+			}
+			if v.K != value.Int {
+				allInt = false
+			}
+			sum += v.Num()
+		}
+		if name == "AVG" {
+			return value.NewFloat(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return value.NewInt(int64(sum)), nil
+		}
+		return value.NewFloat(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return value.NewNull(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, ok := value.Compare(v, best)
+			if !ok {
+				return value.Value{}, fmt.Errorf("%s over incomparable values", name)
+			}
+			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return value.Value{}, fmt.Errorf("unknown aggregate %s", name)
+}
+
+// ---------------------------------------------------------------------------
+// DML / DDL
+// ---------------------------------------------------------------------------
+
+func (db *DB) insert(ins *ast.Insert) (*Result, error) {
+	tbl, ok := db.cat.Table(ins.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table: %s", ins.Table)
+	}
+	// Column mapping.
+	colIdx := make([]int, 0, len(ins.Columns))
+	for _, c := range ins.Columns {
+		i := tbl.Schema.ColIndex(c)
+		if i < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %s", ins.Table, c)
+		}
+		colIdx = append(colIdx, i)
+	}
+	toFull := func(vals value.Row) (value.Row, error) {
+		if len(ins.Columns) == 0 {
+			return vals, nil
+		}
+		if len(vals) != len(colIdx) {
+			return nil, fmt.Errorf("engine: INSERT has %d values for %d columns", len(vals), len(colIdx))
+		}
+		full := make(value.Row, len(tbl.Schema.Cols))
+		for i, v := range vals {
+			full[colIdx[i]] = v
+		}
+		return full, nil
+	}
+
+	n := 0
+	if ins.Sel != nil {
+		res, err := db.Select(ins.Sel)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			full, err := toFull(row)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.Insert(full); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		return &Result{Affected: n}, nil
+	}
+
+	ev := &expr.Evaluator{}
+	env := expr.MapEnv{}
+	for _, exprRow := range ins.Rows {
+		vals := make(value.Row, len(exprRow))
+		for i, e := range exprRow {
+			v, err := ev.Eval(e, env)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		full, err := toFull(vals)
+		if err != nil {
+			return nil, err
+		}
+		if err := tbl.Insert(full); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// InsertRows bulk-inserts pre-built rows; the fast path for data generators.
+func (db *DB) InsertRows(table string, rows []value.Row) (int, error) {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("engine: no such table: %s", table)
+	}
+	for i, r := range rows {
+		if err := tbl.Insert(r); err != nil {
+			return i, err
+		}
+	}
+	return len(rows), nil
+}
+
+func (db *DB) tableEnvMatcher(tbl *storage.Table, where ast.Expr) func(value.Row) (bool, error) {
+	ctx := newExecContext(db)
+	ev := &expr.Evaluator{Runner: ctx}
+	cols := make([]colref, len(tbl.Schema.Cols))
+	for i, c := range tbl.Schema.Cols {
+		cols[i] = colref{qual: tbl.Name, name: c.Name}
+	}
+	rel := &relation{cols: cols}
+	return func(row value.Row) (bool, error) {
+		if where == nil {
+			return true, nil
+		}
+		env := &rowEnv{rel: rel, row: row}
+		return ev.EvalBool(where, env)
+	}
+}
+
+func (db *DB) update(upd *ast.Update) (*Result, error) {
+	tbl, ok := db.cat.Table(upd.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table: %s", upd.Table)
+	}
+	setIdx := make([]int, len(upd.Sets))
+	for i, s := range upd.Sets {
+		idx := tbl.Schema.ColIndex(s.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %s", upd.Table, s.Column)
+		}
+		setIdx[i] = idx
+	}
+	ctx := newExecContext(db)
+	ev := &expr.Evaluator{Runner: ctx}
+	cols := make([]colref, len(tbl.Schema.Cols))
+	for i, c := range tbl.Schema.Cols {
+		cols[i] = colref{qual: tbl.Name, name: c.Name}
+	}
+	rel := &relation{cols: cols}
+
+	n, err := tbl.Update(db.tableEnvMatcher(tbl, upd.Where), func(row value.Row) (value.Row, error) {
+		env := &rowEnv{rel: rel, row: row}
+		for i, s := range upd.Sets {
+			v, err := ev.Eval(s.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			row[setIdx[i]] = v
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) delete(del *ast.Delete) (*Result, error) {
+	tbl, ok := db.cat.Table(del.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table: %s", del.Table)
+	}
+	n, err := tbl.Delete(db.tableEnvMatcher(tbl, del.Where))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (db *DB) createTable(ct *ast.CreateTable) (*Result, error) {
+	if _, exists := db.cat.Table(ct.Name); exists && ct.IfNotExists {
+		return &Result{}, nil
+	}
+	cols := make([]storage.Column, len(ct.Cols))
+	for i, c := range ct.Cols {
+		cols[i] = storage.Column{Name: c.Name, Kind: c.Type, NotNull: c.NotNull, PrimaryKey: c.PrimaryKey}
+	}
+	tbl := storage.NewTable(ct.Name, storage.Schema{Cols: cols})
+	if err := db.cat.CreateTable(tbl); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) createView(cv *ast.CreateView) (*Result, error) {
+	if cv.Sel.HasPreference() {
+		return nil, ErrPreferenceQuery
+	}
+	if err := db.cat.CreateView(cv.Name, cv.Sel); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) createIndex(ci *ast.CreateIndex) (*Result, error) {
+	tbl, ok := db.cat.Table(ci.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table: %s", ci.Table)
+	}
+	if _, err := tbl.CreateIndex(ci.Name, ci.Columns); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) drop(d *ast.Drop) (*Result, error) {
+	switch d.Kind {
+	case "TABLE":
+		if !db.cat.DropTable(d.Name) && !d.IfExists {
+			return nil, fmt.Errorf("engine: no such table: %s", d.Name)
+		}
+	case "VIEW":
+		if !db.cat.DropView(d.Name) && !d.IfExists {
+			return nil, fmt.Errorf("engine: no such view: %s", d.Name)
+		}
+	case "INDEX":
+		dropped := false
+		for _, name := range db.cat.TableNames() {
+			tbl, _ := db.cat.Table(name)
+			if tbl.DropIndex(d.Name) {
+				dropped = true
+				break
+			}
+		}
+		if !dropped && !d.IfExists {
+			return nil, fmt.Errorf("engine: no such index: %s", d.Name)
+		}
+	default:
+		return nil, fmt.Errorf("engine: unsupported DROP %s", d.Kind)
+	}
+	return &Result{}, nil
+}

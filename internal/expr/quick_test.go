@@ -1,0 +1,66 @@
+package expr
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// likeToRegexp is the reference implementation: translate the LIKE
+// pattern to an anchored regexp.
+func likeToRegexp(pat string) *regexp.Regexp {
+	var b strings.Builder
+	b.WriteString("^")
+	for i := 0; i < len(pat); i++ {
+		switch pat[i] {
+		case '%':
+			b.WriteString("(?s).*")
+		case '_':
+			b.WriteString("(?s).")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(pat[i])))
+		}
+	}
+	b.WriteString("$")
+	return regexp.MustCompile(b.String())
+}
+
+// Property: the hand-written LIKE matcher agrees with the regexp
+// reference on arbitrary inputs over a small alphabet (so % and _ occur).
+func TestQuickLikeMatchesRegexpReference(t *testing.T) {
+	alphabet := []byte{'a', 'b', '%', '_', 'c'}
+	decode := func(data []uint8) string {
+		var b strings.Builder
+		for _, d := range data {
+			b.WriteByte(alphabet[int(d)%len(alphabet)])
+		}
+		return b.String()
+	}
+	f := func(sData, pData []uint8) bool {
+		if len(sData) > 24 || len(pData) > 12 {
+			sData = sData[:min(len(sData), 24)]
+			pData = pData[:min(len(pData), 12)]
+		}
+		s := decode(sData)
+		// the subject string must not contain wildcards to be meaningful
+		s = strings.Map(func(r rune) rune {
+			if r == '%' || r == '_' {
+				return 'x'
+			}
+			return r
+		}, s)
+		pat := decode(pData)
+		return likeMatch(s, pat) == likeToRegexp(pat).MatchString(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParseAll asserts the parser never panics and that accepted
+// statements re-render to SQL that parses again (round-trip stability).
+func FuzzParseAll(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM trips PREFERRING duration AROUND 14",
+		"SELECT a, b FROM t WHERE a = 1 AND b IN (1,2) ORDER BY a DESC LIMIT 3",
+		"SELECT * FROM car WHERE make = 'Opel' PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND price AROUND 40000 AND HIGHEST(power)) CASCADE color = 'red' CASCADE LOWEST(mileage)",
+		"CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10))",
+		"INSERT INTO t VALUES (1, 'x'), (2, NULL)",
+		"CREATE PREFERENCE p AS LOWEST(x)",
+		"SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t",
+		"SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.y = c.z",
+		"SELECT * FROM t PREFERRING EXPLICIT(c, 'a' > 'b') GROUPING g BUT ONLY LEVEL(c) <= 2",
+		"-- comment\nSELECT 1; /* block */ SELECT 2;",
+		"SELECT '" + "unterminated",
+		"SELECT 1e999 FROM",
+		")))((('''",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := ParseAll(src) // must not panic
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			text := s.SQL()
+			again, err := ParseAll(text)
+			if err != nil {
+				t.Fatalf("accepted %q, rendered %q, reparse failed: %v", src, text, err)
+			}
+			if len(again) != 1 {
+				t.Fatalf("rendered %q parsed to %d statements", text, len(again))
+			}
+			if again[0].SQL() != text {
+				t.Fatalf("round trip unstable:\n1: %s\n2: %s", text, again[0].SQL())
+			}
+		}
+	})
+}

@@ -1,0 +1,576 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func mustSelect(t *testing.T, src string) *ast.Select {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return sel
+}
+
+func TestSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM trips")
+	if len(sel.Items) != 1 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if _, ok := sel.Items[0].Expr.(*ast.Star); !ok {
+		t.Fatalf("item not star: %T", sel.Items[0].Expr)
+	}
+	bt, ok := sel.From[0].(*ast.BaseTable)
+	if !ok || bt.Name != "trips" {
+		t.Fatalf("from: %#v", sel.From[0])
+	}
+}
+
+func TestPaperAroundQuery(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM trips PREFERRING duration AROUND 14;")
+	pr, ok := sel.Preferring.(*ast.PrefAround)
+	if !ok {
+		t.Fatalf("preferring: %T", sel.Preferring)
+	}
+	if pr.X.SQL() != "duration" || pr.Target.SQL() != "14" {
+		t.Errorf("around: %s / %s", pr.X.SQL(), pr.Target.SQL())
+	}
+}
+
+func TestPaperHighestQuery(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM apartments PREFERRING HIGHEST(area);")
+	if _, ok := sel.Preferring.(*ast.PrefHighest); !ok {
+		t.Fatalf("preferring: %T", sel.Preferring)
+	}
+}
+
+func TestPaperPosQuery(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM programmers PREFERRING exp IN ('java', 'C++');")
+	pos, ok := sel.Preferring.(*ast.PrefPos)
+	if !ok {
+		t.Fatalf("preferring: %T", sel.Preferring)
+	}
+	if len(pos.Values) != 2 {
+		t.Errorf("values: %d", len(pos.Values))
+	}
+}
+
+func TestPaperNegQuery(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM hotels PREFERRING location <> 'downtown';")
+	neg, ok := sel.Preferring.(*ast.PrefNeg)
+	if !ok {
+		t.Fatalf("preferring: %T", sel.Preferring)
+	}
+	if len(neg.Values) != 1 {
+		t.Errorf("values: %d", len(neg.Values))
+	}
+}
+
+func TestPaperParetoQuery(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM computers
+PREFERRING HIGHEST(main_memory) AND HIGHEST(cpu_speed);`)
+	par, ok := sel.Preferring.(*ast.PrefPareto)
+	if !ok {
+		t.Fatalf("preferring: %T", sel.Preferring)
+	}
+	if len(par.Parts) != 2 {
+		t.Errorf("parts: %d", len(par.Parts))
+	}
+}
+
+func TestPaperCascadeQuery(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM computers
+PREFERRING HIGHEST(main_memory) CASCADE color IN ('black','brown');`)
+	cas, ok := sel.Preferring.(*ast.PrefCascade)
+	if !ok {
+		t.Fatalf("preferring: %T", sel.Preferring)
+	}
+	if len(cas.Parts) != 2 {
+		t.Errorf("parts: %d", len(cas.Parts))
+	}
+}
+
+func TestCommaIsCascadeSynonym(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM t PREFERRING LOWEST(a), HIGHEST(b)`)
+	cas, ok := sel.Preferring.(*ast.PrefCascade)
+	if !ok || len(cas.Parts) != 2 {
+		t.Fatalf("comma cascade: %T", sel.Preferring)
+	}
+}
+
+// The paper's Opel example (§2.2.2): ELSE binds tighter than AND, which
+// binds tighter than CASCADE.
+func TestPaperOpelQuery(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM car WHERE make = 'Opel'
+PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND
+price AROUND 40000 AND HIGHEST(power))
+CASCADE color = 'red' CASCADE LOWEST(mileage);`)
+	cas, ok := sel.Preferring.(*ast.PrefCascade)
+	if !ok {
+		t.Fatalf("top should be cascade: %T", sel.Preferring)
+	}
+	if len(cas.Parts) != 3 {
+		t.Fatalf("cascade parts: %d", len(cas.Parts))
+	}
+	par, ok := cas.Parts[0].(*ast.PrefPareto)
+	if !ok {
+		t.Fatalf("first cascade part should be pareto: %T", cas.Parts[0])
+	}
+	if len(par.Parts) != 3 {
+		t.Fatalf("pareto parts: %d", len(par.Parts))
+	}
+	if _, ok := par.Parts[0].(*ast.PrefElse); !ok {
+		t.Errorf("first pareto part should be ELSE: %T", par.Parts[0])
+	}
+	if _, ok := cas.Parts[1].(*ast.PrefPos); !ok {
+		t.Errorf("second cascade part should be POS: %T", cas.Parts[1])
+	}
+	if _, ok := cas.Parts[2].(*ast.PrefLowest); !ok {
+		t.Errorf("third cascade part should be LOWEST: %T", cas.Parts[2])
+	}
+	if sel.Where == nil {
+		t.Error("hard WHERE condition lost")
+	}
+}
+
+func TestPrefBetweenBothSyntaxes(t *testing.T) {
+	for _, src := range []string{
+		"SELECT * FROM t PREFERRING price BETWEEN 1500, 2000",
+		"SELECT * FROM t PREFERRING price BETWEEN [1500, 2000]",
+	} {
+		sel := mustSelect(t, src)
+		b, ok := sel.Preferring.(*ast.PrefBetween)
+		if !ok {
+			t.Fatalf("%s: %T", src, sel.Preferring)
+		}
+		if b.Lo.SQL() != "1500" || b.Hi.SQL() != "2000" {
+			t.Errorf("bounds: %s %s", b.Lo.SQL(), b.Hi.SQL())
+		}
+	}
+}
+
+// §4.1 washing machine query: BETWEEN followed by AND-Pareto continuation.
+func TestEshopQuery(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM products WHERE manufacturer = 'Aturi'
+PREFERRING (width AROUND 60 AND spinspeed AROUND 1200) CASCADE
+(powerconsumption BETWEEN 0, 0.9 AND LOWEST(waterconsumption)
+AND price BETWEEN 1500, 2000)`)
+	cas, ok := sel.Preferring.(*ast.PrefCascade)
+	if !ok || len(cas.Parts) != 2 {
+		t.Fatalf("cascade: %T", sel.Preferring)
+	}
+	par2, ok := cas.Parts[1].(*ast.PrefPareto)
+	if !ok || len(par2.Parts) != 3 {
+		t.Fatalf("second part: %#v", cas.Parts[1])
+	}
+}
+
+func TestButOnlyAndQualityFunctions(t *testing.T) {
+	sel := mustSelect(t, `SELECT ident, LEVEL(color), DISTANCE(age) FROM oldtimer
+PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40
+BUT ONLY DISTANCE(age) <= 2 AND LEVEL(color) <= 2`)
+	if sel.ButOnly == nil {
+		t.Fatal("BUT ONLY missing")
+	}
+	fc, ok := sel.Items[1].Expr.(*ast.FuncCall)
+	if !ok || fc.Name != "LEVEL" {
+		t.Fatalf("quality fn: %#v", sel.Items[1].Expr)
+	}
+}
+
+func TestGroupingClause(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM cars PREFERRING LOWEST(price) GROUPING make, category`)
+	if len(sel.Grouping) != 2 {
+		t.Fatalf("grouping: %d", len(sel.Grouping))
+	}
+	if sel.Grouping[0].Name != "make" || sel.Grouping[1].Name != "category" {
+		t.Errorf("grouping cols: %v", sel.Grouping)
+	}
+}
+
+func TestExplicitPreference(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM t PREFERRING EXPLICIT(color, 'red' > 'blue', 'blue' > 'green')`)
+	ex, ok := sel.Preferring.(*ast.PrefExplicit)
+	if !ok || len(ex.Edges) != 2 {
+		t.Fatalf("explicit: %#v", sel.Preferring)
+	}
+}
+
+func TestContainsPreference(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM docs PREFERRING body CONTAINS ('database', 'preference')`)
+	c, ok := sel.Preferring.(*ast.PrefContains)
+	if !ok || len(c.Terms) != 2 {
+		t.Fatalf("contains: %#v", sel.Preferring)
+	}
+}
+
+func TestArithmeticExpressionInPreference(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM t PREFERRING HIGHEST(a + b * 2)`)
+	h := sel.Preferring.(*ast.PrefHighest)
+	if !strings.Contains(h.X.SQL(), "*") {
+		t.Errorf("expr: %s", h.X.SQL())
+	}
+}
+
+func TestStandardSQLUntouched(t *testing.T) {
+	sel := mustSelect(t, `SELECT a, COUNT(*) AS n FROM t WHERE x BETWEEN 1 AND 5
+AND y IN (1,2,3) AND name LIKE 'a%' GROUP BY a HAVING COUNT(*) > 1
+ORDER BY n DESC LIMIT 10 OFFSET 2`)
+	if sel.HasPreference() {
+		t.Error("no preference here")
+	}
+	if sel.Limit != 10 || sel.Offset != 2 {
+		t.Errorf("limit/offset: %d/%d", sel.Limit, sel.Offset)
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil || !sel.OrderBy[0].Desc {
+		t.Error("group/having/order parsing")
+	}
+}
+
+func TestNotExistsCorrelatedSubquery(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM Aux A1 WHERE NOT EXISTS (
+SELECT 1 FROM Aux A2 WHERE A2.l <= A1.l AND A2.l < A1.l)`)
+	ex, ok := sel.Where.(*ast.Exists)
+	if !ok || !ex.Not {
+		t.Fatalf("where: %#v", sel.Where)
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	sel := mustSelect(t, `SELECT CASE WHEN Make = 'Audi' THEN 1 ELSE 2 END AS Makelevel FROM Cars`)
+	c, ok := sel.Items[0].Expr.(*ast.Case)
+	if !ok || len(c.Whens) != 1 || c.Else == nil {
+		t.Fatalf("case: %#v", sel.Items[0].Expr)
+	}
+	if sel.Items[0].Alias != "Makelevel" {
+		t.Errorf("alias: %q", sel.Items[0].Alias)
+	}
+}
+
+func TestSimpleCaseWithOperand(t *testing.T) {
+	sel := mustSelect(t, `SELECT CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t`)
+	c := sel.Items[0].Expr.(*ast.Case)
+	if c.Operand == nil || len(c.Whens) != 2 || c.Else != nil {
+		t.Fatalf("case: %#v", c)
+	}
+}
+
+func TestInsertValues(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO oldtimer (ident, color, age) VALUES ('Maggie', 'white', 19), ('Bart', 'green', 19)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*ast.Insert)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 3 {
+		t.Fatalf("insert: %#v", ins)
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO Max SELECT * FROM Aux`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*ast.Insert)
+	if ins.Sel == nil {
+		t.Fatal("insert-select missing select")
+	}
+}
+
+func TestInsertPreferenceSubquery(t *testing.T) {
+	// §2.2.5: Preference SQL queries can be invoked as sub-queries of INSERT.
+	stmt, err := Parse(`INSERT INTO best SELECT * FROM cars PREFERRING LOWEST(price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*ast.Insert)
+	if !ins.Sel.HasPreference() {
+		t.Fatal("preference lost in INSERT ... SELECT")
+	}
+}
+
+func TestCreateTable(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE cars (id INTEGER PRIMARY KEY, make VARCHAR(20), price FLOAT, diesel BOOLEAN, reg DATE, note TEXT NOT NULL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*ast.CreateTable)
+	if len(ct.Cols) != 6 {
+		t.Fatalf("cols: %d", len(ct.Cols))
+	}
+	if !ct.Cols[0].PrimaryKey || !ct.Cols[5].NotNull {
+		t.Error("constraints lost")
+	}
+}
+
+func TestCreateViewAndIndexAndDrop(t *testing.T) {
+	if _, err := Parse(`CREATE VIEW v AS SELECT * FROM t`); err != nil {
+		t.Error(err)
+	}
+	if _, err := Parse(`CREATE INDEX i ON t (a, b)`); err != nil {
+		t.Error(err)
+	}
+	if _, err := Parse(`DROP TABLE IF EXISTS t`); err != nil {
+		t.Error(err)
+	}
+	if _, err := Parse(`DROP VIEW v`); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	stmt, err := Parse(`UPDATE t SET a = a + 1, b = 'x' WHERE id = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.(*ast.Update).Sets) != 2 {
+		t.Error("sets")
+	}
+	if _, err := Parse(`DELETE FROM t WHERE a IS NULL`); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id`)
+	j, ok := sel.From[0].(*ast.Join)
+	if !ok || j.Type != ast.LeftJoin {
+		t.Fatalf("outer join: %#v", sel.From[0])
+	}
+	inner, ok := j.Left.(*ast.Join)
+	if !ok || inner.Type != ast.InnerJoin {
+		t.Fatalf("inner join: %#v", j.Left)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM (SELECT a FROM t) sub WHERE sub.a > 1`)
+	st, ok := sel.From[0].(*ast.SubqueryTable)
+	if !ok || st.Alias != "sub" {
+		t.Fatalf("derived: %#v", sel.From[0])
+	}
+}
+
+func TestDateLiteral(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM trips PREFERRING start_day AROUND DATE '1999-07-03'`)
+	ar := sel.Preferring.(*ast.PrefAround)
+	lit, ok := ar.Target.(*ast.Literal)
+	if !ok || lit.Val.String() != "1999-07-03" {
+		t.Fatalf("date: %#v", ar.Target)
+	}
+}
+
+func TestBareDateStringInAround(t *testing.T) {
+	// The paper writes start_day AROUND '1999/7/3'; the string literal is
+	// accepted and coerced at evaluation time.
+	sel := mustSelect(t, `SELECT * FROM trips PREFERRING start_day AROUND '1999/7/3'`)
+	if _, ok := sel.Preferring.(*ast.PrefAround); !ok {
+		t.Fatalf("%T", sel.Preferring)
+	}
+}
+
+func TestMultipleStatements(t *testing.T) {
+	stmts, err := ParseAll(`CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts: %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FORM t",
+		"SELECT * FROM t PREFERRING",
+		"SELECT * FROM t PREFERRING a",
+		"SELECT * FROM t PREFERRING a AROUND",
+		"SELECT * FROM t WHERE (a = 1",
+		"INSERT INTO t",
+		"CREATE TABLE t (a BADTYPE)",
+		"SELECT * FROM t PREFERRING EXPLICIT(a)",
+		"DROP SCHEMA x",
+		"SELECT * FROM t LIMIT 'x'",
+		"SELECT CASE END FROM t",
+	}
+	for _, src := range bad {
+		if _, err := ParseAll(src); err == nil && src != "" {
+			t.Errorf("parse %q should fail", src)
+		}
+	}
+	// empty input parses to zero statements
+	stmts, err := ParseAll("")
+	if err != nil || len(stmts) != 0 {
+		t.Errorf("empty input: %v %v", stmts, err)
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE +")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks offset: %v", err)
+	}
+}
+
+// Round-trip: parse → SQL() → parse again → SQL() must be a fixed point.
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM trips PREFERRING duration AROUND 14",
+		"SELECT * FROM apartments PREFERRING HIGHEST(area)",
+		"SELECT * FROM programmers PREFERRING exp IN ('java', 'C++')",
+		"SELECT * FROM hotels PREFERRING location <> 'downtown'",
+		"SELECT * FROM computers PREFERRING HIGHEST(m) AND HIGHEST(c)",
+		"SELECT * FROM computers PREFERRING HIGHEST(m) CASCADE color IN ('black', 'brown')",
+		`SELECT * FROM car WHERE make = 'Opel' PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND price AROUND 40000 AND HIGHEST(power)) CASCADE color = 'red' CASCADE LOWEST(mileage)`,
+		"SELECT * FROM trips PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14 BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2",
+		"SELECT a, b AS c FROM t WHERE a > 1 GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 5",
+		"SELECT * FROM t PREFERRING EXPLICIT(color, 'red' > 'blue')",
+		"SELECT * FROM t PREFERRING a BETWEEN [1, 2] CASCADE LOWEST(b)",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+		"UPDATE t SET a = 1 WHERE b = 2",
+		"DELETE FROM t WHERE a IS NOT NULL",
+		"CREATE VIEW v AS SELECT * FROM t WHERE a = 1",
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Errorf("parse %q: %v", q, err)
+			continue
+		}
+		text1 := s1.SQL()
+		s2, err := Parse(text1)
+		if err != nil {
+			t.Errorf("reparse %q (from %q): %v", text1, q, err)
+			continue
+		}
+		if text2 := s2.SQL(); text1 != text2 {
+			t.Errorf("round trip not stable:\n  1: %s\n  2: %s", text1, text2)
+		}
+	}
+}
+
+func TestPreferenceDefinitionLanguage(t *testing.T) {
+	stmt, err := Parse(`CREATE PREFERENCE fav AS price AROUND 40000 AND HIGHEST(power)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := stmt.(*ast.CreatePreference)
+	if !ok || cp.Name != "fav" {
+		t.Fatalf("create preference: %#v", stmt)
+	}
+	if _, ok := cp.Pref.(*ast.PrefPareto); !ok {
+		t.Errorf("pref: %T", cp.Pref)
+	}
+
+	sel := mustSelect(t, `SELECT * FROM cars PREFERRING PREFERENCE fav CASCADE LOWEST(mileage)`)
+	cas, ok := sel.Preferring.(*ast.PrefCascade)
+	if !ok {
+		t.Fatalf("cascade: %T", sel.Preferring)
+	}
+	ref, ok := cas.Parts[0].(*ast.PrefRef)
+	if !ok || ref.Name != "fav" {
+		t.Fatalf("ref: %#v", cas.Parts[0])
+	}
+
+	drop, err := Parse(`DROP PREFERENCE fav`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := drop.(*ast.Drop); d.Kind != "PREFERENCE" || d.Name != "fav" {
+		t.Fatalf("drop: %#v", drop)
+	}
+	if _, err := Parse(`DROP PREFERENCE IF EXISTS fav`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDLRoundTrip(t *testing.T) {
+	for _, q := range []string{
+		"CREATE PREFERENCE fav AS price AROUND 40000",
+		"SELECT * FROM t PREFERRING PREFERENCE fav",
+		"DROP PREFERENCE fav",
+	} {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		s2, err := Parse(s1.SQL())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s1.SQL(), err)
+		}
+		if s1.SQL() != s2.SQL() {
+			t.Errorf("round trip: %q vs %q", s1.SQL(), s2.SQL())
+		}
+	}
+}
+
+func TestMorePrefParseErrors(t *testing.T) {
+	bad := []string{
+		"CREATE PREFERENCE AS LOWEST(a)",             // missing name
+		"CREATE PREFERENCE p LOWEST(a)",              // missing AS
+		"SELECT * FROM t PREFERRING PREFERENCE",      // missing name
+		"SELECT * FROM t PREFERRING a BETWEEN 1",     // missing second bound
+		"SELECT * FROM t PREFERRING a BETWEEN [1, 2", // unclosed bracket
+		"SELECT * FROM t PREFERRING LOWEST a",        // missing parens
+		"SELECT * FROM t PREFERRING CONTAINS ('x')",  // missing attribute
+		"SELECT * FROM t GROUPING a",                 // GROUPING without PREFERRING parses; semantic layer rejects
+	}
+	for _, src := range bad[:len(bad)-1] {
+		if _, err := ParseAll(src); err == nil {
+			t.Errorf("parse %q should fail", src)
+		}
+	}
+	// last one parses fine (rejection happens in core)
+	if _, err := ParseAll(bad[len(bad)-1]); err != nil {
+		t.Errorf("GROUPING should parse: %v", err)
+	}
+}
+
+func TestSelectAllKeyword(t *testing.T) {
+	sel := mustSelect(t, "SELECT ALL a FROM t")
+	if sel.Distinct {
+		t.Error("ALL is not DISTINCT")
+	}
+}
+
+func TestCrossJoinKeyword(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM a CROSS JOIN b")
+	j, ok := sel.From[0].(*ast.Join)
+	if !ok || j.Type != ast.CrossJoin {
+		t.Fatalf("cross join: %#v", sel.From[0])
+	}
+}
+
+func TestInnerJoinKeyword(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM a INNER JOIN b ON a.x = b.x")
+	j, ok := sel.From[0].(*ast.Join)
+	if !ok || j.Type != ast.InnerJoin {
+		t.Fatalf("inner join: %#v", sel.From[0])
+	}
+}
+
+func TestNegativeNumbersFoldIntoLiterals(t *testing.T) {
+	sel := mustSelect(t, "SELECT -5, -2.5 FROM t")
+	l1 := sel.Items[0].Expr.(*ast.Literal)
+	l2 := sel.Items[1].Expr.(*ast.Literal)
+	if l1.Val.I != -5 || l2.Val.F != -2.5 {
+		t.Errorf("negatives: %v %v", l1.Val, l2.Val)
+	}
+}
+
+func TestUnaryPlusIgnored(t *testing.T) {
+	sel := mustSelect(t, "SELECT +5 FROM t")
+	if sel.Items[0].Expr.(*ast.Literal).Val.I != 5 {
+		t.Error("unary plus")
+	}
+}

@@ -1,0 +1,351 @@
+package preference
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Binder connects the preference compiler to a query-processing context:
+// it turns expressions into row accessors and evaluates constants. The
+// core package implements it over the engine's relations.
+type Binder interface {
+	// Getter compiles an expression into a per-row accessor.
+	Getter(e ast.Expr) (Getter, error)
+	// Cond compiles a boolean condition into a per-row predicate.
+	Cond(e ast.Expr) (func(value.Row) (bool, error), error)
+	// Const evaluates a row-independent expression (preference parameters
+	// like the AROUND target or POS value lists).
+	Const(e ast.Expr) (value.Value, error)
+}
+
+// Compile translates a parsed PREFERRING term into an executable
+// Preference, registering every base preference in reg (when non-nil) so
+// quality functions can find them.
+func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
+	switch x := p.(type) {
+	case *ast.PrefAround:
+		get, err := b.Getter(x.X)
+		if err != nil {
+			return nil, err
+		}
+		target, err := constNumber(b, x.Target, "AROUND target")
+		if err != nil {
+			return nil, err
+		}
+		pref := &Around{Get: get, Target: target, Label: x.X.SQL()}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefBetween:
+		get, err := b.Getter(x.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := constNumber(b, x.Lo, "BETWEEN lower bound")
+		if err != nil {
+			return nil, err
+		}
+		hi, err := constNumber(b, x.Hi, "BETWEEN upper bound")
+		if err != nil {
+			return nil, err
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("BETWEEN bounds out of order: %g > %g", lo, hi)
+		}
+		pref := &Between{Get: get, Lo: lo, Hi: hi, Label: x.X.SQL()}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefLowest:
+		get, err := b.Getter(x.X)
+		if err != nil {
+			return nil, err
+		}
+		pref := &Lowest{Get: get, Label: x.X.SQL()}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefHighest:
+		get, err := b.Getter(x.X)
+		if err != nil {
+			return nil, err
+		}
+		pref := &Highest{Get: get, Label: x.X.SQL()}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefPos:
+		get, err := b.Getter(x.X)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := constList(b, x.Values)
+		if err != nil {
+			return nil, err
+		}
+		pref := &Pos{Get: get, Set: NewSet(vals), Label: x.X.SQL(), Vals: vals}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefNeg:
+		get, err := b.Getter(x.X)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := constList(b, x.Values)
+		if err != nil {
+			return nil, err
+		}
+		pref := &Neg{Get: get, Set: NewSet(vals), Label: x.X.SQL(), Vals: vals}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefContains:
+		get, err := b.Getter(x.X)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := constList(b, x.Terms)
+		if err != nil {
+			return nil, err
+		}
+		terms := make([]string, len(vals))
+		for i, v := range vals {
+			terms[i] = v.String()
+		}
+		pref := &Contains{Get: get, Terms: terms, Label: x.X.SQL()}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefBool:
+		cond, err := b.Cond(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		pref := &Bool{Cond: cond, Label: x.Cond.SQL()}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefExplicit:
+		get, err := b.Getter(x.X)
+		if err != nil {
+			return nil, err
+		}
+		edges := make([][2]value.Value, len(x.Edges))
+		for i, e := range x.Edges {
+			better, err := b.Const(e.Better)
+			if err != nil {
+				return nil, err
+			}
+			worse, err := b.Const(e.Worse)
+			if err != nil {
+				return nil, err
+			}
+			edges[i] = [2]value.Value{better, worse}
+		}
+		pref, err := NewExplicit(get, x.X.SQL(), edges)
+		if err != nil {
+			return nil, err
+		}
+		register(reg, pref)
+		return pref, nil
+
+	case *ast.PrefElse:
+		return compileElse(x, b, reg)
+
+	case *ast.PrefPareto:
+		parts := make([]Preference, len(x.Parts))
+		for i, q := range x.Parts {
+			c, err := Compile(q, b, reg)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = c
+		}
+		return &Pareto{Parts: parts}, nil
+
+	case *ast.PrefCascade:
+		parts := make([]Preference, len(x.Parts))
+		for i, q := range x.Parts {
+			c, err := Compile(q, b, reg)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = c
+		}
+		return &Cascade{Parts: parts}, nil
+	}
+	return nil, fmt.Errorf("preference: cannot compile %T", p)
+}
+
+// compileElse flattens a chain of ELSE layers into one Layered preference.
+func compileElse(e *ast.PrefElse, b Binder, reg *Registry) (Preference, error) {
+	var layerNodes []ast.Pref
+	var flatten func(p ast.Pref)
+	flatten = func(p ast.Pref) {
+		if el, ok := p.(*ast.PrefElse); ok {
+			flatten(el.First)
+			flatten(el.Second)
+			return
+		}
+		layerNodes = append(layerNodes, p)
+	}
+	flatten(e)
+
+	layers := make([]Scored, len(layerNodes))
+	label := ""
+	for i, node := range layerNodes {
+		// Compile layers without registering them individually: the
+		// layered preference as a whole owns the attribute.
+		c, err := Compile(node, b, nil)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := c.(Scored)
+		if !ok {
+			return nil, fmt.Errorf("ELSE layers must be score-based base preferences, got %s", c.Describe())
+		}
+		if !s.HasOptimum() {
+			return nil, fmt.Errorf("ELSE cannot layer %s: LOWEST/HIGHEST have no a-priori perfect match", s.Describe())
+		}
+		if label == "" {
+			label = s.Attr()
+		}
+		layers[i] = s
+	}
+	pref := &Layered{Layers: layers, Label: label}
+	register(reg, pref)
+	return pref, nil
+}
+
+func register(reg *Registry, p Preference) {
+	if reg == nil {
+		return
+	}
+	switch x := p.(type) {
+	case Scored:
+		reg.Add(x.Attr(), p)
+	case *Explicit:
+		reg.Add(x.Attr(), p)
+	}
+}
+
+func constNumber(b Binder, e ast.Expr, what string) (float64, error) {
+	v, err := b.Const(e)
+	if err != nil {
+		return 0, err
+	}
+	if v.K == value.Text {
+		// The paper writes dates as plain strings: AROUND '1999/7/3'.
+		if d, derr := value.ParseDate(v.S); derr == nil {
+			return d.Num(), nil
+		}
+	}
+	n := v.Num()
+	if math.IsNaN(n) {
+		return 0, fmt.Errorf("%s must be numeric, got %s", what, v.K)
+	}
+	return n, nil
+}
+
+func constList(b Binder, exprs []ast.Expr) ([]value.Value, error) {
+	out := make([]value.Value, len(exprs))
+	for i, e := range exprs {
+		v, err := b.Const(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Standalone binder for single-table rows (tests, simple embedding)
+// ---------------------------------------------------------------------------
+
+// ColBinder is a Binder over rows of a fixed column layout. Only bare
+// column references and literals are supported; the core package provides
+// a full expression binder.
+type ColBinder struct {
+	Cols []string // column names, position = row index
+}
+
+// Getter implements Binder for bare column references.
+func (cb *ColBinder) Getter(e ast.Expr) (Getter, error) {
+	col, ok := e.(*ast.Column)
+	if !ok {
+		if lit, isLit := e.(*ast.Literal); isLit {
+			v := lit.Val
+			return func(value.Row) (value.Value, error) { return v, nil }, nil
+		}
+		return nil, fmt.Errorf("ColBinder supports only column references, got %s", e.SQL())
+	}
+	for i, name := range cb.Cols {
+		if strings.EqualFold(name, col.Name) {
+			idx := i
+			return func(r value.Row) (value.Value, error) {
+				if idx >= len(r) {
+					return value.Value{}, fmt.Errorf("row too short for column %s", name)
+				}
+				return r[idx], nil
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown column %s", col.Name)
+}
+
+// Cond implements Binder for simple comparisons column-op-literal.
+func (cb *ColBinder) Cond(e ast.Expr) (func(value.Row) (bool, error), error) {
+	bin, ok := e.(*ast.Binary)
+	if !ok {
+		return nil, fmt.Errorf("ColBinder supports only binary comparisons, got %s", e.SQL())
+	}
+	get, err := cb.Getter(bin.L)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := cb.Const(bin.R)
+	if err != nil {
+		return nil, err
+	}
+	op := bin.Op
+	return func(r value.Row) (bool, error) {
+		v, err := get(r)
+		if err != nil {
+			return false, err
+		}
+		c, ok := value.Compare(v, rhs)
+		if !ok {
+			return false, nil
+		}
+		switch op {
+		case "=":
+			return c == 0, nil
+		case "<>":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		case ">=":
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("unsupported operator %q", op)
+	}, nil
+}
+
+// Const implements Binder for literal expressions.
+func (cb *ColBinder) Const(e ast.Expr) (value.Value, error) {
+	lit, ok := e.(*ast.Literal)
+	if !ok {
+		return value.Value{}, fmt.Errorf("expected literal, got %s", e.SQL())
+	}
+	return lit.Val, nil
+}

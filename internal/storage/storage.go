@@ -1,0 +1,467 @@
+// Package storage implements the in-memory relational store underneath the
+// SQL engine: the catalog of tables and views, typed heap tables with
+// NOT NULL / PRIMARY KEY enforcement, hash indexes, and CSV bulk loading.
+//
+// It plays the role of the "existing SQL database" in the paper's
+// architecture (§3.1): the layer the rewritten standard-SQL queries
+// ultimately run against.
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name       string
+	Kind       value.Kind
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// ColIndex returns the position of the named column (case-insensitive),
+// or -1 if absent.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Table is a heap of typed rows plus its secondary indexes.
+type Table struct {
+	Name   string
+	Schema Schema
+
+	rows    []value.Row
+	indexes map[string]*Index
+	pkCol   int // -1 if no primary key
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	pk := -1
+	for i, c := range schema.Cols {
+		if c.PrimaryKey {
+			pk = i
+			break
+		}
+	}
+	return &Table{Name: name, Schema: schema, indexes: map[string]*Index{}, pkCol: pk}
+}
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// Rows exposes the underlying row storage for scanning. Callers must not
+// mutate the returned slice or its rows.
+func (t *Table) Rows() []value.Row { return t.rows }
+
+// normalize coerces a row to the schema kinds and checks constraints.
+func (t *Table) normalize(row value.Row) (value.Row, error) {
+	if len(row) != len(t.Schema.Cols) {
+		return nil, fmt.Errorf("table %s: row has %d values, schema has %d columns",
+			t.Name, len(row), len(t.Schema.Cols))
+	}
+	out := make(value.Row, len(row))
+	for i, v := range row {
+		c := t.Schema.Cols[i]
+		if v.IsNull() {
+			if c.NotNull {
+				return nil, fmt.Errorf("table %s: column %s is NOT NULL", t.Name, c.Name)
+			}
+			out[i] = v
+			continue
+		}
+		cv, err := value.Coerce(v, c.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("table %s, column %s: %v", t.Name, c.Name, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// Insert appends a row after type coercion and constraint checks.
+func (t *Table) Insert(row value.Row) error {
+	norm, err := t.normalize(row)
+	if err != nil {
+		return err
+	}
+	if t.pkCol >= 0 {
+		key := norm[t.pkCol].Key()
+		for _, r := range t.rows {
+			if r[t.pkCol].Key() == key {
+				return fmt.Errorf("table %s: duplicate primary key %v", t.Name, norm[t.pkCol])
+			}
+		}
+	}
+	pos := len(t.rows)
+	t.rows = append(t.rows, norm)
+	for _, idx := range t.indexes {
+		idx.add(norm, pos)
+	}
+	return nil
+}
+
+// Update applies set to each row matched by match; both callbacks receive
+// the row. It returns the number of rows changed.
+func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) (value.Row, error)) (int, error) {
+	n := 0
+	for i, r := range t.rows {
+		ok, err := match(r)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			continue
+		}
+		updated, err := set(r.Clone())
+		if err != nil {
+			return n, err
+		}
+		norm, err := t.normalize(updated)
+		if err != nil {
+			return n, err
+		}
+		t.rows[i] = norm
+		n++
+	}
+	if n > 0 {
+		t.rebuildIndexes()
+	}
+	return n, nil
+}
+
+// Delete removes rows matched by match and returns how many were removed.
+func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
+	kept := t.rows[:0]
+	n := 0
+	for _, r := range t.rows {
+		ok, err := match(r)
+		if err != nil {
+			// keep remaining rows intact on error
+			kept = append(kept, r)
+			t.rows = kept
+			t.rebuildIndexes()
+			return n, err
+		}
+		if ok {
+			n++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rows = kept
+	if n > 0 {
+		t.rebuildIndexes()
+	}
+	return n, nil
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.rows = nil
+	t.rebuildIndexes()
+}
+
+func (t *Table) rebuildIndexes() {
+	for _, idx := range t.indexes {
+		idx.rebuild(t.rows)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Indexes
+// ---------------------------------------------------------------------------
+
+// Index is a hash index over one or more columns, mapping key → row
+// positions in the heap.
+type Index struct {
+	Name    string
+	Columns []int // positions in the schema
+	buckets map[string][]int
+}
+
+// CreateIndex builds a hash index over the named columns.
+func (t *Table) CreateIndex(name string, cols []string) (*Index, error) {
+	if _, exists := t.indexes[strings.ToLower(name)]; exists {
+		return nil, fmt.Errorf("index %s already exists", name)
+	}
+	positions := make([]int, len(cols))
+	for i, c := range cols {
+		pos := t.Schema.ColIndex(c)
+		if pos < 0 {
+			return nil, fmt.Errorf("table %s: no column %s", t.Name, c)
+		}
+		positions[i] = pos
+	}
+	idx := &Index{Name: name, Columns: positions, buckets: map[string][]int{}}
+	idx.rebuild(t.rows)
+	t.indexes[strings.ToLower(name)] = idx
+	return idx, nil
+}
+
+// DropIndex removes the named index; it reports whether it existed.
+func (t *Table) DropIndex(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := t.indexes[key]; !ok {
+		return false
+	}
+	delete(t.indexes, key)
+	return true
+}
+
+// IndexOn returns an index whose leading column is col, if any.
+func (t *Table) IndexOn(col int) *Index {
+	for _, idx := range t.indexes {
+		if len(idx.Columns) > 0 && idx.Columns[0] == col {
+			return idx
+		}
+	}
+	return nil
+}
+
+// IndexNames lists index names sorted for deterministic output.
+func (t *Table) IndexNames() []string {
+	out := make([]string, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		out = append(out, idx.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ix *Index) key(row value.Row) string {
+	var b strings.Builder
+	for _, c := range ix.Columns {
+		b.WriteString(row[c].Key())
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+func (ix *Index) add(row value.Row, pos int) {
+	k := ix.key(row)
+	ix.buckets[k] = append(ix.buckets[k], pos)
+}
+
+func (ix *Index) rebuild(rows []value.Row) {
+	ix.buckets = map[string][]int{}
+	for i, r := range rows {
+		ix.add(r, i)
+	}
+}
+
+// Lookup returns the heap positions of rows whose leading index column
+// equals v. It only supports single-column probes (leading column).
+func (ix *Index) Lookup(v value.Value) []int {
+	if len(ix.Columns) != 1 {
+		return nil
+	}
+	return ix.buckets[v.Key()+"\x1e"]
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+// Catalog holds all tables and views of one database. It is safe for
+// concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*ast.Select
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*Table{}, views: map[string]*ast.Select{}}
+}
+
+// CreateTable registers a new table.
+func (c *Catalog) CreateTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(t.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("table %s already exists", t.Name)
+	}
+	if _, ok := c.views[key]; ok {
+		return fmt.Errorf("view %s already exists", t.Name)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// DropTable removes a table; it reports whether it existed.
+func (c *Catalog) DropTable(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return false
+	}
+	delete(c.tables, key)
+	return true
+}
+
+// CreateView registers a named view definition.
+func (c *Catalog) CreateView(name string, sel *ast.Select) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.views[key]; ok {
+		return fmt.Errorf("view %s already exists", name)
+	}
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("table %s already exists", name)
+	}
+	c.views[key] = sel
+	return nil
+}
+
+// View looks up a view definition.
+func (c *Catalog) View(name string) (*ast.Select, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// DropView removes a view; it reports whether it existed.
+func (c *Catalog) DropView(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.views[key]; !ok {
+		return false
+	}
+	delete(c.views, key)
+	return true
+}
+
+// TableNames lists all table names, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames lists all view names, sorted.
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.views))
+	for name := range c.views {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// CSV bulk load
+// ---------------------------------------------------------------------------
+
+// LoadCSV bulk-loads CSV data (no header row) into the table, parsing each
+// field according to the schema. Empty fields load as NULL for nullable
+// columns. It returns the number of rows loaded.
+func (t *Table) LoadCSV(r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(t.Schema.Cols)
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		row := make(value.Row, len(rec))
+		for i, field := range rec {
+			v, err := ParseField(field, t.Schema.Cols[i].Kind)
+			if err != nil {
+				return n, fmt.Errorf("row %d, column %s: %v", n+1, t.Schema.Cols[i].Name, err)
+			}
+			row[i] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ParseField converts one textual field to a value of the given kind.
+// Empty text becomes NULL (except for Text columns, which keep "").
+func ParseField(field string, kind value.Kind) (value.Value, error) {
+	if field == "" && kind != value.Text {
+		return value.NewNull(), nil
+	}
+	switch kind {
+	case value.Int:
+		i, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("invalid integer %q", field)
+		}
+		return value.NewInt(i), nil
+	case value.Float:
+		f, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("invalid float %q", field)
+		}
+		return value.NewFloat(f), nil
+	case value.Bool:
+		switch strings.ToLower(strings.TrimSpace(field)) {
+		case "true", "t", "yes", "y", "1":
+			return value.NewBool(true), nil
+		case "false", "f", "no", "n", "0":
+			return value.NewBool(false), nil
+		}
+		return value.Value{}, fmt.Errorf("invalid boolean %q", field)
+	case value.Date:
+		return value.ParseDate(strings.TrimSpace(field))
+	default:
+		return value.NewText(field), nil
+	}
+}

@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func carsTable() *Table {
+	return NewTable("cars", Schema{Cols: []Column{
+		{Name: "id", Kind: value.Int, PrimaryKey: true, NotNull: true},
+		{Name: "make", Kind: value.Text},
+		{Name: "price", Kind: value.Float},
+	}})
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tbl := carsTable()
+	if err := tbl.Insert(value.Row{value.NewInt(1), value.NewText("Audi"), value.NewFloat(40000)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(value.Row{value.NewInt(2), value.NewText("BMW"), value.NewFloat(35000)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 2 {
+		t.Fatalf("count = %d", tbl.RowCount())
+	}
+	if tbl.Rows()[0][1].S != "Audi" {
+		t.Errorf("row content: %v", tbl.Rows()[0])
+	}
+}
+
+func TestInsertCoercesIntToFloat(t *testing.T) {
+	tbl := carsTable()
+	if err := tbl.Insert(value.Row{value.NewInt(1), value.NewText("Audi"), value.NewInt(40000)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Rows()[0][2]; got.K != value.Float || got.F != 40000 {
+		t.Errorf("price not coerced: %#v", got)
+	}
+}
+
+func TestInsertRejectsWrongArity(t *testing.T) {
+	tbl := carsTable()
+	if err := tbl.Insert(value.Row{value.NewInt(1)}); err == nil {
+		t.Error("short row should fail")
+	}
+}
+
+func TestInsertRejectsWrongType(t *testing.T) {
+	tbl := carsTable()
+	err := tbl.Insert(value.Row{value.NewText("x"), value.NewText("Audi"), value.NewFloat(1)})
+	if err == nil {
+		t.Error("text into int column should fail")
+	}
+}
+
+func TestNotNullEnforced(t *testing.T) {
+	tbl := carsTable()
+	err := tbl.Insert(value.Row{value.NewNull(), value.NewText("Audi"), value.NewFloat(1)})
+	if err == nil || !strings.Contains(err.Error(), "NOT NULL") {
+		t.Errorf("null PK should fail: %v", err)
+	}
+	// nullable column accepts NULL
+	if err := tbl.Insert(value.Row{value.NewInt(1), value.NewNull(), value.NewNull()}); err != nil {
+		t.Errorf("nullable NULL rejected: %v", err)
+	}
+}
+
+func TestPrimaryKeyUnique(t *testing.T) {
+	tbl := carsTable()
+	must(t, tbl.Insert(value.Row{value.NewInt(1), value.NewText("a"), value.NewFloat(1)}))
+	err := tbl.Insert(value.Row{value.NewInt(1), value.NewText("b"), value.NewFloat(2)})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("dup PK: %v", err)
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	tbl := carsTable()
+	for i := 1; i <= 5; i++ {
+		must(t, tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText("m"), value.NewFloat(float64(i * 100))}))
+	}
+	n, err := tbl.Update(
+		func(r value.Row) (bool, error) { return r[0].I%2 == 0, nil },
+		func(r value.Row) (value.Row, error) { r[2] = value.NewFloat(0); return r, nil },
+	)
+	if err != nil || n != 2 {
+		t.Fatalf("update: %d %v", n, err)
+	}
+	if tbl.Rows()[1][2].F != 0 {
+		t.Error("row 2 not updated")
+	}
+	n, err = tbl.Delete(func(r value.Row) (bool, error) { return r[2].F == 0, nil })
+	if err != nil || n != 2 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+	if tbl.RowCount() != 3 {
+		t.Errorf("count after delete = %d", tbl.RowCount())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tbl := carsTable()
+	must(t, tbl.Insert(value.Row{value.NewInt(1), value.NewText("a"), value.NewFloat(1)}))
+	tbl.Truncate()
+	if tbl.RowCount() != 0 {
+		t.Error("truncate left rows")
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	tbl := carsTable()
+	for i := 0; i < 10; i++ {
+		make_ := "Audi"
+		if i%2 == 1 {
+			make_ = "BMW"
+		}
+		must(t, tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText(make_), value.NewFloat(1)}))
+	}
+	idx, err := tbl.CreateIndex("idx_make", []string{"make"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := idx.Lookup(value.NewText("Audi"))
+	if len(hits) != 5 {
+		t.Fatalf("lookup: %d hits", len(hits))
+	}
+	// index stays consistent across inserts and deletes
+	must(t, tbl.Insert(value.Row{value.NewInt(100), value.NewText("Audi"), value.NewFloat(2)}))
+	if len(idx.Lookup(value.NewText("Audi"))) != 6 {
+		t.Error("index not maintained on insert")
+	}
+	if _, err := tbl.Delete(func(r value.Row) (bool, error) { return r[0].I == 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Lookup(value.NewText("Audi"))) != 5 {
+		t.Error("index not maintained on delete")
+	}
+	// IndexOn finds it by leading column
+	if tbl.IndexOn(1) == nil {
+		t.Error("IndexOn(make) should find index")
+	}
+	if tbl.IndexOn(2) != nil {
+		t.Error("IndexOn(price) should be nil")
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	tbl := carsTable()
+	if _, err := tbl.CreateIndex("i", []string{"nope"}); err == nil {
+		t.Error("bad column should fail")
+	}
+	if _, err := tbl.CreateIndex("i", []string{"make"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("i", []string{"make"}); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if !tbl.DropIndex("i") || tbl.DropIndex("i") {
+		t.Error("drop index semantics")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	must(t, c.CreateTable(carsTable()))
+	if err := c.CreateTable(carsTable()); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, ok := c.Table("CARS"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if names := c.TableNames(); len(names) != 1 || names[0] != "cars" {
+		t.Errorf("names: %v", names)
+	}
+	if !c.DropTable("cars") || c.DropTable("cars") {
+		t.Error("drop table semantics")
+	}
+}
+
+func TestCatalogViews(t *testing.T) {
+	c := NewCatalog()
+	must(t, c.CreateView("v", nil))
+	if err := c.CreateView("v", nil); err == nil {
+		t.Error("duplicate view should fail")
+	}
+	if err := c.CreateTable(NewTable("v", Schema{})); err == nil {
+		t.Error("table name clashing with view should fail")
+	}
+	if _, ok := c.View("V"); !ok {
+		t.Error("view lookup case-insensitive")
+	}
+	if len(c.ViewNames()) != 1 {
+		t.Error("view names")
+	}
+	if !c.DropView("v") || c.DropView("v") {
+		t.Error("drop view semantics")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	tbl := NewTable("t", Schema{Cols: []Column{
+		{Name: "id", Kind: value.Int},
+		{Name: "name", Kind: value.Text},
+		{Name: "price", Kind: value.Float},
+		{Name: "diesel", Kind: value.Bool},
+		{Name: "reg", Kind: value.Date},
+	}})
+	csvData := "1,Audi,40000.5,yes,1999/7/3\n2,BMW,35000,no,2000-01-01\n3,VW,,false,\n"
+	n, err := tbl.LoadCSV(strings.NewReader(csvData))
+	if err != nil || n != 3 {
+		t.Fatalf("load: %d %v", n, err)
+	}
+	if !tbl.Rows()[0][3].IsTrue() {
+		t.Error("bool parse")
+	}
+	if tbl.Rows()[2][2].K != value.Null {
+		t.Error("empty float should be NULL")
+	}
+	if tbl.Rows()[0][4].String() != "1999-07-03" {
+		t.Errorf("date parse: %v", tbl.Rows()[0][4])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	tbl := NewTable("t", Schema{Cols: []Column{{Name: "id", Kind: value.Int}}})
+	if _, err := tbl.LoadCSV(strings.NewReader("notanumber\n")); err == nil {
+		t.Error("bad int should fail")
+	}
+	if _, err := tbl.LoadCSV(strings.NewReader("1,2\n")); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestParseFieldBoolForms(t *testing.T) {
+	for _, s := range []string{"true", "T", "YES", "y", "1"} {
+		v, err := ParseField(s, value.Bool)
+		if err != nil || !v.IsTrue() {
+			t.Errorf("ParseField(%q): %v %v", s, v, err)
+		}
+	}
+	if _, err := ParseField("maybe", value.Bool); err == nil {
+		t.Error("bad bool should fail")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

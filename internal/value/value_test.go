@@ -1,0 +1,208 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatalf("zero Value should be NULL, got %v", v)
+	}
+	if v.String() != "NULL" {
+		t.Fatalf("NULL renders as %q", v.String())
+	}
+}
+
+func TestConstructorsAndString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{NewInt(42), Int, "42"},
+		{NewInt(-7), Int, "-7"},
+		{NewFloat(2.5), Float, "2.5"},
+		{NewText("hello"), Text, "hello"},
+		{NewBool(true), Bool, "TRUE"},
+		{NewBool(false), Bool, "FALSE"},
+		{NewDate(1999, time.July, 3), Date, "1999-07-03"},
+	}
+	for _, tt := range tests {
+		if tt.v.K != tt.kind {
+			t.Errorf("%v: kind = %v, want %v", tt.v, tt.v.K, tt.kind)
+		}
+		if got := tt.v.String(); got != tt.str {
+			t.Errorf("String() = %q, want %q", got, tt.str)
+		}
+	}
+}
+
+func TestSQLQuoting(t *testing.T) {
+	if got := NewText("O'Brien").SQL(); got != "'O''Brien'" {
+		t.Errorf("SQL() = %q", got)
+	}
+	if got := NewInt(5).SQL(); got != "5" {
+		t.Errorf("SQL() = %q", got)
+	}
+	if got := NewDate(2001, time.October, 1).SQL(); got != "DATE '2001-10-01'" {
+		t.Errorf("SQL() = %q", got)
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	for _, s := range []string{"1999/7/3", "1999-07-03"} {
+		v, err := ParseDate(s)
+		if err != nil {
+			t.Fatalf("ParseDate(%q): %v", s, err)
+		}
+		if v.String() != "1999-07-03" {
+			t.Errorf("ParseDate(%q) = %v", s, v)
+		}
+	}
+	for _, s := range []string{"", "1999", "1999/13/1", "x/y/z", "1999/0/0"} {
+		if _, err := ParseDate(s); err == nil {
+			t.Errorf("ParseDate(%q) should fail", s)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{NewInt(1), NewInt(2), -1, true},
+		{NewInt(2), NewInt(2), 0, true},
+		{NewInt(3), NewInt(2), 1, true},
+		{NewInt(1), NewFloat(1.5), -1, true},
+		{NewFloat(1.0), NewInt(1), 0, true},
+		{NewText("a"), NewText("b"), -1, true},
+		{NewText("b"), NewText("b"), 0, true},
+		{NewNull(), NewInt(1), 0, false},
+		{NewInt(1), NewNull(), 0, false},
+		{NewText("1"), NewInt(1), 0, false},
+		{NewBool(false), NewBool(true), -1, true},
+		{NewDate(1999, 1, 1), NewDate(2000, 1, 1), -1, true},
+	}
+	for _, tt := range tests {
+		c, ok := Compare(tt.a, tt.b)
+		if ok != tt.ok || (ok && c != tt.cmp) {
+			t.Errorf("Compare(%v, %v) = %d,%v want %d,%v", tt.a, tt.b, c, ok, tt.cmp, tt.ok)
+		}
+	}
+}
+
+func TestEqualVsIdentical(t *testing.T) {
+	if NewNull().Equal(NewNull()) {
+		t.Error("NULL = NULL must be unknown (not equal)")
+	}
+	if !NewNull().Identical(NewNull()) {
+		t.Error("NULL must be identical to NULL for grouping")
+	}
+	if !NewInt(1).Identical(NewFloat(1)) {
+		t.Error("1 and 1.0 should be identical")
+	}
+	if NewInt(1).Identical(NewText("1")) {
+		t.Error("1 and '1' must differ")
+	}
+}
+
+func TestKeyCollapsesIntFloat(t *testing.T) {
+	if NewInt(3).Key() != NewFloat(3).Key() {
+		t.Error("3 and 3.0 should share a key")
+	}
+	if NewInt(3).Key() == NewText("3").Key() {
+		t.Error("3 and '3' must not share a key")
+	}
+	if NewNull().Key() == NewText("").Key() {
+		t.Error("NULL and '' must not share a key")
+	}
+}
+
+func TestNum(t *testing.T) {
+	if NewInt(3).Num() != 3 || NewFloat(2.5).Num() != 2.5 {
+		t.Error("Num on numerics")
+	}
+	if !math.IsNaN(NewText("x").Num()) || !math.IsNaN(NewNull().Num()) {
+		t.Error("Num on non-numerics should be NaN")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := Coerce(NewInt(3), Float)
+	if err != nil || v.K != Float || v.F != 3 {
+		t.Errorf("Coerce int->float: %v %v", v, err)
+	}
+	v, err = Coerce(NewText("1999/7/3"), Date)
+	if err != nil || v.K != Date {
+		t.Errorf("Coerce text->date: %v %v", v, err)
+	}
+	if _, err = Coerce(NewText("hi"), Int); err == nil {
+		t.Error("Coerce 'hi'->int should fail")
+	}
+	// NULL coerces to anything.
+	v, err = Coerce(NewNull(), Int)
+	if err != nil || !v.IsNull() {
+		t.Errorf("Coerce null: %v %v", v, err)
+	}
+}
+
+func TestRowCloneAndEqual(t *testing.T) {
+	r := Row{NewInt(1), NewText("x"), NewNull()}
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c[0] = NewInt(2)
+	if r.Equal(c) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if r.Equal(r[:2]) {
+		t.Fatal("rows of different lengths must differ")
+	}
+}
+
+func TestRowKeyString(t *testing.T) {
+	a := Row{NewInt(1), NewText("x")}
+	b := Row{NewInt(1), NewText("x")}
+	if a.Key() != b.Key() {
+		t.Error("equal rows should share keys")
+	}
+	if a.String() != "(1, x)" {
+		t.Errorf("Row.String() = %q", a.String())
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive-equal on random ints.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		c1, ok1 := Compare(va, vb)
+		c2, ok2 := Compare(vb, va)
+		if !ok1 || !ok2 {
+			return false
+		}
+		self, okSelf := Compare(va, va)
+		return c1 == -c2 && okSelf && self == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: date round-trips through its string form.
+func TestDateRoundTrip(t *testing.T) {
+	f := func(days uint16) bool {
+		v := Value{K: Date, I: int64(days)}
+		back, err := ParseDate(v.String())
+		return err == nil && back.I == v.I
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

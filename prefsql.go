@@ -1,0 +1,97 @@
+package prefsql
+
+import (
+	"repro/internal/bmo"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/value"
+)
+
+// Value is one SQL value of a result row.
+type Value = value.Value
+
+// Row is one result tuple.
+type Row = value.Row
+
+// Result is the outcome of a statement: result columns and rows for
+// queries, the affected-row count for DML.
+type Result = engine.Result
+
+// Mode selects how PREFERRING queries execute.
+type Mode = core.Mode
+
+// Execution modes: native skyline algorithms or the paper's §3.2
+// rewriting to SQL92.
+const (
+	ModeNative  = core.ModeNative
+	ModeRewrite = core.ModeRewrite
+)
+
+// Algorithm selects the native BMO algorithm.
+type Algorithm = bmo.Algorithm
+
+// Native BMO algorithms (see internal/bmo).
+const (
+	Auto            = bmo.Auto
+	NestedLoop      = bmo.NestedLoop
+	BlockNestedLoop = bmo.BlockNestedLoop
+	SortFilter      = bmo.SortFilter
+	BestLevel       = bmo.BestLevel
+)
+
+// DB is an embedded Preference SQL database.
+type DB struct {
+	core *core.DB
+}
+
+// Open creates an empty in-memory Preference SQL database.
+func Open() *DB { return &DB{core: core.Open()} }
+
+// Exec parses and runs a ';'-separated SQL script (standard SQL and
+// Preference SQL alike) and returns the last statement's result.
+func (db *DB) Exec(sql string) (*Result, error) { return db.core.Exec(sql) }
+
+// Query runs a single query; it is Exec under a database/sql-flavoured name.
+func (db *DB) Query(sql string) (*Result, error) { return db.core.Exec(sql) }
+
+// MustExec is Exec that panics on error; for examples and tests.
+func (db *DB) MustExec(sql string) *Result {
+	res, err := db.core.Exec(sql)
+	if err != nil {
+		panic("prefsql: " + err.Error())
+	}
+	return res
+}
+
+// SetMode switches between native BMO evaluation (default) and SQL92
+// rewriting, the commercial middleware's strategy.
+func (db *DB) SetMode(m Mode) { db.core.SetMode(m) }
+
+// SetAlgorithm selects the native BMO algorithm (default Auto).
+func (db *DB) SetAlgorithm(a Algorithm) { db.core.SetAlgorithm(a) }
+
+// ExplainRewrite returns the SQL92 script the Preference SQL optimizer
+// would generate for a preference query (§3.2 of the paper).
+func (db *DB) ExplainRewrite(sql string) (string, error) {
+	plan, err := db.core.RewritePlan(sql)
+	if err != nil {
+		return "", err
+	}
+	return plan.Script(), nil
+}
+
+// QueryProgressive streams the Best-Matches-Only result of a preference
+// query: yield is called with each row as soon as it is known to be
+// maximal (progressive skyline), and may return false to stop early —
+// the "first answers immediately" behaviour mobile search needs (§4.2).
+// It returns the result column names.
+func (db *DB) QueryProgressive(sql string, yield func(Row) bool) ([]string, error) {
+	return db.core.QueryProgressive(sql, yield)
+}
+
+// Internal exposes the underlying query processor for advanced embedding
+// (benchmark harness, database/sql driver).
+func (db *DB) Internal() *core.DB { return db.core }
+
+// Format renders a result as an aligned text table.
+func Format(res *Result) string { return core.FormatResult(res) }

@@ -1,0 +1,85 @@
+package prefsql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE trips (id INT, duration INT);
+		INSERT INTO trips VALUES (1, 7), (2, 13), (3, 15), (4, 28)`)
+	res, err := db.Query(`SELECT id FROM trips PREFERRING duration AROUND 14 ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 2 || res.Rows[1][0].I != 3 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestModesAgreeAtFacadeLevel(t *testing.T) {
+	setup := `CREATE TABLE computers (id INT, mem INT, cpu INT);
+		INSERT INTO computers VALUES (1, 512, 2000), (2, 256, 3000), (3, 128, 1000)`
+	query := `SELECT id FROM computers PREFERRING HIGHEST(mem) AND HIGHEST(cpu) ORDER BY id`
+
+	native := Open()
+	native.MustExec(setup)
+	nres := native.MustExec(query)
+
+	rw := Open()
+	rw.SetMode(ModeRewrite)
+	rw.MustExec(setup)
+	rres := rw.MustExec(query)
+
+	if len(nres.Rows) != 2 || len(rres.Rows) != 2 {
+		t.Fatalf("native %d rewrite %d", len(nres.Rows), len(rres.Rows))
+	}
+	for i := range nres.Rows {
+		if nres.Rows[i][0].I != rres.Rows[i][0].I {
+			t.Errorf("row %d differs", i)
+		}
+	}
+}
+
+func TestExplainRewrite(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE cars (id INT, price INT)`)
+	script, err := db.ExplainRewrite(`SELECT * FROM cars PREFERRING LOWEST(price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CREATE VIEW", "NOT EXISTS", "DROP VIEW"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script lacks %q:\n%s", want, script)
+		}
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExec should panic on bad SQL")
+		}
+	}()
+	Open().MustExec("SELEKT nonsense")
+}
+
+func TestFormat(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a INT); INSERT INTO t VALUES (1)`)
+	res := db.MustExec("SELECT a FROM t")
+	if !strings.Contains(Format(res), "(1 rows)") {
+		t.Error("format output")
+	}
+}
+
+func TestSetAlgorithm(t *testing.T) {
+	db := Open()
+	db.SetAlgorithm(BlockNestedLoop)
+	db.MustExec(`CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 2), (2, 1)`)
+	res := db.MustExec("SELECT a FROM t PREFERRING LOWEST(a) AND LOWEST(b)")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
