@@ -28,4 +28,25 @@
 // commercial product's architecture — by rewriting into plain SQL92
 // (level-annotated views plus a correlated NOT EXISTS dominance test) that
 // runs on the embedded SQL engine. Both paths return identical results.
+//
+// Queries execute on a Volcano-style operator pipeline (plan → iterate):
+// SELECTs compile to a logical plan (predicate pushdown, index-scan
+// selection, hash joins, limit pushdown) executed by pull-based operators.
+// The streaming cursor exposes that pipeline directly:
+//
+//	rows, err := db.QueryIter(`SELECT id FROM cars
+//	    PREFERRING LOWEST(price) AND LOWEST(mileage) LIMIT 5`)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Row())
+//	}
+//	err = rows.Err()
+//
+// Score-based preference queries stream their Best-Matches-Only set
+// progressively: each row is emitted as soon as it is known maximal, and a
+// consumer that stops pulling (TOP-k, first result page) skips the
+// remaining dominance comparisons (the candidate scan itself must complete
+// — dominance is a property of the whole set). Plain SQL cursors stop the
+// underlying scans outright. QueryProgressive is the callback flavour of
+// the same machinery. See ARCHITECTURE.md for the layer map.
 package prefsql

@@ -183,7 +183,7 @@ func TestA2DistributionShape(t *testing.T) {
 
 func TestRunDispatch(t *testing.T) {
 	cfg := TestConfig()
-	for _, name := range []string{"e2", "e3", "e5"} {
+	for _, name := range []string{"e2", "e3", "e5", "p1"} {
 		out, err := Run(name, cfg)
 		if err != nil {
 			t.Errorf("%s: %v", name, err)
@@ -195,7 +195,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 7 {
+	if len(Names()) != 8 {
 		t.Errorf("names: %v", Names())
 	}
 }

@@ -9,41 +9,70 @@ import (
 	"repro/internal/value"
 )
 
-// EvaluateProgressive computes the BMO set incrementally, calling yield for
-// each maximal tuple as soon as it is known to be in the result — the
+// Stream computes the BMO set incrementally in pull form: each call to Next
+// returns one maximal tuple as soon as it is known to be in the result — the
 // "progressive skyline" behaviour of [TEO01] that the paper cites as an
 // alternative implementation strategy. A first answer can be shown to the
-// e-shopper while the scan is still running.
+// e-shopper while the scan is still running, and a consumer that stops
+// pulling (TOP-k / first result page) saves all remaining dominance work.
 //
-// The implementation presorts candidates by a monotone score (the sum of
-// the component scores), which guarantees no later tuple can dominate an
-// earlier one; every accepted tuple is therefore final and can be emitted
-// immediately. It requires a score-based preference (a single weak order
-// or a Pareto accumulation of weak orders). yield returning false stops
-// the evaluation early — the "first page of results" use case.
+// The construction presorts candidates by a monotone score (the sum of the
+// component scores), which guarantees no later tuple can dominate an earlier
+// one; every accepted tuple is therefore final and can be emitted
+// immediately. It requires a score-based preference (a single weak order or
+// a Pareto accumulation of weak orders).
 //
 // CASCADE is supported by evaluating all stages but the last eagerly and
 // streaming only the final stage.
-func EvaluateProgressive(p preference.Preference, rows []value.Row, yield func(value.Row) bool) error {
+type Stream struct {
+	pref     preference.Preference
+	scored   []scoredRow
+	accepted []value.Row
+	pos      int
+}
+
+// streamScorers returns the component score functions of a score-based
+// preference (a single weak order, or a Pareto accumulation of weak
+// orders) — the single classification both Streamable and NewStream use.
+func streamScorers(p preference.Preference) ([]preference.Scored, bool) {
+	if s, ok := p.(preference.Scored); ok {
+		return []preference.Scored{s}, true
+	}
+	return paretoScorers(p)
+}
+
+// Streamable reports whether p can be evaluated progressively: a score-based
+// preference, or a CASCADE whose last stage is.
+func Streamable(p preference.Preference) bool {
+	if c, ok := p.(*preference.Cascade); ok {
+		if len(c.Parts) == 0 {
+			return false
+		}
+		return Streamable(c.Parts[len(c.Parts)-1])
+	}
+	_, ok := streamScorers(p)
+	return ok
+}
+
+// NewStream prepares a progressive evaluation of p over rows. It returns an
+// error when the preference is not score-based (EXPLICIT and nested
+// non-score terms require batch evaluation).
+func NewStream(p preference.Preference, rows []value.Row) (*Stream, error) {
 	if c, ok := p.(*preference.Cascade); ok && len(c.Parts) > 0 {
 		current := rows
 		for _, part := range c.Parts[:len(c.Parts)-1] {
 			next, err := Evaluate(part, current, Auto)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			current = next
 		}
-		return EvaluateProgressive(c.Parts[len(c.Parts)-1], current, yield)
+		return NewStream(c.Parts[len(c.Parts)-1], current)
 	}
 
-	var scorers []preference.Scored
-	if s, ok := p.(preference.Scored); ok {
-		scorers = []preference.Scored{s}
-	} else if ps, ok := paretoScorers(p); ok {
-		scorers = ps
-	} else {
-		return fmt.Errorf("bmo: progressive evaluation requires score-based preferences, got %s", p.Describe())
+	scorers, ok := streamScorers(p)
+	if !ok {
+		return nil, fmt.Errorf("bmo: progressive evaluation requires score-based preferences, got %s", p.Describe())
 	}
 
 	scored := make([]scoredRow, len(rows))
@@ -52,7 +81,7 @@ func EvaluateProgressive(p preference.Preference, rows []value.Row, yield func(v
 		for _, s := range scorers {
 			v, err := s.Score(r)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if math.IsInf(v, 1) {
 				sum = math.Inf(1)
@@ -63,14 +92,20 @@ func EvaluateProgressive(p preference.Preference, rows []value.Row, yield func(v
 		scored[i] = scoredRow{row: r, sum: sum}
 	}
 	sort.SliceStable(scored, func(i, j int) bool { return scored[i].sum < scored[j].sum })
+	return &Stream{pref: p, scored: scored}, nil
+}
 
-	var accepted []value.Row
-	for _, sr := range scored {
+// Next returns the next maximal tuple, or ok=false once the BMO set is
+// exhausted.
+func (s *Stream) Next() (value.Row, bool, error) {
+	for s.pos < len(s.scored) {
+		sr := s.scored[s.pos]
+		s.pos++
 		dominated := false
-		for _, w := range accepted {
-			o, err := p.Compare(w, sr.row)
+		for _, w := range s.accepted {
+			o, err := s.pref.Compare(w, sr.row)
 			if err != nil {
-				return err
+				return nil, false, err
 			}
 			if o == preference.Better {
 				dominated = true
@@ -80,10 +115,28 @@ func EvaluateProgressive(p preference.Preference, rows []value.Row, yield func(v
 		if dominated {
 			continue
 		}
-		accepted = append(accepted, sr.row)
-		if !yield(sr.row) {
+		s.accepted = append(s.accepted, sr.row)
+		return sr.row, true, nil
+	}
+	return nil, false, nil
+}
+
+// EvaluateProgressive computes the BMO set incrementally, calling yield for
+// each maximal tuple as soon as it is known to be in the result. yield
+// returning false stops the evaluation early — the "first page of results"
+// use case. It is the push-style convenience wrapper over Stream.
+func EvaluateProgressive(p preference.Preference, rows []value.Row, yield func(value.Row) bool) error {
+	s, err := NewStream(p, rows)
+	if err != nil {
+		return err
+	}
+	for {
+		row, ok, err := s.Next()
+		if err != nil || !ok {
+			return err
+		}
+		if !yield(row) {
 			return nil
 		}
 	}
-	return nil
 }

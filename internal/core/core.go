@@ -25,8 +25,10 @@ import (
 	"repro/internal/ast"
 	"repro/internal/bmo"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/preference"
 	"repro/internal/rewrite"
 	"repro/internal/value"
@@ -286,6 +288,18 @@ func (db *DB) queryPreference(sel *ast.Select) (*Result, error) {
 	return db.queryNative(sel)
 }
 
+// candidatePipeline plans the candidate relation of a preference query:
+// FROM + hard WHERE, all columns, no limit.
+func (db *DB) candidatePipeline(sel *ast.Select) (*engine.Pipeline, error) {
+	candidate := &ast.Select{
+		Items: []ast.SelectItem{{Expr: &ast.Star{}}},
+		From:  sel.From,
+		Where: sel.Where,
+		Limit: -1,
+	}
+	return db.eng.Pipeline(candidate)
+}
+
 // baseColumns returns the output column names of the query's FROM/WHERE
 // part (the schema the rewriter annotates with level columns).
 func (db *DB) baseColumns(sel *ast.Select) ([]string, error) {
@@ -336,29 +350,34 @@ func (db *DB) queryViaRewrite(sel *ast.Select) (*Result, error) {
 }
 
 func (db *DB) queryNative(sel *ast.Select) (*Result, error) {
-	// 1. Candidate relation: FROM + hard WHERE, all columns.
-	candidate := &ast.Select{
-		Items: []ast.SelectItem{{Expr: &ast.Star{}}},
-		From:  sel.From,
-		Where: sel.Where,
-		Limit: -1,
-	}
-	det, err := db.eng.SelectDetailed(candidate)
+	// 1. Candidate relation: FROM + hard WHERE, all columns, compiled to
+	// an operator pipeline (predicate pushdown, index probes, hash joins).
+	pipe, err := db.candidatePipeline(sel)
 	if err != nil {
 		return nil, err
 	}
+	cols := pipe.Columns()
 
 	// 2. Compile the preference over that relation.
-	binder := newRelBinder(det.Cols, db.eng)
+	binder := newRelBinder(cols, db.eng)
 	reg := preference.NewRegistry()
 	pref, err := preference.Compile(sel.Preferring, binder, reg)
 	if err != nil {
 		return nil, err
 	}
 
-	// 3. BMO evaluation (grouped if GROUPING is present).
-	var bmoRows []value.Row
+	// 3. BMO evaluation as a plan node on top of the candidate pipeline
+	// (grouped if GROUPING is present, which materializes group-wise).
+	var bmoRows, candRows []value.Row
 	if len(sel.Grouping) > 0 {
+		op, berr := pipe.Build(nil)
+		if berr != nil {
+			return nil, berr
+		}
+		candRows, err = exec.Drain(op)
+		if err != nil {
+			return nil, err
+		}
 		getters := make([]preference.Getter, len(sel.Grouping))
 		for i, g := range sel.Grouping {
 			getter, err := binder.Getter(g)
@@ -379,15 +398,20 @@ func (db *DB) queryNative(sel *ast.Select) (*Result, error) {
 			}
 			return b.String(), nil
 		}
-		bmoRows, err = bmo.EvaluateGrouped(pref, det.Rows, key, db.algo)
+		bmoRows, err = bmo.EvaluateGrouped(pref, candRows, key, db.algo)
 	} else {
-		bmoRows, err = bmo.Evaluate(pref, det.Rows, db.algo)
+		op, berr := pipe.Build(&plan.BMO{Child: pipe.Node(), Pref: pref, Algo: db.algo})
+		if berr != nil {
+			return nil, berr
+		}
+		bmoRows, err = exec.Drain(op)
+		candRows = op.(*exec.BMOOp).Input()
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	q := &qualityCtx{reg: reg, candidates: det.Rows, binder: binder}
+	q := &qualityCtx{reg: reg, candidates: candRows, binder: binder}
 
 	// 4. BUT ONLY quality filter (applied after match-making, §2.2.4).
 	if sel.ButOnly != nil {
@@ -406,41 +430,15 @@ func (db *DB) queryNative(sel *ast.Select) (*Result, error) {
 	}
 
 	// 5. Projection with quality functions.
-	return db.projectPreference(sel, det.Cols, bmoRows, binder, q)
+	return db.projectPreference(sel, cols, bmoRows, binder, q)
 }
 
 func (db *DB) projectPreference(sel *ast.Select, cols []engine.ColInfo,
 	rows []value.Row, binder *relBinder, q *qualityCtx) (*Result, error) {
 
-	// Output column plan.
-	type itemPlan struct {
-		star     bool
-		starQual string
-		expr     ast.Expr
-	}
-	var plans []itemPlan
-	var outCols []string
-	for _, it := range sel.Items {
-		if st, ok := it.Expr.(*ast.Star); ok {
-			plans = append(plans, itemPlan{star: true, starQual: st.Table})
-			for _, c := range cols {
-				if st.Table == "" || strings.EqualFold(c.Qualifier, st.Table) {
-					outCols = append(outCols, c.Name)
-				}
-			}
-			continue
-		}
-		name := it.Alias
-		if name == "" {
-			if c, ok := it.Expr.(*ast.Column); ok {
-				name = c.Name
-			} else {
-				name = it.Expr.SQL()
-			}
-		}
-		plans = append(plans, itemPlan{expr: it.Expr})
-		outCols = append(outCols, name)
-	}
+	// Output columns and per-row projection, shared with the streaming
+	// cursor so batch and pipeline paths cannot drift.
+	outCols, project := prefProjector(sel, cols, binder, q)
 
 	type outPair struct {
 		out  value.Row
@@ -449,26 +447,14 @@ func (db *DB) projectPreference(sel *ast.Select, cols []engine.ColInfo,
 	}
 	pairs := make([]outPair, 0, len(rows))
 	for _, row := range rows {
-		env := &qualityEnv{relEnv: relEnv{cols: binder.cols, row: row}, q: q, row: row}
-		out := make(value.Row, 0, len(outCols))
-		for _, p := range plans {
-			if p.star {
-				for ci, c := range cols {
-					if p.starQual == "" || strings.EqualFold(c.Qualifier, p.starQual) {
-						out = append(out, row[ci])
-					}
-				}
-				continue
-			}
-			v, err := binder.ev.Eval(p.expr, env)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, v)
+		out, err := project(row)
+		if err != nil {
+			return nil, err
 		}
 		// ORDER BY keys over the source row (columns + quality functions).
 		var keys value.Row
 		if len(sel.OrderBy) > 0 {
+			env := &qualityEnv{relEnv: relEnv{cols: binder.cols, row: row}, q: q, row: row}
 			keys = make(value.Row, len(sel.OrderBy))
 			for k, ob := range sel.OrderBy {
 				v, err := binder.ev.Eval(ob.Expr, env)
@@ -485,7 +471,7 @@ func (db *DB) projectPreference(sel *ast.Select, cols []engine.ColInfo,
 		sort.SliceStable(pairs, func(a, b int) bool {
 			for k, ob := range sel.OrderBy {
 				va, vb := pairs[a].keys[k], pairs[b].keys[k]
-				c := compareForSort(va, vb)
+				c := value.CompareNullsFirst(va, vb)
 				if c == 0 {
 					continue
 				}
@@ -525,27 +511,6 @@ func (db *DB) projectPreference(sel *ast.Select, cols []engine.ColInfo,
 		outRows = outRows[:sel.Limit]
 	}
 	return &Result{Columns: outCols, Rows: outRows}, nil
-}
-
-func compareForSort(a, b value.Value) int {
-	switch {
-	case a.IsNull() && b.IsNull():
-		return 0
-	case a.IsNull():
-		return -1
-	case b.IsNull():
-		return 1
-	}
-	if c, ok := value.Compare(a, b); ok {
-		return c
-	}
-	switch {
-	case a.K < b.K:
-		return -1
-	case a.K > b.K:
-		return 1
-	}
-	return 0
 }
 
 // insertPreference implements §2.2.5: Preference SQL queries as sub-queries

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/bmo"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+// Cursor streams the rows of one query. Plain SELECTs run directly on the
+// engine's operator pipeline; preference queries put a BMO node on top of
+// the candidate pipeline and stream the Best-Matches-Only set —
+// progressively for score-based preferences, batch-at-open otherwise.
+// Shapes that need the whole result first (ORDER BY, GROUPING, DISTINCT,
+// grouped/aggregate SQL, rewrite mode) fall back to batch evaluation and
+// iterate the buffered result, so every query works through the cursor.
+//
+// Usage follows database/sql:
+//
+//	c, err := db.OpenCursor(sql)
+//	defer c.Close()
+//	for c.Next() {
+//		use(c.Row())
+//	}
+//	err = c.Err()
+type Cursor struct {
+	cols  []string
+	stats *exec.Stats
+	pull  func() (value.Row, error)
+	fin   func() error
+	row   value.Row
+	err   error
+	done  bool
+}
+
+// Columns returns the result column names.
+func (c *Cursor) Columns() []string { return c.cols }
+
+// Next advances to the next row; it returns false at the end of the result
+// or on error (check Err).
+func (c *Cursor) Next() bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	row, err := c.pull()
+	if err != nil {
+		c.err = err
+		c.done = true
+		return false
+	}
+	if row == nil {
+		c.done = true
+		return false
+	}
+	c.row = row
+	return true
+}
+
+// Row returns the current row; valid after Next returned true.
+func (c *Cursor) Row() value.Row { return c.row }
+
+// Err returns the first error encountered while streaming.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the underlying pipeline. It is safe to call twice.
+func (c *Cursor) Close() error {
+	c.done = true
+	if c.fin != nil {
+		f := c.fin
+		c.fin = nil
+		return f()
+	}
+	return nil
+}
+
+// Stats exposes the pipeline's work counters (rows scanned, index probes);
+// nil when the cursor fell back to batch evaluation.
+func (c *Cursor) Stats() *exec.Stats { return c.stats }
+
+// OpenCursor plans a single SELECT (standard or Preference SQL) and
+// returns a streaming cursor over its result.
+func (db *DB) OpenCursor(sql string) (*Cursor, error) {
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.openCursor(sel, false)
+}
+
+// bufferCursor iterates an already-materialized result.
+func bufferCursor(cols []string, rows []value.Row) *Cursor {
+	i := 0
+	return &Cursor{cols: cols, pull: func() (value.Row, error) {
+		if i >= len(rows) {
+			return nil, nil
+		}
+		r := rows[i]
+		i++
+		return r, nil
+	}}
+}
+
+// openCursor builds the cursor. strict is the QueryProgressive contract:
+// the preference must be score-based and stream, otherwise error out
+// instead of falling back to batch.
+func (db *DB) openCursor(sel *ast.Select, strict bool) (*Cursor, error) {
+	if !sel.HasPreference() {
+		if sel.ButOnly != nil || len(sel.Grouping) > 0 {
+			return nil, fmt.Errorf("core: GROUPING and BUT ONLY require a PREFERRING clause")
+		}
+		pipe, err := db.eng.Pipeline(sel)
+		if err != nil {
+			// Grouped/aggregate queries materialize in the engine; iterate
+			// the buffered result (plan errors re-surface identically).
+			res, rerr := db.eng.Select(sel)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return bufferCursor(res.Columns, res.Rows), nil
+		}
+		op, err := pipe.Build(nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := op.Open(); err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(pipe.Columns()))
+		for _, c := range pipe.Columns() {
+			names = append(names, c.Name)
+		}
+		return &Cursor{cols: names, stats: pipe.Stats(), pull: op.Next, fin: op.Close}, nil
+	}
+	return db.openPreferenceCursor(sel, strict)
+}
+
+func (db *DB) openPreferenceCursor(sel *ast.Select, strict bool) (*Cursor, error) {
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
+	}
+	resolved, err := db.resolvePrefs(sel.Preferring)
+	if err != nil {
+		return nil, err
+	}
+	if resolved != sel.Preferring {
+		clone := *sel
+		clone.Preferring = resolved
+		sel = &clone
+	}
+
+	// Result shapes that need the whole BMO set first — and the rewrite
+	// execution mode — batch-evaluate and iterate. QueryProgressive (strict)
+	// rejects these shapes before getting here.
+	if !strict && (len(sel.OrderBy) > 0 || len(sel.Grouping) > 0 || sel.Distinct || db.mode == ModeRewrite) {
+		res, err := db.queryPreference(sel)
+		if err != nil {
+			return nil, err
+		}
+		return bufferCursor(res.Columns, res.Rows), nil
+	}
+
+	pipe, err := db.candidatePipeline(sel)
+	if err != nil {
+		return nil, err
+	}
+	cols := pipe.Columns()
+	binder := newRelBinder(cols, db.eng)
+	reg := preference.NewRegistry()
+	pref, err := preference.Compile(sel.Preferring, binder, reg)
+	if err != nil {
+		return nil, err
+	}
+	progressive := strict || bmo.Streamable(pref)
+	op, err := pipe.Build(&plan.BMO{Child: pipe.Node(), Pref: pref, Algo: db.algo, Progressive: progressive})
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err // strict mode surfaces the not-score-based error here
+	}
+	q := &qualityCtx{reg: reg, candidates: op.(*exec.BMOOp).Input(), binder: binder}
+	outCols, project := prefProjector(sel, cols, binder, q)
+
+	var emitted, skipped int64
+	pull := func() (value.Row, error) {
+		for {
+			if sel.Limit >= 0 && emitted >= sel.Limit {
+				return nil, nil
+			}
+			row, err := op.Next()
+			if err != nil || row == nil {
+				return nil, err
+			}
+			if sel.ButOnly != nil {
+				env := &qualityEnv{relEnv: relEnv{cols: binder.cols, row: row}, q: q, row: row}
+				ok, err := binder.ev.EvalBool(sel.ButOnly, env)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if skipped < sel.Offset {
+				skipped++
+				continue
+			}
+			out, err := project(row)
+			if err != nil {
+				return nil, err
+			}
+			emitted++
+			return out, nil
+		}
+	}
+	return &Cursor{cols: outCols, stats: pipe.Stats(), pull: pull, fin: op.Close}, nil
+}
+
+// prefProjector compiles the SELECT list of a preference query into output
+// column names and a per-row projection function with the quality functions
+// (TOP/LEVEL/DISTANCE) bound.
+func prefProjector(sel *ast.Select, cols []engine.ColInfo, binder *relBinder,
+	q *qualityCtx) ([]string, func(value.Row) (value.Row, error)) {
+
+	var outCols []string
+	for _, it := range sel.Items {
+		if st, ok := it.Expr.(*ast.Star); ok {
+			for _, c := range cols {
+				if st.Table == "" || strings.EqualFold(c.Qualifier, st.Table) {
+					outCols = append(outCols, c.Name)
+				}
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*ast.Column); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.SQL()
+			}
+		}
+		outCols = append(outCols, name)
+	}
+	project := func(row value.Row) (value.Row, error) {
+		env := &qualityEnv{relEnv: relEnv{cols: binder.cols, row: row}, q: q, row: row}
+		out := make(value.Row, 0, len(outCols))
+		for _, it := range sel.Items {
+			if st, ok := it.Expr.(*ast.Star); ok {
+				for ci, c := range cols {
+					if st.Table == "" || strings.EqualFold(c.Qualifier, st.Table) {
+						out = append(out, row[ci])
+					}
+				}
+				continue
+			}
+			v, err := binder.ev.Eval(it.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	return outCols, project
+}

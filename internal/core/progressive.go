@@ -2,12 +2,8 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
-	"repro/internal/ast"
-	"repro/internal/bmo"
 	"repro/internal/parser"
-	"repro/internal/preference"
 	"repro/internal/value"
 )
 
@@ -17,10 +13,12 @@ import (
 // result column names. yield returning false stops the evaluation — e.g.
 // after filling the first result page of a mobile search (§4.2).
 //
-// Restrictions: ORDER BY, GROUPING and DISTINCT are incompatible with
-// streaming and rejected; LIMIT is honoured by early termination. BUT ONLY
-// filters rows inline. Only score-based preferences stream (EXPLICIT and
-// nested-cascade terms require batch evaluation).
+// It is a thin wrapper over the streaming Cursor in strict mode:
+// ORDER BY, GROUPING and DISTINCT are incompatible with streaming and
+// rejected; LIMIT is honoured by early termination; BUT ONLY filters rows
+// inline. Only score-based preferences stream (EXPLICIT and nested
+// non-score terms require batch evaluation and error out here — use
+// OpenCursor for the falling-back variant).
 func (db *DB) QueryProgressive(sql string, yield func(value.Row) bool) ([]string, error) {
 	sel, err := parser.ParseSelect(sql)
 	if err != nil {
@@ -35,93 +33,18 @@ func (db *DB) QueryProgressive(sql string, yield func(value.Row) bool) ([]string
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
 	}
-	resolved, err := db.resolvePrefs(sel.Preferring)
+	c, err := db.openCursor(sel, true)
 	if err != nil {
 		return nil, err
 	}
-
-	candidate := &ast.Select{
-		Items: []ast.SelectItem{{Expr: &ast.Star{}}},
-		From:  sel.From,
-		Where: sel.Where,
-		Limit: -1,
-	}
-	det, err := db.eng.SelectDetailed(candidate)
-	if err != nil {
-		return nil, err
-	}
-	binder := newRelBinder(det.Cols, db.eng)
-	reg := preference.NewRegistry()
-	pref, err := preference.Compile(resolved, binder, reg)
-	if err != nil {
-		return nil, err
-	}
-	q := &qualityCtx{reg: reg, candidates: det.Rows, binder: binder}
-
-	// Column names of the projection.
-	var outCols []string
-	for _, it := range sel.Items {
-		if st, ok := it.Expr.(*ast.Star); ok {
-			for _, c := range det.Cols {
-				if st.Table == "" || strings.EqualFold(c.Qualifier, st.Table) {
-					outCols = append(outCols, c.Name)
-				}
-			}
-			continue
+	defer c.Close()
+	for c.Next() {
+		if !yield(c.Row()) {
+			break
 		}
-		name := it.Alias
-		if name == "" {
-			if c, ok := it.Expr.(*ast.Column); ok {
-				name = c.Name
-			} else {
-				name = it.Expr.SQL()
-			}
-		}
-		outCols = append(outCols, name)
 	}
-
-	emitted := int64(0)
-	var projErr error
-	err = bmo.EvaluateProgressive(pref, det.Rows, func(row value.Row) bool {
-		env := &qualityEnv{relEnv: relEnv{cols: binder.cols, row: row}, q: q, row: row}
-		if sel.ButOnly != nil {
-			ok, err := binder.ev.EvalBool(sel.ButOnly, env)
-			if err != nil {
-				projErr = err
-				return false
-			}
-			if !ok {
-				return true // filtered out, keep streaming
-			}
-		}
-		out := make(value.Row, 0, len(outCols))
-		for _, it := range sel.Items {
-			if st, ok := it.Expr.(*ast.Star); ok {
-				for ci, c := range det.Cols {
-					if st.Table == "" || strings.EqualFold(c.Qualifier, st.Table) {
-						out = append(out, row[ci])
-					}
-				}
-				continue
-			}
-			v, err := binder.ev.Eval(it.Expr, env)
-			if err != nil {
-				projErr = err
-				return false
-			}
-			out = append(out, v)
-		}
-		emitted++
-		if !yield(out) {
-			return false
-		}
-		return sel.Limit < 0 || emitted < sel.Limit
-	})
-	if projErr != nil {
-		return nil, projErr
+	if c.Err() != nil {
+		return nil, c.Err()
 	}
-	if err != nil {
-		return nil, err
-	}
-	return outCols, nil
+	return c.Columns(), nil
 }

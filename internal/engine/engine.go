@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/parser"
 	"repro/internal/storage"
@@ -223,10 +224,11 @@ type execContext struct {
 	db        *DB
 	viewCache map[string]*relation
 	depth     int
+	stats     *exec.Stats
 }
 
 func newExecContext(db *DB) *execContext {
-	return &execContext{db: db, viewCache: map[string]*relation{}}
+	return &execContext{db: db, viewCache: map[string]*relation{}, stats: &exec.Stats{}}
 }
 
 // Subquery implements expr.SubqueryRunner.
@@ -244,6 +246,9 @@ func (ctx *execContext) Subquery(sel *ast.Select, env expr.Env) ([]value.Row, er
 const maxSubqueryDepth = 64
 
 // evalSelect evaluates a plain SELECT with an optional correlation env.
+// The statement is compiled to a logical plan and run on the pull-operator
+// pipeline; grouped/aggregate queries keep the materializing evaluator but
+// draw their filtered FROM/WHERE input from the same pipeline.
 func (ctx *execContext) evalSelect(sel *ast.Select, outer expr.Env) (*relation, error) {
 	if sel.HasPreference() {
 		return nil, ErrPreferenceQuery
@@ -256,65 +261,36 @@ func (ctx *execContext) evalSelect(sel *ast.Select, outer expr.Env) (*relation, 
 
 	ev := &expr.Evaluator{Runner: ctx}
 
-	// 1. FROM
-	src, err := ctx.evalFrom(sel.From, outer)
-	if err != nil {
-		return nil, err
-	}
-
-	// Fast streaming path: plain SELECT over one source with WHERE/LIMIT
-	// only (no grouping, ordering, distinct). Enables early exit for
-	// EXISTS probes.
-	simple := len(sel.GroupBy) == 0 && sel.Having == nil && !sel.Distinct &&
-		len(sel.OrderBy) == 0 && !hasAggregates(sel)
-
-	// 2. WHERE
-	var filtered []value.Row
-	if sel.Where != nil {
-		env := &rowEnv{rel: src, outer: outer}
-		for _, row := range src.rows {
-			env.row = row
-			ok, err := ev.EvalBool(sel.Where, env)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				filtered = append(filtered, row)
-				if simple && sel.Limit >= 0 && sel.Offset == 0 && int64(len(filtered)) >= sel.Limit {
-					break
-				}
-			}
-		}
-	} else {
-		filtered = src.rows
-	}
-
-	// 3. GROUP BY / aggregation
 	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
+		node, err := ctx.plannerFor(outer).PlanSource(sel.From, sel.Where, false)
+		if err != nil {
+			return nil, err
+		}
+		op, err := exec.Build(node, ctx.execEnv(ev, outer))
+		if err != nil {
+			return nil, err
+		}
+		filtered, err := exec.Drain(op)
+		if err != nil {
+			return nil, err
+		}
+		src := &relation{cols: colrefsOf(node.Schema())}
 		return ctx.evalGrouped(sel, src, filtered, outer, ev)
 	}
 
-	// 4. Projection
-	out, err := ctx.project(sel, src, filtered, outer, ev, nil)
+	node, err := ctx.plannerFor(outer).PlanSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-
-	// 5. ORDER BY (may reference aliases of the projection or source cols)
-	if len(sel.OrderBy) > 0 {
-		if err := ctx.orderBy(sel, out, src, filtered, outer, ev); err != nil {
-			return nil, err
-		}
+	op, err := exec.Build(node, ctx.execEnv(ev, outer))
+	if err != nil {
+		return nil, err
 	}
-
-	// 6. DISTINCT
-	if sel.Distinct {
-		out.rows = distinctRows(out.rows)
+	rows, err := exec.Drain(op)
+	if err != nil {
+		return nil, err
 	}
-
-	// 7. LIMIT / OFFSET
-	applyLimit(out, sel.Limit, sel.Offset)
-	return out, nil
+	return &relation{cols: colrefsOf(node.Schema()), rows: rows}, nil
 }
 
 func applyLimit(rel *relation, limit, offset int64) {
@@ -342,197 +318,6 @@ func distinctRows(rows []value.Row) []value.Row {
 		out = append(out, r)
 	}
 	return out
-}
-
-// ---------------------------------------------------------------------------
-// FROM clause
-// ---------------------------------------------------------------------------
-
-func (ctx *execContext) evalFrom(from []ast.TableRef, outer expr.Env) (*relation, error) {
-	if len(from) == 0 {
-		// SELECT without FROM: one empty row so expressions evaluate once.
-		return &relation{rows: []value.Row{{}}}, nil
-	}
-	rel, err := ctx.evalTableRef(from[0], outer)
-	if err != nil {
-		return nil, err
-	}
-	for _, tr := range from[1:] {
-		right, err := ctx.evalTableRef(tr, outer)
-		if err != nil {
-			return nil, err
-		}
-		rel = crossProduct(rel, right)
-	}
-	return rel, nil
-}
-
-func (ctx *execContext) evalTableRef(tr ast.TableRef, outer expr.Env) (*relation, error) {
-	switch t := tr.(type) {
-	case *ast.BaseTable:
-		return ctx.evalBaseTable(t, outer)
-	case *ast.SubqueryTable:
-		rel, err := ctx.evalSelect(t.Sel, outer)
-		if err != nil {
-			return nil, err
-		}
-		return aliasRelation(rel, t.Alias), nil
-	case *ast.Join:
-		return ctx.evalJoin(t, outer)
-	}
-	return nil, fmt.Errorf("engine: unsupported table reference %T", tr)
-}
-
-func (ctx *execContext) evalBaseTable(t *ast.BaseTable, outer expr.Env) (*relation, error) {
-	qual := t.Alias
-	if qual == "" {
-		qual = t.Name
-	}
-	// Table?
-	if tbl, ok := ctx.db.cat.Table(t.Name); ok {
-		cols := make([]colref, len(tbl.Schema.Cols))
-		for i, c := range tbl.Schema.Cols {
-			cols[i] = colref{qual: qual, name: c.Name}
-		}
-		return &relation{cols: cols, rows: tbl.Rows()}, nil
-	}
-	// View? Materialize once per statement.
-	if vsel, ok := ctx.db.cat.View(t.Name); ok {
-		key := strings.ToLower(t.Name)
-		rel, cached := ctx.viewCache[key]
-		if !cached {
-			var err error
-			rel, err = ctx.evalSelect(vsel, nil)
-			if err != nil {
-				return nil, fmt.Errorf("view %s: %w", t.Name, err)
-			}
-			ctx.viewCache[key] = rel
-		}
-		return aliasRelation(rel, qual), nil
-	}
-	return nil, fmt.Errorf("engine: no such table or view: %s", t.Name)
-}
-
-// aliasRelation re-qualifies all columns under one alias.
-func aliasRelation(rel *relation, alias string) *relation {
-	cols := make([]colref, len(rel.cols))
-	for i, c := range rel.cols {
-		q := alias
-		if q == "" {
-			q = c.qual
-		}
-		cols[i] = colref{qual: q, name: c.name}
-	}
-	return &relation{cols: cols, rows: rel.rows}
-}
-
-func crossProduct(l, r *relation) *relation {
-	cols := append(append([]colref{}, l.cols...), r.cols...)
-	rows := make([]value.Row, 0, len(l.rows)*len(r.rows))
-	for _, lr := range l.rows {
-		for _, rr := range r.rows {
-			row := make(value.Row, 0, len(lr)+len(rr))
-			row = append(append(row, lr...), rr...)
-			rows = append(rows, row)
-		}
-	}
-	return &relation{cols: cols, rows: rows}
-}
-
-func (ctx *execContext) evalJoin(j *ast.Join, outer expr.Env) (*relation, error) {
-	left, err := ctx.evalTableRef(j.Left, outer)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ctx.evalTableRef(j.Right, outer)
-	if err != nil {
-		return nil, err
-	}
-	if j.Type == ast.CrossJoin {
-		return crossProduct(left, right), nil
-	}
-	cols := append(append([]colref{}, left.cols...), right.cols...)
-	out := &relation{cols: cols}
-	ev := &expr.Evaluator{Runner: ctx}
-
-	// Hash join on simple equi-join conditions; nested loop otherwise.
-	if lcol, rcol, ok := equiJoinCols(j.On, left, right); ok {
-		build := make(map[string][]value.Row, len(right.rows))
-		for _, rr := range right.rows {
-			if rr[rcol].IsNull() {
-				continue
-			}
-			k := rr[rcol].Key()
-			build[k] = append(build[k], rr)
-		}
-		for _, lr := range left.rows {
-			matched := false
-			if !lr[lcol].IsNull() {
-				for _, rr := range build[lr[lcol].Key()] {
-					row := make(value.Row, 0, len(lr)+len(rr))
-					out.rows = append(out.rows, append(append(row, lr...), rr...))
-					matched = true
-				}
-			}
-			if !matched && j.Type == ast.LeftJoin {
-				out.rows = append(out.rows, padRight(lr, len(right.cols)))
-			}
-		}
-		return out, nil
-	}
-
-	env := &rowEnv{rel: out, outer: outer}
-	for _, lr := range left.rows {
-		matched := false
-		for _, rr := range right.rows {
-			row := make(value.Row, 0, len(lr)+len(rr))
-			row = append(append(row, lr...), rr...)
-			env.row = row
-			ok, err := ev.EvalBool(j.On, env)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out.rows = append(out.rows, row)
-				matched = true
-			}
-		}
-		if !matched && j.Type == ast.LeftJoin {
-			out.rows = append(out.rows, padRight(lr, len(right.cols)))
-		}
-	}
-	return out, nil
-}
-
-func padRight(lr value.Row, n int) value.Row {
-	row := make(value.Row, len(lr)+n)
-	copy(row, lr)
-	return row
-}
-
-// equiJoinCols recognizes ON conditions of the form l.x = r.y.
-func equiJoinCols(on ast.Expr, left, right *relation) (int, int, bool) {
-	b, ok := on.(*ast.Binary)
-	if !ok || b.Op != "=" {
-		return 0, 0, false
-	}
-	lc, ok1 := b.L.(*ast.Column)
-	rc, ok2 := b.R.(*ast.Column)
-	if !ok1 || !ok2 {
-		return 0, 0, false
-	}
-	li, ln := left.colIndex(lc.Table, lc.Name)
-	ri, rn := right.colIndex(rc.Table, rc.Name)
-	if ln == 1 && rn == 1 {
-		return li, ri, true
-	}
-	// maybe the columns are swapped
-	li, ln = left.colIndex(rc.Table, rc.Name)
-	ri, rn = right.colIndex(lc.Table, lc.Name)
-	if ln == 1 && rn == 1 {
-		return li, ri, true
-	}
-	return 0, 0, false
 }
 
 // ---------------------------------------------------------------------------
@@ -599,96 +384,6 @@ func (ctx *execContext) project(sel *ast.Select, src *relation, rows []value.Row
 		out.rows = append(out.rows, outRow)
 	}
 	return out, nil
-}
-
-// orderBy sorts the projected relation. Order expressions can reference
-// projection aliases or source columns.
-func (ctx *execContext) orderBy(sel *ast.Select, out, src *relation,
-	srcRows []value.Row, outer expr.Env, ev *expr.Evaluator) error {
-
-	type pair struct {
-		keys value.Row
-		idx  int
-	}
-	pairs := make([]pair, len(out.rows))
-	for i := range out.rows {
-		env := &dualEnv{
-			primary:  &rowEnv{rel: out, row: out.rows[i]},
-			fallback: &rowEnv{rel: src, row: srcRows[i], outer: outer},
-		}
-		keys := make(value.Row, len(sel.OrderBy))
-		for k, ob := range sel.OrderBy {
-			v, err := ev.Eval(ob.Expr, env)
-			if err != nil {
-				return err
-			}
-			keys[k] = v
-		}
-		pairs[i] = pair{keys: keys, idx: i}
-	}
-	sort.SliceStable(pairs, func(a, b int) bool {
-		for k, ob := range sel.OrderBy {
-			c := compareNullsFirst(pairs[a].keys[k], pairs[b].keys[k])
-			if c == 0 {
-				continue
-			}
-			if ob.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	sorted := make([]value.Row, len(pairs))
-	for i, p := range pairs {
-		sorted[i] = out.rows[p.idx]
-	}
-	out.rows = sorted
-	return nil
-}
-
-// compareNullsFirst orders values, placing NULL before everything.
-func compareNullsFirst(a, b value.Value) int {
-	switch {
-	case a.IsNull() && b.IsNull():
-		return 0
-	case a.IsNull():
-		return -1
-	case b.IsNull():
-		return 1
-	}
-	if c, ok := value.Compare(a, b); ok {
-		return c
-	}
-	// incomparable kinds: order by kind id for determinism
-	switch {
-	case a.K < b.K:
-		return -1
-	case a.K > b.K:
-		return 1
-	}
-	return 0
-}
-
-// dualEnv tries projection aliases first, then the source row.
-type dualEnv struct {
-	primary, fallback expr.Env
-}
-
-func (d *dualEnv) Col(table, name string) (value.Value, bool) {
-	if table == "" {
-		if v, ok := d.primary.Col(table, name); ok {
-			return v, true
-		}
-	}
-	return d.fallback.Col(table, name)
-}
-
-func (d *dualEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
-	if v, handled, err := d.primary.Func(fc); handled || err != nil {
-		return v, handled, err
-	}
-	return d.fallback.Func(fc)
 }
 
 // ---------------------------------------------------------------------------
@@ -891,9 +586,9 @@ func (ctx *execContext) orderByGrouped(sel *ast.Select, out, src *relation,
 	}
 	pairs := make([]pair, len(out.rows))
 	for i := range out.rows {
-		env := &dualEnv{
-			primary:  &rowEnv{rel: out, row: out.rows[i]},
-			fallback: &rowEnv{rel: src, row: repRows[i], aggs: aggsPerRow[i], outer: outer},
+		env := &expr.DualEnv{
+			Primary:  &rowEnv{rel: out, row: out.rows[i]},
+			Fallback: &rowEnv{rel: src, row: repRows[i], aggs: aggsPerRow[i], outer: outer},
 		}
 		keys := make(value.Row, len(sel.OrderBy))
 		for k, ob := range sel.OrderBy {
@@ -907,7 +602,7 @@ func (ctx *execContext) orderByGrouped(sel *ast.Select, out, src *relation,
 	}
 	sort.SliceStable(pairs, func(a, b int) bool {
 		for k, ob := range sel.OrderBy {
-			c := compareNullsFirst(pairs[a].keys[k], pairs[b].keys[k])
+			c := value.CompareNullsFirst(pairs[a].keys[k], pairs[b].keys[k])
 			if c == 0 {
 				continue
 			}

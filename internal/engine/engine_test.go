@@ -655,3 +655,62 @@ func TestSubqueryDepthLimit(t *testing.T) {
 		t.Error("deep nesting should be limited")
 	}
 }
+
+// TestCompositeIndexNotProbed is the regression test for index selection:
+// a composite index cannot answer a single-column equality probe
+// (Index.Lookup needs an exact one-column key), so the planner must not
+// pick it — the query must still return its rows via a sequential scan.
+func TestCompositeIndexNotProbed(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(`CREATE TABLE jobs (region VARCHAR, salary INT);
+		INSERT INTO jobs VALUES ('Bayern', 100), ('Sachsen', 200);
+		CREATE INDEX idx_rs ON jobs (region, salary)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT salary FROM jobs WHERE region = 'Bayern'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 100 {
+		t.Fatalf("rows = %v, want [(100)]", res.Rows)
+	}
+	// A single-column index on the same leading column must win and still
+	// return the same result.
+	if _, err := db.Exec(`CREATE INDEX idx_r ON jobs (region)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Exec(`SELECT salary FROM jobs WHERE region = 'Bayern'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 100 {
+		t.Fatalf("rows with index = %v, want [(100)]", res.Rows)
+	}
+}
+
+// TestHashJoinCrossKindEquality is the regression test for comma-join hash
+// upgrades: `a = b` across numeric kinds (INT vs BOOL/DATE) must match
+// exactly like the nested-loop evaluation of the same predicate.
+func TestHashJoinCrossKindEquality(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(`CREATE TABLE t1 (a INT); CREATE TABLE t2 (b BOOLEAN);
+		INSERT INTO t1 VALUES (1), (0), (7);
+		INSERT INTO t2 VALUES (TRUE), (FALSE)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`SELECT a FROM t1, t2 WHERE a = b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v, want a=1 and a=0", res.Rows)
+	}
+	// The equivalent non-upgradable predicate must agree.
+	res2, err := db.Exec(`SELECT a FROM t1, t2 WHERE a + 0 = b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != len(res.Rows) {
+		t.Fatalf("hash join %v vs nested loop %v", res.Rows, res2.Rows)
+	}
+}

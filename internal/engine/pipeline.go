@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// This file wires the engine to the plan/exec pipeline: SELECT statements
+// are compiled to a logical plan (internal/plan) and executed by the
+// Volcano-style pull operators of internal/exec. The grouped/aggregate
+// path still materializes, but its FROM/WHERE input comes through the same
+// pipeline.
+
+// colrefsOf converts a plan schema to the engine's column labels.
+func colrefsOf(s plan.Schema) []colref {
+	out := make([]colref, len(s))
+	for i, c := range s {
+		out[i] = colref{qual: c.Qual, name: c.Name}
+	}
+	return out
+}
+
+// schemaOf converts engine column labels to a plan schema.
+func schemaOf(cols []colref) plan.Schema {
+	out := make(plan.Schema, len(cols))
+	for i, c := range cols {
+		out[i] = plan.ColRef{Qual: c.qual, Name: c.name}
+	}
+	return out
+}
+
+// plannerFor returns a planner bound to this statement: views materialize
+// once per statement (the view cache), FROM subqueries evaluate recursively
+// under the given correlation environment.
+func (ctx *execContext) plannerFor(outer expr.Env) *plan.Planner {
+	return &plan.Planner{
+		Catalog: ctx.db.cat,
+		Materialize: func(sel *ast.Select, viewName string) (plan.Schema, []value.Row, error) {
+			if viewName != "" {
+				key := strings.ToLower(viewName)
+				rel, cached := ctx.viewCache[key]
+				if !cached {
+					var err error
+					rel, err = ctx.evalSelect(sel, nil)
+					if err != nil {
+						return nil, nil, fmt.Errorf("view %s: %w", viewName, err)
+					}
+					ctx.viewCache[key] = rel
+				}
+				return schemaOf(rel.cols), rel.rows, nil
+			}
+			rel, err := ctx.evalSelect(sel, outer)
+			if err != nil {
+				return nil, nil, err
+			}
+			return schemaOf(rel.cols), rel.rows, nil
+		},
+	}
+}
+
+// execEnv builds the operator environment sharing this statement's
+// evaluator and work counters.
+func (ctx *execContext) execEnv(ev *expr.Evaluator, outer expr.Env) *exec.Env {
+	return &exec.Env{Ev: ev, Outer: outer, Stats: ctx.stats}
+}
+
+// ---------------------------------------------------------------------------
+// Public pipeline handle (used by the preference layer)
+// ---------------------------------------------------------------------------
+
+// Pipeline is a planned SELECT ready for pull-based execution. The
+// preference layer wraps the plan root (a plan.BMO node) before building;
+// plain consumers build it as-is and stream.
+type Pipeline struct {
+	ctx   *execContext
+	ev    *expr.Evaluator
+	node  plan.Node
+	stats *exec.Stats
+}
+
+// Pipeline plans a plain, non-grouped SELECT for streaming execution.
+// Grouped/aggregate queries (which must materialize) and preference
+// queries are rejected.
+func (db *DB) Pipeline(sel *ast.Select) (*Pipeline, error) {
+	if sel.HasPreference() || sel.ButOnly != nil || len(sel.Grouping) > 0 {
+		return nil, ErrPreferenceQuery
+	}
+	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
+		return nil, fmt.Errorf("engine: grouped/aggregate queries do not stream")
+	}
+	ctx := newExecContext(db)
+	ev := &expr.Evaluator{Runner: ctx}
+	node, err := ctx.plannerFor(nil).PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{ctx: ctx, ev: ev, node: node, stats: ctx.stats}, nil
+}
+
+// Node returns the plan root, for wrapping or EXPLAIN formatting.
+func (p *Pipeline) Node() plan.Node { return p.node }
+
+// Columns returns the qualified output columns of the planned query.
+func (p *Pipeline) Columns() []ColInfo {
+	sch := p.node.Schema()
+	out := make([]ColInfo, len(sch))
+	for i, c := range sch {
+		out[i] = ColInfo{Qualifier: c.Qual, Name: c.Name}
+	}
+	return out
+}
+
+// Stats exposes the pipeline's work counters (rows scanned, index probes).
+func (p *Pipeline) Stats() *exec.Stats { return p.stats }
+
+// Build compiles root into an operator tree bound to this statement's
+// context; a nil root builds the planned query itself.
+func (p *Pipeline) Build(root plan.Node) (exec.Operator, error) {
+	if root == nil {
+		root = p.node
+	}
+	return exec.Build(root, &exec.Env{Ev: p.ev, Stats: p.stats})
+}

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"repro/internal/bmo"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// BMOOp evaluates the Best-Matches-Only set of its input. The input is
+// materialized at Open (dominance is a property of the whole candidate
+// set); the output streams. In progressive mode undominated tuples are
+// emitted as soon as they are known maximal, so a consumer that stops
+// pulling (TOP-k, first result page) saves the remaining dominance
+// comparisons — the pipelined form of bmo.EvaluateProgressive.
+type BMOOp struct {
+	node   *plan.BMO
+	child  Operator
+	input  []value.Row
+	stream *bmo.Stream // progressive mode
+	buf    []value.Row // batch mode
+	pos    int
+}
+
+// Schema implements Operator.
+func (b *BMOOp) Schema() plan.Schema { return b.node.Schema() }
+
+// Open drains the child and prepares either the progressive stream or the
+// batch result.
+func (b *BMOOp) Open() error {
+	if err := b.child.Open(); err != nil {
+		return err
+	}
+	b.input, b.buf, b.stream, b.pos = nil, nil, nil, 0
+	for {
+		row, err := b.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		b.input = append(b.input, row)
+	}
+	if b.node.Progressive {
+		s, err := bmo.NewStream(b.node.Pref, b.input)
+		if err != nil {
+			return err
+		}
+		b.stream = s
+		return nil
+	}
+	out, err := bmo.Evaluate(b.node.Pref, b.input, b.node.Algo)
+	if err != nil {
+		return err
+	}
+	b.buf = out
+	return nil
+}
+
+// Next implements Operator.
+func (b *BMOOp) Next() (value.Row, error) {
+	if b.stream != nil {
+		row, ok, err := b.stream.Next()
+		if err != nil || !ok {
+			return nil, err
+		}
+		return row, nil
+	}
+	if b.pos >= len(b.buf) {
+		return nil, nil
+	}
+	row := b.buf[b.pos]
+	b.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (b *BMOOp) Close() error { return b.child.Close() }
+
+// Input returns the materialized candidate relation (valid after Open); the
+// preference layer's quality functions (TOP/LEVEL/DISTANCE) need it to
+// compute candidate-relative distances for LOWEST/HIGHEST.
+func (b *BMOOp) Input() []value.Row { return b.input }

@@ -1,0 +1,151 @@
+// Package exec executes logical plans (internal/plan) with Volcano-style
+// pull operators: every operator implements Open/Next/Close and pulls rows
+// from its children one at a time. Consumers that stop pulling (LIMIT,
+// EXISTS probes, progressive preference queries) terminate the whole
+// pipeline early without the inputs ever being fully materialized.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// Operator is one pull-based executor node. The contract is
+// Open → Next* → Close; Next returns (nil, nil) once the input is
+// exhausted. Rows returned by Next must not be mutated by callers.
+type Operator interface {
+	Schema() plan.Schema
+	Open() error
+	Next() (value.Row, error)
+	Close() error
+}
+
+// Stats counts work done by a pipeline — the benchmark harness uses it to
+// show how many base rows a TOP-k query actually touched.
+type Stats struct {
+	RowsScanned int64 // rows pulled out of base tables and materialized sources
+	IndexProbes int64 // index probes answered without a full scan
+}
+
+// Env carries what operators need to evaluate expressions: the evaluator
+// (with its subquery runner), the outer correlation environment of the
+// enclosing statement, and the shared work counters.
+type Env struct {
+	Ev    *expr.Evaluator
+	Outer expr.Env
+	Stats *Stats
+}
+
+func (e *Env) count() *Stats {
+	if e.Stats == nil {
+		e.Stats = &Stats{}
+	}
+	return e.Stats
+}
+
+// RowEnv resolves column references against one row of a schema, falling
+// back to the outer (correlation) environment — the exec twin of the
+// engine's rowEnv.
+type RowEnv struct {
+	Sch   plan.Schema
+	Row   value.Row
+	Outer expr.Env
+}
+
+// Col implements expr.Env.
+func (e *RowEnv) Col(table, name string) (value.Value, bool) {
+	if idx, n := e.Sch.ColIndex(table, name); n > 0 {
+		return e.Row[idx], true
+	}
+	if e.Outer != nil {
+		return e.Outer.Col(table, name)
+	}
+	return value.Value{}, false
+}
+
+// Func implements expr.Env.
+func (e *RowEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
+	if e.Outer != nil {
+		return e.Outer.Func(fc)
+	}
+	return value.Value{}, false, nil
+}
+
+// Build compiles a plan tree into an operator tree.
+func Build(n plan.Node, env *Env) (Operator, error) {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		return newSeqScan(x, env), nil
+	case *plan.IndexScan:
+		return newIndexScan(x, env), nil
+	case *plan.Values:
+		return newValuesOp(x, env), nil
+	case *plan.Filter:
+		child, err := Build(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return newFilterOp(x, child, env), nil
+	case *plan.Join:
+		left, err := Build(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		if x.LCol >= 0 {
+			return newHashJoin(x, left, right, env), nil
+		}
+		return newNLJoin(x, left, right, env), nil
+	case *plan.Project:
+		child, err := Build(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return newProjectOp(x, child, env), nil
+	case *plan.Distinct:
+		child, err := Build(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{child: child}, nil
+	case *plan.Limit:
+		child, err := Build(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{child: child, count: x.Count, offset: x.Offset}, nil
+	case *plan.BMO:
+		child, err := Build(x.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return &BMOOp{node: x, child: child}, nil
+	}
+	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
+}
+
+// Drain opens op, pulls every row and closes it.
+func Drain(op Operator) ([]value.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows []value.Row
+	for {
+		row, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}

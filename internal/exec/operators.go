@@ -1,0 +1,642 @@
+package exec
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// evalConds evaluates pushed/residual filter conjuncts with AND
+// short-circuit semantics (a FALSE or UNKNOWN conjunct drops the row).
+func evalConds(env *Env, conds []ast.Expr, renv *RowEnv) (bool, error) {
+	for _, c := range conds {
+		ok, err := env.Ev.EvalBool(c, renv)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------------
+
+type seqScan struct {
+	n       *plan.SeqScan
+	env     *Env
+	it      storage.RowIter
+	renv    RowEnv
+	emitted int64
+}
+
+func newSeqScan(n *plan.SeqScan, env *Env) *seqScan {
+	return &seqScan{n: n, env: env}
+}
+
+func (s *seqScan) Schema() plan.Schema { return s.n.Schema() }
+
+func (s *seqScan) Open() error {
+	s.it = s.n.Table.Scan()
+	s.renv = RowEnv{Sch: s.n.Schema(), Outer: s.env.Outer}
+	s.emitted = 0
+	return nil
+}
+
+func (s *seqScan) Next() (value.Row, error) {
+	if s.n.Limit >= 0 && s.emitted >= s.n.Limit {
+		return nil, nil
+	}
+	for {
+		row, ok := s.it.Next()
+		if !ok {
+			return nil, nil
+		}
+		s.env.count().RowsScanned++
+		s.renv.Row = row
+		keep, err := evalConds(s.env, s.n.Filter, &s.renv)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			s.emitted++
+			return row, nil
+		}
+	}
+}
+
+func (s *seqScan) Close() error { return nil }
+
+type indexScan struct {
+	n    *plan.IndexScan
+	env  *Env
+	it   storage.RowIter
+	renv RowEnv
+}
+
+func newIndexScan(n *plan.IndexScan, env *Env) *indexScan {
+	return &indexScan{n: n, env: env}
+}
+
+func (s *indexScan) Schema() plan.Schema { return s.n.Schema() }
+
+func (s *indexScan) Open() error {
+	s.renv = RowEnv{Sch: s.n.Schema(), Outer: s.env.Outer}
+	if s.n.Table.RowCount() == 0 {
+		s.it = emptyIter{}
+		return nil
+	}
+	// Evaluate the probe key outside the scan's scope (its columns, if
+	// any, are outer correlations).
+	keyEnv := &RowEnv{Outer: s.env.Outer}
+	key, err := s.env.Ev.Eval(s.n.Key, keyEnv)
+	if err != nil {
+		return err
+	}
+	if key.IsNull() {
+		// col = NULL is UNKNOWN for every row: nothing can match.
+		s.it = emptyIter{}
+		return nil
+	}
+	kind := s.n.Table.Schema.Cols[s.n.Col].Kind
+	cv, err := value.Coerce(key, kind)
+	if err != nil {
+		// Kinds the probe cannot represent exactly: fall back to a full
+		// scan; the residual filter keeps the result correct.
+		s.it = s.n.Table.Scan()
+		return nil
+	}
+	s.env.count().IndexProbes++
+	s.it = s.n.Table.Probe(s.n.Index, cv)
+	return nil
+}
+
+func (s *indexScan) Next() (value.Row, error) {
+	for {
+		row, ok := s.it.Next()
+		if !ok {
+			return nil, nil
+		}
+		s.env.count().RowsScanned++
+		s.renv.Row = row
+		keep, err := evalConds(s.env, s.n.Filter, &s.renv)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			return row, nil
+		}
+	}
+}
+
+func (s *indexScan) Close() error { return nil }
+
+type emptyIter struct{}
+
+func (emptyIter) Next() (value.Row, bool) { return nil, false }
+
+type valuesOp struct {
+	n   *plan.Values
+	env *Env
+	pos int
+}
+
+func newValuesOp(n *plan.Values, env *Env) *valuesOp {
+	return &valuesOp{n: n, env: env}
+}
+
+func (v *valuesOp) Schema() plan.Schema { return v.n.Schema() }
+
+func (v *valuesOp) Open() error { v.pos = 0; return nil }
+
+func (v *valuesOp) Next() (value.Row, error) {
+	if v.pos >= len(v.n.Rows) {
+		return nil, nil
+	}
+	row := v.n.Rows[v.pos]
+	v.pos++
+	v.env.count().RowsScanned++
+	return row, nil
+}
+
+func (v *valuesOp) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+type filterOp struct {
+	n     *plan.Filter
+	child Operator
+	env   *Env
+	renv  RowEnv
+}
+
+func newFilterOp(n *plan.Filter, child Operator, env *Env) *filterOp {
+	return &filterOp{n: n, child: child, env: env}
+}
+
+func (f *filterOp) Schema() plan.Schema { return f.n.Schema() }
+
+func (f *filterOp) Open() error {
+	f.renv = RowEnv{Sch: f.n.Schema(), Outer: f.env.Outer}
+	return f.child.Open()
+}
+
+func (f *filterOp) Next() (value.Row, error) {
+	for {
+		row, err := f.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		f.renv.Row = row
+		keep, err := evalConds(f.env, f.n.Conds, &f.renv)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			return row, nil
+		}
+	}
+}
+
+func (f *filterOp) Close() error { return f.child.Close() }
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+func concatRow(l, r value.Row, rlen int) value.Row {
+	row := make(value.Row, 0, len(l)+rlen)
+	row = append(row, l...)
+	if r != nil {
+		row = append(row, r...)
+	} else {
+		row = row[:len(l)+rlen] // NULL padding for LEFT JOIN
+	}
+	return row
+}
+
+// nlJoin is a nested-loop join: the driving side streams, the inner side is
+// materialized at Open and rescanned per driving row. With BuildLeft the
+// left input is the materialized one and the right drives (row order then
+// follows the right input; the planner only allows that under a sort).
+type nlJoin struct {
+	n           *plan.Join
+	left, right Operator
+	env         *Env
+	inner       []value.Row
+	drive       value.Row
+	pos         int
+	matched     bool
+	renv        RowEnv
+}
+
+func newNLJoin(n *plan.Join, left, right Operator, env *Env) *nlJoin {
+	return &nlJoin{n: n, left: left, right: right, env: env}
+}
+
+func (j *nlJoin) Schema() plan.Schema { return j.n.Schema() }
+
+func (j *nlJoin) driving() Operator {
+	if j.n.BuildLeft {
+		return j.right
+	}
+	return j.left
+}
+
+func (j *nlJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	src := j.right
+	if j.n.BuildLeft {
+		src = j.left
+	}
+	j.inner = nil
+	for {
+		row, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		j.inner = append(j.inner, row)
+	}
+	j.drive = nil
+	j.renv = RowEnv{Sch: j.n.Schema(), Outer: j.env.Outer}
+	return nil
+}
+
+func (j *nlJoin) Next() (value.Row, error) {
+	rlen := len(j.n.Right.Schema())
+	for {
+		if j.drive == nil {
+			row, err := j.driving().Next()
+			if err != nil || row == nil {
+				return nil, err
+			}
+			j.drive, j.pos, j.matched = row, 0, false
+		}
+		for j.pos < len(j.inner) {
+			in := j.inner[j.pos]
+			j.pos++
+			var out value.Row
+			if j.n.BuildLeft {
+				out = concatRow(in, j.drive, rlen)
+			} else {
+				out = concatRow(j.drive, in, rlen)
+			}
+			if j.n.On != nil {
+				j.renv.Row = out
+				ok, err := j.env.Ev.EvalBool(j.n.On, &j.renv)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.matched = true
+			return out, nil
+		}
+		drive := j.drive
+		j.drive = nil
+		if !j.matched && j.n.Type == ast.LeftJoin {
+			return concatRow(drive, nil, rlen), nil
+		}
+	}
+}
+
+func (j *nlJoin) Close() error {
+	err := j.left.Close()
+	if e := j.right.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// joinKey hashes a join-key value with the same equivalence classes as
+// value.Compare: all numeric kinds (INT, FLOAT, BOOL, DATE) collapse into
+// one numeric namespace, so `a = b` matches across kinds exactly as the
+// nested-loop evaluation of the same predicate would. Value.Key() keeps
+// kinds apart (right for DISTINCT/GROUP BY) and must not be used here.
+func joinKey(v value.Value) string {
+	if v.K == value.Text {
+		return "\x00s" + v.S
+	}
+	return "\x00n" + strconv.FormatFloat(v.Num(), 'g', -1, 64)
+}
+
+// hashJoin is an equi-join: the build side is hashed at Open, the probe
+// side streams. By default (and always for LEFT JOIN) the right input is
+// built and the left probes, preserving the engine's output order.
+type hashJoin struct {
+	n           *plan.Join
+	left, right Operator
+	env         *Env
+	table       map[string][]value.Row
+	probe       value.Row
+	bucket      []value.Row
+	pos         int
+	matched     bool
+}
+
+func newHashJoin(n *plan.Join, left, right Operator, env *Env) *hashJoin {
+	return &hashJoin{n: n, left: left, right: right, env: env}
+}
+
+func (j *hashJoin) Schema() plan.Schema { return j.n.Schema() }
+
+// buildLeft reports whether the left input is the build side.
+func (j *hashJoin) buildLeft() bool {
+	return j.n.BuildLeft && j.n.Type != ast.LeftJoin
+}
+
+func (j *hashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	build, bcol := j.right, j.n.RCol
+	if j.buildLeft() {
+		build, bcol = j.left, j.n.LCol
+	}
+	j.table = map[string][]value.Row{}
+	for {
+		row, err := build.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		if row[bcol].IsNull() {
+			continue
+		}
+		k := joinKey(row[bcol])
+		j.table[k] = append(j.table[k], row)
+	}
+	j.probe, j.bucket, j.pos = nil, nil, 0
+	return nil
+}
+
+func (j *hashJoin) Next() (value.Row, error) {
+	rlen := len(j.n.Right.Schema())
+	probeOp, pcol := j.left, j.n.LCol
+	if j.buildLeft() {
+		probeOp, pcol = j.right, j.n.RCol
+	}
+	for {
+		if j.probe == nil {
+			row, err := probeOp.Next()
+			if err != nil || row == nil {
+				return nil, err
+			}
+			j.probe, j.pos, j.matched = row, 0, false
+			j.bucket = nil
+			if !row[pcol].IsNull() {
+				j.bucket = j.table[joinKey(row[pcol])]
+			}
+		}
+		if j.pos < len(j.bucket) {
+			in := j.bucket[j.pos]
+			j.pos++
+			j.matched = true
+			if j.buildLeft() {
+				return concatRow(in, j.probe, rlen), nil
+			}
+			return concatRow(j.probe, in, rlen), nil
+		}
+		probe := j.probe
+		j.probe = nil
+		if !j.matched && j.n.Type == ast.LeftJoin {
+			return concatRow(probe, nil, rlen), nil
+		}
+	}
+}
+
+func (j *hashJoin) Close() error {
+	err := j.left.Close()
+	if e := j.right.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Project (with optional ORDER BY), Distinct, Limit
+// ---------------------------------------------------------------------------
+
+type itemPlan struct {
+	star     bool
+	starQual string
+	expr     ast.Expr
+}
+
+type projectOp struct {
+	n     *plan.Project
+	child Operator
+	env   *Env
+	plans []itemPlan
+	srcn  RowEnv
+	// sort mode
+	buf []value.Row
+	pos int
+}
+
+func newProjectOp(n *plan.Project, child Operator, env *Env) *projectOp {
+	var plans []itemPlan
+	for _, it := range n.Items {
+		if st, ok := it.Expr.(*ast.Star); ok {
+			plans = append(plans, itemPlan{star: true, starQual: st.Table})
+			continue
+		}
+		plans = append(plans, itemPlan{expr: it.Expr})
+	}
+	return &projectOp{n: n, child: child, env: env, plans: plans}
+}
+
+func (p *projectOp) Schema() plan.Schema { return p.n.Schema() }
+
+func (p *projectOp) projectRow(row value.Row) (value.Row, error) {
+	src := p.child.Schema()
+	p.srcn.Row = row
+	out := make(value.Row, 0, len(p.n.Schema()))
+	for _, pl := range p.plans {
+		if pl.star {
+			for i, c := range src {
+				if pl.starQual == "" || strings.EqualFold(c.Qual, pl.starQual) {
+					out = append(out, row[i])
+				}
+			}
+			continue
+		}
+		v, err := p.env.Ev.Eval(pl.expr, &p.srcn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (p *projectOp) Open() error {
+	p.srcn = RowEnv{Sch: p.child.Schema(), Outer: p.env.Outer}
+	p.buf, p.pos = nil, 0
+	if err := p.child.Open(); err != nil {
+		return err
+	}
+	if len(p.n.OrderBy) == 0 {
+		return nil
+	}
+	// Materializing sort: order expressions may reference projection
+	// aliases or source columns (dual environment), so the sort runs here
+	// rather than in a standalone operator.
+	type pair struct {
+		out  value.Row
+		keys value.Row
+	}
+	var pairs []pair
+	for {
+		row, err := p.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		out, err := p.projectRow(row)
+		if err != nil {
+			return err
+		}
+		env := &expr.DualEnv{
+			Primary:  &RowEnv{Sch: p.n.Schema(), Row: out},
+			Fallback: &RowEnv{Sch: p.child.Schema(), Row: row, Outer: p.env.Outer},
+		}
+		keys := make(value.Row, len(p.n.OrderBy))
+		for k, ob := range p.n.OrderBy {
+			v, err := p.env.Ev.Eval(ob.Expr, env)
+			if err != nil {
+				return err
+			}
+			keys[k] = v
+		}
+		pairs = append(pairs, pair{out: out, keys: keys})
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		for k, ob := range p.n.OrderBy {
+			c := value.CompareNullsFirst(pairs[a].keys[k], pairs[b].keys[k])
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	p.buf = make([]value.Row, len(pairs))
+	for i, pr := range pairs {
+		p.buf[i] = pr.out
+	}
+	return nil
+}
+
+func (p *projectOp) Next() (value.Row, error) {
+	if len(p.n.OrderBy) > 0 {
+		if p.pos >= len(p.buf) {
+			return nil, nil
+		}
+		row := p.buf[p.pos]
+		p.pos++
+		return row, nil
+	}
+	row, err := p.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	return p.projectRow(row)
+}
+
+func (p *projectOp) Close() error { return p.child.Close() }
+
+type distinctOp struct {
+	child Operator
+	seen  map[string]bool
+}
+
+func (d *distinctOp) Schema() plan.Schema { return d.child.Schema() }
+
+func (d *distinctOp) Open() error {
+	d.seen = map[string]bool{}
+	return d.child.Open()
+}
+
+func (d *distinctOp) Next() (value.Row, error) {
+	for {
+		row, err := d.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		k := row.Key()
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return row, nil
+	}
+}
+
+func (d *distinctOp) Close() error { return d.child.Close() }
+
+type limitOp struct {
+	child   Operator
+	count   int64 // -1 = none
+	offset  int64
+	skipped int64
+	emitted int64
+}
+
+func (l *limitOp) Schema() plan.Schema { return l.child.Schema() }
+
+func (l *limitOp) Open() error {
+	l.skipped, l.emitted = 0, 0
+	return l.child.Open()
+}
+
+func (l *limitOp) Next() (value.Row, error) {
+	if l.count >= 0 && l.emitted >= l.count {
+		return nil, nil
+	}
+	for {
+		row, err := l.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		if l.skipped < l.offset {
+			l.skipped++
+			continue
+		}
+		l.emitted++
+		return row, nil
+	}
+}
+
+func (l *limitOp) Close() error { return l.child.Close() }

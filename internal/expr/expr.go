@@ -676,3 +676,29 @@ func (c ChainEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
 	}
 	return value.Value{}, false, nil
 }
+
+// DualEnv resolves unqualified column references against the primary
+// environment first (projection aliases), falling back to the secondary
+// one (source columns) — the ORDER BY resolution rule shared by the
+// engine's grouped path and the exec pipeline's sort.
+type DualEnv struct {
+	Primary, Fallback Env
+}
+
+// Col implements Env.
+func (d *DualEnv) Col(table, name string) (value.Value, bool) {
+	if table == "" {
+		if v, ok := d.Primary.Col(table, name); ok {
+			return v, true
+		}
+	}
+	return d.Fallback.Col(table, name)
+}
+
+// Func implements Env.
+func (d *DualEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
+	if v, handled, err := d.Primary.Func(fc); handled || err != nil {
+		return v, handled, err
+	}
+	return d.Fallback.Func(fc)
+}

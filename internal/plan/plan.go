@@ -1,0 +1,379 @@
+// Package plan defines the logical query plan the engine compiles SELECT
+// statements into, plus a small rule-based planner (predicate pushdown,
+// index-scan selection, limit pushdown, hash-join build-side choice).
+//
+// The plan tree is executed by the Volcano-style pull operators of
+// internal/exec; together the two packages replace the seed's hand-rolled
+// "materialize everything, then filter" slice passes so that preference
+// evaluation can begin before the input is fully joined and TOP-k /
+// progressive consumers stop pulling early.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/bmo"
+	"repro/internal/preference"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// ColRef labels one output column of a plan node with its qualifier (table
+// name or alias; empty for computed columns) and name.
+type ColRef struct {
+	Qual string
+	Name string
+}
+
+// Schema is the ordered output column list of a plan node.
+type Schema []ColRef
+
+// ColIndex resolves a (table, name) reference; table may be empty. The
+// second return counts matches — the first match wins, exactly like the
+// engine's relation resolution.
+func (s Schema) ColIndex(table, name string) (int, int) {
+	idx, n := -1, 0
+	for i, c := range s {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Qual, table) {
+			continue
+		}
+		if idx < 0 {
+			idx = i
+		}
+		n++
+	}
+	return idx, n
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Node is one logical plan operator.
+type Node interface {
+	// Schema is the node's output column list.
+	Schema() Schema
+	// Explain describes this node in one line (children are rendered by
+	// Format).
+	Explain() string
+}
+
+// children returns a node's inputs for tree traversal.
+func children(n Node) []Node {
+	switch x := n.(type) {
+	case *Filter:
+		return []Node{x.Child}
+	case *Join:
+		return []Node{x.Left, x.Right}
+	case *Project:
+		return []Node{x.Child}
+	case *Distinct:
+		return []Node{x.Child}
+	case *Limit:
+		return []Node{x.Child}
+	case *BMO:
+		return []Node{x.Child}
+	}
+	return nil
+}
+
+// Format renders the plan tree indented, one node per line — the EXPLAIN
+// output of the pipeline.
+func Format(n Node) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Explain())
+		b.WriteByte('\n')
+		for _, c := range children(n) {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+func condsSQL(conds []ast.Expr) string {
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.SQL()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// ---------------------------------------------------------------------------
+// Leaf nodes
+// ---------------------------------------------------------------------------
+
+// SeqScan reads a base table in heap order, applying pushed-down filter
+// conjuncts row by row.
+type SeqScan struct {
+	Table  *storage.Table
+	Qual   string     // table name or alias
+	Filter []ast.Expr // pushed-down conjuncts over this scan's columns
+	Limit  int64      // stop after emitting this many rows; -1 = none
+	schema Schema
+}
+
+// NewSeqScan builds a scan over tbl qualified as qual.
+func NewSeqScan(tbl *storage.Table, qual string) *SeqScan {
+	cols := make(Schema, len(tbl.Schema.Cols))
+	for i, c := range tbl.Schema.Cols {
+		cols[i] = ColRef{Qual: qual, Name: c.Name}
+	}
+	return &SeqScan{Table: tbl, Qual: qual, Limit: -1, schema: cols}
+}
+
+// Schema implements Node.
+func (s *SeqScan) Schema() Schema { return s.schema }
+
+// Explain implements Node.
+func (s *SeqScan) Explain() string {
+	out := fmt.Sprintf("SeqScan %s", s.Qual)
+	if len(s.Filter) > 0 {
+		out += " [" + condsSQL(s.Filter) + "]"
+	}
+	if s.Limit >= 0 {
+		out += fmt.Sprintf(" limit=%d", s.Limit)
+	}
+	return out
+}
+
+// IndexScan probes a hash index with an equality key and applies the
+// residual filter (which deliberately still contains the equality conjunct:
+// the probe may over-approximate across kind coercions, the residual makes
+// the result exact, and a failed key coercion falls back to a full scan).
+type IndexScan struct {
+	Table  *storage.Table
+	Qual   string
+	Index  *storage.Index
+	Col    int      // leading index column position in the table schema
+	Key    ast.Expr // probe key; no locally-resolved column references
+	Filter []ast.Expr
+	schema Schema
+}
+
+// Schema implements Node.
+func (s *IndexScan) Schema() Schema { return s.schema }
+
+// Explain implements Node.
+func (s *IndexScan) Explain() string {
+	out := fmt.Sprintf("IndexScan %s via %s on %s=%s",
+		s.Qual, s.Index.Name, s.Table.Schema.Cols[s.Col].Name, s.Key.SQL())
+	if len(s.Filter) > 0 {
+		out += " [" + condsSQL(s.Filter) + "]"
+	}
+	return out
+}
+
+// Values is a materialized relation: a view or FROM-subquery evaluated by
+// the engine's materializer, or the single empty row of a FROM-less SELECT.
+type Values struct {
+	Name string // diagnostic label (view or subquery alias)
+	Cols Schema
+	Rows []value.Row
+}
+
+// Schema implements Node.
+func (v *Values) Schema() Schema { return v.Cols }
+
+// Explain implements Node.
+func (v *Values) Explain() string {
+	name := v.Name
+	if name == "" {
+		name = "values"
+	}
+	return fmt.Sprintf("Values %s (%d rows)", name, len(v.Rows))
+}
+
+// ---------------------------------------------------------------------------
+// Inner nodes
+// ---------------------------------------------------------------------------
+
+// Filter drops rows for which any conjunct does not evaluate to TRUE.
+type Filter struct {
+	Child Node
+	Conds []ast.Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() Schema { return f.Child.Schema() }
+
+// Explain implements Node.
+func (f *Filter) Explain() string { return "Filter [" + condsSQL(f.Conds) + "]" }
+
+// Join combines two inputs. With LCol/RCol >= 0 it is a hash equi-join;
+// with On != nil (and no hash columns) a nested-loop theta join; with
+// neither, a cross join. Output columns are always Left ++ Right.
+//
+// BuildLeft selects the physical build (materialized/inner) side: by
+// default the right input is built and the left drives the output order;
+// with BuildLeft the filtered left side becomes the small build input and
+// the right side drives. The planner only sets it when a sort above will
+// re-order rows anyway.
+type Join struct {
+	Left, Right Node
+	Type        ast.JoinType
+	On          ast.Expr
+	LCol, RCol  int // hash-join key columns; -1 when not an equi join
+	BuildLeft   bool
+	schema      Schema
+}
+
+// NewJoin constructs a join and computes its schema.
+func NewJoin(left, right Node, typ ast.JoinType, on ast.Expr, lcol, rcol int) *Join {
+	sch := append(append(Schema{}, left.Schema()...), right.Schema()...)
+	return &Join{Left: left, Right: right, Type: typ, On: on, LCol: lcol, RCol: rcol, schema: sch}
+}
+
+// Schema implements Node.
+func (j *Join) Schema() Schema { return j.schema }
+
+// Explain implements Node.
+func (j *Join) Explain() string {
+	kind := "NestedLoopJoin"
+	if j.LCol >= 0 {
+		kind = "HashJoin"
+	} else if j.On == nil {
+		kind = "CrossJoin"
+	}
+	switch j.Type {
+	case ast.LeftJoin:
+		kind += " left"
+	case ast.CrossJoin:
+		if j.On == nil {
+			kind = "CrossJoin"
+		}
+	}
+	if j.On != nil {
+		kind += " on " + j.On.SQL()
+	}
+	if j.BuildLeft {
+		kind += " build=left"
+	}
+	return kind
+}
+
+// Project computes the SELECT list. A non-empty OrderBy makes it a
+// materializing sort: order expressions may reference projection aliases or
+// source columns (the engine's dual-environment semantics).
+type Project struct {
+	Child   Node
+	Items   []ast.SelectItem
+	OrderBy []ast.OrderItem
+	schema  Schema
+}
+
+// NewProject builds the projection node, expanding stars against the
+// child's schema.
+func NewProject(child Node, items []ast.SelectItem, orderBy []ast.OrderItem) *Project {
+	var cols Schema
+	src := child.Schema()
+	for _, it := range items {
+		if st, ok := it.Expr.(*ast.Star); ok {
+			for _, c := range src {
+				if st.Table == "" || strings.EqualFold(c.Qual, st.Table) {
+					cols = append(cols, c)
+				}
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*ast.Column); ok {
+				name = c.Name
+			} else {
+				name = it.Expr.SQL()
+			}
+		}
+		cols = append(cols, ColRef{Name: name})
+	}
+	return &Project{Child: child, Items: items, OrderBy: orderBy, schema: cols}
+}
+
+// Schema implements Node.
+func (p *Project) Schema() Schema { return p.schema }
+
+// Explain implements Node.
+func (p *Project) Explain() string {
+	parts := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		parts[i] = it.Expr.SQL()
+	}
+	out := "Project " + strings.Join(parts, ", ")
+	if len(p.OrderBy) > 0 {
+		keys := make([]string, len(p.OrderBy))
+		for i, ob := range p.OrderBy {
+			keys[i] = ob.Expr.SQL()
+			if ob.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		out += " sort=[" + strings.Join(keys, ", ") + "]"
+	}
+	return out
+}
+
+// Distinct removes duplicate rows, keeping first occurrences in order.
+type Distinct struct {
+	Child Node
+}
+
+// Schema implements Node.
+func (d *Distinct) Schema() Schema { return d.Child.Schema() }
+
+// Explain implements Node.
+func (d *Distinct) Explain() string { return "Distinct" }
+
+// Limit emits at most Count rows after skipping Offset rows, then stops
+// pulling from its input — the early-exit point of the pipeline.
+type Limit struct {
+	Child  Node
+	Count  int64 // -1 = no limit
+	Offset int64
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() Schema { return l.Child.Schema() }
+
+// Explain implements Node.
+func (l *Limit) Explain() string {
+	return fmt.Sprintf("Limit count=%d offset=%d", l.Count, l.Offset)
+}
+
+// BMO computes the Best-Matches-Only set of its input under a compiled
+// preference. In progressive mode (score-based preferences) undominated
+// tuples stream out as soon as they are known maximal, so a TOP-k consumer
+// stops the remaining dominance work; otherwise the input is evaluated in
+// batch with the configured algorithm and the result streamed.
+type BMO struct {
+	Child Node
+	Pref  preference.Preference
+	Algo  bmo.Algorithm
+	// Progressive requests streaming evaluation; it is an error when the
+	// preference is not score-based (the QueryProgressive contract).
+	Progressive bool
+}
+
+// Schema implements Node.
+func (b *BMO) Schema() Schema { return b.Child.Schema() }
+
+// Explain implements Node.
+func (b *BMO) Explain() string {
+	mode := b.Algo.String()
+	if b.Progressive {
+		mode = "progressive"
+	}
+	return fmt.Sprintf("BMO %s [%s]", mode, b.Pref.Describe())
+}

@@ -1,0 +1,55 @@
+package storage
+
+import "repro/internal/value"
+
+// RowIter is a pull-based iterator over stored rows: the scan interface the
+// execution layer consumes instead of raw row slices, so that operators can
+// stop pulling early (LIMIT, EXISTS probes) without the table having been
+// copied out first.
+type RowIter interface {
+	// Next returns the next row, or ok=false once the scan is exhausted.
+	// Callers must not mutate the returned row.
+	Next() (value.Row, bool)
+}
+
+// heapIter walks the heap in insertion order.
+type heapIter struct {
+	rows []value.Row
+	i    int
+}
+
+func (it *heapIter) Next() (value.Row, bool) {
+	if it.i >= len(it.rows) {
+		return nil, false
+	}
+	r := it.rows[it.i]
+	it.i++
+	return r, true
+}
+
+// Scan returns an iterator over the table's rows in insertion order. The
+// iterator snapshots the heap slice at creation: rows inserted afterwards
+// are not seen, matching statement-level isolation.
+func (t *Table) Scan() RowIter { return &heapIter{rows: t.rows} }
+
+// posIter resolves heap positions lazily.
+type posIter struct {
+	rows []value.Row
+	pos  []int
+	i    int
+}
+
+func (it *posIter) Next() (value.Row, bool) {
+	if it.i >= len(it.pos) {
+		return nil, false
+	}
+	r := it.rows[it.pos[it.i]]
+	it.i++
+	return r, true
+}
+
+// Probe returns an iterator over the rows whose leading column of ix equals
+// v, in heap order — the index-scan access path.
+func (t *Table) Probe(ix *Index, v value.Value) RowIter {
+	return &posIter{rows: t.rows, pos: ix.Lookup(v)}
+}

@@ -130,10 +130,13 @@ func (t *Table) Insert(row value.Row) error {
 }
 
 // Update applies set to each row matched by match; both callbacks receive
-// the row. It returns the number of rows changed.
+// the row. It returns the number of rows changed. Mutation is
+// copy-on-write: the previous heap slice is left untouched so that open
+// scan iterators keep a consistent snapshot.
 func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) (value.Row, error)) (int, error) {
+	rows := append([]value.Row(nil), t.rows...)
 	n := 0
-	for i, r := range t.rows {
+	for i, r := range rows {
 		ok, err := match(r)
 		if err != nil {
 			return n, err
@@ -149,24 +152,27 @@ func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) 
 		if err != nil {
 			return n, err
 		}
-		t.rows[i] = norm
+		rows[i] = norm
 		n++
 	}
 	if n > 0 {
+		t.rows = rows
 		t.rebuildIndexes()
 	}
 	return n, nil
 }
 
 // Delete removes rows matched by match and returns how many were removed.
+// Like Update, it never compacts the old heap slice in place: open scan
+// iterators keep seeing their snapshot.
 func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
-	kept := t.rows[:0]
+	kept := make([]value.Row, 0, len(t.rows))
 	n := 0
 	for _, r := range t.rows {
 		ok, err := match(r)
 		if err != nil {
 			// keep remaining rows intact on error
-			kept = append(kept, r)
+			kept = append(kept, t.rows[len(kept)+n:]...)
 			t.rows = kept
 			t.rebuildIndexes()
 			return n, err
@@ -237,14 +243,20 @@ func (t *Table) DropIndex(name string) bool {
 	return true
 }
 
-// IndexOn returns an index whose leading column is col, if any.
+// IndexOn returns an index whose leading column is col, if any. A
+// single-column index is preferred over a composite one, because only
+// single-column indexes can answer equality probes (see Lookup).
 func (t *Table) IndexOn(col int) *Index {
+	var multi *Index
 	for _, idx := range t.indexes {
 		if len(idx.Columns) > 0 && idx.Columns[0] == col {
-			return idx
+			if len(idx.Columns) == 1 {
+				return idx
+			}
+			multi = idx
 		}
 	}
-	return nil
+	return multi
 }
 
 // IndexNames lists index names sorted for deterministic output.
@@ -257,13 +269,25 @@ func (t *Table) IndexNames() []string {
 	return out
 }
 
+// key builds the bucket key for a row. Each per-column key is length-
+// prefixed so that column values containing any separator byte cannot
+// make two distinct column tuples collide (e.g. ("a\x1e..b","c") vs
+// ("a","b\x1e..c") under the old fixed-separator scheme).
 func (ix *Index) key(row value.Row) string {
 	var b strings.Builder
 	for _, c := range ix.Columns {
-		b.WriteString(row[c].Key())
-		b.WriteByte(0x1e)
+		k := row[c].Key()
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
 	}
 	return b.String()
+}
+
+// singleKey is key for a one-column probe value.
+func singleKey(v value.Value) string {
+	k := v.Key()
+	return strconv.Itoa(len(k)) + ":" + k
 }
 
 func (ix *Index) add(row value.Row, pos int) {
@@ -284,7 +308,7 @@ func (ix *Index) Lookup(v value.Value) []int {
 	if len(ix.Columns) != 1 {
 		return nil
 	}
-	return ix.buckets[v.Key()+"\x1e"]
+	return ix.buckets[singleKey(v)]
 }
 
 // ---------------------------------------------------------------------------

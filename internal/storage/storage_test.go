@@ -252,3 +252,69 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// TestIndexKeyNoSeparatorCollision is the regression test for the old
+// fixed-0x1e-separator composite key: two distinct column tuples whose
+// values embed the separator byte must hash to different buckets.
+func TestIndexKeyNoSeparatorCollision(t *testing.T) {
+	tbl := NewTable("kv", Schema{Cols: []Column{
+		{Name: "a", Kind: value.Text},
+		{Name: "b", Kind: value.Text},
+	}})
+	// Under key(v) = Key(a) 0x1e Key(b) 0x1e these two rows collide:
+	// ("a\x1e\x00sb", "c") and ("a", "b\x1e\x00sc") both flatten to
+	// \x00sa 0x1e \x00sb 0x1e \x00sc 0x1e.
+	r1 := value.Row{value.NewText("a\x1e\x00sb"), value.NewText("c")}
+	r2 := value.Row{value.NewText("a"), value.NewText("b\x1e\x00sc")}
+	if err := tbl.Insert(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(r2); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := tbl.CreateIndex("kv_ab", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1, k2 := ix.key(tbl.Rows()[0]), ix.key(tbl.Rows()[1]); k1 == k2 {
+		t.Fatalf("distinct rows share index key %q", k1)
+	}
+	if len(ix.buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(ix.buckets))
+	}
+}
+
+// TestScanAndProbeIterators covers the pull-based access paths.
+func TestScanAndProbeIterators(t *testing.T) {
+	tbl := carsTable()
+	for i := 1; i <= 3; i++ {
+		make := []string{"Audi", "BMW", "Audi"}[i-1]
+		if err := tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText(make), value.NewFloat(1000 * float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for it := tbl.Scan(); ; n++ {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("scan rows = %d", n)
+	}
+	ix, err := tbl.CreateIndex("cars_make", []string{"make"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for it := tbl.Probe(ix, value.NewText("Audi")); ; {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, r[0].I)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("probe ids = %v", ids)
+	}
+}

@@ -229,6 +229,31 @@ func Compare(v, w Value) (int, bool) {
 	}
 }
 
+// CompareNullsFirst imposes a total sort order on two values: NULL orders
+// before everything, comparable values follow Compare, and incomparable
+// kinds order by kind id for determinism. It is the comparator behind
+// ORDER BY in the engine, the preference layer and the exec operators.
+func CompareNullsFirst(a, b Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	if c, ok := Compare(a, b); ok {
+		return c
+	}
+	switch {
+	case a.K < b.K:
+		return -1
+	case a.K > b.K:
+		return 1
+	}
+	return 0
+}
+
 // Coerce converts v to the requested kind when a lossless or standard SQL
 // cast exists (e.g. INT→FLOAT, TEXT→DATE). It returns an error otherwise.
 func Coerce(v Value, k Kind) (Value, error) {

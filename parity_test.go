@@ -1,0 +1,202 @@
+package prefsql
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// parityWorkloads mirrors every example program under examples/*: the same
+// schema/data and the same preference queries, so the three execution
+// paths — native BMO, SQL92 rewriting, and the operator pipeline cursor —
+// can be checked for identical BMO sets.
+var parityWorkloads = []struct {
+	name    string
+	setup   func(t *testing.T, db *DB)
+	queries []string
+}{
+	{
+		name: "quickstart",
+		setup: func(t *testing.T, db *DB) {
+			db.MustExec(`
+				CREATE TABLE trips (id INT, destination VARCHAR, duration INT, price INT);
+				INSERT INTO trips VALUES
+					(1, 'Rome',     7, 900),
+					(2, 'Lisbon',  13, 750),
+					(3, 'Crete',   15, 820),
+					(4, 'Iceland', 28, 2100)`)
+		},
+		queries: []string{
+			`SELECT * FROM trips PREFERRING duration AROUND 14 ORDER BY id`,
+			`SELECT * FROM trips PREFERRING duration AROUND 14 AND LOWEST(price) ORDER BY id`,
+		},
+	},
+	{
+		name: "carsearch",
+		setup: func(t *testing.T, db *DB) {
+			if err := datagen.Load(db.Internal().Engine(), "car", datagen.CarColumns(), datagen.Cars(500, 42)); err != nil {
+				t.Fatal(err)
+			}
+		},
+		queries: []string{
+			`SELECT id, category, price, power, color, mileage FROM car WHERE make = 'Opel'
+			 PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND
+			             price AROUND 40000 AND HIGHEST(power))
+			 CASCADE color = 'red' CASCADE LOWEST(mileage)`,
+			`SELECT id FROM car WHERE make = 'Opel'
+			 PREFERRING category = 'roadster' ELSE category <> 'passenger'
+			 AND price AROUND 40000`,
+		},
+	},
+	{
+		name: "eshop",
+		setup: func(t *testing.T, db *DB) {
+			if err := datagen.Load(db.Internal().Engine(), "products",
+				datagen.ApplianceColumns(), datagen.Appliances(300, 2002)); err != nil {
+				t.Fatal(err)
+			}
+		},
+		queries: []string{
+			`SELECT id, width, spinspeed, powerconsumption, waterconsumption, price
+			 FROM products WHERE manufacturer = 'Aturi'
+			 PREFERRING (width AROUND 60 AND spinspeed AROUND 1200) CASCADE
+			 (powerconsumption BETWEEN 0, 0.9 AND LOWEST(waterconsumption) AND price BETWEEN 1500, 2000)`,
+		},
+	},
+	{
+		name: "jobsearch",
+		setup: func(t *testing.T, db *DB) {
+			if err := datagen.Load(db.Internal().Engine(), "jobs", datagen.JobColumns(), datagen.Jobs(3000, 2002)); err != nil {
+				t.Fatal(err)
+			}
+			db.MustExec("CREATE INDEX idx_jobs_region ON jobs (region)")
+		},
+		queries: []string{
+			`SELECT id, experience, education, age, mobility FROM jobs
+			 WHERE region = 'Bayern' AND salary < 40000
+			 PREFERRING experience >= 10 AND education IN ('master', 'phd')
+			        AND age <= 35 AND mobility >= 100 ORDER BY id`,
+		},
+	},
+	{
+		name: "legacyapp",
+		setup: func(t *testing.T, db *DB) {
+			db.MustExec(`CREATE TABLE hotels (id INT, name VARCHAR, location VARCHAR, price INT);
+				INSERT INTO hotels VALUES
+					(1, 'Ritz',     'downtown', 320),
+					(2, 'Astoria',  'downtown', 280),
+					(3, 'Seeblick', 'suburb',   120),
+					(4, 'Waldhof',  'suburb',   140),
+					(5, 'Transit',  'airport',  150)`)
+		},
+		queries: []string{
+			`SELECT name, price FROM hotels
+			 PREFERRING location <> 'downtown' CASCADE LOWEST(price)`,
+		},
+	},
+	{
+		name: "mobilesearch",
+		setup: func(t *testing.T, db *DB) {
+			if err := datagen.Load(db.Internal().Engine(), "car", datagen.CarColumns(), datagen.Cars(2000, 11)); err != nil {
+				t.Fatal(err)
+			}
+		},
+		queries: []string{
+			`SELECT id, price, mileage FROM car
+			 WHERE category = 'roadster'
+			 PREFERRING LOWEST(price) AND LOWEST(mileage)`,
+		},
+	},
+	{
+		name: "cosima",
+		setup: func(t *testing.T, db *DB) {
+			db.MustExec(`CREATE TABLE offers (shop VARCHAR, title VARCHAR, price FLOAT, rating INT, delivery INT);
+				INSERT INTO offers VALUES
+					('alpha', 'book', 12.50, 4, 3),
+					('alpha', 'book', 14.00, 5, 2),
+					('beta',  'book', 11.00, 3, 5),
+					('beta',  'book', 16.50, 5, 1),
+					('gamma', 'book', 12.50, 4, 4),
+					('gamma', 'book', 10.00, 2, 7),
+					('delta', 'book', 13.75, 4, 2)`)
+		},
+		queries: []string{
+			`SELECT shop, title, price, rating, delivery FROM offers
+			 PREFERRING LOWEST(price) AND HIGHEST(rating) AND LOWEST(delivery)`,
+		},
+	},
+}
+
+// rowSet renders rows as a sorted multiset for order-insensitive
+// comparison of BMO sets.
+func rowSet(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExampleWorkloadParity runs every example workload through the three
+// execution paths and asserts identical BMO sets.
+func TestExampleWorkloadParity(t *testing.T) {
+	for _, w := range parityWorkloads {
+		t.Run(w.name, func(t *testing.T) {
+			db := Open()
+			w.setup(t, db)
+			for qi, q := range w.queries {
+				// Native BMO algorithms.
+				db.SetMode(ModeNative)
+				native, err := db.Query(q)
+				if err != nil {
+					t.Fatalf("query %d native: %v", qi, err)
+				}
+				// SQL92 rewriting (§3.2).
+				db.SetMode(ModeRewrite)
+				rewritten, err := db.Query(q)
+				db.SetMode(ModeNative)
+				if err != nil {
+					t.Fatalf("query %d rewrite: %v", qi, err)
+				}
+				// Operator pipeline cursor.
+				rows, err := db.QueryIter(q)
+				if err != nil {
+					t.Fatalf("query %d pipeline: %v", qi, err)
+				}
+				var piped []Row
+				for rows.Next() {
+					piped = append(piped, rows.Row().Clone())
+				}
+				if err := rows.Err(); err != nil {
+					t.Fatalf("query %d pipeline iterate: %v", qi, err)
+				}
+				rows.Close()
+
+				ns, ws, ps := rowSet(native.Rows), rowSet(rewritten.Rows), rowSet(piped)
+				if !equalSets(ns, ws) {
+					t.Errorf("query %d: native vs rewrite mismatch\nnative:  %v\nrewrite: %v", qi, ns, ws)
+				}
+				if !equalSets(ns, ps) {
+					t.Errorf("query %d: native vs pipeline mismatch\nnative:   %v\npipeline: %v", qi, ns, ps)
+				}
+				if len(native.Rows) == 0 {
+					t.Errorf("query %d: empty BMO set (workload broken?)", qi)
+				}
+			}
+		})
+	}
+}

@@ -89,6 +89,51 @@ func (db *DB) QueryProgressive(sql string, yield func(Row) bool) ([]string, erro
 	return db.core.QueryProgressive(sql, yield)
 }
 
+// Rows is a streaming result cursor over the operator pipeline, modelled
+// on database/sql.Rows:
+//
+//	rows, err := db.QueryIter(sql)
+//	defer rows.Close()
+//	for rows.Next() {
+//		use(rows.Row())
+//	}
+//	err = rows.Err()
+type Rows struct {
+	c *core.Cursor
+}
+
+// QueryIter plans a single SELECT (standard or Preference SQL) and returns
+// a cursor that pulls rows through the Volcano-style operator pipeline:
+// scans, filters and joins produce rows on demand, and preference queries
+// stream their BMO set progressively when the preference is score-based.
+// A consumer that stops early (TOP-k, first page) stops plain-SQL scans
+// outright and, for preference queries, skips the remaining dominance
+// comparisons (the candidate set itself must be read in full — dominance
+// is a property of the whole set).
+func (db *DB) QueryIter(sql string) (*Rows, error) {
+	c, err := db.core.OpenCursor(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{c: c}, nil
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.c.Columns() }
+
+// Next advances to the next row; false at the end of the result or on
+// error (check Err).
+func (r *Rows) Next() bool { return r.c.Next() }
+
+// Row returns the current row; valid after Next returned true.
+func (r *Rows) Row() Row { return r.c.Row() }
+
+// Err returns the first error encountered while streaming.
+func (r *Rows) Err() error { return r.c.Err() }
+
+// Close releases the cursor's pipeline; safe to call more than once.
+func (r *Rows) Close() error { return r.c.Close() }
+
 // Internal exposes the underlying query processor for advanced embedding
 // (benchmark harness, database/sql driver).
 func (db *DB) Internal() *core.DB { return db.core }

@@ -83,3 +83,41 @@ func TestSetAlgorithm(t *testing.T) {
 		t.Fatalf("rows: %v", res.Rows)
 	}
 }
+
+// TestQueryIterStableUnderDML is the regression test for cursor snapshot
+// stability: DML executed while a cursor is open must not corrupt the rows
+// it returns (the storage layer mutates copy-on-write).
+func TestQueryIterStableUnderDML(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (id INT);
+		INSERT INTO t VALUES (1), (2), (3), (4), (5)`)
+	rows, err := db.QueryIter(`SELECT id FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []int64
+	for rows.Next() {
+		got = append(got, rows.Row()[0].I)
+		if len(got) == 1 {
+			db.MustExec(`DELETE FROM t WHERE id = 2`)
+			db.MustExec(`UPDATE t SET id = 99 WHERE id = 4`)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", got, want)
+		}
+	}
+	res := db.MustExec(`SELECT id FROM t ORDER BY id`)
+	if len(res.Rows) != 4 {
+		t.Fatalf("post-DML rows = %v", res.Rows)
+	}
+}
