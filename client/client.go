@@ -1,0 +1,582 @@
+// Package client is the Preference SQL network client: it speaks the
+// internal/wire protocol to a prefserve instance and mirrors the
+// embedded prefsql API (Exec, Query, MustExec, QueryIter,
+// QueryProgressive, SetMode, SetAlgorithm), so application code runs
+// unmodified against either an embedded database or a remote server:
+//
+//	db, err := client.Dial("localhost:7654")
+//	defer db.Close()
+//	res, err := db.Query(`SELECT * FROM trips PREFERRING duration AROUND 14`)
+//
+// Single-SELECT queries stream: QueryIter yields rows as the server's
+// pipeline produces them (progressively for score-based preferences),
+// and closing the iterator early sends a Cancel that stops the server's
+// remaining dominance work.
+//
+// A Conn multiplexes nothing: one statement is in flight at a time and
+// methods serialize on an internal lock. Use one Conn per goroutine (or
+// a pool) for parallelism — connections are cheap, and each carries its
+// own server-side session settings.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bmo"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/value"
+	"repro/internal/wire"
+)
+
+// Result/Row/Mode/Algorithm are aliases of the same types the embedded
+// prefsql package exports, so code can switch between embedded and
+// remote by changing only construction. (The client deliberately does
+// not import the root package: the root package's tests drive the bench
+// harness, which drives this client.)
+type (
+	Result    = core.Result
+	Row       = value.Row
+	Mode      = core.Mode
+	Algorithm = bmo.Algorithm
+)
+
+// Statement flags reported by the server with each result.
+const (
+	// FlagCacheHit: the statement text was answered from the server's
+	// prepared-statement cache (parse skipped).
+	FlagCacheHit = wire.FlagCacheHit
+	// FlagPlanReused: a cached plan was re-executed (planner skipped).
+	FlagPlanReused = wire.FlagPlanReused
+	// FlagCancelled: the row stream was cut short by Cancel.
+	FlagCancelled = wire.FlagCancelled
+)
+
+// Conn is one client connection to a Preference SQL server.
+type Conn struct {
+	mu     sync.Mutex  // serializes request/response exchanges
+	busy   bool        // an open Rows stream owns the connection
+	closed atomic.Bool // safe to read from any goroutine
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	sessID uint32
+	banner string
+}
+
+// Dial connects to a prefserve instance and performs the handshake.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	var b wire.Buffer
+	b.U16(wire.Version)
+	b.String("prefsql-go-client")
+	if err := c.send(wire.MsgHello, b.B); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if typ != wire.MsgHelloOK {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected message %#x", typ)
+	}
+	r := wire.NewReader(payload)
+	if v := r.U16(); v != wire.Version {
+		nc.Close()
+		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", v, wire.Version)
+	}
+	c.sessID = r.U32()
+	c.banner = r.String()
+	if err := r.Err(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// SessionID returns the server-assigned session id.
+func (c *Conn) SessionID() uint32 { return c.sessID }
+
+// Banner returns the server's handshake banner.
+func (c *Conn) Banner() string { return c.banner }
+
+// Close closes the connection (sending Quit first when no stream is in
+// flight). Safe to call twice, and from any goroutine — closing a Conn
+// whose Rows iterator leaked unblocks the stream with an error rather
+// than waiting for it.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	// Best-effort Quit: only if the connection is idle right now. A
+	// TryLock keeps Close from blocking behind a hung exchange.
+	if c.mu.TryLock() {
+		if !c.busy {
+			_ = c.send(wire.MsgQuit, nil)
+		}
+		c.mu.Unlock()
+	}
+	return c.nc.Close()
+}
+
+func (c *Conn) send(typ byte, payload []byte) error {
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// broken marks the connection unusable after a protocol-level failure.
+func (c *Conn) broken(err error) error {
+	if !c.closed.Swap(true) {
+		c.nc.Close()
+	}
+	return err
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// ErrBusy is returned when a statement is attempted while an open Rows
+// stream owns the connection; Close the iterator first.
+var ErrBusy = errors.New("client: connection busy with an open Rows stream")
+
+// acquire takes the exchange lock for one request/response, rejecting
+// closed or stream-occupied connections instead of blocking on them.
+func (c *Conn) acquire() error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	c.mu.Lock()
+	if c.closed.Load() || c.busy {
+		busy := c.busy
+		c.mu.Unlock()
+		if busy {
+			return ErrBusy
+		}
+		return ErrClosed
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Exec runs a ';'-separated script on the server and returns the last
+// statement's result.
+func (c *Conn) Exec(sql string) (*Result, error) {
+	res, _, err := c.ExecFlags(sql)
+	return res, err
+}
+
+// Query runs a single SELECT (standard or Preference SQL); like the
+// embedded DB.Query it is the read-only path and rejects anything else
+// — use Exec for scripts and DML/DDL. The shape check runs client-side
+// so a remote connection keeps exactly the embedded API's contract; the
+// server executes SELECTs under its shared read lock and streams.
+func (c *Conn) Query(sql string) (*Result, error) {
+	if _, err := parser.ParseSelect(sql); err != nil {
+		return nil, err
+	}
+	return c.Exec(sql)
+}
+
+// MustExec is Exec that panics on error; for examples and tests.
+func (c *Conn) MustExec(sql string) *Result {
+	res, err := c.Exec(sql)
+	if err != nil {
+		panic("client: " + err.Error())
+	}
+	return res
+}
+
+// ExecFlags is Exec plus the server's statement flags (FlagCacheHit,
+// FlagPlanReused), which report how much cached work the server skipped.
+func (c *Conn) ExecFlags(sql string) (*Result, byte, error) {
+	if err := c.acquire(); err != nil {
+		return nil, 0, err
+	}
+	defer c.mu.Unlock()
+	var b wire.Buffer
+	b.String(sql)
+	if err := c.send(wire.MsgQuery, b.B); err != nil {
+		return nil, 0, c.broken(err)
+	}
+	return c.collect()
+}
+
+// collect reads Columns/Row*/Done (or Error) into a materialized result.
+// The caller holds c.mu.
+func (c *Conn) collect() (*Result, byte, error) {
+	res := &Result{}
+	for {
+		typ, payload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return nil, 0, c.broken(err)
+		}
+		r := wire.NewReader(payload)
+		switch typ {
+		case wire.MsgColumns:
+			res.Columns = r.Strings()
+		case wire.MsgRow:
+			res.Rows = append(res.Rows, r.Row())
+		case wire.MsgDone:
+			affected := r.U32()
+			r.U32() // row count, implied by len(res.Rows)
+			flags := r.U8()
+			if err := r.Err(); err != nil {
+				return nil, 0, c.broken(err)
+			}
+			res.Affected = int(affected)
+			return res, flags, nil
+		case wire.MsgError:
+			return nil, 0, errors.New(r.String())
+		default:
+			return nil, 0, c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+		}
+		if err := r.Err(); err != nil {
+			return nil, 0, c.broken(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------------
+
+// Rows is a streaming result iterator, modelled on the embedded
+// prefsql.Rows / database/sql.Rows. The connection is busy until Close.
+type Rows struct {
+	c     *Conn
+	cols  []string
+	row   Row
+	err   error
+	done  bool
+	flags byte
+}
+
+// QueryIter runs a single SELECT and returns a streaming iterator. Rows
+// arrive as the server's pipeline produces them; Close before the end
+// sends a Cancel so the server stops the remaining work (the
+// progressive-cursor cancel of mobile search, §4.2).
+func (c *Conn) QueryIter(sql string) (*Rows, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	var b wire.Buffer
+	b.String(sql)
+	if err := c.send(wire.MsgQuery, b.B); err != nil {
+		c.mu.Unlock()
+		return nil, c.broken(err)
+	}
+	// First frame must be the header (or an immediate error).
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, c.broken(err)
+	}
+	r := wire.NewReader(payload)
+	switch typ {
+	case wire.MsgColumns:
+		cols := r.Strings()
+		if err := r.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, c.broken(err)
+		}
+		// The stream owns the connection until Rows.Close; concurrent
+		// statements get ErrBusy instead of blocking.
+		c.busy = true
+		c.mu.Unlock()
+		return &Rows{c: c, cols: cols}, nil
+	case wire.MsgError:
+		c.mu.Unlock()
+		return nil, errors.New(r.String())
+	case wire.MsgDone:
+		// Statement produced no result set (e.g. DML text); present an
+		// empty, already-done iterator carrying the server's flags.
+		r.U32()
+		r.U32()
+		flags := r.U8()
+		if err := r.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, c.broken(err)
+		}
+		c.mu.Unlock()
+		return &Rows{c: c, done: true, flags: flags}, nil
+	default:
+		c.mu.Unlock()
+		return nil, c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+	}
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row; false at the end or on error (see Err).
+func (r *Rows) Next() bool {
+	if r.done || r.err != nil {
+		return false
+	}
+	typ, payload, err := wire.ReadFrame(r.c.br)
+	if err != nil {
+		r.err = r.c.broken(err)
+		r.finish()
+		return false
+	}
+	rd := wire.NewReader(payload)
+	switch typ {
+	case wire.MsgRow:
+		row := rd.Row()
+		if err := rd.Err(); err != nil {
+			r.err = r.c.broken(err)
+			r.finish()
+			return false
+		}
+		r.row = row
+		return true
+	case wire.MsgDone:
+		rd.U32()
+		rd.U32()
+		r.flags = rd.U8()
+		if err := rd.Err(); err != nil {
+			r.err = r.c.broken(err)
+		}
+		r.finish()
+		return false
+	case wire.MsgError:
+		r.err = errors.New(rd.String())
+		r.finish()
+		return false
+	default:
+		r.err = r.c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+		r.finish()
+		return false
+	}
+}
+
+// finish marks the stream complete and releases the connection.
+func (r *Rows) finish() {
+	if !r.done {
+		r.done = true
+		r.c.mu.Lock()
+		r.c.busy = false
+		r.c.mu.Unlock()
+	}
+}
+
+// Row returns the current row; valid after Next returned true.
+func (r *Rows) Row() Row { return r.row }
+
+// Err returns the first error encountered while streaming.
+func (r *Rows) Err() error { return r.err }
+
+// Flags returns the server's statement flags, valid once the stream has
+// ended (Next returned false or Close drained it).
+func (r *Rows) Flags() byte { return r.flags }
+
+// Close releases the iterator. If rows remain, it sends Cancel and
+// drains the stream so the connection is ready for the next statement.
+// Safe to call more than once.
+func (r *Rows) Close() error {
+	if r.done {
+		return nil
+	}
+	if !r.c.closed.Load() {
+		if err := r.c.send(wire.MsgCancel, nil); err != nil {
+			r.err = r.c.broken(err)
+			r.finish()
+			return r.err
+		}
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(r.c.br)
+		if err != nil {
+			r.err = r.c.broken(err)
+			r.finish()
+			return r.err
+		}
+		switch typ {
+		case wire.MsgDone:
+			rd := wire.NewReader(payload)
+			rd.U32()
+			rd.U32()
+			r.flags = rd.U8()
+			if err := rd.Err(); err != nil {
+				r.err = r.c.broken(err)
+			}
+			r.finish()
+			return nil
+		case wire.MsgError:
+			r.err = errors.New(wire.NewReader(payload).String())
+			r.finish()
+			return nil
+		case wire.MsgRow:
+			// discard in-flight rows
+		default:
+			r.err = r.c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+			r.finish()
+			return r.err
+		}
+	}
+}
+
+// QueryProgressive streams a preference query's Best-Matches-Only set:
+// yield is called with each row as the server reports it maximal, and
+// returning false cancels the remaining server-side work. It returns the
+// result column names.
+func (c *Conn) QueryProgressive(sql string, yield func(Row) bool) ([]string, error) {
+	rows, err := c.QueryIter(sql)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	for rows.Next() {
+		if !yield(rows.Row()) {
+			break
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return rows.Columns(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements
+// ---------------------------------------------------------------------------
+
+// Stmt is a server-side prepared statement: parsed once (and, for plain
+// SELECTs, planned once) on the server, re-executed by id.
+type Stmt struct {
+	c   *Conn
+	id  uint32
+	sql string
+}
+
+// Prepare registers sql in the server's statement cache and returns a
+// handle for repeated execution.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	defer c.mu.Unlock()
+	var b wire.Buffer
+	b.String(sql)
+	if err := c.send(wire.MsgPrepare, b.B); err != nil {
+		return nil, c.broken(err)
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, c.broken(err)
+	}
+	r := wire.NewReader(payload)
+	switch typ {
+	case wire.MsgPrepared:
+		id := r.U32()
+		if err := r.Err(); err != nil {
+			return nil, c.broken(err)
+		}
+		return &Stmt{c: c, id: id, sql: sql}, nil
+	case wire.MsgError:
+		return nil, errors.New(r.String())
+	default:
+		return nil, c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+	}
+}
+
+// SQL returns the statement text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// Exec re-executes the prepared statement.
+func (s *Stmt) Exec() (*Result, error) {
+	res, _, err := s.ExecFlags()
+	return res, err
+}
+
+// ExecFlags is Exec plus the server's statement flags; FlagPlanReused
+// reports that the server skipped the planner.
+func (s *Stmt) ExecFlags() (*Result, byte, error) {
+	c := s.c
+	if err := c.acquire(); err != nil {
+		return nil, 0, err
+	}
+	defer c.mu.Unlock()
+	var b wire.Buffer
+	b.U32(s.id)
+	b.U16(0) // no bind parameters yet
+	if err := c.send(wire.MsgExecute, b.B); err != nil {
+		return nil, 0, c.broken(err)
+	}
+	return c.collect()
+}
+
+// Close releases the server-side handle (the cache entry may live on
+// for other connections).
+func (s *Stmt) Close() error {
+	c := s.c
+	if err := c.acquire(); err != nil {
+		if err == ErrClosed {
+			return nil
+		}
+		return err
+	}
+	defer c.mu.Unlock()
+	var b wire.Buffer
+	b.U32(s.id)
+	if err := c.send(wire.MsgCloseStmt, b.B); err != nil {
+		return c.broken(err)
+	}
+	_, _, err := c.collect()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Session settings
+// ---------------------------------------------------------------------------
+
+func (c *Conn) set(key, val string) error {
+	if err := c.acquire(); err != nil {
+		return err
+	}
+	defer c.mu.Unlock()
+	var b wire.Buffer
+	b.String(key)
+	b.String(val)
+	if err := c.send(wire.MsgSet, b.B); err != nil {
+		return c.broken(err)
+	}
+	_, _, err := c.collect()
+	return err
+}
+
+// SetMode switches this connection's session between native BMO
+// evaluation and SQL92 rewriting; other connections are unaffected.
+func (c *Conn) SetMode(m Mode) error {
+	val := "native"
+	if m == core.ModeRewrite {
+		val = "rewrite"
+	}
+	return c.set(wire.SetMode, val)
+}
+
+// SetAlgorithm selects this connection's native BMO algorithm.
+func (c *Conn) SetAlgorithm(a Algorithm) error {
+	val := a.Token()
+	if val == "" {
+		return fmt.Errorf("client: unknown algorithm %v", a)
+	}
+	return c.set(wire.SetAlgorithm, val)
+}

@@ -7,9 +7,11 @@
 //	prefbench -exp all                  # every experiment at default scale
 //	prefbench -exp e1 -rows 140000      # the §3.3 benchmark at 1/10 scale
 //	prefbench -exp e4 -latency 1.0      # COSIMA with realistic shop latency
+//	prefbench -exp p2                   # server throughput; writes BENCH_p2.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ func main() {
 		latency = flag.Float64("latency", -1, "COSIMA latency scale; 1.0 = realistic 300-900ms shops (default 0)")
 		runs    = flag.Int("cosima-runs", 0, "COSIMA meta-searches for e4 (default 200)")
 		quick   = flag.Bool("quick", false, "use the small test-scale configuration")
+		p2json  = flag.String("json", "BENCH_p2.json", "file for the structured p2 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -51,6 +54,27 @@ func main() {
 		names = bench.Names()
 	}
 	for _, name := range names {
+		// p2 additionally emits its structured results as JSON, so CI and
+		// regression tooling can track throughput and cache hit rate.
+		if name == "p2" && *p2json != "" {
+			res, tbl, err := bench.P2(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prefbench: p2: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(tbl.String())
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prefbench: p2: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*p2json, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "prefbench: p2: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *p2json)
+			continue
+		}
 		out, err := bench.Run(name, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prefbench: %s: %v\n", name, err)

@@ -1,0 +1,86 @@
+// Command prefserve runs the Preference SQL server: a TCP front end
+// serving concurrent client sessions over one shared in-memory database,
+// speaking the internal/wire protocol (see ARCHITECTURE.md for the
+// message table).
+//
+// Usage:
+//
+//	prefserve                          # serve an empty database on :7654
+//	prefserve -addr :6000 -f init.sql  # bulk-load a script, then serve
+//	prefserve -cache 512 -v            # bigger statement cache, verbose
+//
+// Clients connect with the repro/client package or `prefsql -addr`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7654", "listen address")
+		file    = flag.String("f", "", "SQL script to execute before serving (schema + data)")
+		cache   = flag.Int("cache", 128, "prepared-statement cache capacity")
+		demo    = flag.String("demo", "", "pre-load a demo dataset: jobs[:N] (synthetic job relation)")
+		verbose = flag.Bool("v", false, "log connections")
+	)
+	flag.Parse()
+
+	db := core.Open()
+	if *demo != "" {
+		if err := loadDemo(db, *demo); err != nil {
+			fmt.Fprintf(os.Stderr, "prefserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefserve: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := db.Exec(string(data)); err != nil {
+			fmt.Fprintf(os.Stderr, "prefserve: init script: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	opts := server.Options{CacheSize: *cache, Banner: "prefserve"}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	srv := server.New(db, opts)
+	log.Printf("prefserve: listening on %s (statement cache %d)", *addr, *cache)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("prefserve: %v", err)
+	}
+}
+
+// loadDemo pre-loads a named synthetic dataset, so a server with data to
+// query is one flag away.
+func loadDemo(db *core.DB, spec string) error {
+	name, rows := spec, 0
+	if _, err := fmt.Sscanf(spec, "jobs:%d", &rows); err == nil {
+		name = "jobs"
+	}
+	switch name {
+	case "jobs":
+		if rows <= 0 {
+			rows = bench.DefaultConfig().JobRows
+		}
+		if err := datagen.Load(db.Engine(), "jobs", datagen.JobColumns(), datagen.Jobs(rows, 2002)); err != nil {
+			return err
+		}
+		_, err := db.Exec("CREATE INDEX idx_jobs_region ON jobs (region)")
+		return err
+	}
+	return fmt.Errorf("unknown demo dataset %q", spec)
+}

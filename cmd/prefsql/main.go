@@ -1,17 +1,19 @@
 // Command prefsql is an interactive shell and script runner for
-// Preference SQL.
+// Preference SQL, over an embedded in-memory database or — with -addr —
+// a remote prefserve instance.
 //
 // Usage:
 //
-//	prefsql                 # interactive shell on an empty database
+//	prefsql                 # interactive shell on an empty embedded database
 //	prefsql -f script.sql   # run a script, then exit
 //	prefsql -f setup.sql -i # run a script, then drop into the shell
+//	prefsql -addr :7654     # shell against a running prefserve
 //
 // Shell commands besides SQL statements (terminated by ';'):
 //
 //	\explain SELECT ...   show the SQL92 rewriting of a preference query
-//	\mode native|rewrite  switch the execution strategy
-//	\algo auto|nl|bnl|sfs select the native BMO algorithm
+//	\mode native|rewrite  switch the execution strategy (per session)
+//	\algo auto|nl|bnl|sfs|bestlevel  select the native BMO algorithm (per session)
 //	\tables               list tables and views
 //	\prefs                list named preferences (CREATE PREFERENCE ...)
 //	\q                    quit
@@ -25,19 +27,92 @@ import (
 	"strings"
 	"time"
 
-	"repro"
+	prefsql "repro"
+	"repro/client"
 	"repro/internal/bmo"
 )
+
+// backend abstracts the embedded database and a remote server
+// connection behind the shell's commands.
+type backend interface {
+	exec(sql string) (*prefsql.Result, error)
+	setMode(m prefsql.Mode) error
+	setAlgo(a prefsql.Algorithm) error
+	explain(sql string) (string, error)
+	tables() ([]string, error)
+	prefs() ([]string, error)
+	close()
+}
+
+type embeddedBackend struct{ db *prefsql.DB }
+
+func (b embeddedBackend) exec(sql string) (*prefsql.Result, error) { return b.db.Exec(sql) }
+func (b embeddedBackend) setMode(m prefsql.Mode) error             { b.db.SetMode(m); return nil }
+func (b embeddedBackend) setAlgo(a prefsql.Algorithm) error        { b.db.SetAlgorithm(a); return nil }
+func (b embeddedBackend) explain(sql string) (string, error)       { return b.db.ExplainRewrite(sql) }
+func (b embeddedBackend) close()                                   {}
+
+func (b embeddedBackend) tables() ([]string, error) {
+	cat := b.db.Internal().Engine().Catalog()
+	var out []string
+	for _, name := range cat.TableNames() {
+		tbl, _ := cat.Table(name)
+		out = append(out, fmt.Sprintf("table %s (%d rows)", name, tbl.RowCount()))
+	}
+	for _, name := range cat.ViewNames() {
+		out = append(out, "view  "+name)
+	}
+	return out, nil
+}
+
+func (b embeddedBackend) prefs() ([]string, error) {
+	var out []string
+	for _, name := range b.db.Internal().PreferenceNames() {
+		out = append(out, "preference "+name)
+	}
+	return out, nil
+}
+
+type remoteBackend struct{ c *client.Conn }
+
+func (b remoteBackend) exec(sql string) (*prefsql.Result, error) { return b.c.Exec(sql) }
+func (b remoteBackend) setMode(m prefsql.Mode) error             { return b.c.SetMode(m) }
+func (b remoteBackend) setAlgo(a prefsql.Algorithm) error        { return b.c.SetAlgorithm(a) }
+func (b remoteBackend) close()                                   { b.c.Close() }
+
+func (b remoteBackend) explain(string) (string, error) {
+	return "", fmt.Errorf("\\explain is not supported over -addr")
+}
+func (b remoteBackend) tables() ([]string, error) {
+	return nil, fmt.Errorf("\\tables is not supported over -addr")
+}
+func (b remoteBackend) prefs() ([]string, error) {
+	return nil, fmt.Errorf("\\prefs is not supported over -addr")
+}
 
 func main() {
 	var (
 		file        = flag.String("f", "", "SQL script to execute")
 		interactive = flag.Bool("i", false, "enter the shell after -f")
 		timing      = flag.Bool("timing", false, "print execution time per statement")
+		addr        = flag.String("addr", "", "connect to a prefserve instance instead of embedding")
 	)
 	flag.Parse()
 
-	db := prefsql.Open()
+	var db backend
+	if *addr != "" {
+		conn, err := client.Dial(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefsql: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("connected to %s (%s, session %d)\n", *addr, conn.Banner(), conn.SessionID())
+		db = remoteBackend{c: conn}
+	} else {
+		db = embeddedBackend{db: prefsql.Open()}
+	}
+	defer db.close()
+
 	if *file != "" {
 		data, err := os.ReadFile(*file)
 		if err != nil {
@@ -55,7 +130,7 @@ func main() {
 	repl(db, *timing)
 }
 
-func repl(db *prefsql.DB, timing bool) {
+func repl(db backend, timing bool) {
 	fmt.Println("Preference SQL shell — end statements with ';', \\q to quit")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -93,56 +168,64 @@ func repl(db *prefsql.DB, timing bool) {
 }
 
 // command handles backslash meta-commands; it reports whether to quit.
-func command(db *prefsql.DB, line string) bool {
+func command(db backend, line string) bool {
 	parts := strings.SplitN(line, " ", 2)
 	arg := ""
 	if len(parts) == 2 {
 		arg = strings.TrimSpace(parts[1])
 	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	}
 	switch parts[0] {
 	case "\\q", "\\quit", "\\exit":
 		return true
 	case "\\explain":
-		script, err := db.ExplainRewrite(strings.TrimSuffix(arg, ";"))
+		script, err := db.explain(strings.TrimSuffix(arg, ";"))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			fail(err)
 			return false
 		}
 		fmt.Println(script)
 	case "\\mode":
 		switch arg {
 		case "native":
-			db.SetMode(prefsql.ModeNative)
+			if err := db.setMode(prefsql.ModeNative); err != nil {
+				fail(err)
+			}
 		case "rewrite":
-			db.SetMode(prefsql.ModeRewrite)
+			if err := db.setMode(prefsql.ModeRewrite); err != nil {
+				fail(err)
+			}
 		default:
 			fmt.Fprintln(os.Stderr, "usage: \\mode native|rewrite")
 		}
 	case "\\algo":
-		switch arg {
-		case "auto":
-			db.SetAlgorithm(bmo.Auto)
-		case "nl":
-			db.SetAlgorithm(bmo.NestedLoop)
-		case "bnl":
-			db.SetAlgorithm(bmo.BlockNestedLoop)
-		case "sfs":
-			db.SetAlgorithm(bmo.SortFilter)
-		default:
-			fmt.Fprintln(os.Stderr, "usage: \\algo auto|nl|bnl|sfs")
+		a, ok := bmo.ParseToken(arg)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "usage: \\algo auto|nl|bnl|sfs|bestlevel")
+			break
+		}
+		if err := db.setAlgo(a); err != nil {
+			fail(err)
 		}
 	case "\\prefs":
-		for _, name := range db.Internal().PreferenceNames() {
-			fmt.Printf("preference %s\n", name)
+		lines, err := db.prefs()
+		if err != nil {
+			fail(err)
+			break
+		}
+		for _, l := range lines {
+			fmt.Println(l)
 		}
 	case "\\tables":
-		cat := db.Internal().Engine().Catalog()
-		for _, name := range cat.TableNames() {
-			tbl, _ := cat.Table(name)
-			fmt.Printf("table %s (%d rows)\n", name, tbl.RowCount())
+		lines, err := db.tables()
+		if err != nil {
+			fail(err)
+			break
 		}
-		for _, name := range cat.ViewNames() {
-			fmt.Printf("view  %s\n", name)
+		for _, l := range lines {
+			fmt.Println(l)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", parts[0])
@@ -150,9 +233,9 @@ func command(db *prefsql.DB, line string) bool {
 	return false
 }
 
-func runStatement(db *prefsql.DB, sql string, timing bool) error {
+func runStatement(db backend, sql string, timing bool) error {
 	start := time.Now()
-	res, err := db.Exec(sql)
+	res, err := db.exec(sql)
 	if err != nil {
 		return err
 	}

@@ -6,10 +6,12 @@ import (
 	"testing"
 
 	"repro"
+	"repro/client"
+	"repro/internal/server"
 )
 
 func TestRunStatement(t *testing.T) {
-	db := prefsql.Open()
+	db := embeddedBackend{db: prefsql.Open()}
 	if err := runStatement(db, "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);", true); err != nil {
 		t.Fatal(err)
 	}
@@ -22,10 +24,11 @@ func TestRunStatement(t *testing.T) {
 }
 
 func TestMetaCommands(t *testing.T) {
-	db := prefsql.Open()
-	db.MustExec("CREATE TABLE t (a INT)")
-	db.MustExec("CREATE VIEW v AS SELECT * FROM t")
-	db.MustExec("CREATE PREFERENCE fav AS LOWEST(a)")
+	edb := prefsql.Open()
+	db := embeddedBackend{db: edb}
+	edb.MustExec("CREATE TABLE t (a INT)")
+	edb.MustExec("CREATE VIEW v AS SELECT * FROM t")
+	edb.MustExec("CREATE PREFERENCE fav AS LOWEST(a)")
 
 	if command(db, "\\q") != true {
 		t.Error("\\q should quit")
@@ -57,12 +60,47 @@ SELECT id FROM trips PREFERRING duration AROUND 14;`
 	if err := os.WriteFile(script, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	db := prefsql.Open()
+	db := embeddedBackend{db: prefsql.Open()}
 	data, err := os.ReadFile(script)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := runStatement(db, string(data), false); err != nil {
 		t.Fatalf("script: %v", err)
+	}
+}
+
+func TestRemoteBackend(t *testing.T) {
+	edb := prefsql.Open()
+	srv := server.New(edb.Internal(), server.Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := remoteBackend{c: conn}
+	defer db.close()
+
+	if err := runStatement(db, "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2);", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStatement(db, "SELECT a FROM t PREFERRING LOWEST(a);", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStatement(db, "SELEKT;", false); err == nil {
+		t.Error("bad SQL should error remotely too")
+	}
+	for _, cmd := range []string{
+		"\\mode rewrite", "\\mode native", "\\algo bnl",
+		"\\tables", // unsupported remotely: prints an error, keeps running
+		"\\explain SELECT * FROM t PREFERRING LOWEST(a)", // ditto
+	} {
+		if command(db, cmd) {
+			t.Errorf("%s should not quit", cmd)
+		}
 	}
 }

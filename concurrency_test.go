@@ -1,0 +1,222 @@
+package prefsql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+// stressWorkloads is the subset of parityWorkloads whose tables don't
+// collide, so they can share one database (mobilesearch reloads the car
+// table carsearch already owns and is left out).
+func stressWorkloads(t *testing.T, db *DB) (queries []string) {
+	for _, w := range parityWorkloads {
+		if w.name == "mobilesearch" {
+			continue
+		}
+		w.setup(t, db)
+		queries = append(queries, w.queries...)
+	}
+	return queries
+}
+
+// TestConcurrentParityStress runs the parity workloads across many
+// goroutines — mixed readers (half native, half rewrite mode; embedded
+// sessions and loopback server connections) plus one writer hammering a
+// scratch table — and asserts every reader keeps seeing exactly the
+// single-threaded BMO sets. Run with -race, this is the concurrency
+// safety net for the session/locking layer.
+func TestConcurrentParityStress(t *testing.T) {
+	db := Open()
+	queries := stressWorkloads(t, db)
+
+	// Single-threaded expected sets (order-insensitive: rewrite mode and
+	// the streaming cursor order rows differently).
+	expected := make([][]string, len(queries))
+	for i, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("query %d: empty BMO set (workload broken?)", i)
+		}
+		expected[i] = rowSet(res.Rows)
+	}
+
+	db.MustExec(`CREATE TABLE scratch (id INT, v INT)`)
+
+	srv := server.New(db.Internal(), server.Options{CacheSize: 64})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const (
+		embeddedReaders = 6
+		remoteReaders   = 6
+		rounds          = 3
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, embeddedReaders+remoteReaders+1)
+
+	check := func(who string, qi int, rows []Row, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s query %d: %w", who, qi, err)
+		}
+		if got := rowSet(rows); !equalSets(got, expected[qi]) {
+			return fmt.Errorf("%s query %d: BMO set diverged under concurrency:\ngot:  %v\nwant: %v",
+				who, qi, got, expected[qi])
+		}
+		return nil
+	}
+
+	// Embedded readers, each with its own session; odd ones use rewrite
+	// mode, so the §3.2 view machinery runs concurrently too.
+	for g := 0; g < embeddedReaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			if g%2 == 1 {
+				sess.SetMode(ModeRewrite)
+			}
+			for r := 0; r < rounds; r++ {
+				for qi, q := range queries {
+					res, err := sess.Query(q)
+					if err := check(fmt.Sprintf("embedded[%d]", g), qi, resRows(res), err); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Remote readers over the loopback server; odd ones in rewrite mode.
+	for g := 0; g < remoteReaders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(addr.String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			if g%2 == 1 {
+				if err := c.SetMode(ModeRewrite); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			for r := 0; r < rounds; r++ {
+				for qi, q := range queries {
+					res, err := c.Query(q)
+					if err := check(fmt.Sprintf("remote[%d]", g), qi, resRows(res), err); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// One writer: DML on a scratch table the readers never touch, so the
+	// expected sets stay valid while the write path contends for real.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := client.Dial(addr.String())
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < 60; i++ {
+			if _, err := c.Exec(fmt.Sprintf("INSERT INTO scratch VALUES (%d, %d)", i, i*i)); err != nil {
+				errCh <- fmt.Errorf("writer: %w", err)
+				return
+			}
+			if i%10 == 9 {
+				if _, err := db.Exec(fmt.Sprintf("UPDATE scratch SET v = 0 WHERE id < %d", i-5)); err != nil {
+					errCh <- fmt.Errorf("writer: %w", err)
+					return
+				}
+				if _, err := c.Exec(fmt.Sprintf("DELETE FROM scratch WHERE id < %d", i-8)); err != nil {
+					errCh <- fmt.Errorf("writer: %w", err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func resRows(res *Result) []Row {
+	if res == nil {
+		return nil
+	}
+	return res.Rows
+}
+
+// TestSessionSettingsIsolated pins the satellite contract: sessions
+// carry their own mode/algorithm, and the deprecated DB-level setters
+// only configure the default session.
+func TestSessionSettingsIsolated(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a INT, b INT);
+		INSERT INTO t VALUES (1, 9), (2, 5), (3, 1)`)
+
+	a, b := db.NewSession(), db.NewSession()
+	a.SetMode(ModeRewrite)
+	if b.Mode() != ModeNative {
+		t.Fatal("session b inherited session a's mode")
+	}
+	db.SetMode(ModeRewrite) // default session only
+	if a.Mode() != ModeRewrite || b.Mode() != ModeNative {
+		t.Fatal("DB-level setter leaked into explicit sessions")
+	}
+	db.SetMode(ModeNative)
+
+	qa, err := a.Query(`SELECT a FROM t PREFERRING LOWEST(b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := b.Query(`SELECT a FROM t PREFERRING LOWEST(b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalSets(rowSet(qa.Rows), rowSet(qb.Rows)) {
+		t.Fatalf("rewrite vs native mismatch: %v vs %v", qa.Rows, qb.Rows)
+	}
+}
+
+// TestQueryRejectsNonSelect pins the Query/Exec split: Query is the
+// read-only path and refuses statements that would need the write lock.
+func TestQueryRejectsNonSelect(t *testing.T) {
+	db := Open()
+	if _, err := db.Query(`CREATE TABLE t (a INT)`); err == nil {
+		t.Fatal("Query accepted DDL")
+	}
+	db.MustExec(`CREATE TABLE t (a INT); INSERT INTO t VALUES (1)`)
+	if _, err := db.Query(`INSERT INTO t VALUES (2)`); err == nil {
+		t.Fatal("Query accepted DML")
+	}
+	res, err := db.Query(`SELECT a FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

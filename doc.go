@@ -48,5 +48,39 @@
 // remaining dominance comparisons (the candidate scan itself must complete
 // — dominance is a property of the whole set). Plain SQL cursors stop the
 // underlying scans outright. QueryProgressive is the callback flavour of
-// the same machinery. See ARCHITECTURE.md for the layer map.
+// the same machinery.
+//
+// # Concurrency and sessions
+//
+// A DB is safe for concurrent use: SELECTs (preference or plain) share a
+// read lock and run concurrently against copy-on-write storage snapshots,
+// while DML/DDL statements serialize. Per-client execution settings live
+// on sessions, so concurrent clients cannot flip each other's mode or BMO
+// algorithm mid-query:
+//
+//	sess := db.NewSession()
+//	sess.SetMode(prefsql.ModeRewrite) // other sessions stay native
+//	res, err := sess.Query(`SELECT ...`)
+//
+// # Client/server
+//
+// The original system ran as middleware that applications reached over
+// the network (§4.3). cmd/prefserve reproduces that deployment: a TCP
+// server with one session per connection and a shared LRU
+// prepared-statement cache (parse + plan once, re-execute many times),
+// speaking the internal/wire protocol. The repro/client package mirrors
+// this package's API — Dial, Exec, Query, QueryIter, QueryProgressive,
+// Prepare, SetMode, SetAlgorithm — so application code runs unmodified
+// against an embedded database or a remote server, and closing a
+// streaming iterator early cancels the server-side work:
+//
+//	conn, err := client.Dial("localhost:7654")
+//	defer conn.Close()
+//	rows, err := conn.QueryIter(`SELECT * FROM trips PREFERRING duration AROUND 14`)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Row())
+//	}
+//
+// See ARCHITECTURE.md for the layer map and the protocol message table.
 package prefsql

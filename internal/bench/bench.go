@@ -39,6 +39,8 @@ type Config struct {
 	SkylineN           int     // points per A2 configuration
 	A1Sizes            []int   // candidate-set sizes for A1
 	PreSizes           []int   // pre-selection sizes for E1 (paper: 300/600/1000)
+	P2Conns            []int   // client connection counts for P2
+	P2QueriesPerConn   int     // statements per connection in P2
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -54,6 +56,8 @@ func DefaultConfig() Config {
 		SkylineN:           5000,
 		A1Sizes:            []int{250, 500, 1000, 2000},
 		PreSizes:           []int{300, 600, 1000},
+		P2Conns:            []int{1, 2, 4, 8, 16, 32},
+		P2QueriesPerConn:   200,
 	}
 }
 
@@ -66,6 +70,8 @@ func TestConfig() Config {
 	cfg.SkylineN = 800
 	cfg.A1Sizes = []int{100, 200}
 	cfg.PreSizes = []int{100, 200}
+	cfg.P2Conns = []int{4, 32}
+	cfg.P2QueriesPerConn = 25
 	return cfg
 }
 
@@ -630,7 +636,7 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 }
 
 // Names lists the available experiments.
-func Names() []string { return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1"} }
+func Names() []string { return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2"} }
 
 // Run executes one experiment by name and returns its printable output.
 func Run(name string, cfg Config) (string, error) {
@@ -679,6 +685,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p1":
 		_, tbl, err := P1(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p2":
+		_, tbl, err := P2(cfg)
 		if err != nil {
 			return "", err
 		}

@@ -195,7 +195,37 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 8 {
+	if len(Names()) != 9 {
 		t.Errorf("names: %v", Names())
+	}
+}
+
+// TestP2ServerThroughput runs the concurrent-client experiment at test
+// scale and sanity-checks the structured results: repeated statements
+// must hit the shared cache, and the prepared plain SELECTs must
+// re-execute cached plans.
+func TestP2ServerThroughput(t *testing.T) {
+	cfg := TestConfig()
+	cfg.P2Conns = []int{4}
+	cfg.P2QueriesPerConn = 20
+	res, tbl, err := P2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+	if len(res.Entries) != 1 {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+	e := res.Entries[0]
+	if e.Queries != 4*20 || e.QPS <= 0 {
+		t.Errorf("bad entry: %+v", e)
+	}
+	if e.CacheHitRate <= 0.5 {
+		t.Errorf("cache hit rate %.2f, want > 0.5 for a repeated mix", e.CacheHitRate)
+	}
+	if e.PlanReuses == 0 {
+		t.Error("prepared plain SELECTs should reuse cached plans")
 	}
 }

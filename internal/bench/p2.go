@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// firstErrLoad reads the shared error under its lock; a setup failure
+// on one connection aborts the measured run everywhere.
+func firstErrLoad(mu *sync.Mutex, err *error) error {
+	mu.Lock()
+	defer mu.Unlock()
+	return *err
+}
+
+// P2Entry is one concurrent-client measurement: a loopback prefserve
+// instance under n connections, each running the query mix.
+type P2Entry struct {
+	Conns        int     `json:"conns"`
+	Queries      int     `json:"queries"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+	QPS          float64 `json:"qps"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	PlanReuses   uint64  `json:"plan_reuses"`
+}
+
+// P2Result is the full experiment outcome, the payload of BENCH_p2.json.
+type P2Result struct {
+	JobRows        int       `json:"job_rows"`
+	QueriesPerConn int       `json:"queries_per_conn"`
+	QueryMix       []string  `json:"query_mix"`
+	Entries        []P2Entry `json:"entries"`
+}
+
+// planCacheable marks the mix entries that are plain streaming SELECTs,
+// eligible for the server's cached-plan re-execution.
+func planCacheable(i int) bool { return i == 2 || i == 4 }
+
+// p2QueryMix is the workload: a small pool of statement texts repeated
+// by every client, so the shared statement cache converges to a high hit
+// rate — preference queries (streamed BMO), plan-cacheable plain
+// SELECTs, and an aggregate.
+func p2QueryMix() []string {
+	return []string{
+		`SELECT id FROM jobs WHERE region = 'Bayern' AND salary < 30000
+		 PREFERRING salary AROUND 50000 AND HIGHEST(experience)`,
+		`SELECT id FROM jobs WHERE region = 'Bayern' AND salary < 28000
+		 PREFERRING experience >= 10 AND age <= 35 AND mobility >= 100`,
+		`SELECT id, salary FROM jobs WHERE region = 'Sachsen' AND salary < 25000`,
+		`SELECT COUNT(*) FROM jobs WHERE region = 'Bayern'`,
+		`SELECT id, experience FROM jobs WHERE region = 'Hessen' AND salary < 26000`,
+	}
+}
+
+// P2 measures server throughput and latency versus connection count:
+// each round starts a fresh loopback server over the shared job
+// relation (fresh statement cache), opens n client connections, and has
+// every connection run the query mix round-robin. Reads execute
+// concurrently server-side; the cache hit rate and plan-reuse count
+// show re-executed statements skipping parse and plan.
+func P2(cfg Config) (*P2Result, *Table, error) {
+	db, err := JobDB(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	mix := p2QueryMix()
+	out := &P2Result{JobRows: cfg.JobRows, QueriesPerConn: cfg.P2QueriesPerConn, QueryMix: mix}
+
+	for _, conns := range cfg.P2Conns {
+		srv := server.New(db, server.Options{CacheSize: 64})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		entry, err := p2Round(addr.String(), conns, cfg.P2QueriesPerConn, mix)
+		stats := srv.CacheStats()
+		srv.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		entry.CacheHitRate = stats.HitRate()
+		out.Entries = append(out.Entries, *entry)
+	}
+
+	tbl := &Table{
+		Title:  fmt.Sprintf("P2: concurrent-client throughput over loopback prefserve (jobs=%d)", cfg.JobRows),
+		Header: []string{"conns", "queries", "elapsed", "queries/sec", "avg latency", "cache hit rate", "plan reuses"},
+		Notes: []string{
+			"fresh server + statement cache per row; every conn repeats the same 5-statement mix",
+			"reads run concurrently under the shared read lock; hit rate counts parses skipped",
+		},
+	}
+	for _, e := range out.Entries {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", e.Conns),
+			fmt.Sprintf("%d", e.Queries),
+			fmt.Sprintf("%.0fms", e.ElapsedMs),
+			fmt.Sprintf("%.0f", e.QPS),
+			fmt.Sprintf("%.0fµs", e.AvgLatencyUs),
+			fmt.Sprintf("%.0f%%", e.CacheHitRate*100),
+			fmt.Sprintf("%d", e.PlanReuses),
+		})
+	}
+	return out, tbl, nil
+}
+
+func p2Round(addr string, conns, perConn int, mix []string) (*P2Entry, error) {
+	var (
+		wg         sync.WaitGroup
+		totalLat   atomic.Int64 // nanoseconds
+		planReuses atomic.Uint64
+
+		// Plain mutex, not atomic.Value: CompareAndSwap panics when two
+		// goroutines store errors of different concrete types.
+		errMu    sync.Mutex
+		firstErr error
+	)
+	report := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	// Connections dial and prepare before the clock starts, then wait on
+	// a shared barrier: elapsed/QPS and AvgLatency measure the same work
+	// (the query loop), so the QPS-vs-conns curve isn't skewed by n×
+	// connection setup.
+	var ready sync.WaitGroup
+	startCh := make(chan struct{})
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				report(err)
+				ready.Done()
+				return
+			}
+			defer c.Close()
+			// Plain streaming SELECTs go through prepare/execute — the
+			// parse-once plan-once path; the rest through ad-hoc Query,
+			// which still skips the parse on a cache hit but re-plans to
+			// stream progressively.
+			stmts := map[int]*client.Stmt{}
+			for i, sql := range mix {
+				if !planCacheable(i) {
+					continue
+				}
+				st, err := c.Prepare(sql)
+				if err != nil {
+					report(fmt.Errorf("conn %d prepare: %w", g, err))
+					ready.Done()
+					return
+				}
+				stmts[i] = st
+			}
+			ready.Done()
+			<-startCh
+			if firstErrLoad(&errMu, &firstErr) != nil {
+				return
+			}
+			for q := 0; q < perConn; q++ {
+				idx := (g + q) % len(mix)
+				t0 := time.Now()
+				var flags byte
+				if st, ok := stmts[idx]; ok {
+					_, flags, err = st.ExecFlags()
+				} else {
+					_, flags, err = c.ExecFlags(mix[idx])
+				}
+				if err != nil {
+					report(fmt.Errorf("conn %d: %w", g, err))
+					return
+				}
+				totalLat.Add(int64(time.Since(t0)))
+				if flags&wire.FlagPlanReused != 0 {
+					planReuses.Add(1)
+				}
+			}
+		}(g)
+	}
+	ready.Wait()
+	start := time.Now()
+	close(startCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	elapsed := time.Since(start)
+	n := conns * perConn
+	return &P2Entry{
+		Conns:        conns,
+		Queries:      n,
+		ElapsedMs:    float64(elapsed.Microseconds()) / 1000,
+		QPS:          float64(n) / elapsed.Seconds(),
+		AvgLatencyUs: float64(totalLat.Load()) / float64(n) / 1000,
+		PlanReuses:   planReuses.Load(),
+	}, nil
+}

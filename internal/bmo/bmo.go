@@ -317,3 +317,34 @@ type scoredRow struct {
 	row value.Row
 	sum float64
 }
+
+// Token returns the short session-setting token for the algorithm, the
+// form the wire protocol and the shell's \algo command use.
+func (a Algorithm) Token() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case NestedLoop:
+		return "nl"
+	case BlockNestedLoop:
+		return "bnl"
+	case SortFilter:
+		return "sfs"
+	case BestLevel:
+		return "bestlevel"
+	}
+	return ""
+}
+
+// ParseToken resolves a short algorithm token (see Token); ok is false
+// for unknown tokens. Every surface that accepts an algorithm name —
+// the shell, the server's Set handler, the client — shares this one
+// mapping.
+func ParseToken(tok string) (Algorithm, bool) {
+	for _, a := range []Algorithm{Auto, NestedLoop, BlockNestedLoop, SortFilter, BestLevel} {
+		if a.Token() == tok {
+			return a, true
+		}
+	}
+	return Auto, false
+}

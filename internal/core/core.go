@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/bmo"
@@ -58,81 +59,98 @@ type Result = engine.Result
 
 // DB is a Preference SQL database: a plain SQL engine plus the preference
 // layer in front of it.
+//
+// Concurrency: read statements (SELECTs, preference or plain) share
+// stmtMu's read lock and run concurrently against consistent storage
+// snapshots; write statements take the exclusive lock and serialize. The
+// write epoch counts write statements and invalidates cached plans (see
+// Prepared). Per-client execution settings live on Session objects; the
+// def session backs the DB-level convenience API.
 type DB struct {
-	eng  *engine.DB
-	mode Mode
-	algo bmo.Algorithm
+	eng *engine.DB
+	def *Session // default session backing the DB-level API
+
+	stmtMu sync.RWMutex  // readers: queries; writers: DML/DDL
+	epoch  atomic.Uint64 // write-statement counter, for plan-cache invalidation
 
 	prefMu sync.RWMutex
 	prefs  map[string]ast.Pref // Preference Definition Language objects
 }
 
 // Open creates an empty Preference SQL database.
-func Open() *DB { return &DB{eng: engine.New(), prefs: map[string]ast.Pref{}} }
+func Open() *DB { return OpenOn(engine.New()) }
 
 // OpenOn wraps an existing engine instance.
-func OpenOn(eng *engine.DB) *DB { return &DB{eng: eng, prefs: map[string]ast.Pref{}} }
+func OpenOn(eng *engine.DB) *DB {
+	db := &DB{eng: eng, prefs: map[string]ast.Pref{}}
+	db.def = db.NewSession()
+	return db
+}
 
 // Engine exposes the underlying plain-SQL engine.
 func (db *DB) Engine() *engine.DB { return db.eng }
 
-// SetMode switches between native BMO evaluation and SQL92 rewriting.
-func (db *DB) SetMode(m Mode) { db.mode = m }
+// Epoch reports the current write epoch (the number of write statements
+// executed so far); cached plans are valid within one epoch.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
 
-// Mode reports the current execution mode.
-func (db *DB) Mode() Mode { return db.mode }
+// SetMode switches between native BMO evaluation and SQL92 rewriting.
+//
+// Deprecated: this sets the default session's mode. Concurrent clients
+// should carry their own Session (NewSession) so they cannot flip each
+// other's execution strategy mid-query.
+func (db *DB) SetMode(m Mode) { db.def.SetMode(m) }
+
+// Mode reports the default session's execution mode.
+func (db *DB) Mode() Mode { return db.def.Mode() }
 
 // SetAlgorithm selects the native BMO algorithm (default bmo.Auto).
-func (db *DB) SetAlgorithm(a bmo.Algorithm) { db.algo = a }
+//
+// Deprecated: this sets the default session's algorithm; see SetMode.
+func (db *DB) SetAlgorithm(a bmo.Algorithm) { db.def.SetAlgorithm(a) }
 
-// Exec parses and runs a ';'-separated script, returning the last result.
-func (db *DB) Exec(sql string) (*Result, error) {
-	stmts, err := parser.ParseAll(sql)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	for _, s := range stmts {
-		res, err = db.ExecStmt(s)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
+// Exec parses and runs a ';'-separated script on the default session,
+// returning the last result.
+func (db *DB) Exec(sql string) (*Result, error) { return db.def.Exec(sql) }
 
-// Query is Exec for a single query; the name mirrors database/sql.
-func (db *DB) Query(sql string) (*Result, error) { return db.Exec(sql) }
+// Query runs a single SELECT on the default session under the shared
+// read lock only; see Session.Query.
+func (db *DB) Query(sql string) (*Result, error) { return db.def.Query(sql) }
 
-// ExecStmt runs one parsed statement, routing preference queries through
-// the preference layer and everything else to the engine untouched.
-func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) {
-	switch s := stmt.(type) {
+// ExecStmt runs one parsed statement on the default session.
+func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) { return db.def.ExecStmt(stmt) }
+
+// execStmt runs one parsed statement, routing preference queries through
+// the preference layer and everything else to the engine untouched. The
+// caller holds the appropriate statement lock.
+func (s *Session) execStmt(stmt ast.Stmt) (*Result, error) {
+	db := s.db
+	switch st := stmt.(type) {
 	case *ast.Select:
-		if s.HasPreference() {
-			return db.queryPreference(s)
+		if st.HasPreference() {
+			return s.queryPreference(st)
 		}
-		if s.ButOnly != nil || len(s.Grouping) > 0 {
+		if st.ButOnly != nil || len(st.Grouping) > 0 {
 			return nil, fmt.Errorf("core: GROUPING and BUT ONLY require a PREFERRING clause")
 		}
-		return db.eng.Select(s)
+		return db.eng.Select(st)
 	case *ast.Insert:
-		if s.Sel != nil && s.Sel.HasPreference() {
-			return db.insertPreference(s)
+		if st.Sel != nil && st.Sel.HasPreference() {
+			return s.insertPreference(st)
 		}
-		return db.eng.ExecStmt(s)
+		return db.eng.ExecStmt(st)
 	case *ast.CreateView:
-		if s.Sel.HasPreference() {
+		if st.Sel.HasPreference() {
 			return nil, fmt.Errorf("core: views over PREFERRING queries are not supported")
 		}
-		return db.eng.ExecStmt(s)
+		return db.eng.ExecStmt(st)
 	case *ast.CreatePreference:
-		return db.createPreference(s)
+		return db.createPreference(st)
 	case *ast.Drop:
-		if s.Kind == "PREFERENCE" {
-			return db.dropPreference(s)
+		if st.Kind == "PREFERENCE" {
+			return db.dropPreference(st)
 		}
-		return db.eng.ExecStmt(s)
+		return db.eng.ExecStmt(st)
 	default:
 		return db.eng.ExecStmt(stmt)
 	}
@@ -249,6 +267,8 @@ func (db *DB) RewritePlan(sql string) (*rewrite.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
 	if !sel.HasPreference() {
 		return nil, fmt.Errorf("core: not a preference query")
 	}
@@ -269,7 +289,8 @@ func (db *DB) RewritePlan(sql string) (*rewrite.Plan, error) {
 // Preference query execution
 // ---------------------------------------------------------------------------
 
-func (db *DB) queryPreference(sel *ast.Select) (*Result, error) {
+func (s *Session) queryPreference(sel *ast.Select) (*Result, error) {
+	db := s.db
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
 	}
@@ -282,10 +303,10 @@ func (db *DB) queryPreference(sel *ast.Select) (*Result, error) {
 		clone.Preferring = resolved
 		sel = &clone
 	}
-	if db.mode == ModeRewrite {
+	if s.Mode() == ModeRewrite {
 		return db.queryViaRewrite(sel)
 	}
-	return db.queryNative(sel)
+	return s.queryNative(sel)
 }
 
 // candidatePipeline plans the candidate relation of a preference query:
@@ -349,7 +370,8 @@ func (db *DB) queryViaRewrite(sel *ast.Select) (*Result, error) {
 	return res, nil
 }
 
-func (db *DB) queryNative(sel *ast.Select) (*Result, error) {
+func (s *Session) queryNative(sel *ast.Select) (*Result, error) {
+	db := s.db
 	// 1. Candidate relation: FROM + hard WHERE, all columns, compiled to
 	// an operator pipeline (predicate pushdown, index probes, hash joins).
 	pipe, err := db.candidatePipeline(sel)
@@ -398,9 +420,9 @@ func (db *DB) queryNative(sel *ast.Select) (*Result, error) {
 			}
 			return b.String(), nil
 		}
-		bmoRows, err = bmo.EvaluateGrouped(pref, candRows, key, db.algo)
+		bmoRows, err = bmo.EvaluateGrouped(pref, candRows, key, s.Algorithm())
 	} else {
-		op, berr := pipe.Build(&plan.BMO{Child: pipe.Node(), Pref: pref, Algo: db.algo})
+		op, berr := pipe.Build(&plan.BMO{Child: pipe.Node(), Pref: pref, Algo: s.Algorithm()})
 		if berr != nil {
 			return nil, berr
 		}
@@ -515,8 +537,9 @@ func (db *DB) projectPreference(sel *ast.Select, cols []engine.ColInfo,
 
 // insertPreference implements §2.2.5: Preference SQL queries as sub-queries
 // of INSERT statements.
-func (db *DB) insertPreference(ins *ast.Insert) (*Result, error) {
-	res, err := db.queryPreference(ins.Sel)
+func (s *Session) insertPreference(ins *ast.Insert) (*Result, error) {
+	db := s.db
+	res, err := s.queryPreference(ins.Sel)
 	if err != nil {
 		return nil, err
 	}

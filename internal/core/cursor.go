@@ -85,13 +85,45 @@ func (c *Cursor) Close() error {
 func (c *Cursor) Stats() *exec.Stats { return c.stats }
 
 // OpenCursor plans a single SELECT (standard or Preference SQL) and
+// returns a streaming cursor over its result, on the default session.
+func (db *DB) OpenCursor(sql string) (*Cursor, error) { return db.def.OpenCursor(sql) }
+
+// OpenCursor plans a single SELECT (standard or Preference SQL) and
 // returns a streaming cursor over its result.
-func (db *DB) OpenCursor(sql string) (*Cursor, error) {
+//
+// The shared read lock is held only while the cursor opens — planning
+// plus operator Open, where every scan captures its copy-on-write
+// storage snapshot. Iteration then runs lock-free against those
+// snapshots, so an open cursor never blocks writers (DML may run while
+// a cursor streams, even from the same goroutine) and base-table rows
+// already captured are immune to later writes. Isolation is per scan,
+// not per statement: operators that open scans lazily during iteration
+// — a correlated subquery in a predicate, a nested-loop join's inner
+// re-open — snapshot at that moment and can observe writes committed
+// mid-stream. A batch Query/Exec holds the read lock for the whole
+// statement and is fully consistent.
+func (s *Session) OpenCursor(sql string) (*Cursor, error) {
 	sel, err := parser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.openCursor(sel, false)
+	return s.openCursorPinned(sel, false)
+}
+
+// OpenCursorSelect is OpenCursor for an already-parsed SELECT (the
+// server's path for cached statements). The statement must not be
+// mutated by the caller while the cursor is open.
+func (s *Session) OpenCursorSelect(sel *ast.Select) (*Cursor, error) {
+	return s.openCursorPinned(sel, false)
+}
+
+// openCursorPinned builds the cursor under the shared read lock, so the
+// open — where scans capture their snapshots — cannot interleave with a
+// write statement. The lock is released before the cursor is returned.
+func (s *Session) openCursorPinned(sel *ast.Select, strict bool) (*Cursor, error) {
+	s.db.stmtMu.RLock()
+	defer s.db.stmtMu.RUnlock()
+	return s.openCursor(sel, strict)
 }
 
 // bufferCursor iterates an already-materialized result.
@@ -109,8 +141,9 @@ func bufferCursor(cols []string, rows []value.Row) *Cursor {
 
 // openCursor builds the cursor. strict is the QueryProgressive contract:
 // the preference must be score-based and stream, otherwise error out
-// instead of falling back to batch.
-func (db *DB) openCursor(sel *ast.Select, strict bool) (*Cursor, error) {
+// instead of falling back to batch. The caller holds the read lock.
+func (s *Session) openCursor(sel *ast.Select, strict bool) (*Cursor, error) {
+	db := s.db
 	if !sel.HasPreference() {
 		if sel.ButOnly != nil || len(sel.Grouping) > 0 {
 			return nil, fmt.Errorf("core: GROUPING and BUT ONLY require a PREFERRING clause")
@@ -138,10 +171,11 @@ func (db *DB) openCursor(sel *ast.Select, strict bool) (*Cursor, error) {
 		}
 		return &Cursor{cols: names, stats: pipe.Stats(), pull: op.Next, fin: op.Close}, nil
 	}
-	return db.openPreferenceCursor(sel, strict)
+	return s.openPreferenceCursor(sel, strict)
 }
 
-func (db *DB) openPreferenceCursor(sel *ast.Select, strict bool) (*Cursor, error) {
+func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool) (*Cursor, error) {
+	db := s.db
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
 	}
@@ -158,8 +192,8 @@ func (db *DB) openPreferenceCursor(sel *ast.Select, strict bool) (*Cursor, error
 	// Result shapes that need the whole BMO set first — and the rewrite
 	// execution mode — batch-evaluate and iterate. QueryProgressive (strict)
 	// rejects these shapes before getting here.
-	if !strict && (len(sel.OrderBy) > 0 || len(sel.Grouping) > 0 || sel.Distinct || db.mode == ModeRewrite) {
-		res, err := db.queryPreference(sel)
+	if !strict && (len(sel.OrderBy) > 0 || len(sel.Grouping) > 0 || sel.Distinct || s.Mode() == ModeRewrite) {
+		res, err := s.queryPreference(sel)
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +212,7 @@ func (db *DB) openPreferenceCursor(sel *ast.Select, strict bool) (*Cursor, error
 		return nil, err
 	}
 	progressive := strict || bmo.Streamable(pref)
-	op, err := pipe.Build(&plan.BMO{Child: pipe.Node(), Pref: pref, Algo: db.algo, Progressive: progressive})
+	op, err := pipe.Build(&plan.BMO{Child: pipe.Node(), Pref: pref, Algo: s.Algorithm(), Progressive: progressive})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/plan"
+)
+
+// Prepared is a statement script parsed once and re-executable many
+// times: the unit the server's prepared-statement cache stores, keyed on
+// SQL text. Parsing always happens exactly once (at Prepare). For a
+// script that is a single plain streaming SELECT, the logical plan is
+// additionally cached and re-executed directly, skipping the planner —
+// the plan is invalidated whenever the database's write epoch moves, so
+// stale index choices or materialized view data never leak between
+// writes.
+//
+// A Prepared is safe for concurrent re-execution from many sessions: the
+// statements are never mutated during execution, and each execution
+// builds a fresh operator tree and statement context over the shared
+// plan.
+type Prepared struct {
+	SQL   string
+	stmts []ast.Stmt
+
+	mu          sync.Mutex
+	unplannable bool // the single SELECT cannot stream (grouped, preference, ...)
+	planNode    plan.Node
+	planEpoch   uint64
+}
+
+// Prepare parses a ';'-separated script once for repeated execution.
+func (db *DB) Prepare(sql string) (*Prepared, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{SQL: sql, stmts: stmts}, nil
+}
+
+// Stmts exposes the parsed statements (read-only; callers must not
+// mutate them).
+func (p *Prepared) Stmts() []ast.Stmt { return p.stmts }
+
+// SingleSelect returns the script's statement when it is exactly one
+// SELECT, the shape the server streams through a cursor.
+func (p *Prepared) SingleSelect() (*ast.Select, bool) {
+	if len(p.stmts) != 1 {
+		return nil, false
+	}
+	sel, ok := p.stmts[0].(*ast.Select)
+	return sel, ok
+}
+
+// cachedPlan returns a reusable logical plan for sel, rebuilding it when
+// the write epoch moved since it was cached. reused reports whether the
+// planner was skipped. The caller holds the shared read lock, so the
+// epoch cannot move during the subsequent execution.
+func (p *Prepared) cachedPlan(db *DB, sel *ast.Select) (node plan.Node, reused bool) {
+	epoch := db.epoch.Load()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.unplannable {
+		return nil, false
+	}
+	if p.planNode != nil && p.planEpoch == epoch {
+		return p.planNode, true
+	}
+	n, err := db.eng.PlanStream(sel)
+	if err != nil {
+		// A shape the streaming planner can never compile (grouped,
+		// aggregate, preference) latches the fallback permanently; a
+		// data-dependent failure — e.g. the table doesn't exist yet —
+		// just skips caching this time and retries on a later epoch.
+		if errors.Is(err, engine.ErrNotStreamable) || errors.Is(err, engine.ErrPreferenceQuery) {
+			p.unplannable = true
+		}
+		return nil, false
+	}
+	p.planNode, p.planEpoch = n, epoch
+	return n, false
+}
+
+// ExecPrepared runs a prepared script on this session. reusedPlan
+// reports whether at least one statement skipped the planner by
+// re-executing a cached plan.
+func (s *Session) ExecPrepared(p *Prepared) (res *Result, reusedPlan bool, err error) {
+	res = &Result{}
+	for _, st := range p.stmts {
+		var r bool
+		res, r, err = s.execPreparedStmt(p, st)
+		if err != nil {
+			return nil, false, err
+		}
+		reusedPlan = reusedPlan || r
+	}
+	return res, reusedPlan, nil
+}
+
+func (s *Session) execPreparedStmt(p *Prepared, st ast.Stmt) (*Result, bool, error) {
+	db := s.db
+	if StmtReadOnly(st) {
+		db.stmtMu.RLock()
+		defer db.stmtMu.RUnlock()
+		if sel, ok := p.SingleSelect(); ok && sel == st {
+			if node, reused := p.cachedPlan(db, sel); node != nil {
+				res, err := db.eng.ExecPlan(node)
+				return res, reused, err
+			}
+		}
+		res, err := s.execStmt(st)
+		return res, false, err
+	}
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	db.epoch.Add(1)
+	res, err := s.execStmt(st)
+	return res, false, err
+}

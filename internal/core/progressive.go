@@ -20,6 +20,11 @@ import (
 // non-score terms require batch evaluation and error out here — use
 // OpenCursor for the falling-back variant).
 func (db *DB) QueryProgressive(sql string, yield func(value.Row) bool) ([]string, error) {
+	return db.def.QueryProgressive(sql, yield)
+}
+
+// QueryProgressive is the session-scoped variant; see DB.QueryProgressive.
+func (s *Session) QueryProgressive(sql string, yield func(value.Row) bool) ([]string, error) {
 	sel, err := parser.ParseSelect(sql)
 	if err != nil {
 		return nil, err
@@ -33,7 +38,7 @@ func (db *DB) QueryProgressive(sql string, yield func(value.Row) bool) ([]string
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
 	}
-	c, err := db.openCursor(sel, true)
+	c, err := s.openCursorPinned(sel, true)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/bmo"
+	"repro/internal/parser"
+)
+
+// Session is one client's view of a shared DB: it carries the per-client
+// execution settings (mode, BMO algorithm) so that concurrent clients of
+// the same database cannot flip each other's strategy mid-query, and it
+// is the layer that takes the statement locks — read statements share the
+// read lock and run concurrently against a consistent snapshot, write
+// statements take the exclusive lock and serialize.
+//
+// A Session is safe for concurrent use (the settings are atomics), but is
+// conventionally owned by one client — the server allocates one per
+// connection. DB's own Exec/Query/SetMode methods delegate to a default
+// session, preserving the embedded single-client API.
+type Session struct {
+	db   *DB
+	mode atomic.Int32
+	algo atomic.Int32
+}
+
+// NewSession creates a session with default settings (native mode, auto
+// algorithm), sharing this database's data with every other session.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// DB returns the shared database this session runs against.
+func (s *Session) DB() *DB { return s.db }
+
+// SetMode switches this session between native BMO evaluation and SQL92
+// rewriting. Other sessions are unaffected.
+func (s *Session) SetMode(m Mode) { s.mode.Store(int32(m)) }
+
+// Mode reports this session's execution mode.
+func (s *Session) Mode() Mode { return Mode(s.mode.Load()) }
+
+// SetAlgorithm selects this session's native BMO algorithm.
+func (s *Session) SetAlgorithm(a bmo.Algorithm) { s.algo.Store(int32(a)) }
+
+// Algorithm reports this session's native BMO algorithm.
+func (s *Session) Algorithm() bmo.Algorithm { return bmo.Algorithm(s.algo.Load()) }
+
+// StmtReadOnly reports whether a statement only reads data: such
+// statements run under the shared read lock, concurrently with each
+// other. Everything else (DML, DDL, preference definitions) serializes
+// under the exclusive write lock. Preference SELECTs count as reads even
+// in rewrite mode: the auxiliary views the rewriting creates carry
+// collision-free generated names and only touch the catalog maps, which
+// have their own lock.
+func StmtReadOnly(stmt ast.Stmt) bool {
+	_, ok := stmt.(*ast.Select)
+	return ok
+}
+
+// Exec parses and runs a ';'-separated script, returning the last
+// statement's result. Locks are taken per statement: reads share, writes
+// serialize.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmts, err := parser.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, st := range stmts {
+		res, err = s.ExecStmt(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Query runs a single SELECT (standard or Preference SQL) under the
+// shared read lock only, so concurrent queries never serialize behind the
+// write path. Non-SELECT statements are rejected — use Exec.
+func (s *Session) Query(sql string) (*Result, error) {
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.db.stmtMu.RLock()
+	defer s.db.stmtMu.RUnlock()
+	return s.execStmt(sel)
+}
+
+// ExecStmt runs one parsed statement under the appropriate lock.
+func (s *Session) ExecStmt(stmt ast.Stmt) (*Result, error) {
+	if StmtReadOnly(stmt) {
+		s.db.stmtMu.RLock()
+		defer s.db.stmtMu.RUnlock()
+		return s.execStmt(stmt)
+	}
+	s.db.stmtMu.Lock()
+	defer s.db.stmtMu.Unlock()
+	s.db.epoch.Add(1)
+	return s.execStmt(stmt)
+}
+
+// ExecStmts runs a pre-parsed statement list (the server's path for
+// cached scripts), locking per statement like Exec.
+func (s *Session) ExecStmts(stmts []ast.Stmt) (*Result, error) {
+	res := &Result{}
+	var err error
+	for _, st := range stmts {
+		res, err = s.ExecStmt(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

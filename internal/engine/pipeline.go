@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -92,7 +93,7 @@ func (db *DB) Pipeline(sel *ast.Select) (*Pipeline, error) {
 		return nil, ErrPreferenceQuery
 	}
 	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
-		return nil, fmt.Errorf("engine: grouped/aggregate queries do not stream")
+		return nil, ErrNotStreamable
 	}
 	ctx := newExecContext(db)
 	ev := &expr.Evaluator{Runner: ctx}
@@ -101,6 +102,54 @@ func (db *DB) Pipeline(sel *ast.Select) (*Pipeline, error) {
 		return nil, err
 	}
 	return &Pipeline{ctx: ctx, ev: ev, node: node, stats: ctx.stats}, nil
+}
+
+// ErrNotStreamable marks statement shapes the streaming planner cannot
+// compile at all (grouped/aggregate queries); unlike data-dependent
+// plan failures (a table that doesn't exist yet), it never goes away
+// for a given statement.
+var ErrNotStreamable = errors.New("engine: grouped/aggregate queries do not stream")
+
+// PlanStream compiles a plain streaming SELECT to its logical plan
+// without executing it — the half of the work a prepared statement can
+// cache. Grouped/aggregate and preference queries are rejected (they do
+// not stream; see Pipeline) with shape errors (ErrNotStreamable,
+// ErrPreferenceQuery); other failures are data-dependent and may
+// succeed on retry. Views referenced by the statement are materialized
+// into the plan, so cached plans must be invalidated when the data
+// changes (the core layer's write epoch does this).
+func (db *DB) PlanStream(sel *ast.Select) (plan.Node, error) {
+	if sel.HasPreference() || sel.ButOnly != nil || len(sel.Grouping) > 0 {
+		return nil, ErrPreferenceQuery
+	}
+	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
+		return nil, ErrNotStreamable
+	}
+	ctx := newExecContext(db)
+	return ctx.plannerFor(nil).PlanSelect(sel)
+}
+
+// ExecPlan executes a previously compiled plan with a fresh statement
+// context: the re-execution half of a prepared statement. The plan is
+// read-only during execution, so many goroutines may ExecPlan the same
+// node concurrently.
+func (db *DB) ExecPlan(node plan.Node) (*Result, error) {
+	ctx := newExecContext(db)
+	ev := &expr.Evaluator{Runner: ctx}
+	op, err := exec.Build(node, ctx.execEnv(ev, nil))
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	sch := node.Schema()
+	cols := make([]string, len(sch))
+	for i, c := range sch {
+		cols[i] = c.Name
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
 }
 
 // Node returns the plan root, for wrapping or EXPLAIN formatting.

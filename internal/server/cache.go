@@ -1,0 +1,112 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// stmtCache is the server's shared prepared-statement cache: an LRU map
+// from SQL text to a core.Prepared (parsed once; plain SELECTs also keep
+// a plan that is reused until the write epoch moves). All connections
+// share one cache, so a statement one client prepared is a hit for every
+// other client issuing the same text.
+type stmtCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	sql  string
+	prep *core.Prepared
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Size      int
+	Cap       int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits / (hits+misses), 0 when idle.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &stmtCache{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the prepared form of sql, parsing it on a miss. hit
+// reports whether the parse was skipped. A missed entry is only
+// inserted when keep approves it — the Query path passes a predicate
+// that rejects multi-statement and write scripts, so one-shot bulk
+// loads can't pin their text in memory or evict the hot SELECTs the
+// cache exists for. Parse errors are never cached: the same broken text
+// re-parses (and re-fails) each time, which keeps the cache free of
+// junk entries.
+func (c *stmtCache) get(db *core.DB, sql string, keep func(*core.Prepared) bool) (prep *core.Prepared, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[sql]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		prep = el.Value.(*cacheEntry).prep
+		c.mu.Unlock()
+		return prep, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock; concurrent misses on the same text may both
+	// parse, and the second insert wins the map slot — harmless.
+	prep, err = db.Prepare(sql)
+	if err != nil {
+		return nil, false, err
+	}
+	if keep != nil && !keep(prep) {
+		return prep, false, nil
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[sql]; ok {
+		// Lost the race; adopt the existing entry so every connection
+		// shares one Prepared (and its cached plan).
+		c.order.MoveToFront(el)
+		prep = el.Value.(*cacheEntry).prep
+	} else {
+		c.entries[sql] = c.order.PushFront(&cacheEntry{sql: sql, prep: prep})
+		for c.order.Len() > c.cap {
+			last := c.order.Back()
+			delete(c.entries, last.Value.(*cacheEntry).sql)
+			c.order.Remove(last)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return prep, false, nil
+}
+
+// stats snapshots the counters.
+func (c *stmtCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size: c.order.Len(), Cap: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,508 @@
+// Package server is the Preference SQL server front end: a TCP server
+// speaking the internal/wire protocol, serving many concurrent client
+// sessions over one shared database — the middleware deployment of the
+// original system (§4.3: client applications like COSIMA talked to
+// Preference SQL over the network).
+//
+// Each connection gets its own core.Session, so mode/algorithm settings
+// are per client. Read queries run concurrently against consistent
+// storage snapshots; write statements serialize on the database's
+// exclusive lock. All connections share one LRU prepared-statement cache
+// keyed on SQL text: a repeated statement skips parsing, and a repeated
+// plain SELECT re-executes its cached plan, skipping the planner too.
+// Single-SELECT queries stream their rows as the pipeline produces them
+// (progressively for score-based preferences), and a client Cancel stops
+// the stream between rows.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/bmo"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Options configures a Server. The zero value is usable.
+type Options struct {
+	// CacheSize bounds the shared prepared-statement cache (default 128).
+	CacheSize int
+	// Banner is sent in the handshake reply.
+	Banner string
+	// Logf, when set, receives one line per accepted/failed connection.
+	Logf func(format string, args ...any)
+}
+
+// Server serves Preference SQL over TCP.
+type Server struct {
+	db    *core.DB
+	opts  Options
+	cache *stmtCache
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	sessionSeq atomic.Uint32
+}
+
+// New creates a server over an opened database.
+func New(db *core.DB, opts Options) *Server {
+	if opts.Banner == "" {
+		opts.Banner = "prefsql"
+	}
+	return &Server{db: db, opts: opts, cache: newStmtCache(opts.CacheSize), conns: map[net.Conn]struct{}{}}
+}
+
+// DB returns the served database.
+func (s *Server) DB() *core.DB { return s.db }
+
+// CacheStats snapshots the shared prepared-statement cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// Addr returns the listening address, nil before Serve/Start.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Start listens on addr and serves in a background goroutine; it returns
+// the bound address (use "127.0.0.1:0" for an ephemeral loopback port).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = s.Serve(lis) }()
+	return lis.Addr(), nil
+}
+
+// Serve accepts connections on lis until Close. Each connection is
+// handled by its own goroutine (the worker model: reads from different
+// connections execute concurrently; writes serialize in the core layer).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("server: closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(nc)
+			s.mu.Lock()
+			delete(s.conns, nc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection handler
+// ---------------------------------------------------------------------------
+
+// maxStmtsPerConn bounds one connection's open prepared-statement
+// handles (the shared LRU cache has its own capacity).
+const maxStmtsPerConn = 256
+
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	bw   *bufio.Writer
+	sess *core.Session
+
+	// frames carries client messages from the reader goroutine; Cancel
+	// frames never enter it — the reader flips cancel instead, so a
+	// cancel overtakes the row stream the handler is busy writing.
+	// done closes when the handler exits, releasing a reader blocked on
+	// a full frames channel.
+	frames chan frame
+	done   chan struct{}
+	cancel atomic.Bool
+
+	stmts    map[uint32]*core.Prepared
+	stmtSeq  uint32
+	sessID   uint32
+	shakenOK bool
+}
+
+func (s *Server) handle(nc net.Conn) {
+	c := &conn{
+		srv:    s,
+		nc:     nc,
+		bw:     bufio.NewWriter(nc),
+		sess:   s.db.NewSession(),
+		frames: make(chan frame, 16),
+		done:   make(chan struct{}),
+		stmts:  map[uint32]*core.Prepared{},
+		sessID: s.sessionSeq.Add(1),
+	}
+	defer nc.Close()
+	defer close(c.done)
+
+	go c.readLoop()
+
+	if err := c.run(); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		s.logf("server: session %d: %v", c.sessID, err)
+	}
+}
+
+// readLoop pulls frames off the socket so that Cancel can overtake a
+// row stream in flight. It exits (closing frames) when the peer hangs
+// up or the connection is closed.
+func (c *conn) readLoop() {
+	defer close(c.frames)
+	for {
+		typ, payload, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			return
+		}
+		if typ == wire.MsgCancel {
+			c.cancel.Store(true)
+			continue
+		}
+		select {
+		case c.frames <- frame{typ, payload}:
+		case <-c.done:
+			return
+		}
+		if typ == wire.MsgQuit {
+			return
+		}
+	}
+}
+
+func (c *conn) run() error {
+	// Handshake first.
+	f, ok := <-c.frames
+	if !ok {
+		return io.EOF
+	}
+	if f.typ != wire.MsgHello {
+		return fmt.Errorf("expected Hello, got %#x", f.typ)
+	}
+	r := wire.NewReader(f.payload)
+	ver := r.U16()
+	_ = r.String() // client name, informational
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if ver != wire.Version {
+		return fmt.Errorf("protocol version %d unsupported", ver)
+	}
+	var hello wire.Buffer
+	hello.U16(wire.Version)
+	hello.U32(c.sessID)
+	hello.String(c.srv.opts.Banner)
+	if err := c.send(wire.MsgHelloOK, hello.B); err != nil {
+		return err
+	}
+
+	for f := range c.frames {
+		var err error
+		switch f.typ {
+		case wire.MsgQuit:
+			return nil
+		case wire.MsgQuery:
+			err = c.handleQuery(f.payload)
+		case wire.MsgPrepare:
+			err = c.handlePrepare(f.payload)
+		case wire.MsgExecute:
+			err = c.handleExecute(f.payload)
+		case wire.MsgCloseStmt:
+			err = c.handleCloseStmt(f.payload)
+		case wire.MsgSet:
+			err = c.handleSet(f.payload)
+		default:
+			err = fmt.Errorf("unexpected message %#x", f.typ)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return io.EOF
+}
+
+func (c *conn) send(typ byte, payload []byte) error {
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// sendError reports a statement failure and keeps the connection alive.
+func (c *conn) sendError(err error) error {
+	var b wire.Buffer
+	b.String(err.Error())
+	return c.send(wire.MsgError, b.B)
+}
+
+func (c *conn) sendDone(affected, rows int, flags byte) error {
+	var b wire.Buffer
+	b.U32(uint32(affected))
+	b.U32(uint32(rows))
+	b.U8(flags)
+	return c.send(wire.MsgDone, b.B)
+}
+
+// sendResult streams a materialized result.
+func (c *conn) sendResult(res *core.Result, flags byte) error {
+	if len(res.Columns) > 0 {
+		var b wire.Buffer
+		b.Strings(res.Columns)
+		if err := c.send(wire.MsgColumns, b.B); err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			var rb wire.Buffer
+			rb.Row(row)
+			if err := wire.WriteFrame(c.bw, wire.MsgRow, rb.B); err != nil {
+				return err
+			}
+		}
+	}
+	return c.sendDone(res.Affected, len(res.Rows), flags)
+}
+
+func (c *conn) handleQuery(payload []byte) error {
+	r := wire.NewReader(payload)
+	sql := r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	c.cancel.Store(false)
+	// Ad-hoc statements enter the shared cache only when they are a
+	// single SELECT — the shape that profits from re-execution. One-shot
+	// DML/bulk-load scripts execute parse-and-discard.
+	prep, hit, err := c.srv.cache.get(c.srv.db, sql, func(p *core.Prepared) bool {
+		_, ok := p.SingleSelect()
+		return ok
+	})
+	if err != nil {
+		return c.sendError(err)
+	}
+	var flags byte
+	if hit {
+		flags |= wire.FlagCacheHit
+	}
+	if sel, ok := prep.SingleSelect(); ok {
+		return c.streamSelect(sel, flags)
+	}
+	res, err := c.sess.ExecStmts(prep.Stmts())
+	if err != nil {
+		return c.sendError(err)
+	}
+	return c.sendResult(res, flags)
+}
+
+// streamSelect runs one SELECT through the session cursor and streams
+// each row as the pipeline produces it — the progressive path: the
+// client sees the first best matches while dominance testing continues,
+// and a Cancel stops the remaining work.
+func (c *conn) streamSelect(sel *ast.Select, flags byte) error {
+	cur, err := c.sess.OpenCursorSelect(sel)
+	if err != nil {
+		return c.sendError(err)
+	}
+	defer cur.Close()
+	var b wire.Buffer
+	b.Strings(cur.Columns())
+	if err := c.send(wire.MsgColumns, b.B); err != nil {
+		return err
+	}
+	n := 0
+	for cur.Next() {
+		if c.cancel.Load() {
+			flags |= wire.FlagCancelled
+			break
+		}
+		var rb wire.Buffer
+		rb.Row(cur.Row())
+		if err := wire.WriteFrame(c.bw, wire.MsgRow, rb.B); err != nil {
+			return err
+		}
+		n++
+		// Flush eagerly at the head of the stream — progressive first
+		// answers reach the client as soon as they are known maximal —
+		// then batch: one syscall per row would dominate bulk results.
+		// (bufio also flushes on its own whenever its buffer fills.)
+		if n <= 16 || n%64 == 0 {
+			if err := c.bw.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return c.sendError(err)
+	}
+	return c.sendDone(0, n, flags)
+}
+
+func (c *conn) handlePrepare(payload []byte) error {
+	r := wire.NewReader(payload)
+	sql := r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// Bound the per-connection handle map: the shared cache evicts at
+	// capacity, but handles pin their Prepared beyond eviction, so a
+	// client looping Prepare without CloseStmt must not grow server
+	// memory without bound.
+	if len(c.stmts) >= maxStmtsPerConn {
+		return c.sendError(fmt.Errorf("server: too many open prepared statements (max %d); CloseStmt some", maxStmtsPerConn))
+	}
+	// An explicit Prepare always caches: the client is declaring intent
+	// to re-execute.
+	prep, _, err := c.srv.cache.get(c.srv.db, sql, nil)
+	if err != nil {
+		return c.sendError(err)
+	}
+	c.stmtSeq++
+	id := c.stmtSeq
+	c.stmts[id] = prep
+	var b wire.Buffer
+	b.U32(id)
+	return c.send(wire.MsgPrepared, b.B)
+}
+
+func (c *conn) handleExecute(payload []byte) error {
+	r := wire.NewReader(payload)
+	id := r.U32()
+	argc := r.U16()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if argc != 0 {
+		return c.sendError(fmt.Errorf("server: bind parameters are not supported yet"))
+	}
+	prep, ok := c.stmts[id]
+	if !ok {
+		return c.sendError(fmt.Errorf("server: no prepared statement %d", id))
+	}
+	c.cancel.Store(false)
+	res, reused, err := c.sess.ExecPrepared(prep)
+	if err != nil {
+		return c.sendError(err)
+	}
+	flags := wire.FlagCacheHit
+	if reused {
+		flags |= wire.FlagPlanReused
+	}
+	return c.sendResult(res, flags)
+}
+
+func (c *conn) handleCloseStmt(payload []byte) error {
+	r := wire.NewReader(payload)
+	id := r.U32()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	delete(c.stmts, id)
+	return c.sendDone(0, 0, 0)
+}
+
+func (c *conn) handleSet(payload []byte) error {
+	r := wire.NewReader(payload)
+	key, val := r.String(), r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	switch key {
+	case wire.SetMode:
+		switch val {
+		case "native":
+			c.sess.SetMode(core.ModeNative)
+		case "rewrite":
+			c.sess.SetMode(core.ModeRewrite)
+		default:
+			return c.sendError(fmt.Errorf("server: unknown mode %q", val))
+		}
+	case wire.SetAlgorithm:
+		a, ok := bmo.ParseToken(val)
+		if !ok {
+			return c.sendError(fmt.Errorf("server: unknown algorithm %q", val))
+		}
+		c.sess.SetAlgorithm(a)
+	default:
+		return c.sendError(fmt.Errorf("server: unknown setting %q", key))
+	}
+	return c.sendDone(0, 0, 0)
+}

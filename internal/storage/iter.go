@@ -1,6 +1,10 @@
 package storage
 
-import "repro/internal/value"
+import (
+	"strings"
+
+	"repro/internal/value"
+)
 
 // RowIter is a pull-based iterator over stored rows: the scan interface the
 // execution layer consumes instead of raw row slices, so that operators can
@@ -27,10 +31,16 @@ func (it *heapIter) Next() (value.Row, bool) {
 	return r, true
 }
 
-// Scan returns an iterator over the table's rows in insertion order. The
-// iterator snapshots the heap slice at creation: rows inserted afterwards
-// are not seen, matching statement-level isolation.
-func (t *Table) Scan() RowIter { return &heapIter{rows: t.rows} }
+// Scan returns an iterator over the table's rows in insertion order. It
+// captures the copy-on-write heap slice at creation — the same view a
+// Snapshot provides, without paying for the index capture a plain scan
+// never uses — so rows inserted afterwards are not seen, matching
+// statement-level isolation.
+func (t *Table) Scan() RowIter {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return &heapIter{rows: t.rows}
+}
 
 // posIter resolves heap positions lazily.
 type posIter struct {
@@ -48,8 +58,31 @@ func (it *posIter) Next() (value.Row, bool) {
 	return r, true
 }
 
-// Probe returns an iterator over the rows whose leading column of ix equals
-// v, in heap order — the index-scan access path.
+// Probe returns an iterator over the rows whose leading column of ix
+// equals v, in heap order — the index-scan access path. The heap and
+// the bucket lookup are captured in one critical section (writers are
+// excluded), so the probed positions and the heap they index always
+// belong to the same instant; only the probed index is touched, unlike
+// a full Snapshot. ix is resolved by name against the table's current
+// index set, and a stale pointer (the index was dropped, or the
+// caller's plan predates a re-create) degrades to a full scan that the
+// residual filter corrects, rather than indexing a compacted heap out
+// of range.
 func (t *Table) Probe(ix *Index, v value.Value) RowIter {
-	return &posIter{rows: t.rows, pos: ix.Lookup(v)}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	own, ok := t.indexes[strings.ToLower(ix.Name)]
+	if !ok || !sameLeadingColumn(own, ix) {
+		// Index gone, or a same-name index re-created over a different
+		// column: probing it would drop matching rows. Over-approximate
+		// with a full scan instead.
+		return &heapIter{rows: t.rows}
+	}
+	return &posIter{rows: t.rows, pos: own.Lookup(v)}
+}
+
+// sameLeadingColumn reports whether a probe planned against want can be
+// answered by have: both single-column over the same schema position.
+func sameLeadingColumn(have, want *Index) bool {
+	return len(have.Columns) == 1 && len(want.Columns) == 1 && have.Columns[0] == want.Columns[0]
 }

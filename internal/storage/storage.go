@@ -54,10 +54,22 @@ func (s *Schema) Names() []string {
 }
 
 // Table is a heap of typed rows plus its secondary indexes.
+//
+// Concurrency: any number of readers may run concurrently with each
+// other and with one writer. Readers obtain a consistent view via
+// Snapshot (or the Scan/Probe iterators, which snapshot internally);
+// writers mutate copy-on-write under the table lock, so a view taken
+// before a write keeps seeing the old heap. Writers themselves must be
+// serialized by the caller — Update/Delete evaluate their callbacks on
+// a private copy (the callbacks may scan this very table) and publish
+// last-writer-wins, which the SQL layers guarantee via the statement
+// write lock; direct Table users doing concurrent writes must bring
+// their own serialization.
 type Table struct {
 	Name   string
 	Schema Schema
 
+	mu      sync.RWMutex
 	rows    []value.Row
 	indexes map[string]*Index
 	pkCol   int // -1 if no primary key
@@ -76,11 +88,21 @@ func NewTable(name string, schema Schema) *Table {
 }
 
 // RowCount returns the number of rows.
-func (t *Table) RowCount() int { return len(t.rows) }
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
 
-// Rows exposes the underlying row storage for scanning. Callers must not
+// Rows exposes the heap as of the call, a copy-on-write snapshot: rows
+// appended afterwards are invisible (the slice length is fixed) and
+// updates/deletes replace the heap slice wholesale. Callers must not
 // mutate the returned slice or its rows.
-func (t *Table) Rows() []value.Row { return t.rows }
+func (t *Table) Rows() []value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
 
 // normalize coerces a row to the schema kinds and checks constraints.
 func (t *Table) normalize(row value.Row) (value.Row, error) {
@@ -113,6 +135,8 @@ func (t *Table) Insert(row value.Row) error {
 	if err != nil {
 		return err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.pkCol >= 0 {
 		key := norm[t.pkCol].Key()
 		for _, r := range t.rows {
@@ -134,12 +158,19 @@ func (t *Table) Insert(row value.Row) error {
 // copy-on-write: the previous heap slice is left untouched so that open
 // scan iterators keep a consistent snapshot.
 func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) (value.Row, error)) (int, error) {
+	// Work on a private copy WITHOUT holding the table lock: the match/set
+	// callbacks evaluate arbitrary expressions, including subqueries that
+	// scan this same table (t.mu.RLock) — holding t.mu here would
+	// self-deadlock. Statement-level exclusion (the core layer's write
+	// lock) keeps concurrent writers off the table meanwhile.
+	t.mu.RLock()
 	rows := append([]value.Row(nil), t.rows...)
+	t.mu.RUnlock()
 	n := 0
 	for i, r := range rows {
 		ok, err := match(r)
 		if err != nil {
-			return n, err
+			return n, err // error: nothing published, table unchanged
 		}
 		if !ok {
 			continue
@@ -156,8 +187,10 @@ func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) 
 		n++
 	}
 	if n > 0 {
+		t.mu.Lock()
 		t.rows = rows
 		t.rebuildIndexes()
+		t.mu.Unlock()
 	}
 	return n, nil
 }
@@ -166,15 +199,25 @@ func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) 
 // Like Update, it never compacts the old heap slice in place: open scan
 // iterators keep seeing their snapshot.
 func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
-	kept := make([]value.Row, 0, len(t.rows))
+	// Like Update: evaluate match without the table lock (it may scan
+	// this table through a subquery) and only publish under it.
+	t.mu.RLock()
+	old := t.rows
+	t.mu.RUnlock()
+	kept := make([]value.Row, 0, len(old))
 	n := 0
-	for _, r := range t.rows {
+	publish := func() {
+		t.mu.Lock()
+		t.rows = kept
+		t.rebuildIndexes()
+		t.mu.Unlock()
+	}
+	for _, r := range old {
 		ok, err := match(r)
 		if err != nil {
 			// keep remaining rows intact on error
-			kept = append(kept, t.rows[len(kept)+n:]...)
-			t.rows = kept
-			t.rebuildIndexes()
+			kept = append(kept, old[len(kept)+n:]...)
+			publish()
 			return n, err
 		}
 		if ok {
@@ -183,15 +226,16 @@ func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
 		}
 		kept = append(kept, r)
 	}
-	t.rows = kept
 	if n > 0 {
-		t.rebuildIndexes()
+		publish()
 	}
 	return n, nil
 }
 
 // Truncate removes all rows.
 func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.rows = nil
 	t.rebuildIndexes()
 }
@@ -203,19 +247,119 @@ func (t *Table) rebuildIndexes() {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+// Snapshot is an explicit consistent read view of a table: the heap
+// slice and each index's bucket map as of one instant. Writers never
+// invalidate either: inserts only append (to the heap and to the
+// current bucket maps — positions beyond the snapshot's length are
+// filtered out on probe), and updates/deletes swap in a fresh heap
+// slice and fresh bucket maps, so the captured ones freeze exactly as
+// they were. A Snapshot therefore keeps returning precisely the rows it
+// was created over for as long as the caller holds it, regardless of
+// concurrent writes.
+//
+// Scan and Probe on the Table itself capture the same copy-on-write
+// view per call (one iteration each); Snapshot is the long-lived form
+// for holders that must scan and probe the same instant repeatedly
+// while writes proceed — TestSnapshotProbeAfterRebuild pins exactly
+// that guarantee.
+type Snapshot struct {
+	Schema  Schema
+	rows    []value.Row
+	indexes map[string]snapIndex
+}
+
+// snapIndex pairs an index with the bucket map it had at capture time
+// (the Index object itself keeps mutating with the live table).
+type snapIndex struct {
+	ix      *Index
+	buckets map[string][]int
+}
+
+// Snapshot captures the table's current heap and index state.
+func (t *Table) Snapshot() *Snapshot {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx := make(map[string]snapIndex, len(t.indexes))
+	for k, ix := range t.indexes {
+		ix.mu.RLock()
+		idx[k] = snapIndex{ix: ix, buckets: ix.buckets}
+		ix.mu.RUnlock()
+	}
+	return &Snapshot{Schema: t.Schema, rows: t.rows, indexes: idx}
+}
+
+// Rows returns the snapshot's heap. Callers must not mutate it.
+func (s *Snapshot) Rows() []value.Row { return s.rows }
+
+// Len returns the number of rows in the snapshot.
+func (s *Snapshot) Len() int { return len(s.rows) }
+
+// Scan iterates the snapshot's rows in insertion order.
+func (s *Snapshot) Scan() RowIter { return &heapIter{rows: s.rows} }
+
+// Probe iterates the snapshot rows whose leading column of ix equals v.
+// The probe resolves ix by name against the snapshot's captured bucket
+// maps (the caller may hold an Index pointer from an older or newer
+// plan) and filters out positions appended after the snapshot was
+// taken. An index the snapshot doesn't know — created after the capture
+// or since dropped — degrades to a full snapshot scan: the planner
+// keeps the probed equality in the residual filter, so a probe may
+// over-approximate but must never miss a matching row.
+func (s *Snapshot) Probe(ix *Index, v value.Value) RowIter {
+	si, ok := s.indexes[strings.ToLower(ix.Name)]
+	if !ok || !sameLeadingColumn(si.ix, ix) {
+		return &heapIter{rows: s.rows}
+	}
+	// The captured map only ever grows (inserts append under the index
+	// lock; rebuilds target a fresh map), so reading it needs the same
+	// lock inserts hold.
+	si.ix.mu.RLock()
+	pos := si.buckets[singleKey(v)]
+	si.ix.mu.RUnlock()
+	// Positions beyond the snapshot heap belong to rows inserted later.
+	n := 0
+	for _, p := range pos {
+		if p < len(s.rows) {
+			n++
+		}
+	}
+	if n < len(pos) {
+		kept := make([]int, 0, n)
+		for _, p := range pos {
+			if p < len(s.rows) {
+				kept = append(kept, p)
+			}
+		}
+		pos = kept
+	}
+	return &posIter{rows: s.rows, pos: pos}
+}
+
+// ---------------------------------------------------------------------------
 // Indexes
 // ---------------------------------------------------------------------------
 
 // Index is a hash index over one or more columns, mapping key → row
-// positions in the heap.
+// positions in the heap. Bucket access is guarded by the index's own
+// lock: inserts append to buckets in place, updates/deletes swap in a
+// freshly built bucket map. Probes that must stay consistent with a
+// specific heap version go through Snapshot.Probe, which pairs the
+// lookup with the heap captured in the same instant.
 type Index struct {
 	Name    string
 	Columns []int // positions in the schema
+
+	mu      sync.RWMutex
 	buckets map[string][]int
 }
 
 // CreateIndex builds a hash index over the named columns.
 func (t *Table) CreateIndex(name string, cols []string) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if _, exists := t.indexes[strings.ToLower(name)]; exists {
 		return nil, fmt.Errorf("index %s already exists", name)
 	}
@@ -227,19 +371,33 @@ func (t *Table) CreateIndex(name string, cols []string) (*Index, error) {
 		}
 		positions[i] = pos
 	}
-	idx := &Index{Name: name, Columns: positions, buckets: map[string][]int{}}
+	idx := &Index{Name: name, Columns: positions}
 	idx.rebuild(t.rows)
-	t.indexes[strings.ToLower(name)] = idx
+	// Publish into a fresh map so snapshots keep their captured index set.
+	next := make(map[string]*Index, len(t.indexes)+1)
+	for k, v := range t.indexes {
+		next[k] = v
+	}
+	next[strings.ToLower(name)] = idx
+	t.indexes = next
 	return idx, nil
 }
 
 // DropIndex removes the named index; it reports whether it existed.
 func (t *Table) DropIndex(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := t.indexes[key]; !ok {
 		return false
 	}
-	delete(t.indexes, key)
+	next := make(map[string]*Index, len(t.indexes))
+	for k, v := range t.indexes {
+		if k != key {
+			next[k] = v
+		}
+	}
+	t.indexes = next
 	return true
 }
 
@@ -247,6 +405,8 @@ func (t *Table) DropIndex(name string) bool {
 // single-column index is preferred over a composite one, because only
 // single-column indexes can answer equality probes (see Lookup).
 func (t *Table) IndexOn(col int) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var multi *Index
 	for _, idx := range t.indexes {
 		if len(idx.Columns) > 0 && idx.Columns[0] == col {
@@ -261,6 +421,8 @@ func (t *Table) IndexOn(col int) *Index {
 
 // IndexNames lists index names sorted for deterministic output.
 func (t *Table) IndexNames() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]string, 0, len(t.indexes))
 	for _, idx := range t.indexes {
 		out = append(out, idx.Name)
@@ -292,22 +454,35 @@ func singleKey(v value.Value) string {
 
 func (ix *Index) add(row value.Row, pos int) {
 	k := ix.key(row)
+	ix.mu.Lock()
 	ix.buckets[k] = append(ix.buckets[k], pos)
+	ix.mu.Unlock()
 }
 
+// rebuild derives the buckets from scratch and swaps them in atomically
+// under the index lock, so concurrent Lookups see either the old or the
+// new bucket map, never a partially built one.
 func (ix *Index) rebuild(rows []value.Row) {
-	ix.buckets = map[string][]int{}
+	next := map[string][]int{}
 	for i, r := range rows {
-		ix.add(r, i)
+		k := ix.key(r)
+		next[k] = append(next[k], i)
 	}
+	ix.mu.Lock()
+	ix.buckets = next
+	ix.mu.Unlock()
 }
 
 // Lookup returns the heap positions of rows whose leading index column
-// equals v. It only supports single-column probes (leading column).
+// equals v. It only supports single-column probes (leading column). The
+// returned slice only ever grows in place (inserts append), so callers
+// may iterate it up to its returned length without further locking.
 func (ix *Index) Lookup(v value.Value) []int {
 	if len(ix.Columns) != 1 {
 		return nil
 	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.buckets[singleKey(v)]
 }
 

@@ -318,3 +318,214 @@ func TestScanAndProbeIterators(t *testing.T) {
 		t.Fatalf("probe ids = %v", ids)
 	}
 }
+
+func TestSnapshotIsolation(t *testing.T) {
+	tbl := carsTable()
+	for i := 0; i < 4; i++ {
+		must(t, tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText("Audi"), value.NewFloat(float64(i))}))
+	}
+	if _, err := tbl.CreateIndex("idx_make", []string{"make"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := tbl.Snapshot()
+
+	// Writes after the snapshot: an insert, an update, and a delete.
+	must(t, tbl.Insert(value.Row{value.NewInt(100), value.NewText("Audi"), value.NewFloat(9)}))
+	if _, err := tbl.Update(
+		func(r value.Row) (bool, error) { return r[0].I == 1, nil },
+		func(r value.Row) (value.Row, error) { r[1] = value.NewText("BMW"); return r, nil },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Delete(func(r value.Row) (bool, error) { return r[0].I == 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot still sees the original four rows, unmodified.
+	if snap.Len() != 4 {
+		t.Fatalf("snapshot len = %d, want 4", snap.Len())
+	}
+	n := 0
+	it := snap.Scan()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if r[1].S != "Audi" {
+			t.Errorf("snapshot row %v mutated", r)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("snapshot scan returned %d rows, want 4", n)
+	}
+	// A snapshot probe never returns positions appended after the snapshot.
+	ix := tbl.IndexOn(1)
+	probe := snap.Probe(ix, value.NewText("Audi"))
+	for {
+		r, ok := probe.Next()
+		if !ok {
+			break
+		}
+		if r[0].I == 100 {
+			t.Error("snapshot probe leaked a post-snapshot insert")
+		}
+	}
+	// The live table sees all writes.
+	if tbl.RowCount() != 4 {
+		t.Errorf("live count = %d, want 4", tbl.RowCount())
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	tbl := carsTable()
+	for i := 0; i < 64; i++ {
+		must(t, tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText("Audi"), value.NewFloat(1)}))
+	}
+	if _, err := tbl.CreateIndex("idx_make", []string{"make"}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 64; i < 256; i++ {
+			_ = tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText("BMW"), value.NewFloat(2)})
+			if i%16 == 0 {
+				_, _ = tbl.Update(
+					func(r value.Row) (bool, error) { return r[0].I == int64(i-1), nil },
+					func(r value.Row) (value.Row, error) { r[2] = value.NewFloat(3); return r, nil })
+			}
+			if i%32 == 0 {
+				_, _ = tbl.Delete(func(r value.Row) (bool, error) { return r[0].I == int64(i-2), nil })
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		go func() {
+			for j := 0; j < 200; j++ {
+				it := tbl.Scan()
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+				}
+				ix := tbl.IndexOn(1)
+				if ix != nil {
+					pr := tbl.Probe(ix, value.NewText("Audi"))
+					for {
+						if _, ok := pr.Next(); !ok {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	<-done
+}
+
+// TestSnapshotProbeAfterRebuild is the regression test for snapshot/index
+// consistency: after a delete compacts the heap and rebuilds the index,
+// a snapshot taken before the write must keep probing its own heap with
+// its own captured buckets — not apply new positions to old rows.
+func TestSnapshotProbeAfterRebuild(t *testing.T) {
+	tbl := carsTable()
+	// ids 0,1 are Audi; 2,3 are BMW.
+	for i := 0; i < 4; i++ {
+		make_ := "Audi"
+		if i >= 2 {
+			make_ = "BMW"
+		}
+		must(t, tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText(make_), value.NewFloat(1)}))
+	}
+	if _, err := tbl.CreateIndex("idx_make", []string{"make"}); err != nil {
+		t.Fatal(err)
+	}
+	ix := tbl.IndexOn(1)
+	snap := tbl.Snapshot()
+
+	// Delete id 0: the live heap compacts and the index rebuilds.
+	if _, err := tbl.Delete(func(r value.Row) (bool, error) { return r[0].I == 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[int64]bool{}
+	it := snap.Probe(ix, value.NewText("BMW"))
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if r[1].S != "BMW" {
+			t.Errorf("snapshot probe returned non-matching row %v", r)
+		}
+		got[r[0].I] = true
+	}
+	if !got[2] || !got[3] || len(got) != 2 {
+		t.Errorf("snapshot probe BMW ids = %v, want {2,3}", got)
+	}
+
+	// The live probe reflects the delete.
+	live := 0
+	it = tbl.Probe(tbl.IndexOn(1), value.NewText("Audi"))
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		live++
+	}
+	if live != 1 {
+		t.Errorf("live Audi probe = %d rows, want 1", live)
+	}
+
+	// An index the snapshot never saw degrades to a full-scan
+	// over-approximation rather than missing rows.
+	if _, err := tbl.CreateIndex("idx_id", []string{"id"}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	it = snap.Probe(tbl.IndexOn(0), value.NewInt(1))
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("unknown-index probe = %d rows, want full snapshot scan of 4", n)
+	}
+}
+
+// TestProbeStaleIndexFallsBackToScan: a probe planned against an index
+// that was since dropped — or re-created under the same name over a
+// different column — must over-approximate with a full scan, never
+// miss matching rows or panic on stale positions.
+func TestProbeStaleIndexFallsBackToScan(t *testing.T) {
+	tbl := carsTable()
+	for i := 0; i < 6; i++ {
+		must(t, tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText("m"), value.NewFloat(float64(i % 2))}))
+	}
+	old, err := tbl.CreateIndex("i", []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.DropIndex("i") {
+		t.Fatal("drop failed")
+	}
+	// Same name, different column.
+	if _, err := tbl.CreateIndex("i", []string{"price"}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	it := tbl.Probe(old, value.NewInt(1))
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 6 {
+		t.Errorf("stale-index probe returned %d rows, want full scan of 6", n)
+	}
+}

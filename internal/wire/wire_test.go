@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1, 2, 3}, bytes.Repeat([]byte{0xab}, 70000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, MsgQuery, p); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if typ != MsgQuery {
+			t.Fatalf("read %d: type = %#x", i, typ)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("read %d: payload mismatch (%d vs %d bytes)", i, len(got), len(p))
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var b Buffer
+	b.U32(MaxFrame + 1)
+	b.U8(MsgQuery)
+	if _, _, err := ReadFrame(bytes.NewReader(b.B)); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestValueRoundtrip(t *testing.T) {
+	vals := []value.Value{
+		value.NewNull(),
+		value.NewInt(0),
+		value.NewInt(-123456789),
+		value.NewInt(1 << 60),
+		value.NewFloat(3.14159),
+		value.NewFloat(-0.0),
+		value.NewText(""),
+		value.NewText("Kießling & Köstler — §3.2 ' quoted"),
+		value.NewText(strings.Repeat("x", 4096)),
+		value.NewBool(true),
+		value.NewBool(false),
+		value.NewDate(2002, time.August, 20),
+	}
+	var b Buffer
+	for _, v := range vals {
+		b.Value(v)
+	}
+	r := NewReader(b.B)
+	for i, want := range vals {
+		got := r.Value()
+		if r.Err() != nil {
+			t.Fatalf("value %d: %v", i, r.Err())
+		}
+		if got.K != want.K || got.I != want.I || got.F != want.F || got.S != want.S {
+			t.Fatalf("value %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestRowAndStringsRoundtrip(t *testing.T) {
+	row := value.Row{value.NewInt(7), value.NewText("Opel"), value.NewNull()}
+	cols := []string{"id", "make", "price"}
+	var b Buffer
+	b.Strings(cols)
+	b.Row(row)
+	r := NewReader(b.B)
+	gotCols := r.Strings()
+	gotRow := r.Row()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(gotCols) != 3 || gotCols[1] != "make" {
+		t.Fatalf("cols = %v", gotCols)
+	}
+	if !gotRow.Equal(row) {
+		t.Fatalf("row = %v", gotRow)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var b Buffer
+	b.Row(value.Row{value.NewText("hello"), value.NewInt(1)})
+	for cut := 0; cut < len(b.B); cut++ {
+		r := NewReader(b.B[:cut])
+		r.Row()
+		if r.Err() == nil && cut < len(b.B) {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+// TestReaderHugeLengthDoesNotPanic guards the overflow path: a crafted
+// uvarint length near 2^64 must fail cleanly, not wrap past the bounds
+// check and panic the connection handler.
+func TestReaderHugeLengthDoesNotPanic(t *testing.T) {
+	payloads := [][]byte{
+		append(binary.AppendUvarint(nil, ^uint64(0)-7), 'x', 'y'),
+		append(binary.AppendUvarint(nil, ^uint64(0)), 'x'),
+		binary.AppendUvarint(nil, 1<<40),
+	}
+	for i, p := range payloads {
+		r := NewReader(p)
+		if s := r.String(); s != "" || r.Err() == nil {
+			t.Errorf("payload %d: got %q, err %v; want parse failure", i, s, r.Err())
+		}
+	}
+}

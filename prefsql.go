@@ -51,8 +51,11 @@ func Open() *DB { return &DB{core: core.Open()} }
 // Preference SQL alike) and returns the last statement's result.
 func (db *DB) Exec(sql string) (*Result, error) { return db.core.Exec(sql) }
 
-// Query runs a single query; it is Exec under a database/sql-flavoured name.
-func (db *DB) Query(sql string) (*Result, error) { return db.core.Exec(sql) }
+// Query runs a single SELECT (standard or Preference SQL) through the
+// read-only path: it takes only the shared read lock, so concurrent
+// queries never serialize behind the write path. Non-SELECT statements
+// are rejected — use Exec for scripts and DML/DDL.
+func (db *DB) Query(sql string) (*Result, error) { return db.core.Query(sql) }
 
 // MustExec is Exec that panics on error; for examples and tests.
 func (db *DB) MustExec(sql string) *Result {
@@ -64,11 +67,24 @@ func (db *DB) MustExec(sql string) *Result {
 }
 
 // SetMode switches between native BMO evaluation (default) and SQL92
-// rewriting, the commercial middleware's strategy.
+// rewriting, the commercial middleware's strategy. It configures the
+// default session; concurrent clients should use NewSession so they
+// cannot flip each other's strategy mid-query.
 func (db *DB) SetMode(m Mode) { db.core.SetMode(m) }
 
-// SetAlgorithm selects the native BMO algorithm (default Auto).
+// SetAlgorithm selects the native BMO algorithm (default Auto) on the
+// default session.
 func (db *DB) SetAlgorithm(a Algorithm) { db.core.SetAlgorithm(a) }
+
+// Session is a per-client view of a shared database: it carries the
+// client's mode and algorithm settings so concurrent clients don't
+// interfere, and its queries run concurrently under the shared read lock
+// while writes serialize.
+type Session = core.Session
+
+// NewSession creates an independent session over this database; see
+// Session.
+func (db *DB) NewSession() *Session { return db.core.NewSession() }
 
 // ExplainRewrite returns the SQL92 script the Preference SQL optimizer
 // would generate for a preference query (§3.2 of the paper).
