@@ -21,6 +21,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -60,6 +61,7 @@ const (
 // Conn is one client connection to a Preference SQL server.
 type Conn struct {
 	mu     sync.Mutex  // serializes request/response exchanges
+	wmu    sync.Mutex  // serializes frame writes (Cancel may overtake an exchange)
 	busy   bool        // an open Rows stream owns the connection
 	closed atomic.Bool // safe to read from any goroutine
 	nc     net.Conn
@@ -132,10 +134,47 @@ func (c *Conn) Close() error {
 }
 
 func (c *Conn) send(typ byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
 		return err
 	}
 	return c.bw.Flush()
+}
+
+// watch arms a context watchdog for one exchange: when ctx is cancelled
+// it sends a Cancel frame, which the server maps onto the in-flight
+// statement's execution context (stopping scans mid-table) and onto the
+// row stream (cut short with FlagCancelled). stop disarms the watchdog
+// and JOINS the goroutine: after stop returns, any Cancel it was going
+// to send is fully on the wire. Combined with the exchange lock (the
+// next statement's frame cannot be written until stop has run) and the
+// server's in-order frame processing (a Cancel ahead of a Query is
+// dropped when the statement begins), a cancel that races statement
+// completion can never cut down the connection's next statement.
+func (c *Conn) watch(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			if !c.closed.Load() {
+				_ = c.send(wire.MsgCancel, nil)
+			}
+		case <-quit:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-done
+		})
+	}
 }
 
 // broken marks the connection unusable after a protocol-level failure.
@@ -182,16 +221,33 @@ func (c *Conn) Exec(sql string) (*Result, error) {
 	return res, err
 }
 
+// ExecContext is Exec with a cancellation context and positional bind
+// arguments: `?` / `$n` placeholders bind to args (converted with the
+// same rules as the embedded API), and cancelling ctx sends a Cancel
+// that stops the server-side execution.
+func (c *Conn) ExecContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	res, _, err := c.ExecFlagsContext(ctx, sql, args...)
+	return res, err
+}
+
 // Query runs a single SELECT (standard or Preference SQL); like the
 // embedded DB.Query it is the read-only path and rejects anything else
 // — use Exec for scripts and DML/DDL. The shape check runs client-side
 // so a remote connection keeps exactly the embedded API's contract; the
 // server executes SELECTs under its shared read lock and streams.
 func (c *Conn) Query(sql string) (*Result, error) {
-	if _, err := parser.ParseSelect(sql); err != nil {
+	return c.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query with a cancellation context and bind arguments.
+func (c *Conn) QueryContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	if _, nparams, err := parser.ParseSelectCount(sql); err != nil {
 		return nil, err
+	} else if nparams != len(args) {
+		return nil, fmt.Errorf("client: statement has %d bind parameter(s), got %d argument(s)", nparams, len(args))
 	}
-	return c.Exec(sql)
+	res, _, err := c.ExecFlagsContext(ctx, sql, args...)
+	return res, err
 }
 
 // MustExec is Exec that panics on error; for examples and tests.
@@ -206,16 +262,38 @@ func (c *Conn) MustExec(sql string) *Result {
 // ExecFlags is Exec plus the server's statement flags (FlagCacheHit,
 // FlagPlanReused), which report how much cached work the server skipped.
 func (c *Conn) ExecFlags(sql string) (*Result, byte, error) {
+	return c.ExecFlagsContext(context.Background(), sql)
+}
+
+// ExecFlagsContext is ExecContext plus the server's statement flags.
+func (c *Conn) ExecFlagsContext(ctx context.Context, sql string, args ...any) (*Result, byte, error) {
+	vals, err := value.FromGoArgs(args)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: %w", err)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, 0, ctx.Err()
+	}
 	if err := c.acquire(); err != nil {
 		return nil, 0, err
 	}
 	defer c.mu.Unlock()
+	stop := c.watch(ctx)
+	defer stop()
 	var b wire.Buffer
 	b.String(sql)
+	b.Values(vals)
 	if err := c.send(wire.MsgQuery, b.B); err != nil {
 		return nil, 0, c.broken(err)
 	}
-	return c.collect()
+	res, flags, err := c.collect()
+	// The exchange completed at the protocol level, but the caller's
+	// context is authoritative: a cancelled context reports its error
+	// even when the server's statement raced to completion.
+	if err == nil && ctx != nil && ctx.Err() != nil {
+		return nil, flags, ctx.Err()
+	}
+	return res, flags, err
 }
 
 // collect reads Columns/Row*/Done (or Error) into a materialized result.
@@ -260,12 +338,14 @@ func (c *Conn) collect() (*Result, byte, error) {
 // Rows is a streaming result iterator, modelled on the embedded
 // prefsql.Rows / database/sql.Rows. The connection is busy until Close.
 type Rows struct {
-	c     *Conn
-	cols  []string
-	row   Row
-	err   error
-	done  bool
-	flags byte
+	c       *Conn
+	cols    []string
+	row     Row
+	err     error
+	done    bool
+	flags   byte
+	ctx     context.Context // nil when opened without a context
+	unwatch func()          // disarms the context watchdog
 }
 
 // QueryIter runs a single SELECT and returns a streaming iterator. Rows
@@ -273,35 +353,56 @@ type Rows struct {
 // sends a Cancel so the server stops the remaining work (the
 // progressive-cursor cancel of mobile search, §4.2).
 func (c *Conn) QueryIter(sql string) (*Rows, error) {
+	return c.QueryIterContext(context.Background(), sql)
+}
+
+// QueryIterContext is QueryIter with a cancellation context and bind
+// arguments. Cancelling ctx while the stream is open sends a Cancel: the
+// server stops the pipeline (mid-scan included), the stream ends, and
+// Err() reports ctx's error.
+func (c *Conn) QueryIterContext(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	vals, err := value.FromGoArgs(args)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	unwatch := c.watch(ctx)
+	fail := func(err error) (*Rows, error) {
+		unwatch()
+		c.mu.Unlock()
 		return nil, err
 	}
 	var b wire.Buffer
 	b.String(sql)
+	b.Values(vals)
 	if err := c.send(wire.MsgQuery, b.B); err != nil {
-		c.mu.Unlock()
-		return nil, c.broken(err)
+		return fail(c.broken(err))
 	}
 	// First frame must be the header (or an immediate error).
 	typ, payload, err := wire.ReadFrame(c.br)
 	if err != nil {
-		c.mu.Unlock()
-		return nil, c.broken(err)
+		return fail(c.broken(err))
 	}
 	r := wire.NewReader(payload)
 	switch typ {
 	case wire.MsgColumns:
 		cols := r.Strings()
 		if err := r.Err(); err != nil {
-			c.mu.Unlock()
-			return nil, c.broken(err)
+			return fail(c.broken(err))
 		}
 		// The stream owns the connection until Rows.Close; concurrent
-		// statements get ErrBusy instead of blocking.
+		// statements get ErrBusy instead of blocking. The watchdog stays
+		// armed for the stream's lifetime.
 		c.busy = true
 		c.mu.Unlock()
-		return &Rows{c: c, cols: cols}, nil
+		return &Rows{c: c, cols: cols, ctx: ctx, unwatch: unwatch}, nil
 	case wire.MsgError:
+		unwatch()
 		c.mu.Unlock()
 		return nil, errors.New(r.String())
 	case wire.MsgDone:
@@ -311,14 +412,13 @@ func (c *Conn) QueryIter(sql string) (*Rows, error) {
 		r.U32()
 		flags := r.U8()
 		if err := r.Err(); err != nil {
-			c.mu.Unlock()
-			return nil, c.broken(err)
+			return fail(c.broken(err))
 		}
+		unwatch()
 		c.mu.Unlock()
 		return &Rows{c: c, done: true, flags: flags}, nil
 	default:
-		c.mu.Unlock()
-		return nil, c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+		return fail(c.broken(fmt.Errorf("client: unexpected message %#x", typ)))
 	}
 }
 
@@ -329,6 +429,17 @@ func (r *Rows) Columns() []string { return r.cols }
 func (r *Rows) Next() bool {
 	if r.done || r.err != nil {
 		return false
+	}
+	if r.ctx != nil {
+		if cerr := r.ctx.Err(); cerr != nil {
+			// The watchdog's Cancel may have raced a statement boundary;
+			// Close re-sends it and drains, so the connection stays usable.
+			_ = r.Close()
+			if r.err == nil {
+				r.err = cerr
+			}
+			return false
+		}
 	}
 	typ, payload, err := wire.ReadFrame(r.c.br)
 	if err != nil {
@@ -354,6 +465,11 @@ func (r *Rows) Next() bool {
 		if err := rd.Err(); err != nil {
 			r.err = r.c.broken(err)
 		}
+		// A stream cut short by our own context reports the context's
+		// error, matching the embedded cursor's behaviour.
+		if r.err == nil && r.flags&wire.FlagCancelled != 0 && r.ctx != nil && r.ctx.Err() != nil {
+			r.err = r.ctx.Err()
+		}
 		r.finish()
 		return false
 	case wire.MsgError:
@@ -371,6 +487,9 @@ func (r *Rows) Next() bool {
 func (r *Rows) finish() {
 	if !r.done {
 		r.done = true
+		if r.unwatch != nil {
+			r.unwatch()
+		}
 		r.c.mu.Lock()
 		r.c.busy = false
 		r.c.mu.Unlock()
@@ -438,7 +557,14 @@ func (r *Rows) Close() error {
 // returning false cancels the remaining server-side work. It returns the
 // result column names.
 func (c *Conn) QueryProgressive(sql string, yield func(Row) bool) ([]string, error) {
-	rows, err := c.QueryIter(sql)
+	return c.QueryProgressiveContext(context.Background(), sql, yield)
+}
+
+// QueryProgressiveContext is QueryProgressive with a cancellation context
+// and bind arguments; cancelling ctx stops the remaining server-side work
+// exactly like yield returning false.
+func (c *Conn) QueryProgressiveContext(ctx context.Context, sql string, yield func(Row) bool, args ...any) ([]string, error) {
+	rows, err := c.QueryIterContext(ctx, sql, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -459,11 +585,13 @@ func (c *Conn) QueryProgressive(sql string, yield func(Row) bool) ([]string, err
 // ---------------------------------------------------------------------------
 
 // Stmt is a server-side prepared statement: parsed once (and, for plain
-// SELECTs, planned once) on the server, re-executed by id.
+// SELECTs, planned once) on the server, re-executed by id with fresh bind
+// arguments — distinct argument values share the one cached plan.
 type Stmt struct {
-	c   *Conn
-	id  uint32
-	sql string
+	c         *Conn
+	id        uint32
+	sql       string
+	numParams int
 }
 
 // Prepare registers sql in the server's statement cache and returns a
@@ -486,10 +614,11 @@ func (c *Conn) Prepare(sql string) (*Stmt, error) {
 	switch typ {
 	case wire.MsgPrepared:
 		id := r.U32()
+		np := int(r.U16())
 		if err := r.Err(); err != nil {
 			return nil, c.broken(err)
 		}
-		return &Stmt{c: c, id: id, sql: sql}, nil
+		return &Stmt{c: c, id: id, sql: sql, numParams: np}, nil
 	case wire.MsgError:
 		return nil, errors.New(r.String())
 	default:
@@ -500,27 +629,59 @@ func (c *Conn) Prepare(sql string) (*Stmt, error) {
 // SQL returns the statement text.
 func (s *Stmt) SQL() string { return s.sql }
 
-// Exec re-executes the prepared statement.
-func (s *Stmt) Exec() (*Result, error) {
-	res, _, err := s.ExecFlags()
+// NumParams reports the statement's positional bind parameter count;
+// every execution must supply exactly this many arguments.
+func (s *Stmt) NumParams() int { return s.numParams }
+
+// Exec re-executes the prepared statement with the given bind arguments.
+func (s *Stmt) Exec(args ...any) (*Result, error) {
+	res, _, err := s.ExecFlags(args...)
+	return res, err
+}
+
+// ExecContext is Exec with a cancellation context.
+func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
+	res, _, err := s.ExecFlagsContext(ctx, args...)
 	return res, err
 }
 
 // ExecFlags is Exec plus the server's statement flags; FlagPlanReused
 // reports that the server skipped the planner.
-func (s *Stmt) ExecFlags() (*Result, byte, error) {
+func (s *Stmt) ExecFlags(args ...any) (*Result, byte, error) {
+	return s.ExecFlagsContext(context.Background(), args...)
+}
+
+// ExecFlagsContext is ExecContext plus the server's statement flags.
+func (s *Stmt) ExecFlagsContext(ctx context.Context, args ...any) (*Result, byte, error) {
+	vals, err := value.FromGoArgs(args)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: %w", err)
+	}
+	if len(vals) != s.numParams {
+		return nil, 0, fmt.Errorf("client: statement has %d bind parameter(s), got %d argument(s)",
+			s.numParams, len(vals))
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, 0, ctx.Err()
+	}
 	c := s.c
 	if err := c.acquire(); err != nil {
 		return nil, 0, err
 	}
 	defer c.mu.Unlock()
+	stop := c.watch(ctx)
+	defer stop()
 	var b wire.Buffer
 	b.U32(s.id)
-	b.U16(0) // no bind parameters yet
+	b.Values(vals)
 	if err := c.send(wire.MsgExecute, b.B); err != nil {
 		return nil, 0, c.broken(err)
 	}
-	return c.collect()
+	res, flags, err := c.collect()
+	if err == nil && ctx != nil && ctx.Err() != nil {
+		return nil, flags, ctx.Err()
+	}
+	return res, flags, err
 }
 
 // Close releases the server-side handle (the cache entry may live on

@@ -8,6 +8,7 @@
 //	prefbench -exp e1 -rows 140000      # the §3.3 benchmark at 1/10 scale
 //	prefbench -exp e4 -latency 1.0      # COSIMA with realistic shop latency
 //	prefbench -exp p2                   # server throughput; writes BENCH_p2.json
+//	prefbench -exp p3                   # parameterized vs literal; writes BENCH_p3.json
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		runs    = flag.Int("cosima-runs", 0, "COSIMA meta-searches for e4 (default 200)")
 		quick   = flag.Bool("quick", false, "use the small test-scale configuration")
 		p2json  = flag.String("json", "BENCH_p2.json", "file for the structured p2 results ('' disables)")
+		p3json  = flag.String("json-p3", "BENCH_p3.json", "file for the structured p3 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -53,26 +55,36 @@ func main() {
 	if *exp == "all" {
 		names = bench.Names()
 	}
+	// emitJSON renders a table and writes the structured results next to
+	// it, so CI and regression tooling can track throughput, latency
+	// percentiles and cache hit rates.
+	emitJSON := func(name, path string, res any, tbl *bench.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.String())
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "prefbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
 	for _, name := range names {
-		// p2 additionally emits its structured results as JSON, so CI and
-		// regression tooling can track throughput and cache hit rate.
-		if name == "p2" && *p2json != "" {
+		switch {
+		case name == "p2" && *p2json != "":
 			res, tbl, err := bench.P2(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "prefbench: p2: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Println(tbl.String())
-			data, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "prefbench: p2: %v\n", err)
-				os.Exit(1)
-			}
-			if err := os.WriteFile(*p2json, append(data, '\n'), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "prefbench: p2: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n", *p2json)
+			emitJSON(name, *p2json, res, tbl, err)
+			continue
+		case name == "p3" && *p3json != "":
+			res, tbl, err := bench.P3(cfg)
+			emitJSON(name, *p3json, res, tbl, err)
 			continue
 		}
 		out, err := bench.Run(name, cfg)

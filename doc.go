@@ -50,6 +50,31 @@
 // underlying scans outright. QueryProgressive is the callback flavour of
 // the same machinery.
 //
+// # Bind parameters and contexts
+//
+// Every query API has a context-first, parameterized form; the
+// string-only methods above are convenience wrappers over it with a
+// background context and no arguments. Positional `?` (or `$n`)
+// placeholders are real bind parameters — the statement parses to an
+// ast.Param placeholder node, so one parsed statement (and, for plain
+// SELECTs, one cached plan) serves every argument set, and argument
+// values never pass through SQL text:
+//
+//	res, err := db.QueryContext(ctx, `SELECT * FROM trips
+//	    WHERE price < ? PREFERRING duration AROUND ?`, 1000, 14)
+//
+//	st, err := db.Prepare(`SELECT id FROM trips WHERE price < ?`)
+//	res, err = st.Exec(900)   // planned once, re-run per argument
+//	res, err = st.Exec(1200)  // same plan, fresh argument
+//
+// Placeholders bind anywhere an expression is allowed — WHERE literals,
+// preference parameters like the AROUND target, select items — plus the
+// outermost LIMIT/OFFSET. Cancelling the context stops in-flight work
+// mid-scan (embedded) or via the wire protocol's Cancel message
+// (remote):
+//
+//	rows, err := db.QueryIterContext(ctx, `SELECT ...`, args...)
+//
 // # Concurrency and sessions
 //
 // A DB is safe for concurrent use: SELECTs (preference or plain) share a
@@ -68,11 +93,15 @@
 // the network (§4.3). cmd/prefserve reproduces that deployment: a TCP
 // server with one session per connection and a shared LRU
 // prepared-statement cache (parse + plan once, re-execute many times),
-// speaking the internal/wire protocol. The repro/client package mirrors
-// this package's API — Dial, Exec, Query, QueryIter, QueryProgressive,
-// Prepare, SetMode, SetAlgorithm — so application code runs unmodified
-// against an embedded database or a remote server, and closing a
-// streaming iterator early cancels the server-side work:
+// speaking the internal/wire protocol; the Execute and Query messages
+// carry typed bind arguments, and the statement cache is keyed on SQL
+// text alone, so a parameterized statement hits it across distinct
+// argument values. The repro/client package mirrors this package's API —
+// Dial, Exec, Query, QueryIter, QueryProgressive, Prepare, SetMode,
+// SetAlgorithm and the *Context(ctx, sql, args...) forms — so
+// application code runs unmodified against an embedded database or a
+// remote server; closing a streaming iterator early (or cancelling its
+// context) cancels the server-side work:
 //
 //	conn, err := client.Dial("localhost:7654")
 //	defer conn.Close()

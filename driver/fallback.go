@@ -1,0 +1,135 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// This file is the literal-substitution fallback: the pre-bind-parameter
+// way of answering placeholders, kept only for statements the Preference
+// SQL grammar cannot carry an ast.Param in (real bind parameters cover
+// every expression position plus the outermost LIMIT/OFFSET). It splices
+// argument values into the query text as SQL literals, which is safe
+// only because the quoting below mirrors the lexer exactly:
+//
+//   - string literals quote with '...' and escape embedded quotes by
+//     doubling ('') — there are no backslash escapes in this dialect, so a
+//     backslash in a value passes through untouched and must NOT be
+//     escaped (doing so would change the value);
+//   - '?' characters inside string literals, quoted "identifiers", line
+//     comments (--) and block comments (/* */) are text, not placeholders.
+//
+// Prefer real parameters: they keep one plan per SQL text and cannot be
+// broken by quoting.
+
+// scanPlaceholders walks query, invoking emit for every text region and
+// placeholder for every '?' outside strings, quoted identifiers and
+// comments. It is the single scanner behind CountPlaceholders and
+// BindLiteral, so the two can never disagree on what counts as a
+// placeholder.
+func scanPlaceholders(query string, emit func(s string), placeholder func() error) error {
+	flush := func(from, to int) {
+		if emit != nil && to > from {
+			emit(query[from:to])
+		}
+	}
+	start := 0
+	i := 0
+	for i < len(query) {
+		switch c := query[i]; c {
+		case '\'', '"':
+			// String literal or quoted identifier; a doubled quote is an
+			// escaped quote, matching the lexer.
+			j, terminated := i+1, false
+			for j < len(query) {
+				if query[j] == c {
+					if j+1 < len(query) && query[j+1] == c {
+						j += 2
+						continue
+					}
+					j++
+					terminated = true
+					break
+				}
+				j++
+			}
+			if !terminated {
+				if c == '\'' {
+					return fmt.Errorf("prefsql: unterminated string literal in query")
+				}
+				return fmt.Errorf("prefsql: unterminated quoted identifier in query")
+			}
+			i = j
+		case '-':
+			if i+1 < len(query) && query[i+1] == '-' {
+				for i < len(query) && query[i] != '\n' {
+					i++
+				}
+			} else {
+				i++
+			}
+		case '/':
+			if i+1 < len(query) && query[i+1] == '*' {
+				end := strings.Index(query[i+2:], "*/")
+				if end < 0 {
+					i = len(query)
+				} else {
+					i += 2 + end + 2
+				}
+			} else {
+				i++
+			}
+		case '?':
+			flush(start, i)
+			if err := placeholder(); err != nil {
+				return err
+			}
+			i++
+			start = i
+		default:
+			i++
+		}
+	}
+	flush(start, len(query))
+	return nil
+}
+
+// CountPlaceholders counts '?' placeholders outside string literals,
+// quoted identifiers and comments.
+func CountPlaceholders(query string) (int, error) {
+	n := 0
+	err := scanPlaceholders(query, nil, func() error { n++; return nil })
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// BindLiteral substitutes positional args for '?' placeholders as SQL
+// literals — the documented fallback for statements that cannot carry
+// real bind parameters. Values render through value.Value.SQL, which
+// escapes quotes by doubling; see the package comment above for why no
+// other escaping is applied.
+func BindLiteral(query string, args []value.Value) (string, error) {
+	var b strings.Builder
+	argIdx := 0
+	err := scanPlaceholders(query,
+		func(s string) { b.WriteString(s) },
+		func() error {
+			if argIdx >= len(args) {
+				return fmt.Errorf("prefsql: not enough arguments for placeholders")
+			}
+			b.WriteString(args[argIdx].SQL())
+			argIdx++
+			return nil
+		})
+	if err != nil {
+		return "", err
+	}
+	if argIdx != len(args) {
+		return "", fmt.Errorf("prefsql: %d arguments for %d placeholders", len(args), argIdx)
+	}
+	return b.String(), nil
+}

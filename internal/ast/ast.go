@@ -28,6 +28,14 @@ type Literal struct {
 	Val value.Value
 }
 
+// Param is a positional bind parameter (`?` or `$n` in the source text):
+// a late-bound constant whose value arrives with each execution, so one
+// parsed statement (and one cached plan) serves every argument set.
+// Index is 0-based; SQL() renders the stable `$n` form.
+type Param struct {
+	Index int
+}
+
 // Column references table.column (Table may be empty).
 type Column struct {
 	Table string
@@ -117,6 +125,7 @@ type FuncCall struct {
 }
 
 func (*Literal) exprNode()   {}
+func (*Param) exprNode()     {}
 func (*Column) exprNode()    {}
 func (*Star) exprNode()      {}
 func (*Unary) exprNode()     {}
@@ -134,6 +143,8 @@ func (*FuncCall) exprNode()  {}
 // SQL implementations.
 
 func (e *Literal) SQL() string { return e.Val.SQL() }
+
+func (e *Param) SQL() string { return "$" + itoa(int64(e.Index)+1) }
 
 func (e *Column) SQL() string {
 	if e.Table != "" {
@@ -579,7 +590,18 @@ type Select struct {
 	OrderBy    []OrderItem
 	Limit      int64 // -1 = none
 	Offset     int64 // 0 = none
+	// LimitParam/OffsetParam carry a bind parameter in the LIMIT/OFFSET
+	// position. They are resolved against the execution's argument list
+	// before planning (the core layer clones the statement with Limit and
+	// Offset filled in), so the fields above stay the single source of
+	// truth during execution.
+	LimitParam  *Param
+	OffsetParam *Param
 }
+
+// HasLimitParam reports whether LIMIT or OFFSET is a bind parameter still
+// awaiting resolution.
+func (s *Select) HasLimitParam() bool { return s.LimitParam != nil || s.OffsetParam != nil }
 
 // HasPreference reports whether the query block uses any preference clause.
 func (s *Select) HasPreference() bool { return s.Preferring != nil }
@@ -644,10 +666,16 @@ func (s *Select) SQL() string {
 		}
 		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
 	}
-	if s.Limit >= 0 {
+	switch {
+	case s.LimitParam != nil:
+		b.WriteString(" LIMIT " + s.LimitParam.SQL())
+	case s.Limit >= 0:
 		b.WriteString(" LIMIT " + itoa(s.Limit))
 	}
-	if s.Offset > 0 {
+	switch {
+	case s.OffsetParam != nil:
+		b.WriteString(" OFFSET " + s.OffsetParam.SQL())
+	case s.Offset > 0:
 		b.WriteString(" OFFSET " + itoa(s.Offset))
 	}
 	return b.String()

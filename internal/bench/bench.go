@@ -41,6 +41,7 @@ type Config struct {
 	PreSizes           []int   // pre-selection sizes for E1 (paper: 300/600/1000)
 	P2Conns            []int   // client connection counts for P2
 	P2QueriesPerConn   int     // statements per connection in P2
+	P3Execs            int     // executions per workload variant in P3
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -58,6 +59,7 @@ func DefaultConfig() Config {
 		PreSizes:           []int{300, 600, 1000},
 		P2Conns:            []int{1, 2, 4, 8, 16, 32},
 		P2QueriesPerConn:   200,
+		P3Execs:            200,
 	}
 }
 
@@ -72,6 +74,7 @@ func TestConfig() Config {
 	cfg.PreSizes = []int{100, 200}
 	cfg.P2Conns = []int{4, 32}
 	cfg.P2QueriesPerConn = 25
+	cfg.P3Execs = 40
 	return cfg
 }
 
@@ -636,7 +639,9 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 }
 
 // Names lists the available experiments.
-func Names() []string { return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2"} }
+func Names() []string {
+	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3"}
+}
 
 // Run executes one experiment by name and returns its printable output.
 func Run(name string, cfg Config) (string, error) {
@@ -691,6 +696,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p2":
 		_, tbl, err := P2(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p3":
+		_, tbl, err := P3(cfg)
 		if err != nil {
 			return "", err
 		}

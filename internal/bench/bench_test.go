@@ -195,7 +195,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 9 {
+	if len(Names()) != 10 {
 		t.Errorf("names: %v", Names())
 	}
 }
@@ -227,5 +227,43 @@ func TestP2ServerThroughput(t *testing.T) {
 	}
 	if e.PlanReuses == 0 {
 		t.Error("prepared plain SELECTs should reuse cached plans")
+	}
+}
+
+// TestP3ParameterizedWorkload runs the parameterized-vs-literal
+// experiment at test scale and checks the acceptance shape: the
+// parameterized variants hit the text-keyed statement cache across
+// distinct argument values (hit rate > 0), the prepared plain SELECT
+// re-uses its cached plan, and the literal variant (a fresh text per
+// call) cannot hit at all.
+func TestP3ParameterizedWorkload(t *testing.T) {
+	cfg := TestConfig()
+	res, tbl, err := P3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() == "" {
+		t.Fatal("empty table")
+	}
+	if len(res.Entries) != len(p3Variants)*len(p3Workloads) {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		switch e.Variant {
+		case "literal":
+			if e.CacheHitRate != 0 {
+				t.Errorf("%s literal: hit rate %.2f, want 0 (every text distinct)", e.Workload, e.CacheHitRate)
+			}
+		case "params", "prepared":
+			if e.CacheHitRate <= 0 {
+				t.Errorf("%s %s: hit rate %.2f, want > 0 across distinct args", e.Workload, e.Variant, e.CacheHitRate)
+			}
+			if e.Variant == "prepared" && e.Workload == "plain-select" && e.PlanReuses == 0 {
+				t.Error("prepared plain SELECT should re-execute its cached plan")
+			}
+		}
+		if e.P50Us <= 0 || e.P95Us < e.P50Us {
+			t.Errorf("%s %s: bad percentiles %+v", e.Workload, e.Variant, e)
+		}
 	}
 }

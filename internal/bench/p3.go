@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// P3Entry is one variant measurement of the parameterized-vs-literal
+// experiment. CacheHitRate is client-observed: the fraction of executions
+// whose result carried FlagCacheHit (the server skipped the parse);
+// PlanReuses counts FlagPlanReused (the server also skipped the planner).
+type P3Entry struct {
+	Workload     string  `json:"workload"`
+	Variant      string  `json:"variant"` // "literal" | "params" | "prepared"
+	Query        string  `json:"query"`
+	Execs        int     `json:"execs"`
+	P50Us        float64 `json:"p50_us"`
+	P95Us        float64 `json:"p95_us"`
+	AvgUs        float64 `json:"avg_us"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	PlanReuses   uint64  `json:"plan_reuses"`
+}
+
+// P3Result is the full experiment outcome, the payload of BENCH_p3.json.
+type P3Result struct {
+	JobRows int       `json:"job_rows"`
+	Execs   int       `json:"execs"`
+	Entries []P3Entry `json:"entries"`
+}
+
+// p3Workload is one query shape under test.
+type p3Workload struct {
+	name    string
+	param   string
+	literal func(arg int) string
+	args    func(arg int) []any
+}
+
+// p3Workloads: a plain indexed SELECT (plan-cacheable — the prepared
+// parameterized form re-executes one cached plan across argument values)
+// and a preference query (parse-cached; the preference recompiles against
+// the fresh AROUND argument per execution).
+var p3Workloads = []p3Workload{
+	{
+		name:    "plain-select",
+		param:   `SELECT id, salary FROM jobs WHERE region = ? AND salary < ?`,
+		literal: func(arg int) string { return fmt.Sprintf(`SELECT id, salary FROM jobs WHERE region = 'Bayern' AND salary < %d`, arg) },
+		args:    func(arg int) []any { return []any{"Bayern", arg} },
+	},
+	{
+		name: "preference-around",
+		param: `SELECT id FROM jobs WHERE region = ? AND salary < 28000
+	 PREFERRING salary AROUND ? AND HIGHEST(experience)`,
+		literal: func(arg int) string {
+			return fmt.Sprintf(`SELECT id FROM jobs WHERE region = 'Bayern' AND salary < 28000
+	 PREFERRING salary AROUND %d AND HIGHEST(experience)`, arg)
+		},
+		args: func(arg int) []any { return []any{"Bayern", arg} },
+	},
+}
+
+// p3Variants are the three ways of issuing the same logical stream:
+// literals inlined per call (a distinct SQL text every time — the
+// pre-bind-parameter behaviour), ad-hoc parameterized Query (one text,
+// arguments out of band), and Prepare-once/Execute-many.
+var p3Variants = []string{"literal", "params", "prepared"}
+
+// p3Arg derives the i-th argument value: every execution gets a distinct
+// value, the realistic shape of user-supplied query parameters (a literal
+// workload therefore produces a distinct SQL text per call and can never
+// hit a text-keyed cache).
+func p3Arg(i int) int { return 20000 + 37*i }
+
+// P3 measures what real bind parameters buy a repeated workload: per
+// query shape, n executions with distinct argument values run as each
+// variant against a fresh loopback server (fresh statement cache).
+// Reported per row: p50/p95/avg latency, the parse-skipped (cache-hit)
+// rate and the plan-reuse count.
+func P3(cfg Config) (*P3Result, *Table, error) {
+	db, err := JobDB(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	execs := cfg.P3Execs
+	if execs <= 0 {
+		execs = 200
+	}
+	out := &P3Result{JobRows: cfg.JobRows, Execs: execs}
+
+	for _, w := range p3Workloads {
+		for _, variant := range p3Variants {
+			srv := server.New(db, server.Options{CacheSize: 64})
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			entry, err := p3Round(addr.String(), variant, w, execs)
+			srv.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			entry.Workload = w.name
+			out.Entries = append(out.Entries, *entry)
+		}
+	}
+
+	tbl := &Table{
+		Title:  fmt.Sprintf("P3: parameterized vs literal-inlined workload (jobs=%d, %d execs each)", cfg.JobRows, execs),
+		Header: []string{"workload", "variant", "p50", "p95", "avg", "parse skipped", "plan reuses"},
+		Notes: []string{
+			"every execution uses a distinct argument value; inlined literals therefore produce a distinct SQL text per call",
+			"bind parameters keep one text: the statement cache hits on every repeat, and the prepared plain SELECT re-executes one cached plan",
+		},
+	}
+	for _, e := range out.Entries {
+		tbl.Rows = append(tbl.Rows, []string{
+			e.Workload, e.Variant,
+			fmt.Sprintf("%.0fµs", e.P50Us),
+			fmt.Sprintf("%.0fµs", e.P95Us),
+			fmt.Sprintf("%.0fµs", e.AvgUs),
+			fmt.Sprintf("%.0f%%", e.CacheHitRate*100),
+			fmt.Sprintf("%d", e.PlanReuses),
+		})
+	}
+	return out, tbl, nil
+}
+
+func p3Round(addr, variant string, w p3Workload, execs int) (*P3Entry, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	var st *client.Stmt
+	query := w.param
+	switch variant {
+	case "prepared":
+		if st, err = c.Prepare(w.param); err != nil {
+			return nil, err
+		}
+	case "literal":
+		query = w.literal(p3Arg(0)) + " ..."
+	}
+
+	lat := make([]time.Duration, 0, execs)
+	var cacheHits, planReuses uint64
+	ctx := context.Background()
+	for i := 0; i < execs; i++ {
+		arg := p3Arg(i)
+		var flags byte
+		t0 := time.Now()
+		switch variant {
+		case "literal":
+			_, flags, err = c.ExecFlags(w.literal(arg))
+		case "params":
+			_, flags, err = c.ExecFlagsContext(ctx, w.param, w.args(arg)...)
+		case "prepared":
+			_, flags, err = st.ExecFlagsContext(ctx, w.args(arg)...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s exec %d: %w", w.name, variant, i, err)
+		}
+		lat = append(lat, time.Since(t0))
+		if flags&wire.FlagCacheHit != 0 {
+			cacheHits++
+		}
+		if flags&wire.FlagPlanReused != 0 {
+			planReuses++
+		}
+	}
+
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds()) / 1000
+	}
+	return &P3Entry{
+		Variant:      variant,
+		Query:        query,
+		Execs:        execs,
+		P50Us:        pct(0.50),
+		P95Us:        pct(0.95),
+		AvgUs:        float64(sum.Nanoseconds()) / float64(execs) / 1000,
+		CacheHitRate: float64(cacheHits) / float64(execs),
+		PlanReuses:   planReuses,
+	}, nil
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -90,6 +91,10 @@ func OpenOn(eng *engine.DB) *DB {
 // Engine exposes the underlying plain-SQL engine.
 func (db *DB) Engine() *engine.DB { return db.eng }
 
+// DefaultSession returns the session backing the DB-level convenience
+// API.
+func (db *DB) DefaultSession() *Session { return db.def }
+
 // Epoch reports the current write epoch (the number of write statements
 // executed so far); cached plans are valid within one epoch.
 func (db *DB) Epoch() uint64 { return db.epoch.Load() }
@@ -113,9 +118,21 @@ func (db *DB) SetAlgorithm(a bmo.Algorithm) { db.def.SetAlgorithm(a) }
 // returning the last result.
 func (db *DB) Exec(sql string) (*Result, error) { return db.def.Exec(sql) }
 
+// ExecContext is Exec on the default session with a cancellation context
+// and positional bind arguments; see Session.ExecContext.
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	return db.def.ExecContext(ctx, sql, args...)
+}
+
 // Query runs a single SELECT on the default session under the shared
 // read lock only; see Session.Query.
 func (db *DB) Query(sql string) (*Result, error) { return db.def.Query(sql) }
+
+// QueryContext is Query on the default session with a cancellation
+// context and bind arguments; see Session.QueryContext.
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	return db.def.QueryContext(ctx, sql, args...)
+}
 
 // ExecStmt runs one parsed statement on the default session.
 func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) { return db.def.ExecStmt(stmt) }
@@ -123,37 +140,204 @@ func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) { return db.def.ExecStmt(
 // execStmt runs one parsed statement, routing preference queries through
 // the preference layer and everything else to the engine untouched. The
 // caller holds the appropriate statement lock.
-func (s *Session) execStmt(stmt ast.Stmt) (*Result, error) {
+func (s *Session) execStmt(stmt ast.Stmt, ee execEnv) (*Result, error) {
 	db := s.db
+	stmt, err := bindLimitParams(stmt, ee.params)
+	if err != nil {
+		return nil, err
+	}
 	switch st := stmt.(type) {
 	case *ast.Select:
 		if st.HasPreference() {
-			return s.queryPreference(st)
+			return s.queryPreference(st, ee)
 		}
 		if st.ButOnly != nil || len(st.Grouping) > 0 {
 			return nil, fmt.Errorf("core: GROUPING and BUT ONLY require a PREFERRING clause")
 		}
-		return db.eng.Select(st)
+		return db.eng.SelectArgs(ee.ctx, st, ee.params)
 	case *ast.Insert:
 		if st.Sel != nil && st.Sel.HasPreference() {
-			return s.insertPreference(st)
+			return s.insertPreference(st, ee)
 		}
-		return db.eng.ExecStmt(st)
+		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
 	case *ast.CreateView:
 		if st.Sel.HasPreference() {
 			return nil, fmt.Errorf("core: views over PREFERRING queries are not supported")
 		}
-		return db.eng.ExecStmt(st)
+		// A stored view outlives this execution's argument list, so a bind
+		// parameter in its body could never be resolved again — reject it
+		// now instead of leaving a view that fails on every later use.
+		// (The rewrite layer's internal param-bearing views execute within
+		// one statement and go through the engine directly.)
+		if selectHasParam(st.Sel) {
+			return nil, fmt.Errorf("core: CREATE VIEW cannot contain bind parameters")
+		}
+		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
 	case *ast.CreatePreference:
 		return db.createPreference(st)
 	case *ast.Drop:
 		if st.Kind == "PREFERENCE" {
 			return db.dropPreference(st)
 		}
-		return db.eng.ExecStmt(st)
+		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
 	default:
-		return db.eng.ExecStmt(stmt)
+		return db.eng.ExecStmtArgs(ee.ctx, stmt, ee.params)
 	}
+}
+
+// bindLimitParams resolves bind parameters in the outermost LIMIT/OFFSET
+// of a statement to concrete counts, returning a shallow clone so the
+// parsed (and cached) statement stays reusable across argument sets.
+// Parameters anywhere else in the statement stay late-bound — the
+// evaluator resolves them per row — but LIMIT/OFFSET feed the planner and
+// the batch post-processing directly, so they bind up front.
+func bindLimitParams(stmt ast.Stmt, params []value.Value) (ast.Stmt, error) {
+	switch st := stmt.(type) {
+	case *ast.Select:
+		return bindSelectLimits(st, params)
+	case *ast.Insert:
+		if st.Sel == nil || !st.Sel.HasLimitParam() {
+			return stmt, nil
+		}
+		sel, err := bindSelectLimits(st.Sel, params)
+		if err != nil {
+			return nil, err
+		}
+		clone := *st
+		clone.Sel = sel
+		return &clone, nil
+	}
+	return stmt, nil
+}
+
+func bindSelectLimits(sel *ast.Select, params []value.Value) (*ast.Select, error) {
+	if !sel.HasLimitParam() {
+		return sel, nil
+	}
+	clone := *sel
+	if p := sel.LimitParam; p != nil {
+		n, err := paramCount(params, p, "LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		clone.Limit, clone.LimitParam = n, nil
+	}
+	if p := sel.OffsetParam; p != nil {
+		n, err := paramCount(params, p, "OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		clone.Offset, clone.OffsetParam = n, nil
+	}
+	return &clone, nil
+}
+
+// selectHasParam reports whether any expression of the query block (or a
+// nested block) is a bind parameter.
+func selectHasParam(sel *ast.Select) bool {
+	if sel == nil {
+		return false
+	}
+	if sel.HasLimitParam() {
+		return true
+	}
+	for _, it := range sel.Items {
+		if exprHasParam(it.Expr) {
+			return true
+		}
+	}
+	for _, tr := range sel.From {
+		if tableRefHasParam(tr) {
+			return true
+		}
+	}
+	if exprHasParam(sel.Where) || exprHasParam(sel.ButOnly) || exprHasParam(sel.Having) {
+		return true
+	}
+	for _, e := range sel.GroupBy {
+		if exprHasParam(e) {
+			return true
+		}
+	}
+	for _, ob := range sel.OrderBy {
+		if exprHasParam(ob.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func tableRefHasParam(tr ast.TableRef) bool {
+	switch t := tr.(type) {
+	case *ast.SubqueryTable:
+		return selectHasParam(t.Sel)
+	case *ast.Join:
+		return tableRefHasParam(t.Left) || tableRefHasParam(t.Right) || exprHasParam(t.On)
+	}
+	return false
+}
+
+func exprHasParam(e ast.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *ast.Param:
+		return true
+	case *ast.Unary:
+		return exprHasParam(x.X)
+	case *ast.Binary:
+		return exprHasParam(x.L) || exprHasParam(x.R)
+	case *ast.IsNull:
+		return exprHasParam(x.X)
+	case *ast.InList:
+		if exprHasParam(x.X) {
+			return true
+		}
+		for _, i := range x.List {
+			if exprHasParam(i) {
+				return true
+			}
+		}
+	case *ast.InSelect:
+		return exprHasParam(x.X) || selectHasParam(x.Sub)
+	case *ast.Between:
+		return exprHasParam(x.X) || exprHasParam(x.Lo) || exprHasParam(x.Hi)
+	case *ast.Like:
+		return exprHasParam(x.X) || exprHasParam(x.Pattern)
+	case *ast.Exists:
+		return selectHasParam(x.Sub)
+	case *ast.ScalarSub:
+		return selectHasParam(x.Sub)
+	case *ast.Case:
+		if exprHasParam(x.Operand) || exprHasParam(x.Else) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if exprHasParam(w.When) || exprHasParam(w.Then) {
+				return true
+			}
+		}
+	case *ast.FuncCall:
+		for _, a := range x.Args {
+			if exprHasParam(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// paramCount resolves a LIMIT/OFFSET parameter to a non-negative integer.
+func paramCount(params []value.Value, p *ast.Param, clause string) (int64, error) {
+	if p.Index < 0 || p.Index >= len(params) {
+		return 0, fmt.Errorf("core: %s parameter $%d is not bound (statement has %d argument(s))",
+			clause, p.Index+1, len(params))
+	}
+	v, err := value.Coerce(params[p.Index], value.Int)
+	if err != nil || v.IsNull() || v.I < 0 {
+		return 0, fmt.Errorf("core: %s requires a non-negative integer argument, got %s", clause, params[p.Index].SQL())
+	}
+	return v.I, nil
 }
 
 // createPreference registers a persistent named preference (the paper's
@@ -278,7 +462,7 @@ func (db *DB) RewritePlan(sql string) (*rewrite.Plan, error) {
 	}
 	clone := *sel
 	clone.Preferring = resolved
-	cols, err := db.baseColumns(&clone)
+	cols, err := db.baseColumns(&clone, bgEnv)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +473,7 @@ func (db *DB) RewritePlan(sql string) (*rewrite.Plan, error) {
 // Preference query execution
 // ---------------------------------------------------------------------------
 
-func (s *Session) queryPreference(sel *ast.Select) (*Result, error) {
+func (s *Session) queryPreference(sel *ast.Select, ee execEnv) (*Result, error) {
 	db := s.db
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
@@ -304,32 +488,32 @@ func (s *Session) queryPreference(sel *ast.Select) (*Result, error) {
 		sel = &clone
 	}
 	if s.Mode() == ModeRewrite {
-		return db.queryViaRewrite(sel)
+		return db.queryViaRewrite(sel, ee)
 	}
-	return s.queryNative(sel)
+	return s.queryNative(sel, ee)
 }
 
 // candidatePipeline plans the candidate relation of a preference query:
 // FROM + hard WHERE, all columns, no limit.
-func (db *DB) candidatePipeline(sel *ast.Select) (*engine.Pipeline, error) {
+func (db *DB) candidatePipeline(sel *ast.Select, ee execEnv) (*engine.Pipeline, error) {
 	candidate := &ast.Select{
 		Items: []ast.SelectItem{{Expr: &ast.Star{}}},
 		From:  sel.From,
 		Where: sel.Where,
 		Limit: -1,
 	}
-	return db.eng.Pipeline(candidate)
+	return db.eng.PipelineArgs(ee.ctx, candidate, ee.params)
 }
 
 // baseColumns returns the output column names of the query's FROM/WHERE
 // part (the schema the rewriter annotates with level columns).
-func (db *DB) baseColumns(sel *ast.Select) ([]string, error) {
+func (db *DB) baseColumns(sel *ast.Select, ee execEnv) ([]string, error) {
 	probe := &ast.Select{
 		Items: []ast.SelectItem{{Expr: &ast.Star{}}},
 		From:  sel.From,
 		Limit: 0,
 	}
-	det, err := db.eng.SelectDetailed(probe)
+	det, err := db.eng.SelectDetailedArgs(ee.ctx, probe, ee.params)
 	if err != nil {
 		return nil, err
 	}
@@ -340,8 +524,8 @@ func (db *DB) baseColumns(sel *ast.Select) ([]string, error) {
 	return cols, nil
 }
 
-func (db *DB) queryViaRewrite(sel *ast.Select) (*Result, error) {
-	cols, err := db.baseColumns(sel)
+func (db *DB) queryViaRewrite(sel *ast.Select, ee execEnv) (*Result, error) {
+	cols, err := db.baseColumns(sel, ee)
 	if err != nil {
 		return nil, err
 	}
@@ -349,8 +533,12 @@ func (db *DB) queryViaRewrite(sel *ast.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Setup/teardown only create and drop views; the generated view bodies
+	// may embed parameters from the preference term, which resolve when the
+	// views materialize during the query — so every step runs under the
+	// execution's context and arguments.
 	for i, s := range plan.Setup {
-		if _, err := db.eng.ExecStmt(s); err != nil {
+		if _, err := db.eng.ExecStmtArgs(ee.ctx, s, ee.params); err != nil {
 			// drop the views created so far
 			for j := len(plan.Teardown) - len(plan.Setup) + i; j < len(plan.Teardown); j++ {
 				_, _ = db.eng.ExecStmt(plan.Teardown[j])
@@ -358,7 +546,7 @@ func (db *DB) queryViaRewrite(sel *ast.Select) (*Result, error) {
 			return nil, fmt.Errorf("core: rewrite setup: %w", err)
 		}
 	}
-	res, qerr := db.eng.Select(plan.Query)
+	res, qerr := db.eng.SelectArgs(ee.ctx, plan.Query, ee.params)
 	for _, s := range plan.Teardown {
 		if _, terr := db.eng.ExecStmt(s); terr != nil && qerr == nil {
 			qerr = terr
@@ -370,18 +558,18 @@ func (db *DB) queryViaRewrite(sel *ast.Select) (*Result, error) {
 	return res, nil
 }
 
-func (s *Session) queryNative(sel *ast.Select) (*Result, error) {
+func (s *Session) queryNative(sel *ast.Select, ee execEnv) (*Result, error) {
 	db := s.db
 	// 1. Candidate relation: FROM + hard WHERE, all columns, compiled to
 	// an operator pipeline (predicate pushdown, index probes, hash joins).
-	pipe, err := db.candidatePipeline(sel)
+	pipe, err := db.candidatePipeline(sel, ee)
 	if err != nil {
 		return nil, err
 	}
 	cols := pipe.Columns()
 
 	// 2. Compile the preference over that relation.
-	binder := newRelBinder(cols, db.eng)
+	binder := newRelBinder(cols, db.eng, ee)
 	reg := preference.NewRegistry()
 	pref, err := preference.Compile(sel.Preferring, binder, reg)
 	if err != nil {
@@ -537,9 +725,9 @@ func (db *DB) projectPreference(sel *ast.Select, cols []engine.ColInfo,
 
 // insertPreference implements §2.2.5: Preference SQL queries as sub-queries
 // of INSERT statements.
-func (s *Session) insertPreference(ins *ast.Insert) (*Result, error) {
+func (s *Session) insertPreference(ins *ast.Insert, ee execEnv) (*Result, error) {
 	db := s.db
-	res, err := s.queryPreference(ins.Sel)
+	res, err := s.queryPreference(ins.Sel, ee)
 	if err != nil {
 		return nil, err
 	}
@@ -585,8 +773,11 @@ type relBinder struct {
 	ev   *expr.Evaluator
 }
 
-func newRelBinder(cols []engine.ColInfo, eng *engine.DB) *relBinder {
-	return &relBinder{cols: cols, ev: &expr.Evaluator{Runner: eng.Runner()}}
+func newRelBinder(cols []engine.ColInfo, eng *engine.DB, ee execEnv) *relBinder {
+	return &relBinder{cols: cols, ev: &expr.Evaluator{
+		Runner: eng.RunnerArgs(ee.ctx, ee.params),
+		Params: ee.params,
+	}}
 }
 
 // relEnv resolves columns of one candidate row.

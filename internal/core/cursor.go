@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,6 +39,7 @@ type Cursor struct {
 	row   value.Row
 	err   error
 	done  bool
+	ctx   context.Context // nil = not cancellable
 }
 
 // Columns returns the result column names.
@@ -48,6 +50,13 @@ func (c *Cursor) Columns() []string { return c.cols }
 func (c *Cursor) Next() bool {
 	if c.done || c.err != nil {
 		return false
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			c.done = true
+			return false
+		}
 	}
 	row, err := c.pull()
 	if err != nil {
@@ -88,6 +97,12 @@ func (c *Cursor) Stats() *exec.Stats { return c.stats }
 // returns a streaming cursor over its result, on the default session.
 func (db *DB) OpenCursor(sql string) (*Cursor, error) { return db.def.OpenCursor(sql) }
 
+// OpenCursorContext is OpenCursor on the default session with a
+// cancellation context and bind arguments.
+func (db *DB) OpenCursorContext(ctx context.Context, sql string, args ...any) (*Cursor, error) {
+	return db.def.OpenCursorContext(ctx, sql, args...)
+}
+
 // OpenCursor plans a single SELECT (standard or Preference SQL) and
 // returns a streaming cursor over its result.
 //
@@ -103,27 +118,53 @@ func (db *DB) OpenCursor(sql string) (*Cursor, error) { return db.def.OpenCursor
 // mid-stream. A batch Query/Exec holds the read lock for the whole
 // statement and is fully consistent.
 func (s *Session) OpenCursor(sql string) (*Cursor, error) {
-	sel, err := parser.ParseSelect(sql)
+	return s.OpenCursorContext(context.Background(), sql)
+}
+
+// OpenCursorContext is OpenCursor with a cancellation context and
+// positional bind arguments: cancelling ctx stops the pipeline's scans
+// mid-table and makes Next return false with Err() = ctx.Err().
+func (s *Session) OpenCursorContext(ctx context.Context, sql string, args ...any) (*Cursor, error) {
+	vals, err := value.FromGoArgs(args)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s.OpenCursorValues(ctx, sql, vals)
+}
+
+// OpenCursorValues is OpenCursorContext with pre-converted argument
+// values.
+func (s *Session) OpenCursorValues(ctx context.Context, sql string, args []value.Value) (*Cursor, error) {
+	sel, nparams, err := parser.ParseSelectCount(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.openCursorPinned(sel, false)
+	if err := checkArgCount(nparams, args); err != nil {
+		return nil, err
+	}
+	return s.openCursorPinned(sel, false, execEnv{ctx: ctx, params: args})
 }
 
 // OpenCursorSelect is OpenCursor for an already-parsed SELECT (the
 // server's path for cached statements). The statement must not be
 // mutated by the caller while the cursor is open.
 func (s *Session) OpenCursorSelect(sel *ast.Select) (*Cursor, error) {
-	return s.openCursorPinned(sel, false)
+	return s.openCursorPinned(sel, false, bgEnv)
+}
+
+// OpenCursorSelectArgs is OpenCursorSelect with a cancellation context
+// and bind arguments (the server's parameterized Execute/Query path).
+func (s *Session) OpenCursorSelectArgs(ctx context.Context, sel *ast.Select, args []value.Value) (*Cursor, error) {
+	return s.openCursorPinned(sel, false, execEnv{ctx: ctx, params: args})
 }
 
 // openCursorPinned builds the cursor under the shared read lock, so the
 // open — where scans capture their snapshots — cannot interleave with a
 // write statement. The lock is released before the cursor is returned.
-func (s *Session) openCursorPinned(sel *ast.Select, strict bool) (*Cursor, error) {
+func (s *Session) openCursorPinned(sel *ast.Select, strict bool, ee execEnv) (*Cursor, error) {
 	s.db.stmtMu.RLock()
 	defer s.db.stmtMu.RUnlock()
-	return s.openCursor(sel, strict)
+	return s.openCursor(sel, strict, ee)
 }
 
 // bufferCursor iterates an already-materialized result.
@@ -142,17 +183,21 @@ func bufferCursor(cols []string, rows []value.Row) *Cursor {
 // openCursor builds the cursor. strict is the QueryProgressive contract:
 // the preference must be score-based and stream, otherwise error out
 // instead of falling back to batch. The caller holds the read lock.
-func (s *Session) openCursor(sel *ast.Select, strict bool) (*Cursor, error) {
+func (s *Session) openCursor(sel *ast.Select, strict bool, ee execEnv) (*Cursor, error) {
 	db := s.db
+	sel, err := bindSelectLimits(sel, ee.params)
+	if err != nil {
+		return nil, err
+	}
 	if !sel.HasPreference() {
 		if sel.ButOnly != nil || len(sel.Grouping) > 0 {
 			return nil, fmt.Errorf("core: GROUPING and BUT ONLY require a PREFERRING clause")
 		}
-		pipe, err := db.eng.Pipeline(sel)
+		pipe, err := db.eng.PipelineArgs(ee.ctx, sel, ee.params)
 		if err != nil {
 			// Grouped/aggregate queries materialize in the engine; iterate
 			// the buffered result (plan errors re-surface identically).
-			res, rerr := db.eng.Select(sel)
+			res, rerr := db.eng.SelectArgs(ee.ctx, sel, ee.params)
 			if rerr != nil {
 				return nil, rerr
 			}
@@ -169,12 +214,12 @@ func (s *Session) openCursor(sel *ast.Select, strict bool) (*Cursor, error) {
 		for _, c := range pipe.Columns() {
 			names = append(names, c.Name)
 		}
-		return &Cursor{cols: names, stats: pipe.Stats(), pull: op.Next, fin: op.Close}, nil
+		return &Cursor{cols: names, stats: pipe.Stats(), pull: op.Next, fin: op.Close, ctx: ee.ctx}, nil
 	}
-	return s.openPreferenceCursor(sel, strict)
+	return s.openPreferenceCursor(sel, strict, ee)
 }
 
-func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool) (*Cursor, error) {
+func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool, ee execEnv) (*Cursor, error) {
 	db := s.db
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
@@ -193,19 +238,21 @@ func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool) (*Cursor, e
 	// execution mode — batch-evaluate and iterate. QueryProgressive (strict)
 	// rejects these shapes before getting here.
 	if !strict && (len(sel.OrderBy) > 0 || len(sel.Grouping) > 0 || sel.Distinct || s.Mode() == ModeRewrite) {
-		res, err := s.queryPreference(sel)
+		res, err := s.queryPreference(sel, ee)
 		if err != nil {
 			return nil, err
 		}
-		return bufferCursor(res.Columns, res.Rows), nil
+		c := bufferCursor(res.Columns, res.Rows)
+		c.ctx = ee.ctx
+		return c, nil
 	}
 
-	pipe, err := db.candidatePipeline(sel)
+	pipe, err := db.candidatePipeline(sel, ee)
 	if err != nil {
 		return nil, err
 	}
 	cols := pipe.Columns()
-	binder := newRelBinder(cols, db.eng)
+	binder := newRelBinder(cols, db.eng, ee)
 	reg := preference.NewRegistry()
 	pref, err := preference.Compile(sel.Preferring, binder, reg)
 	if err != nil {
@@ -254,7 +301,7 @@ func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool) (*Cursor, e
 			return out, nil
 		}
 	}
-	return &Cursor{cols: outCols, stats: pipe.Stats(), pull: pull, fin: op.Close}, nil
+	return &Cursor{cols: outCols, stats: pipe.Stats(), pull: pull, fin: op.Close, ctx: ee.ctx}, nil
 }
 
 // prefProjector compiles the SELECT list of a preference query into output

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/parser"
 	"repro/internal/plan"
+	"repro/internal/value"
 )
 
 // Prepared is a statement script parsed once and re-executable many
@@ -26,6 +28,11 @@ import (
 type Prepared struct {
 	SQL   string
 	stmts []ast.Stmt
+	// NumParams is the script's positional bind parameter count; every
+	// execution must supply exactly this many arguments. The parsed
+	// statements keep their ast.Param nodes, so one Prepared (and its
+	// cached plan) serves every argument set.
+	NumParams int
 
 	mu          sync.Mutex
 	unplannable bool // the single SELECT cannot stream (grouped, preference, ...)
@@ -35,11 +42,11 @@ type Prepared struct {
 
 // Prepare parses a ';'-separated script once for repeated execution.
 func (db *DB) Prepare(sql string) (*Prepared, error) {
-	stmts, err := parser.ParseAll(sql)
+	stmts, nparams, err := parser.ParseAllCount(sql)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{SQL: sql, stmts: stmts}, nil
+	return &Prepared{SQL: sql, stmts: stmts, NumParams: nparams}, nil
 }
 
 // Stmts exposes the parsed statements (read-only; callers must not
@@ -89,10 +96,24 @@ func (p *Prepared) cachedPlan(db *DB, sel *ast.Select) (node plan.Node, reused b
 // reports whether at least one statement skipped the planner by
 // re-executing a cached plan.
 func (s *Session) ExecPrepared(p *Prepared) (res *Result, reusedPlan bool, err error) {
+	return s.ExecPreparedArgs(context.Background(), p, nil)
+}
+
+// ExecPreparedArgs re-executes a prepared script with fresh bind
+// arguments under a cancellation context. The statement parses once (at
+// Prepare) and — for a single plain streaming SELECT — plans once: the
+// cached plan re-executes with the new argument values, so a
+// parameterized workload hits the plan cache across distinct arguments
+// instead of planning per literal combination.
+func (s *Session) ExecPreparedArgs(ctx context.Context, p *Prepared, args []value.Value) (res *Result, reusedPlan bool, err error) {
+	if err := checkArgCount(p.NumParams, args); err != nil {
+		return nil, false, err
+	}
+	ee := execEnv{ctx: ctx, params: args}
 	res = &Result{}
 	for _, st := range p.stmts {
 		var r bool
-		res, r, err = s.execPreparedStmt(p, st)
+		res, r, err = s.execPreparedStmt(p, st, ee)
 		if err != nil {
 			return nil, false, err
 		}
@@ -101,23 +122,23 @@ func (s *Session) ExecPrepared(p *Prepared) (res *Result, reusedPlan bool, err e
 	return res, reusedPlan, nil
 }
 
-func (s *Session) execPreparedStmt(p *Prepared, st ast.Stmt) (*Result, bool, error) {
+func (s *Session) execPreparedStmt(p *Prepared, st ast.Stmt, ee execEnv) (*Result, bool, error) {
 	db := s.db
 	if StmtReadOnly(st) {
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
 		if sel, ok := p.SingleSelect(); ok && sel == st {
 			if node, reused := p.cachedPlan(db, sel); node != nil {
-				res, err := db.eng.ExecPlan(node)
+				res, err := db.eng.ExecPlanArgs(ee.ctx, node, ee.params)
 				return res, reused, err
 			}
 		}
-		res, err := s.execStmt(st)
+		res, err := s.execStmt(st, ee)
 		return res, false, err
 	}
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
 	db.epoch.Add(1)
-	res, err := s.execStmt(st)
+	res, err := s.execStmt(st, ee)
 	return res, false, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/parser"
@@ -23,10 +24,36 @@ func (db *DB) QueryProgressive(sql string, yield func(value.Row) bool) ([]string
 	return db.def.QueryProgressive(sql, yield)
 }
 
+// QueryProgressiveContext is QueryProgressive on the default session with
+// a cancellation context and bind arguments.
+func (db *DB) QueryProgressiveContext(ctx context.Context, sql string, yield func(value.Row) bool, args ...any) ([]string, error) {
+	return db.def.QueryProgressiveContext(ctx, sql, yield, args...)
+}
+
 // QueryProgressive is the session-scoped variant; see DB.QueryProgressive.
 func (s *Session) QueryProgressive(sql string, yield func(value.Row) bool) ([]string, error) {
-	sel, err := parser.ParseSelect(sql)
+	return s.QueryProgressiveContext(context.Background(), sql, yield)
+}
+
+// QueryProgressiveContext is QueryProgressive with a cancellation context
+// and positional bind arguments: cancelling ctx stops the remaining
+// dominance work exactly like yield returning false.
+func (s *Session) QueryProgressiveContext(ctx context.Context, sql string, yield func(value.Row) bool, args ...any) ([]string, error) {
+	vals, err := value.FromGoArgs(args)
 	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s.QueryProgressiveValues(ctx, sql, yield, vals)
+}
+
+// QueryProgressiveValues is QueryProgressiveContext with pre-converted
+// argument values.
+func (s *Session) QueryProgressiveValues(ctx context.Context, sql string, yield func(value.Row) bool, args []value.Value) ([]string, error) {
+	sel, nparams, err := parser.ParseSelectCount(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkArgCount(nparams, args); err != nil {
 		return nil, err
 	}
 	if !sel.HasPreference() {
@@ -38,7 +65,7 @@ func (s *Session) QueryProgressive(sql string, yield func(value.Row) bool) ([]st
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return nil, fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
 	}
-	c, err := s.openCursorPinned(sel, true)
+	c, err := s.openCursorPinned(sel, true, execEnv{ctx: ctx, params: args})
 	if err != nil {
 		return nil, err
 	}

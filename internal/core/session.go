@@ -1,12 +1,35 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/bmo"
 	"repro/internal/parser"
+	"repro/internal/value"
 )
+
+// execEnv carries one execution's dynamic state through the core layer:
+// the cancellation context and the positional bind arguments. The zero
+// value (bgEnv) is a non-cancellable execution without arguments — the
+// string-only convenience API.
+type execEnv struct {
+	ctx    context.Context
+	params []value.Value
+}
+
+var bgEnv = execEnv{}
+
+// checkArgCount enforces the bind contract at the parse boundary: every
+// declared parameter gets exactly one argument.
+func checkArgCount(nparams int, args []value.Value) error {
+	if len(args) != nparams {
+		return fmt.Errorf("core: statement has %d bind parameter(s), got %d argument(s)", nparams, len(args))
+	}
+	return nil
+}
 
 // Session is one client's view of a shared DB: it carries the per-client
 // execution settings (mode, BMO algorithm) so that concurrent clients of
@@ -61,13 +84,36 @@ func StmtReadOnly(stmt ast.Stmt) bool {
 // statement's result. Locks are taken per statement: reads share, writes
 // serialize.
 func (s *Session) Exec(sql string) (*Result, error) {
-	stmts, err := parser.ParseAll(sql)
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec with a cancellation context and positional bind
+// arguments: `?` / `$n` placeholders in the script evaluate to the
+// corresponding argument (converted with value.FromGo), and cancelling
+// ctx stops in-flight scans. (Waiting for the statement lock itself is
+// not interruptible.)
+func (s *Session) ExecContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	vals, err := value.FromGoArgs(args)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s.ExecValues(ctx, sql, vals)
+}
+
+// ExecValues is ExecContext with pre-converted argument values — the
+// typed primitive behind the server and driver layers.
+func (s *Session) ExecValues(ctx context.Context, sql string, args []value.Value) (*Result, error) {
+	stmts, nparams, err := parser.ParseAllCount(sql)
 	if err != nil {
 		return nil, err
 	}
+	if err := checkArgCount(nparams, args); err != nil {
+		return nil, err
+	}
+	ee := execEnv{ctx: ctx, params: args}
 	res := &Result{}
 	for _, st := range stmts {
-		res, err = s.ExecStmt(st)
+		res, err = s.execStmtLocked(st, ee)
 		if err != nil {
 			return nil, err
 		}
@@ -79,35 +125,70 @@ func (s *Session) Exec(sql string) (*Result, error) {
 // shared read lock only, so concurrent queries never serialize behind the
 // write path. Non-SELECT statements are rejected — use Exec.
 func (s *Session) Query(sql string) (*Result, error) {
-	sel, err := parser.ParseSelect(sql)
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query with a cancellation context and bind arguments.
+func (s *Session) QueryContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	vals, err := value.FromGoArgs(args)
 	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s.QueryValues(ctx, sql, vals)
+}
+
+// QueryValues is QueryContext with pre-converted argument values.
+func (s *Session) QueryValues(ctx context.Context, sql string, args []value.Value) (*Result, error) {
+	sel, nparams, err := parser.ParseSelectCount(sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkArgCount(nparams, args); err != nil {
 		return nil, err
 	}
 	s.db.stmtMu.RLock()
 	defer s.db.stmtMu.RUnlock()
-	return s.execStmt(sel)
+	return s.execStmt(sel, execEnv{ctx: ctx, params: args})
 }
 
 // ExecStmt runs one parsed statement under the appropriate lock.
 func (s *Session) ExecStmt(stmt ast.Stmt) (*Result, error) {
+	return s.execStmtLocked(stmt, bgEnv)
+}
+
+// ExecStmtArgs is ExecStmt with a cancellation context and bind
+// arguments; the statement must have been parsed with matching
+// placeholder positions (no count re-validation happens here).
+func (s *Session) ExecStmtArgs(ctx context.Context, stmt ast.Stmt, args []value.Value) (*Result, error) {
+	return s.execStmtLocked(stmt, execEnv{ctx: ctx, params: args})
+}
+
+func (s *Session) execStmtLocked(stmt ast.Stmt, ee execEnv) (*Result, error) {
 	if StmtReadOnly(stmt) {
 		s.db.stmtMu.RLock()
 		defer s.db.stmtMu.RUnlock()
-		return s.execStmt(stmt)
+		return s.execStmt(stmt, ee)
 	}
 	s.db.stmtMu.Lock()
 	defer s.db.stmtMu.Unlock()
 	s.db.epoch.Add(1)
-	return s.execStmt(stmt)
+	return s.execStmt(stmt, ee)
 }
 
 // ExecStmts runs a pre-parsed statement list (the server's path for
 // cached scripts), locking per statement like Exec.
 func (s *Session) ExecStmts(stmts []ast.Stmt) (*Result, error) {
+	return s.ExecStmtsArgs(context.Background(), stmts, nil)
+}
+
+// ExecStmtsArgs is ExecStmts with a cancellation context and bind
+// arguments shared by every statement of the script.
+func (s *Session) ExecStmtsArgs(ctx context.Context, stmts []ast.Stmt, args []value.Value) (*Result, error) {
+	ee := execEnv{ctx: ctx, params: args}
 	res := &Result{}
 	var err error
 	for _, st := range stmts {
-		res, err = s.ExecStmt(st)
+		res, err = s.execStmtLocked(st, ee)
 		if err != nil {
 			return nil, err
 		}

@@ -1,284 +1,20 @@
-// Package driver provides a database/sql driver for Preference SQL — the
-// Go analogue of the paper's "Preference ODBC/JDBC driver" (§3.1): a
-// standard driver API placed in front of the Preference SQL optimizer so
-// existing applications keep their database/sql code and gain the
-// PREFERRING / GROUPING / BUT ONLY clauses for free. Plain SQL passes
-// through to the engine without noticeable overhead, preference queries go
-// through the preference layer.
+// Package driver is the former internal home of the Preference SQL
+// database/sql driver. The implementation was promoted to the public
+// repro/driver package, which adds real bind parameters (the old literal
+// substitution survives there as a documented fallback) and the
+// context-aware driver interfaces; this package remains so existing
+// `import _ "repro/internal/driver"` lines keep registering the "prefsql"
+// driver.
 //
-// Usage:
-//
-//	import (
-//	    "database/sql"
-//	    _ "repro/internal/driver"
-//	)
-//	db, _ := sql.Open("prefsql", "mydb")      // named shared instance
-//	db2, _ := sql.Open("prefsql", ":memory:") // private instance
-//
-// Positional '?' placeholders are supported and substituted as SQL
-// literals before parsing.
+// Deprecated: import repro/driver instead.
 package driver
 
 import (
-	"database/sql"
-	"database/sql/driver"
-	"fmt"
-	"io"
-	"strings"
-	"sync"
-	"time"
-
-	"repro/internal/core"
-	"repro/internal/value"
+	pubdriver "repro/driver"
 )
 
-func init() {
-	sql.Register("prefsql", &Driver{})
-}
+// Driver is the public driver type; see repro/driver.
+type Driver = pubdriver.Driver
 
-// Driver implements driver.Driver. Data source names select a shared
-// named in-memory database; the special name ":memory:" yields a fresh
-// private database per Open call.
-type Driver struct {
-	mu  sync.Mutex
-	dbs map[string]*core.DB
-}
-
-// Open implements driver.Driver.
-func (d *Driver) Open(name string) (driver.Conn, error) {
-	if name == ":memory:" {
-		return &conn{db: core.Open()}, nil
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.dbs == nil {
-		d.dbs = map[string]*core.DB{}
-	}
-	db, ok := d.dbs[name]
-	if !ok {
-		db = core.Open()
-		d.dbs[name] = db
-	}
-	return &conn{db: db}, nil
-}
-
-// DB exposes the named shared instance so tests and embedders can reach
-// the underlying preference database (e.g. to switch execution modes).
-func (d *Driver) DB(name string) *core.DB {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.dbs[name]
-}
-
-type conn struct {
-	db *core.DB
-}
-
-// Prepare implements driver.Conn.
-func (c *conn) Prepare(query string) (driver.Stmt, error) {
-	n, err := countPlaceholders(query)
-	if err != nil {
-		return nil, err
-	}
-	return &stmt{conn: c, query: query, numInput: n}, nil
-}
-
-// Close implements driver.Conn (in-memory: nothing to release).
-func (c *conn) Close() error { return nil }
-
-// Begin implements driver.Conn. The engine executes statements atomically
-// but has no multi-statement transactions; Begin returns a no-op Tx so
-// database/sql code using transactions still runs.
-func (c *conn) Begin() (driver.Tx, error) { return noopTx{}, nil }
-
-type noopTx struct{}
-
-func (noopTx) Commit() error   { return nil }
-func (noopTx) Rollback() error { return nil }
-
-type stmt struct {
-	conn     *conn
-	query    string
-	numInput int
-}
-
-// Close implements driver.Stmt.
-func (s *stmt) Close() error { return nil }
-
-// NumInput implements driver.Stmt.
-func (s *stmt) NumInput() int { return s.numInput }
-
-// Exec implements driver.Stmt.
-func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
-	sqlText, err := bind(s.query, args)
-	if err != nil {
-		return nil, err
-	}
-	res, err := s.conn.db.Exec(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	return result{affected: int64(res.Affected)}, nil
-}
-
-// Query implements driver.Stmt.
-func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
-	sqlText, err := bind(s.query, args)
-	if err != nil {
-		return nil, err
-	}
-	res, err := s.conn.db.Exec(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	return &rows{res: res}, nil
-}
-
-type result struct {
-	affected int64
-}
-
-// LastInsertId implements driver.Result; the engine has no rowids.
-func (result) LastInsertId() (int64, error) {
-	return 0, fmt.Errorf("prefsql: LastInsertId is not supported")
-}
-
-// RowsAffected implements driver.Result.
-func (r result) RowsAffected() (int64, error) { return r.affected, nil }
-
-type rows struct {
-	res *core.Result
-	pos int
-}
-
-// Columns implements driver.Rows.
-func (r *rows) Columns() []string { return r.res.Columns }
-
-// Close implements driver.Rows.
-func (r *rows) Close() error { return nil }
-
-// Next implements driver.Rows.
-func (r *rows) Next(dest []driver.Value) error {
-	if r.pos >= len(r.res.Rows) {
-		return io.EOF
-	}
-	row := r.res.Rows[r.pos]
-	r.pos++
-	for i, v := range row {
-		dest[i] = toDriverValue(v)
-	}
-	return nil
-}
-
-func toDriverValue(v value.Value) driver.Value {
-	switch v.K {
-	case value.Null:
-		return nil
-	case value.Int:
-		return v.I
-	case value.Float:
-		return v.F
-	case value.Text:
-		return v.S
-	case value.Bool:
-		return v.I != 0
-	case value.Date:
-		return v.Time()
-	}
-	return nil
-}
-
-// countPlaceholders counts '?' outside string literals.
-func countPlaceholders(query string) (int, error) {
-	n := 0
-	inString := false
-	for i := 0; i < len(query); i++ {
-		c := query[i]
-		if inString {
-			if c == '\'' {
-				if i+1 < len(query) && query[i+1] == '\'' {
-					i++
-					continue
-				}
-				inString = false
-			}
-			continue
-		}
-		switch c {
-		case '\'':
-			inString = true
-		case '?':
-			n++
-		}
-	}
-	if inString {
-		return 0, fmt.Errorf("prefsql: unterminated string literal in query")
-	}
-	return n, nil
-}
-
-// bind substitutes positional args for '?' placeholders as SQL literals.
-func bind(query string, args []driver.Value) (string, error) {
-	if len(args) == 0 {
-		return query, nil
-	}
-	var b strings.Builder
-	argIdx := 0
-	inString := false
-	for i := 0; i < len(query); i++ {
-		c := query[i]
-		if inString {
-			b.WriteByte(c)
-			if c == '\'' {
-				if i+1 < len(query) && query[i+1] == '\'' {
-					b.WriteByte(query[i+1])
-					i++
-					continue
-				}
-				inString = false
-			}
-			continue
-		}
-		switch c {
-		case '\'':
-			inString = true
-			b.WriteByte(c)
-		case '?':
-			if argIdx >= len(args) {
-				return "", fmt.Errorf("prefsql: not enough arguments for placeholders")
-			}
-			lit, err := literal(args[argIdx])
-			if err != nil {
-				return "", err
-			}
-			b.WriteString(lit)
-			argIdx++
-		default:
-			b.WriteByte(c)
-		}
-	}
-	if argIdx != len(args) {
-		return "", fmt.Errorf("prefsql: %d arguments for %d placeholders", len(args), argIdx)
-	}
-	return b.String(), nil
-}
-
-func literal(v driver.Value) (string, error) {
-	switch x := v.(type) {
-	case nil:
-		return "NULL", nil
-	case int64:
-		return value.NewInt(x).SQL(), nil
-	case float64:
-		return value.NewFloat(x).SQL(), nil
-	case bool:
-		return value.NewBool(x).SQL(), nil
-	case string:
-		return value.NewText(x).SQL(), nil
-	case []byte:
-		return value.NewText(string(x)).SQL(), nil
-	case time.Time:
-		return value.NewDate(x.Year(), x.Month(), x.Day()).SQL(), nil
-	}
-	return "", fmt.Errorf("prefsql: unsupported argument type %T", v)
-}
+// Default is the instance registered under the name "prefsql".
+var Default = pubdriver.Default

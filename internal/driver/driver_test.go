@@ -2,283 +2,29 @@ package driver
 
 import (
 	"database/sql"
-	"database/sql/driver"
 	"testing"
-	"time"
 )
 
-func openDB(t *testing.T) *sql.DB {
-	t.Helper()
+// The shim must keep registering the "prefsql" driver for existing
+// `import _ "repro/internal/driver"` users.
+func TestShimStillRegisters(t *testing.T) {
 	db, err := sql.Open("prefsql", ":memory:")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { db.Close() })
-	// Force a single connection so the in-memory state is shared across
-	// statements of a test.
+	defer db.Close()
 	db.SetMaxOpenConns(1)
-	return db
-}
-
-func TestStandardSQLThroughDriver(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec("CREATE TABLE t (a INT, b VARCHAR)"); err != nil {
+	if _, err := db.Exec("CREATE TABLE t (a INT); INSERT INTO t VALUES (?)", 7); err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Exec("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n, _ := res.RowsAffected(); n != 2 {
-		t.Errorf("affected: %d", n)
-	}
-	rows, err := db.Query("SELECT a, b FROM t ORDER BY a")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer rows.Close()
-	var got []string
-	for rows.Next() {
-		var a int64
-		var b string
-		if err := rows.Scan(&a, &b); err != nil {
-			t.Fatal(err)
-		}
-		got = append(got, b)
-	}
-	if len(got) != 2 || got[0] != "x" {
-		t.Errorf("rows: %v", got)
-	}
-}
-
-// The headline scenario: a legacy database/sql application issuing a
-// PREFERRING query through the standard driver API.
-func TestPreferenceQueryThroughDriver(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec(`CREATE TABLE trips (id INT, duration INT)`); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := db.Exec(`INSERT INTO trips VALUES (1, 7), (2, 13), (3, 15), (4, 28)`); err != nil {
-		t.Fatal(err)
-	}
-	rows, err := db.Query(`SELECT id FROM trips PREFERRING duration AROUND 14 ORDER BY id`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer rows.Close()
-	var ids []int64
-	for rows.Next() {
-		var id int64
-		if err := rows.Scan(&id); err != nil {
-			t.Fatal(err)
-		}
-		ids = append(ids, id)
-	}
-	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
-		t.Errorf("ids: %v", ids)
-	}
-}
-
-func TestPlaceholders(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec("CREATE TABLE p (a INT, b VARCHAR, c FLOAT, d BOOLEAN, e DATE)"); err != nil {
-		t.Fatal(err)
-	}
-	when := time.Date(1999, time.July, 3, 0, 0, 0, 0, time.UTC)
-	if _, err := db.Exec("INSERT INTO p VALUES (?, ?, ?, ?, ?)", 7, "O'Brien", 2.5, true, when); err != nil {
-		t.Fatal(err)
-	}
-	var (
-		a int64
-		b string
-		c float64
-		d bool
-		e time.Time
-	)
-	err := db.QueryRow("SELECT a, b, c, d, e FROM p WHERE a = ?", 7).Scan(&a, &b, &c, &d, &e)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a != 7 || b != "O'Brien" || c != 2.5 || !d || e.Day() != 3 {
-		t.Errorf("scan: %v %v %v %v %v", a, b, c, d, e)
-	}
-}
-
-func TestPlaceholderInPreference(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec(`CREATE TABLE trips (id INT, duration INT);`); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := db.Exec(`INSERT INTO trips VALUES (1, 7), (2, 13)`); err != nil {
-		t.Fatal(err)
-	}
-	var id int64
-	err := db.QueryRow("SELECT id FROM trips PREFERRING duration AROUND ?", 14).Scan(&id)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if id != 2 {
-		t.Errorf("id: %d", id)
-	}
-}
-
-func TestNullScan(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec("CREATE TABLE n (a INT); INSERT INTO n VALUES (NULL)"); err != nil {
-		t.Fatal(err)
-	}
-	var a sql.NullInt64
-	if err := db.QueryRow("SELECT a FROM n").Scan(&a); err != nil {
-		t.Fatal(err)
-	}
-	if a.Valid {
-		t.Error("expected NULL")
-	}
-}
-
-func TestNamedSharedInstance(t *testing.T) {
-	db1, err := sql.Open("prefsql", "shared_test_db")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer db1.Close()
-	if _, err := db1.Exec("CREATE TABLE s (a INT); INSERT INTO s VALUES (42)"); err != nil {
-		t.Fatal(err)
-	}
-	db2, err := sql.Open("prefsql", "shared_test_db")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer db2.Close()
 	var a int64
-	if err := db2.QueryRow("SELECT a FROM s").Scan(&a); err != nil {
+	if err := db.QueryRow("SELECT a FROM t WHERE a = ?", 7).Scan(&a); err != nil {
 		t.Fatal(err)
 	}
-	if a != 42 {
+	if a != 7 {
 		t.Errorf("a: %d", a)
 	}
-}
-
-func TestTransactionsAreAccepted(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
-		t.Fatal(err)
-	}
-	tx, err := db.Begin()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := tx.Exec("INSERT INTO t VALUES (1)"); err != nil {
-		t.Fatal(err)
-	}
-	if err := tx.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	var n int64
-	if err := db.QueryRow("SELECT COUNT(*) FROM t").Scan(&n); err != nil {
-		t.Fatal(err)
-	}
-	if n != 1 {
-		t.Errorf("count: %d", n)
-	}
-}
-
-func TestErrorsSurfaced(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec("SELEKT 1"); err == nil {
-		t.Error("syntax error should surface")
-	}
-	if _, err := db.Exec("SELECT ? FROM nope"); err == nil {
-		t.Error("missing args should surface")
-	}
-	if _, err := db.Query("SELECT 1 WHERE 'unterminated"); err == nil {
-		t.Error("unterminated literal should surface")
-	}
-}
-
-func TestBindHelpers(t *testing.T) {
-	if n, _ := countPlaceholders("SELECT '?' , ?"); n != 1 {
-		t.Errorf("placeholders inside strings must not count: %d", n)
-	}
-	if _, err := bind("SELECT 1", nil); err != nil {
-		t.Errorf("no-arg bind: %v", err)
-	}
-	if _, err := bind("SELECT ?, ?", []driver.Value{int64(1)}); err == nil {
-		t.Error("too few args should fail")
-	}
-	if _, err := bind("SELECT ?", []driver.Value{int64(1), int64(2)}); err == nil {
-		t.Error("too many args should fail")
-	}
-	if _, err := literal(struct{}{}); err == nil {
-		t.Error("unsupported type should fail")
-	}
-}
-
-func TestDriverDBAccessorAndModeSwitch(t *testing.T) {
-	d := &Driver{}
-	conn, err := d.Open("accessor_test")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	inner := d.DB("accessor_test")
-	if inner == nil {
-		t.Fatal("DB accessor")
-	}
-	// switch the shared instance to rewrite mode; queries still work
-	st, err := conn.Prepare("SELECT 1 + 1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	rows, err := st.(interface {
-		Query([]driver.Value) (driver.Rows, error)
-	}).Query(nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dest := make([]driver.Value, 1)
-	if err := rows.Next(dest); err != nil {
-		t.Fatal(err)
-	}
-	if dest[0].(int64) != 2 {
-		t.Errorf("result: %v", dest[0])
-	}
-	if err := rows.Next(dest); err == nil {
-		t.Error("expected EOF")
-	}
-	if d.DB("never_opened") != nil {
+	if Default.DB("never_opened_shim") != nil {
 		t.Error("unknown name should be nil")
-	}
-}
-
-func TestResultLastInsertIdUnsupported(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
-		t.Fatal(err)
-	}
-	res, err := db.Exec("INSERT INTO t VALUES (1)")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := res.LastInsertId(); err == nil {
-		t.Error("LastInsertId should be unsupported")
-	}
-}
-
-func TestDateRoundTripThroughDriver(t *testing.T) {
-	db := openDB(t)
-	if _, err := db.Exec("CREATE TABLE d (x DATE)"); err != nil {
-		t.Fatal(err)
-	}
-	in := time.Date(2001, time.October, 31, 15, 4, 5, 0, time.UTC) // time part dropped
-	if _, err := db.Exec("INSERT INTO d VALUES (?)", in); err != nil {
-		t.Fatal(err)
-	}
-	var out time.Time
-	if err := db.QueryRow("SELECT x FROM d").Scan(&out); err != nil {
-		t.Fatal(err)
-	}
-	if out.Year() != 2001 || out.Month() != time.October || out.Day() != 31 {
-		t.Errorf("date: %v", out)
 	}
 }

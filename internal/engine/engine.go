@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -70,15 +71,23 @@ func (db *DB) Exec(sql string) (*Result, error) {
 
 // ExecStmt runs one parsed statement.
 func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) {
+	return db.ExecStmtArgs(context.Background(), stmt, nil)
+}
+
+// ExecStmtArgs runs one parsed statement under a cancellation context with
+// positional bind arguments: ast.Param nodes in the statement evaluate to
+// params[Index], and cancelling qctx stops the statement's scans.
+func (db *DB) ExecStmtArgs(qctx context.Context, stmt ast.Stmt, params []value.Value) (*Result, error) {
+	ec := newExecContextArgs(db, qctx, params)
 	switch s := stmt.(type) {
 	case *ast.Select:
-		return db.Select(s)
+		return db.selectWith(ec, s)
 	case *ast.Insert:
-		return db.insert(s)
+		return db.insert(ec, s)
 	case *ast.Update:
-		return db.update(s)
+		return db.update(ec, s)
 	case *ast.Delete:
-		return db.delete(s)
+		return db.delete(ec, s)
 	case *ast.CreateTable:
 		return db.createTable(s)
 	case *ast.CreateView:
@@ -93,11 +102,19 @@ func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) {
 
 // Select runs a SELECT statement (no PREFERRING clause).
 func (db *DB) Select(sel *ast.Select) (*Result, error) {
+	return db.SelectArgs(context.Background(), sel, nil)
+}
+
+// SelectArgs is Select with a cancellation context and bind arguments.
+func (db *DB) SelectArgs(qctx context.Context, sel *ast.Select, params []value.Value) (*Result, error) {
+	return db.selectWith(newExecContextArgs(db, qctx, params), sel)
+}
+
+func (db *DB) selectWith(ec *execContext, sel *ast.Select) (*Result, error) {
 	if sel.HasPreference() || sel.ButOnly != nil || len(sel.Grouping) > 0 {
 		return nil, ErrPreferenceQuery
 	}
-	ctx := newExecContext(db)
-	rel, err := ctx.evalSelect(sel, nil)
+	rel, err := ec.evalSelect(sel, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -120,11 +137,17 @@ type DetailedResult struct {
 
 // SelectDetailed runs a plain SELECT and returns qualified column labels.
 func (db *DB) SelectDetailed(sel *ast.Select) (*DetailedResult, error) {
+	return db.SelectDetailedArgs(context.Background(), sel, nil)
+}
+
+// SelectDetailedArgs is SelectDetailed with a cancellation context and
+// bind arguments.
+func (db *DB) SelectDetailedArgs(qctx context.Context, sel *ast.Select, params []value.Value) (*DetailedResult, error) {
 	if sel.HasPreference() || sel.ButOnly != nil || len(sel.Grouping) > 0 {
 		return nil, ErrPreferenceQuery
 	}
-	ctx := newExecContext(db)
-	rel, err := ctx.evalSelect(sel, nil)
+	ec := newExecContextArgs(db, qctx, params)
+	rel, err := ec.evalSelect(sel, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +161,13 @@ func (db *DB) SelectDetailed(sel *ast.Select) (*DetailedResult, error) {
 // Runner returns a subquery runner bound to this database, for expression
 // evaluation outside the engine (the preference layer's binder).
 func (db *DB) Runner() expr.SubqueryRunner { return newExecContext(db) }
+
+// RunnerArgs is Runner with a cancellation context and bind arguments, so
+// subqueries inside preference terms and quality filters see the same
+// execution state as the enclosing statement.
+func (db *DB) RunnerArgs(qctx context.Context, params []value.Value) expr.SubqueryRunner {
+	return newExecContextArgs(db, qctx, params)
+}
 
 // ---------------------------------------------------------------------------
 // Relations and environments
@@ -219,16 +249,42 @@ func (e *rowEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
 
 // execContext carries per-statement state: the view materialization cache
 // that keeps correlated subqueries from re-materializing the same view for
-// every outer row.
+// every outer row, plus the execution's cancellation context and bind
+// arguments.
 type execContext struct {
 	db        *DB
 	viewCache map[string]*relation
 	depth     int
 	stats     *exec.Stats
+	qctx      context.Context // nil = not cancellable
+	params    []value.Value   // positional bind arguments
 }
 
 func newExecContext(db *DB) *execContext {
 	return &execContext{db: db, viewCache: map[string]*relation{}, stats: &exec.Stats{}}
+}
+
+func newExecContextArgs(db *DB, qctx context.Context, params []value.Value) *execContext {
+	ec := newExecContext(db)
+	ec.qctx, ec.params = qctx, params
+	return ec
+}
+
+// evaluator builds an expression evaluator bound to this execution: its
+// subquery runner shares the view cache and its Params resolve ast.Param
+// nodes against the execution's arguments.
+func (ctx *execContext) evaluator() *expr.Evaluator {
+	return &expr.Evaluator{Runner: ctx, Params: ctx.params}
+}
+
+// stop is the exec.Env cancellation hook; nil when the execution carries
+// no cancellable context.
+func (ctx *execContext) stop() func() error {
+	if ctx.qctx == nil || ctx.qctx.Done() == nil {
+		return nil
+	}
+	qctx := ctx.qctx
+	return func() error { return qctx.Err() }
 }
 
 // Subquery implements expr.SubqueryRunner.
@@ -253,13 +309,19 @@ func (ctx *execContext) evalSelect(sel *ast.Select, outer expr.Env) (*relation, 
 	if sel.HasPreference() {
 		return nil, ErrPreferenceQuery
 	}
+	if sel.HasLimitParam() {
+		// Top-level LIMIT/OFFSET parameters are resolved by the core layer
+		// before execution; one reaching the engine sits in a nested query
+		// block, where late binding is not supported.
+		return nil, fmt.Errorf("engine: unresolved bind parameter in LIMIT/OFFSET (parameters are supported only in the outermost LIMIT/OFFSET)")
+	}
 	ctx.depth++
 	defer func() { ctx.depth-- }()
 	if ctx.depth > maxSubqueryDepth {
 		return nil, fmt.Errorf("engine: subquery nesting too deep")
 	}
 
-	ev := &expr.Evaluator{Runner: ctx}
+	ev := ctx.evaluator()
 
 	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
 		node, err := ctx.plannerFor(outer).PlanSource(sel.From, sel.Where, false)
@@ -713,7 +775,7 @@ func (ctx *execContext) computeAggregate(fc *ast.FuncCall, src *relation,
 // DML / DDL
 // ---------------------------------------------------------------------------
 
-func (db *DB) insert(ins *ast.Insert) (*Result, error) {
+func (db *DB) insert(ec *execContext, ins *ast.Insert) (*Result, error) {
 	tbl, ok := db.cat.Table(ins.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: no such table: %s", ins.Table)
@@ -743,7 +805,7 @@ func (db *DB) insert(ins *ast.Insert) (*Result, error) {
 
 	n := 0
 	if ins.Sel != nil {
-		res, err := db.Select(ins.Sel)
+		res, err := db.selectWith(ec, ins.Sel)
 		if err != nil {
 			return nil, err
 		}
@@ -760,7 +822,7 @@ func (db *DB) insert(ins *ast.Insert) (*Result, error) {
 		return &Result{Affected: n}, nil
 	}
 
-	ev := &expr.Evaluator{}
+	ev := ec.evaluator()
 	env := expr.MapEnv{}
 	for _, exprRow := range ins.Rows {
 		vals := make(value.Row, len(exprRow))
@@ -797,9 +859,8 @@ func (db *DB) InsertRows(table string, rows []value.Row) (int, error) {
 	return len(rows), nil
 }
 
-func (db *DB) tableEnvMatcher(tbl *storage.Table, where ast.Expr) func(value.Row) (bool, error) {
-	ctx := newExecContext(db)
-	ev := &expr.Evaluator{Runner: ctx}
+func (db *DB) tableEnvMatcher(ec *execContext, tbl *storage.Table, where ast.Expr) func(value.Row) (bool, error) {
+	ev := ec.evaluator()
 	cols := make([]colref, len(tbl.Schema.Cols))
 	for i, c := range tbl.Schema.Cols {
 		cols[i] = colref{qual: tbl.Name, name: c.Name}
@@ -814,7 +875,7 @@ func (db *DB) tableEnvMatcher(tbl *storage.Table, where ast.Expr) func(value.Row
 	}
 }
 
-func (db *DB) update(upd *ast.Update) (*Result, error) {
+func (db *DB) update(ec *execContext, upd *ast.Update) (*Result, error) {
 	tbl, ok := db.cat.Table(upd.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: no such table: %s", upd.Table)
@@ -827,15 +888,14 @@ func (db *DB) update(upd *ast.Update) (*Result, error) {
 		}
 		setIdx[i] = idx
 	}
-	ctx := newExecContext(db)
-	ev := &expr.Evaluator{Runner: ctx}
+	ev := ec.evaluator()
 	cols := make([]colref, len(tbl.Schema.Cols))
 	for i, c := range tbl.Schema.Cols {
 		cols[i] = colref{qual: tbl.Name, name: c.Name}
 	}
 	rel := &relation{cols: cols}
 
-	n, err := tbl.Update(db.tableEnvMatcher(tbl, upd.Where), func(row value.Row) (value.Row, error) {
+	n, err := tbl.Update(db.tableEnvMatcher(ec, tbl, upd.Where), func(row value.Row) (value.Row, error) {
 		env := &rowEnv{rel: rel, row: row}
 		for i, s := range upd.Sets {
 			v, err := ev.Eval(s.Expr, env)
@@ -852,12 +912,12 @@ func (db *DB) update(upd *ast.Update) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (db *DB) delete(del *ast.Delete) (*Result, error) {
+func (db *DB) delete(ec *execContext, del *ast.Delete) (*Result, error) {
 	tbl, ok := db.cat.Table(del.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: no such table: %s", del.Table)
 	}
-	n, err := tbl.Delete(db.tableEnvMatcher(tbl, del.Where))
+	n, err := tbl.Delete(db.tableEnvMatcher(ec, tbl, del.Where))
 	if err != nil {
 		return nil, err
 	}

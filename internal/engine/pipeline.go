@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -66,9 +67,9 @@ func (ctx *execContext) plannerFor(outer expr.Env) *plan.Planner {
 }
 
 // execEnv builds the operator environment sharing this statement's
-// evaluator and work counters.
+// evaluator, work counters and cancellation hook.
 func (ctx *execContext) execEnv(ev *expr.Evaluator, outer expr.Env) *exec.Env {
-	return &exec.Env{Ev: ev, Outer: outer, Stats: ctx.stats}
+	return &exec.Env{Ev: ev, Outer: outer, Stats: ctx.stats, Stop: ctx.stop()}
 }
 
 // ---------------------------------------------------------------------------
@@ -89,14 +90,24 @@ type Pipeline struct {
 // Grouped/aggregate queries (which must materialize) and preference
 // queries are rejected.
 func (db *DB) Pipeline(sel *ast.Select) (*Pipeline, error) {
+	return db.PipelineArgs(context.Background(), sel, nil)
+}
+
+// PipelineArgs is Pipeline with a cancellation context and bind
+// arguments: parameters in the statement are evaluated per pull, and
+// cancelling qctx stops the pipeline's scans.
+func (db *DB) PipelineArgs(qctx context.Context, sel *ast.Select, params []value.Value) (*Pipeline, error) {
 	if sel.HasPreference() || sel.ButOnly != nil || len(sel.Grouping) > 0 {
 		return nil, ErrPreferenceQuery
 	}
 	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
 		return nil, ErrNotStreamable
 	}
-	ctx := newExecContext(db)
-	ev := &expr.Evaluator{Runner: ctx}
+	if sel.HasLimitParam() {
+		return nil, fmt.Errorf("engine: unresolved bind parameter in LIMIT/OFFSET (parameters are supported only in the outermost LIMIT/OFFSET)")
+	}
+	ctx := newExecContextArgs(db, qctx, params)
+	ev := ctx.evaluator()
 	node, err := ctx.plannerFor(nil).PlanSelect(sel)
 	if err != nil {
 		return nil, err
@@ -122,7 +133,10 @@ func (db *DB) PlanStream(sel *ast.Select) (plan.Node, error) {
 	if sel.HasPreference() || sel.ButOnly != nil || len(sel.Grouping) > 0 {
 		return nil, ErrPreferenceQuery
 	}
-	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
+	if len(sel.GroupBy) > 0 || hasAggregates(sel) || sel.HasLimitParam() {
+		// A parameterized LIMIT/OFFSET changes the plan's Limit node per
+		// execution, so the plan cannot be cached; the shape error latches
+		// the statement onto the plan-per-execution path.
 		return nil, ErrNotStreamable
 	}
 	ctx := newExecContext(db)
@@ -134,8 +148,17 @@ func (db *DB) PlanStream(sel *ast.Select) (plan.Node, error) {
 // read-only during execution, so many goroutines may ExecPlan the same
 // node concurrently.
 func (db *DB) ExecPlan(node plan.Node) (*Result, error) {
-	ctx := newExecContext(db)
-	ev := &expr.Evaluator{Runner: ctx}
+	return db.ExecPlanArgs(context.Background(), node, nil)
+}
+
+// ExecPlanArgs re-executes a cached plan with fresh bind arguments under a
+// cancellation context — the step that turns the prepared-statement cache
+// into a plan cache for parameterized workloads: one plan per SQL text,
+// re-run with different argument values (probe keys, filter constants) on
+// every execution.
+func (db *DB) ExecPlanArgs(qctx context.Context, node plan.Node, params []value.Value) (*Result, error) {
+	ctx := newExecContextArgs(db, qctx, params)
+	ev := ctx.evaluator()
 	op, err := exec.Build(node, ctx.execEnv(ev, nil))
 	if err != nil {
 		return nil, err
@@ -174,5 +197,5 @@ func (p *Pipeline) Build(root plan.Node) (exec.Operator, error) {
 	if root == nil {
 		root = p.node
 	}
-	return exec.Build(root, &exec.Env{Ev: p.ev, Stats: p.stats})
+	return exec.Build(root, p.ctx.execEnv(p.ev, nil))
 }

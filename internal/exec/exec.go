@@ -32,12 +32,18 @@ type Stats struct {
 }
 
 // Env carries what operators need to evaluate expressions: the evaluator
-// (with its subquery runner), the outer correlation environment of the
-// enclosing statement, and the shared work counters.
+// (with its subquery runner and bind parameters), the outer correlation
+// environment of the enclosing statement, and the shared work counters.
 type Env struct {
 	Ev    *expr.Evaluator
 	Outer expr.Env
 	Stats *Stats
+	// Stop, when non-nil, is polled by the row-producing operators every
+	// stopInterval input rows; a non-nil return aborts the pipeline with
+	// that error. The engine wires it to the statement's
+	// context.Context, so cancelling the context stops scans mid-table
+	// rather than only between emitted rows.
+	Stop func() error
 }
 
 func (e *Env) count() *Stats {
@@ -45,6 +51,21 @@ func (e *Env) count() *Stats {
 		e.Stats = &Stats{}
 	}
 	return e.Stats
+}
+
+// stopInterval is how many input rows a scan processes between Stop polls:
+// frequent enough to bound cancellation latency, rare enough to keep the
+// hot loop free of per-row overhead.
+const stopInterval = 1024
+
+// checkStop polls the cancellation hook every stopInterval calls; n is the
+// operator's local call counter.
+func (e *Env) checkStop(n *int64) error {
+	*n++
+	if e.Stop != nil && *n%stopInterval == 0 {
+		return e.Stop()
+	}
+	return nil
 }
 
 // RowEnv resolves column references against one row of a schema, falling

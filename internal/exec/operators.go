@@ -37,6 +37,7 @@ type seqScan struct {
 	it      storage.RowIter
 	renv    RowEnv
 	emitted int64
+	polled  int64
 }
 
 func newSeqScan(n *plan.SeqScan, env *Env) *seqScan {
@@ -57,6 +58,9 @@ func (s *seqScan) Next() (value.Row, error) {
 		return nil, nil
 	}
 	for {
+		if err := s.env.checkStop(&s.polled); err != nil {
+			return nil, err
+		}
 		row, ok := s.it.Next()
 		if !ok {
 			return nil, nil
@@ -77,10 +81,11 @@ func (s *seqScan) Next() (value.Row, error) {
 func (s *seqScan) Close() error { return nil }
 
 type indexScan struct {
-	n    *plan.IndexScan
-	env  *Env
-	it   storage.RowIter
-	renv RowEnv
+	n      *plan.IndexScan
+	env    *Env
+	it     storage.RowIter
+	renv   RowEnv
+	polled int64
 }
 
 func newIndexScan(n *plan.IndexScan, env *Env) *indexScan {
@@ -122,6 +127,9 @@ func (s *indexScan) Open() error {
 
 func (s *indexScan) Next() (value.Row, error) {
 	for {
+		if err := s.env.checkStop(&s.polled); err != nil {
+			return nil, err
+		}
 		row, ok := s.it.Next()
 		if !ok {
 			return nil, nil
@@ -145,9 +153,10 @@ type emptyIter struct{}
 func (emptyIter) Next() (value.Row, bool) { return nil, false }
 
 type valuesOp struct {
-	n   *plan.Values
-	env *Env
-	pos int
+	n      *plan.Values
+	env    *Env
+	pos    int
+	polled int64
 }
 
 func newValuesOp(n *plan.Values, env *Env) *valuesOp {
@@ -159,6 +168,9 @@ func (v *valuesOp) Schema() plan.Schema { return v.n.Schema() }
 func (v *valuesOp) Open() error { v.pos = 0; return nil }
 
 func (v *valuesOp) Next() (value.Row, error) {
+	if err := v.env.checkStop(&v.polled); err != nil {
+		return nil, err
+	}
 	if v.pos >= len(v.n.Rows) {
 		return nil, nil
 	}
@@ -239,6 +251,7 @@ type nlJoin struct {
 	pos         int
 	matched     bool
 	renv        RowEnv
+	polled      int64
 }
 
 func newNLJoin(n *plan.Join, left, right Operator, env *Env) *nlJoin {
@@ -292,6 +305,12 @@ func (j *nlJoin) Next() (value.Row, error) {
 			j.drive, j.pos, j.matched = row, 0, false
 		}
 		for j.pos < len(j.inner) {
+			// The inner loop multiplies rows without pulling from a scan,
+			// so it needs its own cancellation poll: a large cross join
+			// would otherwise be uninterruptible.
+			if err := j.env.checkStop(&j.polled); err != nil {
+				return nil, err
+			}
 			in := j.inner[j.pos]
 			j.pos++
 			var out value.Row
@@ -353,6 +372,7 @@ type hashJoin struct {
 	bucket      []value.Row
 	pos         int
 	matched     bool
+	polled      int64
 }
 
 func newHashJoin(n *plan.Join, left, right Operator, env *Env) *hashJoin {
@@ -403,6 +423,9 @@ func (j *hashJoin) Next() (value.Row, error) {
 		probeOp, pcol = j.right, j.n.RCol
 	}
 	for {
+		if err := j.env.checkStop(&j.polled); err != nil {
+			return nil, err
+		}
 		if j.probe == nil {
 			row, err := probeOp.Next()
 			if err != nil || row == nil {

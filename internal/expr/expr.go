@@ -32,9 +32,14 @@ type SubqueryRunner interface {
 }
 
 // Evaluator evaluates expressions. The zero value works for expressions
-// without subqueries.
+// without subqueries or bind parameters.
 type Evaluator struct {
 	Runner SubqueryRunner
+	// Params are the execution's positional bind arguments: ast.Param
+	// nodes evaluate to Params[Index]. Statements (and cached plans)
+	// containing parameters are therefore reusable across argument sets —
+	// only the evaluator changes per execution.
+	Params []value.Value
 }
 
 // Eval computes e under env.
@@ -42,6 +47,13 @@ func (ev *Evaluator) Eval(e ast.Expr, env Env) (value.Value, error) {
 	switch x := e.(type) {
 	case *ast.Literal:
 		return x.Val, nil
+
+	case *ast.Param:
+		if x.Index < 0 || x.Index >= len(ev.Params) {
+			return value.Value{}, fmt.Errorf("parameter $%d is not bound (statement has %d argument(s))",
+				x.Index+1, len(ev.Params))
+		}
+		return ev.Params[x.Index], nil
 
 	case *ast.Column:
 		if v, ok := env.Col(x.Table, x.Name); ok {

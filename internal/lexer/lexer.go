@@ -20,6 +20,7 @@ const (
 	Number
 	String // single-quoted SQL string literal, unescaped content
 	Op     // operator or punctuation: = <> < <= > >= + - * / ( ) , ; . [ ]
+	Param  // positional bind parameter: '?' (Text empty) or '$n' (Text = digits)
 )
 
 func (t Type) String() string {
@@ -36,6 +37,8 @@ func (t Type) String() string {
 		return "string"
 	case Op:
 		return "operator"
+	case Param:
+		return "parameter"
 	}
 	return "token"
 }
@@ -131,6 +134,11 @@ func (l *Lexer) Next() (Token, error) {
 		return l.lexString(start)
 	case c == '"':
 		return l.lexQuotedIdent(start)
+	case c == '?':
+		l.pos++
+		return Token{Type: Param, Pos: start}, nil
+	case c == '$':
+		return l.lexDollarParam(start)
 	default:
 		return l.lexOp(start)
 	}
@@ -237,6 +245,19 @@ func (l *Lexer) lexQuotedIdent(start int) (Token, error) {
 		l.pos++
 	}
 	return Token{}, &Error{Pos: start, Msg: "unterminated quoted identifier"}
+}
+
+// lexDollarParam scans a '$n' positional parameter (n = 1-based position).
+func (l *Lexer) lexDollarParam(start int) (Token, error) {
+	l.pos++ // '$'
+	ds := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos == ds {
+		return Token{}, &Error{Pos: start, Msg: "expected digits after '$' (positional parameter)"}
+	}
+	return Token{Type: Param, Text: l.src[ds:l.pos], Pos: start}, nil
 }
 
 var twoCharOps = map[string]bool{"<>": true, "<=": true, ">=": true, "!=": true, "||": true}

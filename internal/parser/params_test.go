@@ -1,0 +1,110 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestQuestionPlaceholdersNumberLeftToRight(t *testing.T) {
+	sel, n, err := ParseSelectCount(`SELECT * FROM t WHERE a = ? AND b < ? PREFERRING c AROUND ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+	and := sel.Where.(*ast.Binary)
+	p0 := and.L.(*ast.Binary).R.(*ast.Param)
+	p1 := and.R.(*ast.Binary).R.(*ast.Param)
+	if p0.Index != 0 || p1.Index != 1 {
+		t.Errorf("WHERE param indexes: %d %d", p0.Index, p1.Index)
+	}
+	ar := sel.Preferring.(*ast.PrefAround)
+	if ar.Target.(*ast.Param).Index != 2 {
+		t.Errorf("AROUND param index: %d", ar.Target.(*ast.Param).Index)
+	}
+}
+
+func TestDollarPlaceholdersNameTheirPosition(t *testing.T) {
+	sel, n, err := ParseSelectCount(`SELECT * FROM t WHERE a = $2 AND b = $1 AND c = $2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+	conds := []int{}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *ast.Param:
+			conds = append(conds, x.Index)
+		}
+	}
+	walk(sel.Where)
+	if len(conds) != 3 || conds[0] != 1 || conds[1] != 0 || conds[2] != 1 {
+		t.Errorf("indexes: %v", conds)
+	}
+}
+
+func TestLimitOffsetPlaceholders(t *testing.T) {
+	sel, n, err := ParseSelectCount(`SELECT * FROM t LIMIT ? OFFSET ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	if sel.LimitParam == nil || sel.LimitParam.Index != 0 {
+		t.Errorf("LimitParam: %#v", sel.LimitParam)
+	}
+	if sel.OffsetParam == nil || sel.OffsetParam.Index != 1 {
+		t.Errorf("OffsetParam: %#v", sel.OffsetParam)
+	}
+	if sel.Limit != -1 {
+		t.Errorf("Limit = %d, want -1 until bound", sel.Limit)
+	}
+}
+
+func TestParamSQLRendersDollarForm(t *testing.T) {
+	sel, _, err := ParseSelectCount(`SELECT * FROM t WHERE a = ? LIMIT ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sel.SQL()
+	if !strings.Contains(got, "$1") || !strings.Contains(got, "LIMIT $2") {
+		t.Errorf("SQL() = %q", got)
+	}
+	// The rendered form re-parses with the same parameter count.
+	if _, n, err := ParseSelectCount(got); err != nil || n != 2 {
+		t.Errorf("round trip: n=%d err=%v", n, err)
+	}
+}
+
+func TestParamErrorsAtParse(t *testing.T) {
+	cases := []string{
+		`SELECT * FROM t WHERE a = ? AND b = $1`, // mixed styles
+		`SELECT * FROM t WHERE a = $0`,           // positions are 1-based
+		`SELECT $`,                               // bare dollar
+	}
+	for _, src := range cases {
+		if _, _, err := ParseSelectCount(src); err == nil {
+			t.Errorf("%q: want parse error", src)
+		}
+	}
+}
+
+func TestQuestionMarkInsideStringIsText(t *testing.T) {
+	_, n, err := ParseSelectCount(`SELECT '?' FROM t WHERE a = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("count = %d, want 1", n)
+	}
+}

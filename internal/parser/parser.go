@@ -43,6 +43,14 @@ type Parser struct {
 	toks []lexer.Token
 	pos  int
 	src  string
+
+	// Bind-parameter bookkeeping: '?' placeholders number themselves left
+	// to right, '$n' placeholders name their 1-based position explicitly.
+	// The two styles cannot be mixed in one script.
+	paramSeq  int // next index for a '?' placeholder
+	numParams int // 1 + highest parameter index seen
+	sawHook   bool
+	sawDollar bool
 }
 
 // New creates a parser for src. Lexing happens eagerly in Parse.
@@ -62,22 +70,40 @@ func Parse(src string) (ast.Stmt, error) {
 
 // ParseSelect parses a single SELECT statement.
 func ParseSelect(src string) (*ast.Select, error) {
-	stmt, err := Parse(src)
+	sel, _, err := ParseSelectCount(src)
+	return sel, err
+}
+
+// ParseSelectCount parses a single SELECT statement and reports its bind
+// parameter count (see ParseAllCount).
+func ParseSelectCount(src string) (*ast.Select, int, error) {
+	stmts, n, err := ParseAllCount(src)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	sel, ok := stmt.(*ast.Select)
+	if len(stmts) != 1 {
+		return nil, 0, fmt.Errorf("parser: expected exactly one statement, got %d", len(stmts))
+	}
+	sel, ok := stmts[0].(*ast.Select)
 	if !ok {
-		return nil, fmt.Errorf("parser: not a SELECT statement")
+		return nil, 0, fmt.Errorf("parser: not a SELECT statement")
 	}
-	return sel, nil
+	return sel, n, nil
 }
 
 // ParseAll parses a ';'-separated script.
 func ParseAll(src string) ([]ast.Stmt, error) {
+	stmts, _, err := ParseAllCount(src)
+	return stmts, err
+}
+
+// ParseAllCount parses a ';'-separated script and additionally reports how
+// many positional bind parameters it uses ('?' placeholders count left to
+// right; '$n' placeholders make the count 1 + the highest position).
+func ParseAllCount(src string) ([]ast.Stmt, int, error) {
 	toks, err := lexer.New(src).All()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &Parser{toks: toks, src: src}
 	var stmts []ast.Stmt
@@ -85,15 +111,15 @@ func ParseAll(src string) ([]ast.Stmt, error) {
 		for p.acceptOp(";") {
 		}
 		if p.peek().Type == lexer.EOF {
-			return stmts, nil
+			return stmts, p.numParams, nil
 		}
 		s, err := p.parseStmt()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		stmts = append(stmts, s)
 		if !p.acceptOp(";") && p.peek().Type != lexer.EOF {
-			return nil, p.errf("expected ';' or end of input, got %q", p.peek().Text)
+			return nil, 0, p.errf("expected ';' or end of input, got %q", p.peek().Text)
 		}
 	}
 }
@@ -168,6 +194,39 @@ func (p *Parser) expectIdent() (string, error) {
 
 func (p *Parser) errf(format string, args ...any) error {
 	return &Error{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// maxParams bounds the parameter count; it must fit the wire protocol's
+// u16 argument count, so the largest valid position is 65535.
+const maxParams = 1<<16 - 1
+
+// parseParam turns a lexer Param token (already consumed) into an AST node,
+// numbering '?' placeholders sequentially and validating '$n' positions.
+func (p *Parser) parseParam(t lexer.Token) (*ast.Param, error) {
+	if t.Text == "" { // '?'
+		p.sawHook = true
+		if p.sawDollar {
+			return nil, &Error{Pos: t.Pos, Msg: "cannot mix '?' and '$n' parameter styles"}
+		}
+		idx := p.paramSeq
+		p.paramSeq++
+		if p.paramSeq > p.numParams {
+			p.numParams = p.paramSeq
+		}
+		return &ast.Param{Index: idx}, nil
+	}
+	p.sawDollar = true
+	if p.sawHook {
+		return nil, &Error{Pos: t.Pos, Msg: "cannot mix '?' and '$n' parameter styles"}
+	}
+	n, err := strconv.Atoi(t.Text)
+	if err != nil || n < 1 || n > maxParams {
+		return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("invalid parameter number $%s", t.Text)}
+	}
+	if n > p.numParams {
+		p.numParams = n
+	}
+	return &ast.Param{Index: n - 1}, nil
 }
 
 // --- statements ------------------------------------------------------------
@@ -305,17 +364,35 @@ func (p *Parser) parseSelect() (*ast.Select, error) {
 		}
 	}
 	if p.acceptKeyword("LIMIT") {
-		n, err := p.parseIntLiteral()
-		if err != nil {
-			return nil, err
-		}
-		sel.Limit = n
-		if p.acceptKeyword("OFFSET") {
-			o, err := p.parseIntLiteral()
+		if t := p.peek(); t.Type == lexer.Param {
+			p.pos++
+			pp, err := p.parseParam(t)
 			if err != nil {
 				return nil, err
 			}
-			sel.Offset = o
+			sel.LimitParam = pp
+		} else {
+			n, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			sel.Limit = n
+		}
+		if p.acceptKeyword("OFFSET") {
+			if t := p.peek(); t.Type == lexer.Param {
+				p.pos++
+				pp, err := p.parseParam(t)
+				if err != nil {
+					return nil, err
+				}
+				sel.OffsetParam = pp
+			} else {
+				o, err := p.parseIntLiteral()
+				if err != nil {
+					return nil, err
+				}
+				sel.Offset = o
+			}
 		}
 	}
 	return sel, nil
@@ -1001,6 +1078,10 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 	case lexer.String:
 		p.pos++
 		return &ast.Literal{Val: value.NewText(t.Text)}, nil
+
+	case lexer.Param:
+		p.pos++
+		return p.parseParam(t)
 
 	case lexer.Op:
 		if t.Text == "(" {

@@ -233,6 +233,10 @@ func analyzeExpr(e ast.Expr) (cols []*ast.Column, opaque bool) {
 		switch x := e.(type) {
 		case nil:
 		case *ast.Literal, *ast.Star:
+		case *ast.Param:
+			// A bind parameter is a late-bound constant: it references no
+			// columns, so conjuncts over it push down (and `col = ?` can
+			// become an index probe whose key is evaluated per execution).
 		case *ast.Column:
 			cols = append(cols, x)
 		case *ast.Unary:

@@ -1,0 +1,244 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/datagen"
+	"repro/internal/value"
+)
+
+// TestWireParamRoundTrip pushes every value.Value kind through the wire
+// protocol's Prepare/Execute argument encoding and back out as a result
+// row: NULL, int, float, string (with embedded quotes and a '?'), bool
+// and date must arrive bit-identical.
+func TestWireParamRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t, 16)
+	c := dial(t, addr)
+
+	st, err := c.Prepare(`SELECT ? AS v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", st.NumParams())
+	}
+	cases := []struct {
+		name string
+		arg  any
+		want value.Value
+	}{
+		{"null", nil, value.NewNull()},
+		{"int", int64(-42), value.NewInt(-42)},
+		{"float", 2.718281828, value.NewFloat(2.718281828)},
+		{"text-quotes", `O'Brien says "hi?"`, value.NewText(`O'Brien says "hi?"`)},
+		{"bool", true, value.NewBool(true)},
+		{"date", time.Date(1999, time.July, 3, 12, 30, 0, 0, time.UTC), value.NewDate(1999, time.July, 3)},
+	}
+	for _, tc := range cases {
+		res, err := st.Exec(tc.arg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+			t.Fatalf("%s: rows %v", tc.name, res.Rows)
+		}
+		got := res.Rows[0][0]
+		if got.K != tc.want.K || got.I != tc.want.I || got.F != tc.want.F || got.S != tc.want.S {
+			t.Errorf("%s: got %#v, want %#v", tc.name, got, tc.want)
+		}
+	}
+
+	// The same values survive a trip through table storage via a
+	// parameterized INSERT (the ad-hoc Query path).
+	c.MustExec(`CREATE TABLE p (a INT, b FLOAT, c VARCHAR, d BOOLEAN, e DATE)`)
+	if _, err := c.ExecContext(context.Background(),
+		`INSERT INTO p VALUES (?, ?, ?, ?, ?)`,
+		7, 2.5, "it's ?", false, time.Date(2001, time.October, 31, 0, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.QueryContext(context.Background(), `SELECT a, b, c, d, e FROM p WHERE c = ?`, "it's ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 7 || res.Rows[0][2].S != "it's ?" {
+		t.Fatalf("stored row: %v", res.Rows)
+	}
+}
+
+// TestParameterizedCacheHitsAcrossArgs is the acceptance check at the
+// protocol level: one SQL text with a `PREFERRING price AROUND ?`
+// placeholder, executed with distinct argument values, parses once (the
+// second execution is a statement-cache hit) and returns exactly what the
+// literal-inlined form returns.
+func TestParameterizedCacheHitsAcrossArgs(t *testing.T) {
+	_, srv, addr := startServer(t, 16)
+	c := dial(t, addr)
+	c.MustExec(`CREATE TABLE trips (id INT, destination VARCHAR, duration INT, price INT);
+		INSERT INTO trips VALUES
+			(1, 'Rome',     7, 900),
+			(2, 'Lisbon',  13, 750),
+			(3, 'Crete',   15, 820),
+			(4, 'Iceland', 28, 2100)`)
+
+	const paramSQL = `SELECT id, destination FROM trips PREFERRING price AROUND ? ORDER BY id`
+	hits := 0
+	for i, target := range []int{800, 2000, 900, 750} {
+		res, flags, err := c.ExecFlagsContext(context.Background(), paramSQL, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flags&client.FlagCacheHit != 0 {
+			hits++
+		} else if i > 0 {
+			t.Errorf("execution %d with arg %d missed the statement cache", i, target)
+		}
+		// Byte-identical parity with the literal-inlined form.
+		lit, err := c.Query(`SELECT id, destination FROM trips PREFERRING price AROUND ` +
+			value.NewInt(int64(target)).SQL() + ` ORDER BY id`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(lit.Rows) {
+			t.Fatalf("arg %d: %d rows parameterized vs %d literal", target, len(res.Rows), len(lit.Rows))
+		}
+		for r := range res.Rows {
+			if !res.Rows[r].Equal(lit.Rows[r]) {
+				t.Errorf("arg %d row %d: %v vs %v", target, r, res.Rows[r], lit.Rows[r])
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no statement-cache hits across distinct argument values")
+	}
+	if stats := srv.CacheStats(); stats.HitRate() <= 0 {
+		t.Errorf("cache hit rate %v, want > 0", stats.HitRate())
+	}
+}
+
+// TestPreparedPlanReuseAcrossArgs: a plain indexed SELECT prepared once
+// re-executes its cached plan with fresh arguments — FlagPlanReused on
+// every execution after the first, with per-argument results.
+func TestPreparedPlanReuseAcrossArgs(t *testing.T) {
+	_, _, addr := startServer(t, 16)
+	c := dial(t, addr)
+	c.MustExec(`CREATE TABLE t (id INT, v INT);
+		CREATE INDEX t_id ON t (id);
+		INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)`)
+
+	st, err := c.Prepare(`SELECT v FROM t WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := 0
+	for i, id := range []int64{1, 3, 2, 1} {
+		res, flags, err := st.ExecFlags(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].I != id*10 {
+			t.Fatalf("id %d: rows %v", id, res.Rows)
+		}
+		if flags&client.FlagPlanReused != 0 {
+			reused++
+		} else if i > 0 {
+			t.Errorf("execution %d (id=%d) did not reuse the cached plan", i, id)
+		}
+	}
+	if reused == 0 {
+		t.Error("cached plan never reused across distinct argument values")
+	}
+}
+
+// TestContextCancelMidStream is the cancellation satellite: cancelling
+// the context while rows stream stops the server-side pipeline via the
+// existing Cancel path, the stream ends with the context's error, and the
+// statement read lock is released so a write can proceed immediately.
+func TestContextCancelMidStream(t *testing.T) {
+	db, _, addr := startServer(t, 16)
+	if err := datagen.Load(db.Internal().Engine(), "car", datagen.CarColumns(), datagen.Cars(2000, 11)); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// A cross join far larger than the socket buffers, so the server is
+	// still producing when the cancel lands.
+	rows, err := c.QueryIterContext(ctx, `SELECT a.id, b.id FROM car a, car b WHERE a.price < ?`, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("rows.Err() = %v, want context.Canceled", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The statement lock is released: a write on a second connection
+	// completes promptly instead of waiting behind a still-running read.
+	c2 := dial(t, addr)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.Exec(`INSERT INTO car (id) VALUES (999999)`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("write blocked after cancelled stream — read lock not released")
+	}
+
+	// The cancelled connection itself is still usable.
+	res, err := c.Query(`SELECT COUNT(*) FROM car`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 2001 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+// TestContextCancelBatchStatement cancels a materializing aggregate whose
+// only output row arrives at the very end: the mid-scan Stop hook (not
+// the between-rows flag) must abort it.
+func TestContextCancelBatchStatement(t *testing.T) {
+	db, _, addr := startServer(t, 16)
+	if err := datagen.Load(db.Internal().Engine(), "car", datagen.CarColumns(), datagen.Cars(3000, 7)); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, addr)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.ExecContext(ctx, `SELECT COUNT(*) FROM car a, car b WHERE a.price + b.price < 0`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+
+	// Connection stays usable afterwards.
+	if _, err := c.Query(`SELECT COUNT(*) FROM car`); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/bmo"
 	"repro/internal/core"
+	"repro/internal/value"
 	"repro/internal/wire"
 )
 
@@ -190,18 +192,34 @@ type conn struct {
 	sess *core.Session
 
 	// frames carries client messages from the reader goroutine; Cancel
-	// frames never enter it — the reader flips cancel instead, so a
-	// cancel overtakes the row stream the handler is busy writing.
-	// done closes when the handler exits, releasing a reader blocked on
-	// a full frames channel.
-	frames chan frame
-	done   chan struct{}
-	cancel atomic.Bool
+	// frames never enter it — the reader flips cancel and fires the
+	// in-flight statement's context instead, so a cancel overtakes the
+	// row stream the handler is busy writing and stops its scans
+	// mid-table. done closes when the handler exits, releasing a reader
+	// blocked on a full frames channel.
+	frames     chan frame
+	done       chan struct{}
+	cancel     atomic.Bool
+	stmtCancel atomic.Value // context.CancelFunc of the in-flight statement
 
 	stmts    map[uint32]*core.Prepared
 	stmtSeq  uint32
 	sessID   uint32
 	shakenOK bool
+}
+
+// beginStmt arms a fresh cancellable execution context for one statement:
+// a Cancel frame received while it runs cancels the context (stopping the
+// pipeline's scans) in addition to flipping the between-rows flag. The
+// returned finish releases the context's resources.
+func (c *conn) beginStmt() (ctx context.Context, finish func()) {
+	c.cancel.Store(false)
+	ctx, cancelFn := context.WithCancel(context.Background())
+	c.stmtCancel.Store(cancelFn)
+	return ctx, func() {
+		c.stmtCancel.Store(context.CancelFunc(nil))
+		cancelFn()
+	}
 }
 
 func (s *Server) handle(nc net.Conn) {
@@ -237,6 +255,9 @@ func (c *conn) readLoop() {
 		}
 		if typ == wire.MsgCancel {
 			c.cancel.Store(true)
+			if f, _ := c.stmtCancel.Load().(context.CancelFunc); f != nil {
+				f()
+			}
 			continue
 		}
 		select {
@@ -345,13 +366,17 @@ func (c *conn) sendResult(res *core.Result, flags byte) error {
 func (c *conn) handleQuery(payload []byte) error {
 	r := wire.NewReader(payload)
 	sql := r.String()
+	args := r.Values()
 	if err := r.Err(); err != nil {
 		return err
 	}
-	c.cancel.Store(false)
+	ctx, finish := c.beginStmt()
+	defer finish()
 	// Ad-hoc statements enter the shared cache only when they are a
 	// single SELECT — the shape that profits from re-execution. One-shot
-	// DML/bulk-load scripts execute parse-and-discard.
+	// DML/bulk-load scripts execute parse-and-discard. The cache is keyed
+	// on SQL text alone: a parameterized statement hits it across
+	// distinct argument values.
 	prep, hit, err := c.srv.cache.get(c.srv.db, sql, func(p *core.Prepared) bool {
 		_, ok := p.SingleSelect()
 		return ok
@@ -359,15 +384,22 @@ func (c *conn) handleQuery(payload []byte) error {
 	if err != nil {
 		return c.sendError(err)
 	}
+	if len(args) != prep.NumParams {
+		return c.sendError(fmt.Errorf("server: statement has %d bind parameter(s), got %d argument(s)",
+			prep.NumParams, len(args)))
+	}
 	var flags byte
 	if hit {
 		flags |= wire.FlagCacheHit
 	}
 	if sel, ok := prep.SingleSelect(); ok {
-		return c.streamSelect(sel, flags)
+		return c.streamSelect(ctx, sel, args, flags)
 	}
-	res, err := c.sess.ExecStmts(prep.Stmts())
+	res, err := c.sess.ExecStmtsArgs(ctx, prep.Stmts(), args)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return c.sendDone(0, 0, flags|wire.FlagCancelled)
+		}
 		return c.sendError(err)
 	}
 	return c.sendResult(res, flags)
@@ -376,10 +408,14 @@ func (c *conn) handleQuery(payload []byte) error {
 // streamSelect runs one SELECT through the session cursor and streams
 // each row as the pipeline produces it — the progressive path: the
 // client sees the first best matches while dominance testing continues,
-// and a Cancel stops the remaining work.
-func (c *conn) streamSelect(sel *ast.Select, flags byte) error {
-	cur, err := c.sess.OpenCursorSelect(sel)
+// and a Cancel stops the remaining work (between rows via the flag, and
+// mid-scan via the statement context).
+func (c *conn) streamSelect(ctx context.Context, sel *ast.Select, args []value.Value, flags byte) error {
+	cur, err := c.sess.OpenCursorSelectArgs(ctx, sel, args)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return c.sendDone(0, 0, flags|wire.FlagCancelled)
+		}
 		return c.sendError(err)
 	}
 	defer cur.Close()
@@ -411,6 +447,9 @@ func (c *conn) streamSelect(sel *ast.Select, flags byte) error {
 		}
 	}
 	if err := cur.Err(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			return c.sendDone(0, n, flags|wire.FlagCancelled)
+		}
 		return c.sendError(err)
 	}
 	return c.sendDone(0, n, flags)
@@ -440,26 +479,33 @@ func (c *conn) handlePrepare(payload []byte) error {
 	c.stmts[id] = prep
 	var b wire.Buffer
 	b.U32(id)
+	b.U16(uint16(prep.NumParams))
 	return c.send(wire.MsgPrepared, b.B)
 }
 
 func (c *conn) handleExecute(payload []byte) error {
 	r := wire.NewReader(payload)
 	id := r.U32()
-	argc := r.U16()
+	args := r.Values()
 	if err := r.Err(); err != nil {
 		return err
-	}
-	if argc != 0 {
-		return c.sendError(fmt.Errorf("server: bind parameters are not supported yet"))
 	}
 	prep, ok := c.stmts[id]
 	if !ok {
 		return c.sendError(fmt.Errorf("server: no prepared statement %d", id))
 	}
-	c.cancel.Store(false)
-	res, reused, err := c.sess.ExecPrepared(prep)
+	ctx, finish := c.beginStmt()
+	defer finish()
+	// Execute runs through ExecPreparedArgs so a plain single SELECT
+	// re-executes its cached plan with the fresh arguments — the planner
+	// is skipped across distinct argument values, which is the point of
+	// binding parameters instead of inlining literals. (The ad-hoc Query
+	// path streams instead; choose per call site.)
+	res, reused, err := c.sess.ExecPreparedArgs(ctx, prep, args)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return c.sendDone(0, 0, wire.FlagCacheHit|wire.FlagCancelled)
+		}
 		return c.sendError(err)
 	}
 	flags := wire.FlagCacheHit

@@ -254,6 +254,71 @@ func CompareNullsFirst(a, b Value) int {
 	return 0
 }
 
+// FromGo converts a native Go value into a SQL Value — the conversion the
+// public query APIs apply to bind arguments. Supported: nil, all Go integer
+// kinds, float32/64, string, []byte, bool, time.Time (date part) and Value
+// itself (passed through).
+func FromGo(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return NewNull(), nil
+	case Value:
+		return x, nil
+	case int:
+		return NewInt(int64(x)), nil
+	case int8:
+		return NewInt(int64(x)), nil
+	case int16:
+		return NewInt(int64(x)), nil
+	case int32:
+		return NewInt(int64(x)), nil
+	case int64:
+		return NewInt(x), nil
+	case uint:
+		return NewInt(int64(x)), nil
+	case uint8:
+		return NewInt(int64(x)), nil
+	case uint16:
+		return NewInt(int64(x)), nil
+	case uint32:
+		return NewInt(int64(x)), nil
+	case uint64:
+		if x > math.MaxInt64 {
+			return Value{}, fmt.Errorf("value: uint64 argument %d overflows INTEGER", x)
+		}
+		return NewInt(int64(x)), nil
+	case float32:
+		return NewFloat(float64(x)), nil
+	case float64:
+		return NewFloat(x), nil
+	case string:
+		return NewText(x), nil
+	case []byte:
+		return NewText(string(x)), nil
+	case bool:
+		return NewBool(x), nil
+	case time.Time:
+		return NewDate(x.Year(), x.Month(), x.Day()), nil
+	}
+	return Value{}, fmt.Errorf("value: unsupported argument type %T", v)
+}
+
+// FromGoArgs converts a bind-argument list with FromGo.
+func FromGoArgs(args []any) ([]Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := FromGo(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 // Coerce converts v to the requested kind when a lossless or standard SQL
 // cast exists (e.g. INT→FLOAT, TEXT→DATE). It returns an error otherwise.
 func Coerce(v Value, k Kind) (Value, error) {

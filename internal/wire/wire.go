@@ -14,12 +14,22 @@
 //
 //	client → server
 //	  Hello     u16 protocol version, string client name
-//	  Query     string sql            run a script; single SELECTs stream
+//	  Query     string sql, u16 argc, argc× value
+//	                                  run a script; single SELECTs stream.
+//	                                  argc binds positional '?'/'$n'
+//	                                  parameters left to right
 //	  Prepare   string sql            parse/cache once, answer Prepared id
-//	  Execute   u32 stmt id, u16 argc (reserved, 0)
+//	                                  (with the statement's parameter count)
+//	  Execute   u32 stmt id, u16 argc, argc× value
+//	                                  re-execute with fresh bind arguments;
+//	                                  the server reuses the cached plan
+//	                                  across argument values
 //	  CloseStmt u32 stmt id
 //	  Set       string key, string value    session settings (mode, algorithm)
-//	  Cancel    (empty)               stop the in-flight streaming query
+//	  Cancel    (empty)               stop the in-flight statement: it cancels
+//	                                  the server-side execution context, so
+//	                                  scans stop mid-table, and cuts a row
+//	                                  stream short (Done carries FlagCancelled)
 //	  Quit      (empty)
 //
 //	server → client
@@ -29,7 +39,7 @@
 //	  Done      u32 affected, u32 row count, u8 flags    end of result
 //	  Error     string                statement failed (frame-level errors
 //	                                  close the connection instead)
-//	  Prepared  u32 stmt id           answer to Prepare
+//	  Prepared  u32 stmt id, u16 parameter count    answer to Prepare
 //
 // Values encode as a kind byte followed by a kind-specific body: NULL is
 // empty, INT/BOOL/DATE are zig-zag varints, FLOAT is 8 IEEE-754 bytes,
@@ -45,8 +55,10 @@ import (
 	"repro/internal/value"
 )
 
-// Version is the protocol version spoken by this package.
-const Version = 1
+// Version is the protocol version spoken by this package. Version 2 added
+// typed bind arguments on Query/Execute and the parameter count on
+// Prepared.
+const Version = 2
 
 // MaxFrame bounds a single frame (type byte + payload); larger frames
 // are rejected as malformed so a broken peer cannot trigger unbounded
@@ -181,6 +193,15 @@ func (b *Buffer) Strings(ss []string) {
 	}
 }
 
+// Values appends a u16 count plus each value (the bind-argument list of
+// Query and Execute).
+func (b *Buffer) Values(vs []value.Value) {
+	b.U16(uint16(len(vs)))
+	for _, v := range vs {
+		b.Value(v)
+	}
+}
+
 // Reader parses a message payload. The first malformed field latches an
 // error; callers check Err once after reading every field.
 type Reader struct {
@@ -300,6 +321,22 @@ func (r *Reader) Row() value.Row {
 		}
 	}
 	return row
+}
+
+// Values reads a u16-counted value list (the bind-argument list).
+func (r *Reader) Values() []value.Value {
+	n := int(r.U16())
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]value.Value, 0, n)
+	for j := 0; j < n; j++ {
+		out = append(out, r.Value())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
 }
 
 // Strings reads a u16-counted string list.

@@ -1,0 +1,188 @@
+package prefsql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// paramParityCases pair a parameterized query with arguments and the
+// literal-inlined equivalent; both must return byte-identical results on
+// the embedded API (the PR's acceptance criterion).
+var paramParityCases = []struct {
+	name    string
+	param   string
+	args    []any
+	literal string
+}{
+	{
+		name:    "around",
+		param:   `SELECT id FROM car PREFERRING price AROUND ? ORDER BY id`,
+		args:    []any{40000},
+		literal: `SELECT id FROM car PREFERRING price AROUND 40000 ORDER BY id`,
+	},
+	{
+		name:    "where-and-around",
+		param:   `SELECT id, price FROM car WHERE make = ? PREFERRING price AROUND ? AND LOWEST(mileage) ORDER BY id`,
+		args:    []any{"Opel", 35000},
+		literal: `SELECT id, price FROM car WHERE make = 'Opel' PREFERRING price AROUND 35000 AND LOWEST(mileage) ORDER BY id`,
+	},
+	{
+		name:    "pos-list",
+		param:   `SELECT id FROM car PREFERRING category IN (?, ?) CASCADE LOWEST(price) ORDER BY id`,
+		args:    []any{"roadster", "suv"},
+		literal: `SELECT id FROM car PREFERRING category IN ('roadster', 'suv') CASCADE LOWEST(price) ORDER BY id`,
+	},
+	{
+		name:    "between",
+		param:   `SELECT id FROM car PREFERRING price BETWEEN ?, ? ORDER BY id`,
+		args:    []any{20000, 30000},
+		literal: `SELECT id FROM car PREFERRING price BETWEEN 20000, 30000 ORDER BY id`,
+	},
+	{
+		name:    "limit-offset",
+		param:   `SELECT id FROM car WHERE price < ? ORDER BY id LIMIT ? OFFSET ?`,
+		args:    []any{50000, 5, 2},
+		literal: `SELECT id FROM car WHERE price < 50000 ORDER BY id LIMIT 5 OFFSET 2`,
+	},
+	{
+		name:    "dollar-style-reuse",
+		param:   `SELECT id FROM car WHERE price < $1 PREFERRING price AROUND $1 ORDER BY id`,
+		args:    []any{45000},
+		literal: `SELECT id FROM car WHERE price < 45000 PREFERRING price AROUND 45000 ORDER BY id`,
+	},
+}
+
+func loadCarDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	if err := datagen.Load(db.Internal().Engine(), "car", datagen.CarColumns(), datagen.Cars(500, 42)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParameterizedLiteralParity(t *testing.T) {
+	db := loadCarDB(t)
+	for _, tc := range paramParityCases {
+		for _, mode := range []Mode{ModeNative, ModeRewrite} {
+			sess := db.NewSession()
+			sess.SetMode(mode)
+			got, err := sess.QueryContext(context.Background(), tc.param, tc.args...)
+			if err != nil {
+				t.Fatalf("%s (%v): %v", tc.name, mode, err)
+			}
+			want, err := sess.Query(tc.literal)
+			if err != nil {
+				t.Fatalf("%s (%v) literal: %v", tc.name, mode, err)
+			}
+			if fmt.Sprint(got.Columns) != fmt.Sprint(want.Columns) {
+				t.Errorf("%s (%v): columns %v vs %v", tc.name, mode, got.Columns, want.Columns)
+			}
+			if len(got.Rows) != len(want.Rows) {
+				t.Fatalf("%s (%v): %d rows vs %d", tc.name, mode, len(got.Rows), len(want.Rows))
+			}
+			for i := range got.Rows {
+				if !got.Rows[i].Equal(want.Rows[i]) {
+					t.Errorf("%s (%v) row %d: %v vs %v", tc.name, mode, i, got.Rows[i], want.Rows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedParamReusesPlanEmbedded: a prepared plain SELECT plans once
+// and re-executes across distinct argument values (the embedded half of
+// the acceptance criterion; the server half is covered in
+// internal/server).
+func TestPreparedParamReusesPlanEmbedded(t *testing.T) {
+	db := loadCarDB(t)
+	st, err := db.Prepare(`SELECT id, price FROM car WHERE price < ? ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 1 {
+		t.Fatalf("NumParams = %d", st.NumParams())
+	}
+	sizes := map[int]int{}
+	for _, cutoff := range []int{20000, 40000, 60000} {
+		res, err := st.Exec(cutoff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[cutoff] = len(res.Rows)
+		lit, err := db.Query(fmt.Sprintf(`SELECT id, price FROM car WHERE price < %d ORDER BY id`, cutoff))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(lit.Rows) {
+			t.Fatalf("cutoff %d: %d rows vs literal %d", cutoff, len(res.Rows), len(lit.Rows))
+		}
+	}
+	if !(sizes[20000] < sizes[40000] && sizes[40000] < sizes[60000]) {
+		t.Errorf("result sizes should grow with the cutoff: %v", sizes)
+	}
+}
+
+// TestQueryIterContextCancelEmbedded: cancelling the context mid-stream
+// stops the embedded cursor with the context's error.
+func TestQueryIterContextCancelEmbedded(t *testing.T) {
+	db := loadCarDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.QueryIterContext(ctx, `SELECT a.id FROM car a, car b WHERE b.price > ?`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+		if n == 5 {
+			cancel()
+		}
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	db := loadCarDB(t)
+	ctx := context.Background()
+	if _, err := db.QueryContext(ctx, `SELECT id FROM car WHERE price < ?`); err == nil {
+		t.Error("missing argument should fail")
+	}
+	if _, err := db.QueryContext(ctx, `SELECT id FROM car`, 1); err == nil {
+		t.Error("surplus argument should fail")
+	}
+	if _, err := db.QueryContext(ctx, `SELECT id FROM car WHERE price < ? AND mileage < $2`, 1, 2); err == nil {
+		t.Error("mixed placeholder styles should fail")
+	}
+	if _, err := db.QueryContext(ctx, `SELECT id FROM car LIMIT ?`, -1); err == nil {
+		t.Error("negative LIMIT argument should fail")
+	}
+	if _, err := db.QueryContext(ctx, `SELECT id FROM car LIMIT ?`, "ten"); err == nil {
+		t.Error("non-integer LIMIT argument should fail")
+	}
+	if _, err := db.QueryContext(ctx, `SELECT id FROM car WHERE price < ?`, struct{}{}); err == nil {
+		t.Error("unsupported argument type should fail")
+	}
+}
+
+// Regression: a CREATE VIEW carrying a bind parameter is rejected up
+// front — the stored view could never resolve the argument again.
+func TestCreateViewRejectsParams(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t (a INT)`)
+	if _, err := db.ExecContext(context.Background(), `CREATE VIEW v AS SELECT * FROM t WHERE a = ?`, 5); err == nil {
+		t.Fatal("CREATE VIEW with a bind parameter should fail")
+	}
+	if _, err := db.ExecContext(context.Background(),
+		`CREATE VIEW v AS SELECT * FROM t WHERE EXISTS (SELECT a FROM t WHERE a = ?)`, 5); err == nil {
+		t.Fatal("CREATE VIEW with a nested bind parameter should fail")
+	}
+}

@@ -1,6 +1,8 @@
 package prefsql
 
 import (
+	"context"
+
 	"repro/internal/bmo"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -48,14 +50,32 @@ type DB struct {
 func Open() *DB { return &DB{core: core.Open()} }
 
 // Exec parses and runs a ';'-separated SQL script (standard SQL and
-// Preference SQL alike) and returns the last statement's result.
+// Preference SQL alike) and returns the last statement's result. It is a
+// convenience wrapper over ExecContext with a background context and no
+// arguments.
 func (db *DB) Exec(sql string) (*Result, error) { return db.core.Exec(sql) }
+
+// ExecContext is Exec with a cancellation context and positional bind
+// arguments: `?` (or `$n`) placeholders in the script bind to args —
+// Go ints, floats, strings, bools, time.Time (date part) and nil —
+// and cancelling ctx stops in-flight scans. A parameterized statement
+// parses (and, when prepared, plans) once and re-executes with fresh
+// argument values.
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	return db.core.ExecContext(ctx, sql, args...)
+}
 
 // Query runs a single SELECT (standard or Preference SQL) through the
 // read-only path: it takes only the shared read lock, so concurrent
 // queries never serialize behind the write path. Non-SELECT statements
-// are rejected — use Exec for scripts and DML/DDL.
+// are rejected — use Exec for scripts and DML/DDL. It is a convenience
+// wrapper over QueryContext.
 func (db *DB) Query(sql string) (*Result, error) { return db.core.Query(sql) }
+
+// QueryContext is Query with a cancellation context and bind arguments.
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...any) (*Result, error) {
+	return db.core.QueryContext(ctx, sql, args...)
+}
 
 // MustExec is Exec that panics on error; for examples and tests.
 func (db *DB) MustExec(sql string) *Result {
@@ -105,6 +125,13 @@ func (db *DB) QueryProgressive(sql string, yield func(Row) bool) ([]string, erro
 	return db.core.QueryProgressive(sql, yield)
 }
 
+// QueryProgressiveContext is QueryProgressive with a cancellation context
+// and bind arguments; cancelling ctx stops the remaining dominance work
+// exactly like yield returning false.
+func (db *DB) QueryProgressiveContext(ctx context.Context, sql string, yield func(Row) bool, args ...any) ([]string, error) {
+	return db.core.QueryProgressiveContext(ctx, sql, yield, args...)
+}
+
 // Rows is a streaming result cursor over the operator pipeline, modelled
 // on database/sql.Rows:
 //
@@ -132,6 +159,56 @@ func (db *DB) QueryIter(sql string) (*Rows, error) {
 		return nil, err
 	}
 	return &Rows{c: c}, nil
+}
+
+// QueryIterContext is QueryIter with a cancellation context and bind
+// arguments: cancelling ctx stops the pipeline's scans mid-table, Next
+// returns false and Err reports ctx's error.
+func (db *DB) QueryIterContext(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	c, err := db.core.OpenCursorContext(ctx, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{c: c}, nil
+}
+
+// Stmt is a prepared statement over an embedded database: the script is
+// parsed once (and a plain single SELECT planned once), then re-executed
+// with fresh bind arguments — one plan serving every argument set.
+type Stmt struct {
+	sess *Session
+	prep *core.Prepared
+}
+
+// Prepare parses a ';'-separated script once for repeated execution on
+// the default session.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	prep, err := db.core.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: db.core.DefaultSession(), prep: prep}, nil
+}
+
+// SQL returns the statement text.
+func (s *Stmt) SQL() string { return s.prep.SQL }
+
+// NumParams reports the statement's positional bind parameter count.
+func (s *Stmt) NumParams() int { return s.prep.NumParams }
+
+// Exec re-executes the statement with the given bind arguments.
+func (s *Stmt) Exec(args ...any) (*Result, error) {
+	return s.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec with a cancellation context.
+func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
+	vals, err := value.FromGoArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := s.sess.ExecPreparedArgs(ctx, s.prep, vals)
+	return res, err
 }
 
 // Columns returns the result column names.
