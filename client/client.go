@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -740,4 +741,13 @@ func (c *Conn) SetAlgorithm(a Algorithm) error {
 		return fmt.Errorf("client: unknown algorithm %v", a)
 	}
 	return c.set(wire.SetAlgorithm, val)
+}
+
+// SetWorkers caps this connection's parallel BMO worker count on the
+// server; 0 (the default) uses one worker per server CPU.
+func (c *Conn) SetWorkers(n int) error {
+	if n < 0 {
+		return fmt.Errorf("client: workers must be non-negative, got %d", n)
+	}
+	return c.set(wire.SetWorkers, strconv.Itoa(n))
 }

@@ -9,6 +9,7 @@
 //	prefbench -exp e4 -latency 1.0      # COSIMA with realistic shop latency
 //	prefbench -exp p2                   # server throughput; writes BENCH_p2.json
 //	prefbench -exp p3                   # parameterized vs literal; writes BENCH_p3.json
+//	prefbench -exp p4                   # sequential vs parallel BMO; writes BENCH_p4.json
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "use the small test-scale configuration")
 		p2json  = flag.String("json", "BENCH_p2.json", "file for the structured p2 results ('' disables)")
 		p3json  = flag.String("json-p3", "BENCH_p3.json", "file for the structured p3 results ('' disables)")
+		p4json  = flag.String("json-p4", "BENCH_p4.json", "file for the structured p4 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -85,6 +87,10 @@ func main() {
 		case name == "p3" && *p3json != "":
 			res, tbl, err := bench.P3(cfg)
 			emitJSON(name, *p3json, res, tbl, err)
+			continue
+		case name == "p4" && *p4json != "":
+			res, tbl, err := bench.P4(cfg)
+			emitJSON(name, *p4json, res, tbl, err)
 			continue
 		}
 		out, err := bench.Run(name, cfg)

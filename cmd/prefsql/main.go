@@ -12,11 +12,17 @@
 // Shell commands besides SQL statements (terminated by ';'):
 //
 //	\explain SELECT ...   show the SQL92 rewriting of a preference query
+//	\plan SELECT ...      show the native operator plan (BMO algorithm,
+//	                      parallelism hint, worker cap)
 //	\mode native|rewrite  switch the execution strategy (per session)
-//	\algo auto|nl|bnl|sfs|bestlevel  select the native BMO algorithm (per session)
+//	\algo auto|nl|bnl|sfs|bestlevel|parallel  select the native BMO algorithm
+//	                      (per session; `SET algorithm = ...` works as SQL too)
 //	\tables               list tables and views
 //	\prefs                list named preferences (CREATE PREFERENCE ...)
 //	\q                    quit
+//
+// Session settings are also plain SQL statements, embedded or remote:
+// `SET mode = rewrite`, `SET algorithm = parallel`, `SET workers = 4`.
 package main
 
 import (
@@ -39,6 +45,7 @@ type backend interface {
 	setMode(m prefsql.Mode) error
 	setAlgo(a prefsql.Algorithm) error
 	explain(sql string) (string, error)
+	plan(sql string) (string, error)
 	tables() ([]string, error)
 	prefs() ([]string, error)
 	close()
@@ -50,6 +57,7 @@ func (b embeddedBackend) exec(sql string) (*prefsql.Result, error) { return b.db
 func (b embeddedBackend) setMode(m prefsql.Mode) error             { b.db.SetMode(m); return nil }
 func (b embeddedBackend) setAlgo(a prefsql.Algorithm) error        { b.db.SetAlgorithm(a); return nil }
 func (b embeddedBackend) explain(sql string) (string, error)       { return b.db.ExplainRewrite(sql) }
+func (b embeddedBackend) plan(sql string) (string, error)          { return b.db.ExplainNative(sql) }
 func (b embeddedBackend) close()                                   {}
 
 func (b embeddedBackend) tables() ([]string, error) {
@@ -82,6 +90,9 @@ func (b remoteBackend) close()                                   { b.c.Close() }
 
 func (b remoteBackend) explain(string) (string, error) {
 	return "", fmt.Errorf("\\explain is not supported over -addr")
+}
+func (b remoteBackend) plan(string) (string, error) {
+	return "", fmt.Errorf("\\plan is not supported over -addr")
 }
 func (b remoteBackend) tables() ([]string, error) {
 	return nil, fmt.Errorf("\\tables is not supported over -addr")
@@ -187,6 +198,13 @@ func command(db backend, line string) bool {
 			return false
 		}
 		fmt.Println(script)
+	case "\\plan":
+		out, err := db.plan(strings.TrimSuffix(arg, ";"))
+		if err != nil {
+			fail(err)
+			return false
+		}
+		fmt.Print(out)
 	case "\\mode":
 		switch arg {
 		case "native":
@@ -203,7 +221,7 @@ func command(db backend, line string) bool {
 	case "\\algo":
 		a, ok := bmo.ParseToken(arg)
 		if !ok {
-			fmt.Fprintln(os.Stderr, "usage: \\algo auto|nl|bnl|sfs|bestlevel")
+			fmt.Fprintln(os.Stderr, "usage: \\algo auto|nl|bnl|sfs|bestlevel|parallel")
 			break
 		}
 		if err := db.setAlgo(a); err != nil {

@@ -2,10 +2,13 @@ package prefsql
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/client"
+	"repro/internal/datagen"
 	"repro/internal/server"
 )
 
@@ -167,6 +170,145 @@ func resRows(res *Result) []Row {
 		return nil
 	}
 	return res.Rows
+}
+
+// canonical renders a result as sorted row keys, so two runs compare
+// byte-identical regardless of emission order (parallel merges and the
+// progressive stream order rows differently from batch BNL).
+func canonical(rows []Row) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = r.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// TestConcurrentParallelBMOStress pins the parallel partition-merge
+// executor under -race: 16 concurrent server sessions run parallel-BMO
+// preference queries (the algorithm selected via client SetAlgorithm/
+// SetWorkers for half of them, via the SQL `SET algorithm = 'parallel'`
+// statement for the other half) mixed with a writer on a scratch table,
+// and every result must stay byte-identical to the single-threaded BNL
+// baseline computed up front.
+func TestConcurrentParallelBMOStress(t *testing.T) {
+	db := Open()
+	cols := datagen.SkylineColumns(4)
+	rows := datagen.Skyline(4000, 4, datagen.AntiCorrelated, 7)
+	if err := datagen.Load(db.Internal().Engine(), "pts", cols, rows); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE scratch (id INT, v INT)`)
+
+	queries := []string{
+		`SELECT id FROM pts PREFERRING LOWEST(d1) AND LOWEST(d2) AND LOWEST(d3)`,
+		`SELECT id FROM pts WHERE d4 < 0.9 PREFERRING LOWEST(d1) AND HIGHEST(d2)`,
+		`SELECT id, d1 FROM pts PREFERRING d1 AROUND 0.5 AND d2 AROUND 0.5 AND LOWEST(d3)`,
+		`SELECT id FROM pts PREFERRING (LOWEST(d1) AND LOWEST(d2)) CASCADE HIGHEST(d3)`,
+	}
+
+	// Single-threaded baseline with the sequential reference algorithm.
+	db.SetAlgorithm(BlockNestedLoop)
+	baseline := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("baseline %d: %v", i, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("baseline %d: empty BMO set", i)
+		}
+		baseline[i] = canonical(res.Rows)
+	}
+	db.SetAlgorithm(Auto)
+
+	srv := server.New(db.Internal(), server.Options{CacheSize: 64})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const (
+		sessions = 16
+		rounds   = 2
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions+1)
+
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(addr.String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			// Half the sessions configure via the client API, half via
+			// the SQL SET statement — both land on the same session
+			// settings.
+			if g%2 == 0 {
+				if err := c.SetAlgorithm(Parallel); err != nil {
+					errCh <- err
+					return
+				}
+				if err := c.SetWorkers(2 + g%3); err != nil {
+					errCh <- err
+					return
+				}
+			} else {
+				if _, err := c.Exec(`SET algorithm = 'parallel'`); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := c.Exec(fmt.Sprintf(`SET workers = %d`, 1+g%4)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			for r := 0; r < rounds; r++ {
+				for qi, q := range queries {
+					res, err := c.Query(q)
+					if err != nil {
+						errCh <- fmt.Errorf("session %d query %d: %w", g, qi, err)
+						return
+					}
+					if got := canonical(res.Rows); got != baseline[qi] {
+						errCh <- fmt.Errorf("session %d query %d: parallel BMO diverged from sequential baseline (%d vs %d rows)",
+							g, qi, len(res.Rows), strings.Count(baseline[qi], "\n")+1)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// A writer hammering an unrelated table, so parallel reads contend
+	// with the exclusive write path for real.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO scratch VALUES (%d, %d)", i, i*i)); err != nil {
+				errCh <- fmt.Errorf("writer: %w", err)
+				return
+			}
+			if i%10 == 9 {
+				if _, err := db.Exec(fmt.Sprintf("DELETE FROM scratch WHERE id < %d", i-5)); err != nil {
+					errCh <- fmt.Errorf("writer: %w", err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
 }
 
 // TestSessionSettingsIsolated pins the satellite contract: sessions

@@ -24,10 +24,11 @@
 //	res, err := db.Query(`SELECT * FROM trips PREFERRING duration AROUND 14`)
 //
 // Preference queries are evaluated natively by skyline algorithms
-// (block-nested-loop, sort-filter, best-level) or — matching the
-// commercial product's architecture — by rewriting into plain SQL92
-// (level-annotated views plus a correlated NOT EXISTS dominance test) that
-// runs on the embedded SQL engine. Both paths return identical results.
+// (block-nested-loop, sort-filter, best-level, parallel partition-merge)
+// or — matching the commercial product's architecture — by rewriting into
+// plain SQL92 (level-annotated views plus a correlated NOT EXISTS
+// dominance test) that runs on the embedded SQL engine. Both paths return
+// identical results.
 //
 // Queries execute on a Volcano-style operator pipeline (plan → iterate):
 // SELECTs compile to a logical plan (predicate pushdown, index-scan
@@ -86,6 +87,25 @@
 //	sess := db.NewSession()
 //	sess.SetMode(prefsql.ModeRewrite) // other sessions stay native
 //	res, err := sess.Query(`SELECT ...`)
+//
+// Session settings are also plain SQL statements — `SET mode = rewrite`,
+// `SET algorithm = parallel`, `SET workers = 4` — accepted embedded and
+// over the wire, affecting only the executing session.
+//
+// # Parallel BMO
+//
+// The parallel partition-merge algorithm splits the candidate set into
+// per-worker partitions, computes local skylines concurrently (caching
+// each row's component scores up front so dominance tests are pure float
+// comparisons), and merges the partial skylines pairwise until one
+// dominance-filtered result remains. Select it explicitly
+// (SetAlgorithm(prefsql.Parallel), `SET algorithm = parallel`) or let
+// the Auto path switch at 10k+ candidate rows on multicore; the planner
+// additionally promotes Auto plans from table statistics, visible in
+// ExplainNative as `BMO auto hint=parallel est=N`. Every algorithm —
+// this one included — must pass the cross-algorithm differential harness
+// in internal/bmo before it ships; see ARCHITECTURE.md, "Differential
+// testing policy".
 //
 // # Client/server
 //

@@ -381,6 +381,62 @@ type PrefRef struct {
 	Name string
 }
 
+// WalkPrefExprs calls f on every expression embedded in a preference
+// term (attribute expressions, targets, bounds, value lists, soft
+// conditions, EXPLICIT edges), recursing through the constructors.
+// PrefRef nodes carry no expressions; resolve them first to walk their
+// definitions.
+func WalkPrefExprs(p Pref, f func(Expr)) {
+	switch x := p.(type) {
+	case nil:
+	case *PrefAround:
+		f(x.X)
+		f(x.Target)
+	case *PrefBetween:
+		f(x.X)
+		f(x.Lo)
+		f(x.Hi)
+	case *PrefLowest:
+		f(x.X)
+	case *PrefHighest:
+		f(x.X)
+	case *PrefPos:
+		f(x.X)
+		for _, v := range x.Values {
+			f(v)
+		}
+	case *PrefNeg:
+		f(x.X)
+		for _, v := range x.Values {
+			f(v)
+		}
+	case *PrefContains:
+		f(x.X)
+		for _, t := range x.Terms {
+			f(t)
+		}
+	case *PrefExplicit:
+		f(x.X)
+		for _, e := range x.Edges {
+			f(e.Better)
+			f(e.Worse)
+		}
+	case *PrefBool:
+		f(x.Cond)
+	case *PrefElse:
+		WalkPrefExprs(x.First, f)
+		WalkPrefExprs(x.Second, f)
+	case *PrefPareto:
+		for _, q := range x.Parts {
+			WalkPrefExprs(q, f)
+		}
+	case *PrefCascade:
+		for _, q := range x.Parts {
+			WalkPrefExprs(q, f)
+		}
+	}
+}
+
 func (*PrefAround) prefNode()   {}
 func (*PrefBetween) prefNode()  {}
 func (*PrefLowest) prefNode()   {}
@@ -750,6 +806,14 @@ type CreatePreference struct {
 	Pref Pref
 }
 
+// Set is `SET name = literal`: a session-setting statement (execution
+// mode, BMO algorithm, parallel worker count). It configures the
+// executing session only and never touches data.
+type Set struct {
+	Name  string
+	Value value.Value
+}
+
 func (*Select) stmtNode()           {}
 func (*Insert) stmtNode()           {}
 func (*Update) stmtNode()           {}
@@ -759,6 +823,7 @@ func (*CreateView) stmtNode()       {}
 func (*CreateIndex) stmtNode()      {}
 func (*Drop) stmtNode()             {}
 func (*CreatePreference) stmtNode() {}
+func (*Set) stmtNode()              {}
 
 func (s *Insert) SQL() string {
 	var b strings.Builder
@@ -853,6 +918,10 @@ func (s *Drop) SQL() string {
 		out += "IF EXISTS "
 	}
 	return out + quoteIdent(s.Name)
+}
+
+func (s *Set) SQL() string {
+	return "SET " + quoteIdent(s.Name) + " = " + s.Value.SQL()
 }
 
 func itoa(i int64) string {

@@ -14,6 +14,8 @@
 //	E5 — §4.1 washing-machine search mask: hard SQL vs Preference SQL.
 //	A1 — ablation: BMO algorithms vs SQL92 rewriting across candidate sizes.
 //	A2 — ablation: Pareto dimensionality × data distribution.
+//	P4 — sequential BNL vs parallel partition-merge BMO across input
+//	     sizes and worker counts (BENCH_p4.json).
 package bench
 
 import (
@@ -42,6 +44,8 @@ type Config struct {
 	P2Conns            []int   // client connection counts for P2
 	P2QueriesPerConn   int     // statements per connection in P2
 	P3Execs            int     // executions per workload variant in P3
+	P4Sizes            []int   // input sizes for the parallel BMO experiment
+	P4Workers          []int   // worker counts for P4
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -60,6 +64,8 @@ func DefaultConfig() Config {
 		P2Conns:            []int{1, 2, 4, 8, 16, 32},
 		P2QueriesPerConn:   200,
 		P3Execs:            200,
+		P4Sizes:            []int{10000, 100000, 1000000},
+		P4Workers:          []int{1, 2, 4, 8},
 	}
 }
 
@@ -75,6 +81,8 @@ func TestConfig() Config {
 	cfg.P2Conns = []int{4, 32}
 	cfg.P2QueriesPerConn = 25
 	cfg.P3Execs = 40
+	cfg.P4Sizes = []int{5000, 20000}
+	cfg.P4Workers = []int{1, 2, 4}
 	return cfg
 }
 
@@ -640,7 +648,7 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 
 // Names lists the available experiments.
 func Names() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4"}
 }
 
 // Run executes one experiment by name and returns its printable output.
@@ -702,6 +710,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p3":
 		_, tbl, err := P3(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p4":
+		_, tbl, err := P4(cfg)
 		if err != nil {
 			return "", err
 		}

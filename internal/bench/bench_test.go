@@ -195,7 +195,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 10 {
+	if len(Names()) != 11 {
 		t.Errorf("names: %v", Names())
 	}
 }
@@ -265,5 +265,33 @@ func TestP3ParameterizedWorkload(t *testing.T) {
 		if e.P50Us <= 0 || e.P95Us < e.P50Us {
 			t.Errorf("%s %s: bad percentiles %+v", e.Workload, e.Variant, e)
 		}
+	}
+}
+
+// TestP4Smoke runs the parallel BMO experiment at tiny scale and pins
+// its structural invariants: every (size, variant) cell present, skyline
+// sizes identical across variants, and positive timings.
+func TestP4Smoke(t *testing.T) {
+	cfg := TestConfig()
+	cfg.P4Sizes = []int{3000}
+	cfg.P4Workers = []int{1, 2}
+	res, tbl, err := P4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 3 { // bnl + two worker counts
+		t.Fatalf("entries = %d, want 3", len(res.Entries))
+	}
+	sky := res.Entries[0].SkylineSize
+	for _, e := range res.Entries {
+		if e.SkylineSize != sky {
+			t.Fatalf("skyline size drifted: %v", res.Entries)
+		}
+		if e.Millis < 0 || e.Comparisons <= 0 {
+			t.Fatalf("degenerate measurement: %+v", e)
+		}
+	}
+	if len(tbl.Rows) != len(res.Entries) {
+		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))
 	}
 }

@@ -2,7 +2,7 @@
 // a preference (strict partial order) and a set of candidate tuples, it
 // returns all maximal (non-dominated) tuples.
 //
-// Four algorithms are provided:
+// Five algorithms are provided:
 //
 //   - NestedLoop: the paper's abstract selection method (§3.2) — for every
 //     tuple, scan for a dominating tuple; O(n²) comparisons.
@@ -13,6 +13,11 @@
 //     only. Requires all preference components to be score-based.
 //   - BestLevel: single-pass minimum-score scan for one weak-order (single
 //     base preference) — O(n).
+//   - Parallel: partition-merge (see parallel.go) — concurrent local
+//     skylines over contiguous partitions (cached-score SFS or BNL
+//     kernels), merged pairwise until one dominance-filtered result
+//     remains. Auto switches to it at AutoParallelThreshold rows when
+//     more than one worker is available.
 //
 // CASCADE evaluates stage-wise, per the paper's "applying preferences one
 // after the other": BMO(P1 CASCADE P2, R) = BMO(P2, BMO(P1, R)).
@@ -31,14 +36,16 @@ import (
 type Algorithm int
 
 // Available algorithms. Auto picks BestLevel for single weak orders,
-// SortFilter when every component is score-based, and BlockNestedLoop
-// otherwise.
+// the parallel partition-merge path for inputs of AutoParallelThreshold
+// rows or more (when more than one worker is available), SortFilter when
+// every component is score-based, and BlockNestedLoop otherwise.
 const (
 	Auto Algorithm = iota
 	NestedLoop
 	BlockNestedLoop
 	SortFilter
 	BestLevel
+	Parallel
 )
 
 // String names the algorithm.
@@ -54,6 +61,8 @@ func (a Algorithm) String() string {
 		return "sort-filter-skyline"
 	case BestLevel:
 		return "best-level"
+	case Parallel:
+		return "parallel-partition-merge"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -73,12 +82,20 @@ func Evaluate(p preference.Preference, rows []value.Row, algo Algorithm) ([]valu
 
 // EvaluateStats is Evaluate plus work counters.
 func EvaluateStats(p preference.Preference, rows []value.Row, algo Algorithm) ([]value.Row, Stats, error) {
+	return EvaluateConfig(p, rows, algo, Config{})
+}
+
+// EvaluateConfig is EvaluateStats with a parallel-evaluation Config
+// (worker count, cancellation hook). The config only affects the
+// Parallel algorithm and the Auto path's parallel selection; the
+// sequential algorithms ignore it.
+func EvaluateConfig(p preference.Preference, rows []value.Row, algo Algorithm, cfg Config) ([]value.Row, Stats, error) {
 	var st Stats
-	out, err := evaluate(p, rows, algo, &st)
+	out, err := evaluate(p, rows, algo, &st, cfg)
 	return out, st, err
 }
 
-func evaluate(p preference.Preference, rows []value.Row, algo Algorithm, st *Stats) ([]value.Row, error) {
+func evaluate(p preference.Preference, rows []value.Row, algo Algorithm, st *Stats, cfg Config) ([]value.Row, error) {
 	if len(rows) == 0 {
 		return nil, nil
 	}
@@ -87,7 +104,7 @@ func evaluate(p preference.Preference, rows []value.Row, algo Algorithm, st *Sta
 		current := rows
 		for _, part := range c.Parts {
 			st.Stages++
-			next, err := evaluate(part, current, algo, st)
+			next, err := evaluate(part, current, algo, st, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -112,9 +129,20 @@ func evaluate(p preference.Preference, rows []value.Row, algo Algorithm, st *Sta
 			return nil, fmt.Errorf("bmo: best-level requires a score-based preference, got %s", p.Describe())
 		}
 		return bestLevel(s, rows, st)
+	case Parallel:
+		if s, ok := p.(preference.Scored); ok {
+			// A single weak order is one O(n) min-score scan; splitting
+			// it into partitions plus merges only adds overhead, so the
+			// parallel path degenerates to best-level (same result set).
+			return bestLevel(s, rows, st)
+		}
+		return parallelSkyline(p, rows, st, cfg)
 	default: // Auto
 		if s, ok := p.(preference.Scored); ok {
-			return bestLevel(s, rows, st)
+			return bestLevel(s, rows, st) // single weak order: one O(n) pass
+		}
+		if len(rows) >= AutoParallelThreshold && cfg.workerCount() > 1 {
+			return parallelSkyline(p, rows, st, cfg)
 		}
 		if scorers, ok := paretoScorers(p); ok {
 			return sortFilterScored(scorers, p, rows, st)
@@ -216,25 +244,15 @@ func paretoScorers(p preference.Preference) ([]preference.Scored, bool) {
 
 // sortFilterScored presorts rows by total score (monotone w.r.t. Pareto
 // dominance: a dominating tuple has component-wise ≤ scores with one <,
-// hence a strictly smaller sum) and filters against accepted rows only.
+// hence a strictly smaller sum — with equal sums, e.g. two tuples both
+// carrying a +Inf NULL score, the lexicographic component tiebreak keeps
+// the order monotone) and filters against accepted rows only.
 func sortFilterScored(scorers []preference.Scored, p preference.Preference, rows []value.Row, st *Stats) ([]value.Row, error) {
-	scored := make([]scoredRow, len(rows))
-	for i, r := range rows {
-		sum := 0.0
-		for _, s := range scorers {
-			v, err := s.Score(r)
-			if err != nil {
-				return nil, err
-			}
-			if math.IsInf(v, 1) {
-				sum = math.Inf(1)
-				break
-			}
-			sum += v
-		}
-		scored[i] = scoredRow{row: r, sum: sum}
+	scored, err := scoreRows(scorers, rows)
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(scored, func(i, j int) bool { return scored[i].sum < scored[j].sum })
+	sortScored(scored)
 
 	var result []value.Row
 	for _, sr := range scored {
@@ -288,6 +306,13 @@ func bestLevel(s preference.Scored, rows []value.Row, st *Stats) ([]value.Row, e
 // appearance; rows keep their relative order within groups.
 func EvaluateGrouped(p preference.Preference, rows []value.Row,
 	groupKey func(value.Row) (string, error), algo Algorithm) ([]value.Row, error) {
+	return EvaluateGroupedConfig(p, rows, groupKey, algo, Config{})
+}
+
+// EvaluateGroupedConfig is EvaluateGrouped with a parallel-evaluation
+// Config; each group evaluates with the given settings.
+func EvaluateGroupedConfig(p preference.Preference, rows []value.Row,
+	groupKey func(value.Row) (string, error), algo Algorithm, cfg Config) ([]value.Row, error) {
 
 	var keys []string
 	groups := map[string][]value.Row{}
@@ -303,7 +328,7 @@ func EvaluateGrouped(p preference.Preference, rows []value.Row,
 	}
 	var out []value.Row
 	for _, k := range keys {
-		part, err := Evaluate(p, groups[k], algo)
+		part, _, err := EvaluateConfig(p, groups[k], algo, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -312,10 +337,62 @@ func EvaluateGrouped(p preference.Preference, rows []value.Row,
 	return out, nil
 }
 
-// scoredRow pairs a tuple with its monotone sort key for SFS.
+// scoredRow pairs a tuple with its monotone SFS sort key: the component
+// score vector plus its precomputed sum.
 type scoredRow struct {
 	row value.Row
 	sum float64
+	vec []float64
+}
+
+// scoreRows computes the component score vectors (and their sums) of all
+// rows under the given weak-order components.
+func scoreRows(scorers []preference.Scored, rows []value.Row) ([]scoredRow, error) {
+	scored := make([]scoredRow, len(rows))
+	flat := make([]float64, len(rows)*len(scorers))
+	for i, r := range rows {
+		vec := flat[i*len(scorers) : (i+1)*len(scorers) : (i+1)*len(scorers)]
+		sum := 0.0
+		for j, s := range scorers {
+			v, err := s.Score(r)
+			if err != nil {
+				return nil, err
+			}
+			vec[j] = v
+			// Saturate on +Inf (NULL scores worst) so a later -Inf
+			// component cannot turn the sum into NaN and wreck the sort.
+			if !math.IsInf(sum, 1) {
+				if math.IsInf(v, 1) {
+					sum = math.Inf(1)
+				} else {
+					sum += v
+				}
+			}
+		}
+		scored[i] = scoredRow{row: r, sum: sum, vec: vec}
+	}
+	return scored, nil
+}
+
+// bySumThenVec is the concrete sort.Interface over scored rows (a
+// closure-based sort.Slice pays for reflection-based swaps at large n):
+// score sum first, ties broken lexicographically by component — the
+// monotone order SFS filtering requires (see vecLess).
+type bySumThenVec []scoredRow
+
+func (s bySumThenVec) Len() int      { return len(s) }
+func (s bySumThenVec) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s bySumThenVec) Less(i, j int) bool {
+	if s[i].sum != s[j].sum {
+		return s[i].sum < s[j].sum
+	}
+	return vecLess(s[i].vec, s[j].vec)
+}
+
+// sortScored is the sequential SFS presort (stable, so batch output
+// order stays deterministic w.r.t. input order).
+func sortScored(scored []scoredRow) {
+	sort.Stable(bySumThenVec(scored))
 }
 
 // Token returns the short session-setting token for the algorithm, the
@@ -332,6 +409,8 @@ func (a Algorithm) Token() string {
 		return "sfs"
 	case BestLevel:
 		return "bestlevel"
+	case Parallel:
+		return "parallel"
 	}
 	return ""
 }
@@ -341,7 +420,7 @@ func (a Algorithm) Token() string {
 // the shell, the server's Set handler, the client — shares this one
 // mapping.
 func ParseToken(tok string) (Algorithm, bool) {
-	for _, a := range []Algorithm{Auto, NestedLoop, BlockNestedLoop, SortFilter, BestLevel} {
+	for _, a := range []Algorithm{Auto, NestedLoop, BlockNestedLoop, SortFilter, BestLevel, Parallel} {
 		if a.Token() == tok {
 			return a, true
 		}

@@ -1,0 +1,522 @@
+package bmo
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+// This file implements the parallel partition-merge BMO algorithm: the
+// input is split into contiguous partitions, each worker computes the
+// local skyline of its partition with the best applicable sequential
+// kernel (a cached-score sort-filter pass for score-based preferences,
+// BNL otherwise), and the partial skylines are then merged pairwise —
+// also concurrently — until one dominance-filtered result remains.
+//
+// Correctness rests on two properties of strict partial orders:
+//
+//  1. skyline(R) ⊆ ∪ᵢ skyline(Rᵢ): a globally maximal tuple is maximal
+//     in its own partition, so the partition phase never loses a result.
+//  2. Filtering a partial skyline against the *unfiltered* members of
+//     the other partials is exact: if t ∈ Sᵢ is dominated by s ∈ Sⱼ and
+//     s is itself dominated by u, then u dominates t by transitivity —
+//     so no dominator is ever "filtered away before it can act".
+//
+// Equality never dominates (only Better does), so substitutable tuples
+// in different partitions all survive, exactly as in the sequential
+// algorithms.
+
+// Config tunes the parallel partition-merge evaluation.
+type Config struct {
+	// Workers caps the number of concurrent partitions (and merge
+	// goroutines); 0 means runtime.GOMAXPROCS. Workers=1 runs the
+	// partition-merge plan on the calling goroutine only, which is
+	// also the fallback for preferences whose Compare is not safe for
+	// concurrent use (e.g. getters embedding subqueries).
+	Workers int
+	// Stop, when non-nil, is polled by every worker about every
+	// stopInterval comparisons; a non-nil return aborts the evaluation
+	// with that error. The exec layer wires it to the statement's
+	// cancellation context.
+	Stop func() error
+}
+
+// AutoParallelThreshold is the input cardinality at and above which the
+// Auto algorithm (and the planner's statistics-based hint) switches to
+// the parallel partition-merge path. Below it the partition and merge
+// overhead is not worth setting up.
+const AutoParallelThreshold = 10000
+
+// minPartition is the smallest partition worth handing to a worker;
+// fewer rows per worker and goroutine overhead dominates.
+const minPartition = 512
+
+// stopInterval is how many comparisons a worker performs between Stop
+// polls (mirrors the exec layer's scan interval).
+const stopInterval = 1024
+
+// workerCount resolves the configured worker count.
+func (cfg Config) workerCount() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// checkStop polls cfg.Stop every stopInterval ticks of *n.
+func (cfg Config) checkStop(n *int) error {
+	*n++
+	if cfg.Stop != nil && *n%stopInterval == 0 {
+		return cfg.Stop()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: one dominance test shared by partition and merge phases
+// ---------------------------------------------------------------------------
+
+// The parallel path works on scoredRow candidates — the same cached
+// score-vector representation (and +Inf-saturated sort-key sum) the
+// sequential SFS path uses, built by scoreRows. With vec non-nil,
+// dominance is a pure float comparison — no getter or interface
+// dispatch per test, and trivially safe across goroutines; compare mode
+// leaves vec nil and calls pref.Compare.
+
+// kernel evaluates dominance between two candidates. scorers non-nil
+// selects the cached-score path (preference is a single weak order or a
+// Pareto accumulation of weak orders); otherwise pref.Compare decides.
+type kernel struct {
+	pref    preference.Preference
+	scorers []preference.Scored
+}
+
+// newKernel classifies p. The cached-score path applies exactly when the
+// sequential SFS path would (streamScorers).
+func newKernel(p preference.Preference) kernel {
+	scorers, ok := streamScorers(p)
+	if !ok {
+		return kernel{pref: p}
+	}
+	return kernel{pref: p, scorers: scorers}
+}
+
+// load converts rows into scored candidates, caching component score
+// vectors in vector mode (scoreRows — the one implementation of the
+// +Inf-saturated sort key, shared with sequential SFS). Scoring runs on
+// the calling goroutine: it is the only phase that invokes
+// user-supplied getters, so all concurrent work downstream is pure
+// float comparison.
+func (k kernel) load(rows []value.Row) ([]scoredRow, error) {
+	if k.scorers == nil {
+		out := make([]scoredRow, len(rows))
+		for i, r := range rows {
+			out[i] = scoredRow{row: r}
+		}
+		return out, nil
+	}
+	return scoreRows(k.scorers, rows)
+}
+
+// dominates reports whether a is strictly better than b.
+func (k kernel) dominates(a, b scoredRow, st *Stats) (bool, error) {
+	st.Comparisons++
+	if a.vec != nil {
+		better := false
+		for j, av := range a.vec {
+			bv := b.vec[j]
+			if av > bv {
+				return false, nil
+			}
+			if av < bv {
+				better = true
+			}
+		}
+		return better, nil
+	}
+	o, err := k.pref.Compare(a.row, b.row)
+	if err != nil {
+		return false, err
+	}
+	return o == preference.Better, nil
+}
+
+// local computes the skyline of one partition. Vector mode presorts by
+// score sum (ties broken lexicographically by component — the sum alone
+// is not monotone once +Inf scores from NULL attributes collide) and
+// filters against accepted rows only, the SFS kernel on cached scores.
+// Compare mode runs BNL.
+func (k kernel) local(part []scoredRow, st *Stats, cfg Config) ([]scoredRow, error) {
+	ticks := 0
+	if k.scorers != nil {
+		// Unstable pdqsort: equal-vector rows are mutually substitutable
+		// (both survive or both fall), so stability buys nothing, and
+		// stable block-merging costs ~2x at millions of rows.
+		sort.Sort(bySumThenVec(part))
+		var accepted []scoredRow
+		for _, cand := range part {
+			dominated := false
+			for _, w := range accepted {
+				if err := cfg.checkStop(&ticks); err != nil {
+					return nil, err
+				}
+				dom, err := k.dominates(w, cand, st)
+				if err != nil {
+					return nil, err
+				}
+				if dom {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				accepted = append(accepted, cand)
+				if len(accepted) > st.MaxWindow {
+					st.MaxWindow = len(accepted)
+				}
+			}
+		}
+		return accepted, nil
+	}
+
+	var window []scoredRow
+	for _, cand := range part {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if err := cfg.checkStop(&ticks); err != nil {
+				return nil, err
+			}
+			dom, err := k.dominates(w, cand, st)
+			if err != nil {
+				return nil, err
+			}
+			if dom {
+				// As in blockNestedLoop: window members are mutually
+				// non-dominated, so cand cannot have evicted an earlier
+				// member if a later one dominates it — the window is
+				// left unchanged.
+				dominated = true
+				break
+			}
+			rev, err := k.dominates(cand, w, st)
+			if err != nil {
+				return nil, err
+			}
+			if rev {
+				continue // w is dominated by cand: drop it
+			}
+			keep = append(keep, w)
+		}
+		if !dominated {
+			window = append(keep, cand)
+		}
+		if len(window) > st.MaxWindow {
+			st.MaxWindow = len(window)
+		}
+	}
+	return window, nil
+}
+
+// vecLess orders score vectors lexicographically; callers compare the
+// precomputed (+Inf-saturated) sums first and use this only to break
+// sum ties. If a dominates b then a's components are ≤ b's with one
+// strictly <, so a sorts strictly before b — the monotonicity SFS
+// filtering needs even when +Inf NULL scores make the sums collide.
+// (Recomputing sums here would be both wasted work and wrong: an
+// unsaturated +Inf + -Inf sum is NaN, which compares false both ways
+// and would silently disable the tiebreak.)
+func vecLess(a, b []float64) bool {
+	for j := range a {
+		if a[j] != b[j] {
+			return a[j] < b[j]
+		}
+	}
+	return false
+}
+
+// merge dominance-filters two partial skylines against each other:
+// survivors of a not dominated by any member of b, then survivors of b
+// not dominated by any member of a. Filtering is against the original
+// members of the other side (see the transitivity note above).
+func (k kernel) merge(a, b []scoredRow, st *Stats, cfg Config) ([]scoredRow, error) {
+	out := make([]scoredRow, 0, len(a)+len(b))
+	ticks := 0
+	filter := func(xs, against []scoredRow) error {
+		for _, cand := range xs {
+			dominated := false
+			for _, w := range against {
+				if err := cfg.checkStop(&ticks); err != nil {
+					return err
+				}
+				dom, err := k.dominates(w, cand, st)
+				if err != nil {
+					return err
+				}
+				if dom {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out = append(out, cand)
+			}
+		}
+		return nil
+	}
+	if err := filter(a, b); err != nil {
+		return nil, err
+	}
+	if err := filter(b, a); err != nil {
+		return nil, err
+	}
+	if len(out) > st.MaxWindow {
+		st.MaxWindow = len(out)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parallel batch evaluation
+// ---------------------------------------------------------------------------
+
+// parallelSkyline is the batch partition-merge evaluation.
+func parallelSkyline(p preference.Preference, rows []value.Row, st *Stats, cfg Config) ([]value.Row, error) {
+	parts, kern, err := parallelPartition(p, rows, st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Merge pairwise until one partial remains; each round's merges run
+	// concurrently.
+	for len(parts) > 1 {
+		npairs := len(parts) / 2
+		next := make([][]scoredRow, (len(parts)+1)/2)
+		stats := make([]Stats, npairs)
+		if len(parts)%2 == 1 {
+			next[len(next)-1] = parts[len(parts)-1]
+		}
+		err := runConcurrent(npairs, cfg.workerCount(), func(i int) error {
+			m, err := kern.merge(parts[2*i], parts[2*i+1], &stats[i], cfg)
+			if err != nil {
+				return err
+			}
+			next[i] = m
+			return nil
+		})
+		mergeStats(st, stats)
+		if err != nil {
+			return nil, err
+		}
+		parts = next
+	}
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Row, len(parts[0]))
+	for i, pr := range parts[0] {
+		out[i] = pr.row
+	}
+	return out, nil
+}
+
+// parallelPartition runs the partition phase: load (score caching),
+// split, and concurrent local skylines. It returns the partial skylines
+// and the kernel for the merge phase.
+func parallelPartition(p preference.Preference, rows []value.Row, st *Stats, cfg Config) ([][]scoredRow, kernel, error) {
+	kern := newKernel(p)
+	cands, err := kern.load(rows)
+	if err != nil {
+		return nil, kern, err
+	}
+	nw := cfg.workerCount()
+	if maxw := (len(cands) + minPartition - 1) / minPartition; nw > maxw {
+		nw = maxw
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	parts := make([][]scoredRow, nw)
+	chunk := (len(cands) + nw - 1) / nw
+	for i := 0; i < nw; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		parts[i] = cands[lo:hi]
+	}
+	partials := make([][]scoredRow, nw)
+	stats := make([]Stats, nw)
+	err = runConcurrent(nw, cfg.workerCount(), func(i int) error {
+		sky, err := kern.local(parts[i], &stats[i], cfg)
+		if err != nil {
+			return err
+		}
+		partials[i] = sky
+		return nil
+	})
+	mergeStats(st, stats)
+	if err != nil {
+		return nil, kern, err
+	}
+	return partials, kern, nil
+}
+
+// runConcurrent executes f(0..n-1) on up to w goroutines (w<=1 runs
+// inline) and returns the first error. Remaining tasks are skipped once
+// an error occurred.
+func runConcurrent(n, w int, f func(i int) error) error {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu    sync.Mutex
+		first error
+		wg    sync.WaitGroup
+		next  int
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if first != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				if err := f(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// mergeStats folds per-worker counters into the shared statement stats.
+func mergeStats(st *Stats, parts []Stats) {
+	for _, p := range parts {
+		st.Comparisons += p.Comparisons
+		if p.MaxWindow > st.MaxWindow {
+			st.MaxWindow = p.MaxWindow
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Progressive partition-merge stream
+// ---------------------------------------------------------------------------
+
+// ParallelStream is the progressive form of the partition-merge
+// evaluation: the partition phase runs concurrently up front, then Next
+// emits each candidate of a partial skyline as soon as it has survived
+// the merge against every other partition's partial skyline. Unlike
+// Stream it does not require a score-based preference — any strict
+// partial order streams — but rows come out in partition order, not
+// best-score-first.
+type ParallelStream struct {
+	kern  kernel
+	parts [][]scoredRow
+	cfg   Config
+	st    Stats
+	ticks int // Stop-poll counter, persists across Next calls
+	pi    int // current partition
+	ri    int // next row within the partition
+}
+
+// NewParallelStream prepares a progressive partition-merge evaluation of
+// p over rows. CASCADE evaluates all stages but the last eagerly (with
+// the parallel batch path) and streams the final stage.
+func NewParallelStream(p preference.Preference, rows []value.Row, cfg Config) (*ParallelStream, error) {
+	if c, ok := p.(*preference.Cascade); ok && len(c.Parts) > 0 {
+		current := rows
+		for _, part := range c.Parts[:len(c.Parts)-1] {
+			next, _, err := EvaluateConfig(part, current, Parallel, cfg)
+			if err != nil {
+				return nil, err
+			}
+			current = next
+		}
+		return NewParallelStream(c.Parts[len(c.Parts)-1], current, cfg)
+	}
+	var st Stats
+	parts, kern, err := parallelPartition(p, rows, &st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelStream{kern: kern, parts: parts, cfg: cfg, st: st}, nil
+}
+
+// Next returns the next maximal tuple, or ok=false once the BMO set is
+// exhausted. A tuple is emitted as soon as it has survived the merge
+// against every other partition.
+func (s *ParallelStream) Next() (value.Row, bool, error) {
+	for s.pi < len(s.parts) {
+		part := s.parts[s.pi]
+		for s.ri < len(part) {
+			cand := part[s.ri]
+			s.ri++
+			dominated := false
+			for oi, other := range s.parts {
+				if oi == s.pi {
+					continue // locally maximal by construction
+				}
+				for _, w := range other {
+					if err := s.cfg.checkStop(&s.ticks); err != nil {
+						return nil, false, err
+					}
+					dom, err := s.kern.dominates(w, cand, &s.st)
+					if err != nil {
+						return nil, false, err
+					}
+					if dom {
+						dominated = true
+						break
+					}
+				}
+				if dominated {
+					break
+				}
+			}
+			if !dominated {
+				return cand.row, true, nil
+			}
+		}
+		s.pi++
+		s.ri = 0
+	}
+	return nil, false, nil
+}
+
+// Stats reports the work done so far.
+func (s *ParallelStream) Stats() Stats { return s.st }

@@ -2,8 +2,6 @@ package bmo
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/preference"
 	"repro/internal/value"
@@ -56,18 +54,29 @@ func Streamable(p preference.Preference) bool {
 
 // NewStream prepares a progressive evaluation of p over rows. It returns an
 // error when the preference is not score-based (EXPLICIT and nested
-// non-score terms require batch evaluation).
+// non-score terms require batch evaluation). CASCADE prestages evaluate
+// on the calling goroutine; use NewStreamConfig to let them go parallel
+// under a caller-controlled worker cap.
 func NewStream(p preference.Preference, rows []value.Row) (*Stream, error) {
+	return NewStreamConfig(p, rows, Config{Workers: 1})
+}
+
+// NewStreamConfig is NewStream with a parallel-evaluation Config: the
+// eager CASCADE prestages run through the Auto path with the given
+// worker cap and cancellation hook. Callers whose preferences are not
+// safe for concurrent Compare (getters embedding subqueries) must pass
+// Workers: 1 — the core layer's session plumbing does.
+func NewStreamConfig(p preference.Preference, rows []value.Row, cfg Config) (*Stream, error) {
 	if c, ok := p.(*preference.Cascade); ok && len(c.Parts) > 0 {
 		current := rows
 		for _, part := range c.Parts[:len(c.Parts)-1] {
-			next, err := Evaluate(part, current, Auto)
+			next, _, err := EvaluateConfig(part, current, Auto, cfg)
 			if err != nil {
 				return nil, err
 			}
 			current = next
 		}
-		return NewStream(c.Parts[len(c.Parts)-1], current)
+		return NewStreamConfig(c.Parts[len(c.Parts)-1], current, cfg)
 	}
 
 	scorers, ok := streamScorers(p)
@@ -75,23 +84,11 @@ func NewStream(p preference.Preference, rows []value.Row) (*Stream, error) {
 		return nil, fmt.Errorf("bmo: progressive evaluation requires score-based preferences, got %s", p.Describe())
 	}
 
-	scored := make([]scoredRow, len(rows))
-	for i, r := range rows {
-		sum := 0.0
-		for _, s := range scorers {
-			v, err := s.Score(r)
-			if err != nil {
-				return nil, err
-			}
-			if math.IsInf(v, 1) {
-				sum = math.Inf(1)
-				break
-			}
-			sum += v
-		}
-		scored[i] = scoredRow{row: r, sum: sum}
+	scored, err := scoreRows(scorers, rows)
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(scored, func(i, j int) bool { return scored[i].sum < scored[j].sum })
+	sortScored(scored)
 	return &Stream{pref: p, scored: scored}, nil
 }
 

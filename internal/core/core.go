@@ -173,6 +173,8 @@ func (s *Session) execStmt(stmt ast.Stmt, ee execEnv) (*Result, error) {
 			return nil, fmt.Errorf("core: CREATE VIEW cannot contain bind parameters")
 		}
 		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
+	case *ast.Set:
+		return s.applySet(st)
 	case *ast.CreatePreference:
 		return db.createPreference(st)
 	case *ast.Drop:
@@ -608,9 +610,10 @@ func (s *Session) queryNative(sel *ast.Select, ee execEnv) (*Result, error) {
 			}
 			return b.String(), nil
 		}
-		bmoRows, err = bmo.EvaluateGrouped(pref, candRows, key, s.Algorithm())
+		bmoRows, err = bmo.EvaluateGroupedConfig(pref, candRows, key, s.Algorithm(),
+			bmo.Config{Workers: s.bmoWorkers(sel)})
 	} else {
-		op, berr := pipe.Build(&plan.BMO{Child: pipe.Node(), Pref: pref, Algo: s.Algorithm()})
+		op, berr := pipe.Build(plan.NewBMO(pipe.Node(), pref, s.Algorithm(), false, s.bmoWorkers(sel)))
 		if berr != nil {
 			return nil, berr
 		}
@@ -767,6 +770,74 @@ func (s *Session) insertPreference(ins *ast.Insert, ee execEnv) (*Result, error)
 // Binder and quality-function environment
 // ---------------------------------------------------------------------------
 
+// bmoWorkers resolves the BMO worker cap for one preference query: the
+// session's setting, forced to 1 (single-goroutine evaluation) when the
+// preference term embeds a subquery — the engine's subquery runner
+// shares per-statement state (view cache, counters) that must not be
+// touched from concurrent dominance tests.
+func (s *Session) bmoWorkers(sel *ast.Select) int {
+	if prefHasSubquery(sel.Preferring) {
+		return 1
+	}
+	return s.Workers()
+}
+
+// prefHasSubquery reports whether any expression of a preference term
+// contains a nested SELECT.
+func prefHasSubquery(p ast.Pref) bool {
+	found := false
+	ast.WalkPrefExprs(p, func(e ast.Expr) {
+		if exprHasSubquery(e) {
+			found = true
+		}
+	})
+	return found
+}
+
+func exprHasSubquery(e ast.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *ast.InSelect, *ast.Exists, *ast.ScalarSub:
+		return true
+	case *ast.Unary:
+		return exprHasSubquery(x.X)
+	case *ast.Binary:
+		return exprHasSubquery(x.L) || exprHasSubquery(x.R)
+	case *ast.IsNull:
+		return exprHasSubquery(x.X)
+	case *ast.InList:
+		if exprHasSubquery(x.X) {
+			return true
+		}
+		for _, i := range x.List {
+			if exprHasSubquery(i) {
+				return true
+			}
+		}
+	case *ast.Between:
+		return exprHasSubquery(x.X) || exprHasSubquery(x.Lo) || exprHasSubquery(x.Hi)
+	case *ast.Like:
+		return exprHasSubquery(x.X) || exprHasSubquery(x.Pattern)
+	case *ast.Case:
+		if exprHasSubquery(x.Operand) || exprHasSubquery(x.Else) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if exprHasSubquery(w.When) || exprHasSubquery(w.Then) {
+				return true
+			}
+		}
+	case *ast.FuncCall:
+		for _, a := range x.Args {
+			if exprHasSubquery(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // relBinder implements preference.Binder over a detailed relation.
 type relBinder struct {
 	cols []engine.ColInfo
@@ -805,21 +876,19 @@ func (e *relEnv) Func(*ast.FuncCall) (value.Value, bool, error) {
 	return value.Value{}, false, nil
 }
 
-// Getter implements preference.Binder.
+// Getter implements preference.Binder. The environment is allocated per
+// call: the parallel BMO path invokes getters from several goroutines at
+// once, so a closure-shared env.row would be a data race.
 func (b *relBinder) Getter(e ast.Expr) (preference.Getter, error) {
-	env := &relEnv{cols: b.cols}
 	return func(row value.Row) (value.Value, error) {
-		env.row = row
-		return b.ev.Eval(e, env)
+		return b.ev.Eval(e, &relEnv{cols: b.cols, row: row})
 	}, nil
 }
 
-// Cond implements preference.Binder.
+// Cond implements preference.Binder; per-call env, see Getter.
 func (b *relBinder) Cond(e ast.Expr) (func(value.Row) (bool, error), error) {
-	env := &relEnv{cols: b.cols}
 	return func(row value.Row) (bool, error) {
-		env.row = row
-		return b.ev.EvalBool(e, env)
+		return b.ev.EvalBool(e, &relEnv{cols: b.cols, row: row})
 	}, nil
 }
 

@@ -258,8 +258,13 @@ func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool, ee execEnv)
 	if err != nil {
 		return nil, err
 	}
-	progressive := strict || bmo.Streamable(pref)
-	op, err := pipe.Build(&plan.BMO{Child: pipe.Node(), Pref: pref, Algo: s.Algorithm(), Progressive: progressive})
+	// Score-based preferences always stream; under the parallel
+	// algorithm any preference streams via the partition-merge stream
+	// (strict mode keeps its score-based contract: QueryProgressive on a
+	// non-streamable preference still errors unless the session
+	// explicitly selected the parallel algorithm).
+	progressive := strict || bmo.Streamable(pref) || s.Algorithm() == bmo.Parallel
+	op, err := pipe.Build(plan.NewBMO(pipe.Node(), pref, s.Algorithm(), progressive, s.bmoWorkers(sel)))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bmo"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/preference"
+)
+
+// ExplainNative renders the native execution plan of a single SELECT:
+// the operator tree of the candidate pipeline and, for preference
+// queries, the BMO node on top — including the algorithm, the planner's
+// statistics-derived parallelism hint (estimated candidate cardinality)
+// and the session's worker cap. It is the native-mode sibling of
+// ExplainRewrite/RewritePlan and the surface the golden plan tests pin.
+//
+// The rendered plan is the streaming-cursor form (QueryIter /
+// QueryProgressive): a `progressive` BMO node marks a query those
+// surfaces stream, while the batch Query/Exec path evaluates the same
+// tree with batch BMO semantics.
+func (db *DB) ExplainNative(sql string) (string, error) { return db.def.ExplainNative(sql) }
+
+// ExplainNative is the session-scoped variant; the session's algorithm
+// and worker settings appear in the rendered BMO node as the streaming
+// cursor would execute them.
+func (s *Session) ExplainNative(sql string) (string, error) {
+	sel, err := parser.ParseSelect(sql)
+	if err != nil {
+		return "", err
+	}
+	db := s.db
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+
+	if !sel.HasPreference() {
+		node, err := db.eng.PlanStream(sel)
+		if err != nil {
+			return "", err
+		}
+		return plan.Format(node), nil
+	}
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return "", fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
+	}
+	resolved, err := db.resolvePrefs(sel.Preferring)
+	if err != nil {
+		return "", err
+	}
+	if resolved != sel.Preferring {
+		clone := *sel
+		clone.Preferring = resolved
+		sel = &clone
+	}
+	pipe, err := db.candidatePipeline(sel, bgEnv)
+	if err != nil {
+		return "", err
+	}
+	binder := newRelBinder(pipe.Columns(), db.eng, bgEnv)
+	pref, err := preference.Compile(sel.Preferring, binder, preference.NewRegistry())
+	if err != nil {
+		return "", err
+	}
+	progressive := bmo.Streamable(pref) || s.Algorithm() == bmo.Parallel
+	node := plan.NewBMO(pipe.Node(), pref, s.Algorithm(), progressive, s.bmoWorkers(sel))
+	return plan.Format(node), nil
+}

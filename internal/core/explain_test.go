@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bmo"
+	"repro/internal/datagen"
+)
+
+// explainDB loads two skyline tables around the parallel threshold:
+// big's bare scan estimate (30000) is over it, small's (600) and big's
+// filtered estimate (30000/3 = 10000 exactly on the threshold; the
+// filtered variant below uses 27000/3 = 9000) are the hint-absent cases.
+func explainDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	cols := datagen.SkylineColumns(3)
+	if err := datagen.Load(db.Engine(), "big", cols, datagen.Skyline(30000, 3, datagen.Independent, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := datagen.Load(db.Engine(), "mid", cols, datagen.Skyline(27000, 3, datagen.Independent, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := datagen.Load(db.Engine(), "small", cols, datagen.Skyline(600, 3, datagen.Independent, 3)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestExplainGolden pins the native plan rendering — especially the
+// planner's statistics-derived parallelism hint — as readable golden
+// strings, so a planner regression shows up as a plan diff rather than
+// a silent performance cliff.
+func TestExplainGolden(t *testing.T) {
+	db := explainDB(t)
+	cases := []struct {
+		name string
+		prep func(s *Session)
+		sql  string
+		want string
+	}{
+		{
+			name: "hint-present-big-table",
+			sql:  `SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO progressive auto hint=parallel est=30000 [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan big\n",
+		},
+		{
+			name: "hint-absent-small-table",
+			sql:  `SELECT id FROM small PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO progressive auto [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan small\n",
+		},
+		{
+			name: "hint-absent-filtered-estimate",
+			sql:  `SELECT id FROM mid WHERE d3 < 0.5 PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO progressive auto [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan mid [(d3 < 0.5)]\n",
+		},
+		{
+			name: "explicit-parallel-with-workers",
+			prep: func(s *Session) {
+				s.SetAlgorithm(bmo.Parallel)
+				s.SetWorkers(4)
+			},
+			sql: `SELECT id FROM small PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO progressive parallel-partition-merge workers=4 [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan small\n",
+		},
+		{
+			name: "batch-shape-keeps-algorithm",
+			sql:  `SELECT id FROM big PREFERRING LOWEST(d2) CASCADE EXPLICIT(d1, 1 > 2)`,
+			want: "BMO auto hint=parallel est=30000 [LOWEST(d2) CASCADE EXPLICIT(d1)]\n" +
+				"  Project *\n" +
+				"    SeqScan big\n",
+		},
+		{
+			name: "plain-select-pipeline",
+			sql:  `SELECT id FROM big WHERE d1 < 0.1 LIMIT 5`,
+			want: "Limit count=5 offset=0\n" +
+				"  Project id\n" +
+				"    SeqScan big [(d1 < 0.1)]\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess := db.NewSession()
+			if tc.prep != nil {
+				tc.prep(sess)
+			}
+			got, err := sess.ExplainNative(tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("plan diff\n--- want ---\n%s--- got ---\n%s", tc.want, got)
+			}
+		})
+	}
+}
+
+// TestExplainMatchesExecution pins that the hint shown by EXPLAIN is the
+// path the executor takes: a hinted Auto plan and an explicit parallel
+// plan return the same rows as the sequential baseline.
+func TestExplainMatchesExecution(t *testing.T) {
+	db := explainDB(t)
+	q := `SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST(d2)`
+
+	plan, err := db.ExplainNative(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "hint=parallel") {
+		t.Fatalf("expected parallel hint in plan:\n%s", plan)
+	}
+
+	ref := db.NewSession()
+	ref.SetAlgorithm(bmo.BlockNestedLoop)
+	want, err := ref.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := db.NewSession() // Auto + hint
+	got, err := auto.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) == 0 || canonicalRows(got.Rows) != canonicalRows(want.Rows) {
+		t.Fatalf("hinted auto result (%d rows) diverges from BNL (%d rows)", len(got.Rows), len(want.Rows))
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/ast"
@@ -43,9 +44,10 @@ func checkArgCount(nparams int, args []value.Value) error {
 // connection. DB's own Exec/Query/SetMode methods delegate to a default
 // session, preserving the embedded single-client API.
 type Session struct {
-	db   *DB
-	mode atomic.Int32
-	algo atomic.Int32
+	db      *DB
+	mode    atomic.Int32
+	algo    atomic.Int32
+	workers atomic.Int32
 }
 
 // NewSession creates a session with default settings (native mode, auto
@@ -68,16 +70,68 @@ func (s *Session) SetAlgorithm(a bmo.Algorithm) { s.algo.Store(int32(a)) }
 // Algorithm reports this session's native BMO algorithm.
 func (s *Session) Algorithm() bmo.Algorithm { return bmo.Algorithm(s.algo.Load()) }
 
+// SetWorkers caps this session's parallel BMO worker count; 0 (the
+// default) uses one worker per available CPU.
+func (s *Session) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.workers.Store(int32(n))
+}
+
+// Workers reports this session's parallel BMO worker cap (0 = one per
+// CPU).
+func (s *Session) Workers() int { return int(s.workers.Load()) }
+
 // StmtReadOnly reports whether a statement only reads data: such
 // statements run under the shared read lock, concurrently with each
 // other. Everything else (DML, DDL, preference definitions) serializes
 // under the exclusive write lock. Preference SELECTs count as reads even
 // in rewrite mode: the auxiliary views the rewriting creates carry
 // collision-free generated names and only touch the catalog maps, which
-// have their own lock.
+// have their own lock. SET statements touch only the executing session's
+// own settings (atomics), so they count as reads too — they must not
+// bump the write epoch and invalidate every cached plan.
 func StmtReadOnly(stmt ast.Stmt) bool {
-	_, ok := stmt.(*ast.Select)
-	return ok
+	switch stmt.(type) {
+	case *ast.Select, *ast.Set:
+		return true
+	}
+	return false
+}
+
+// applySet executes a `SET name = value` statement against this
+// session's settings. Keys mirror the wire protocol's Set message:
+// mode (native|rewrite), algorithm (auto|nl|bnl|sfs|bestlevel|parallel)
+// and workers (non-negative integer, 0 = one per CPU).
+func (s *Session) applySet(st *ast.Set) (*Result, error) {
+	key := strings.ToLower(st.Name)
+	switch key {
+	case "mode":
+		switch strings.ToLower(st.Value.String()) {
+		case "native":
+			s.SetMode(ModeNative)
+		case "rewrite":
+			s.SetMode(ModeRewrite)
+		default:
+			return nil, fmt.Errorf("core: unknown mode %s (want native or rewrite)", st.Value.SQL())
+		}
+	case "algorithm", "algo":
+		a, ok := bmo.ParseToken(strings.ToLower(st.Value.String()))
+		if !ok {
+			return nil, fmt.Errorf("core: unknown algorithm %s (want auto, nl, bnl, sfs, bestlevel or parallel)", st.Value.SQL())
+		}
+		s.SetAlgorithm(a)
+	case "workers":
+		v, err := value.Coerce(st.Value, value.Int)
+		if err != nil || v.IsNull() || v.I < 0 {
+			return nil, fmt.Errorf("core: workers requires a non-negative integer, got %s", st.Value.SQL())
+		}
+		s.SetWorkers(int(v.I))
+	default:
+		return nil, fmt.Errorf("core: unknown setting %q (want mode, algorithm or workers)", st.Name)
+	}
+	return &Result{}, nil
 }
 
 // Exec parses and runs a ';'-separated script, returning the last

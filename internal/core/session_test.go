@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bmo"
 	"repro/internal/parser"
 )
 
@@ -214,5 +215,49 @@ func TestSelfReferencingDML(t *testing.T) {
 	}
 	if chk.Rows[0][0].I != 20 {
 		t.Fatalf("v = %v, want 20 (max of remaining rows)", chk.Rows[0][0])
+	}
+}
+
+// TestSetStatementSession pins the SQL `SET` statement: it configures
+// the executing session only, accepts the documented keys, rejects
+// anything else, and — being a read-only statement — does not bump the
+// write epoch (cached plans must survive it).
+func TestSetStatementSession(t *testing.T) {
+	db := sessionTestDB(t)
+	a, b := db.NewSession(), db.NewSession()
+
+	epoch := db.Epoch()
+	if _, err := a.Exec(`SET mode = rewrite; SET algorithm = 'parallel'; SET workers = 3`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != epoch {
+		t.Fatalf("SET bumped the write epoch: %d -> %d", epoch, db.Epoch())
+	}
+	if a.Mode() != ModeRewrite || a.Algorithm() != bmo.Parallel || a.Workers() != 3 {
+		t.Fatalf("session a settings: mode=%v algo=%v workers=%d", a.Mode(), a.Algorithm(), a.Workers())
+	}
+	if b.Mode() != ModeNative || b.Algorithm() != bmo.Auto || b.Workers() != 0 {
+		t.Fatalf("SET leaked into session b: mode=%v algo=%v workers=%d", b.Mode(), b.Algorithm(), b.Workers())
+	}
+
+	for _, bad := range []string{
+		`SET mode = 'sideways'`,
+		`SET algorithm = 'qsort'`,
+		`SET workers = -1`,
+		`SET workers = 'many'`,
+		`SET turbo = 1`,
+	} {
+		if _, err := a.Exec(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+
+	// A parallel session still answers queries correctly.
+	res, err := a.Exec(`SET mode = native; SELECT id FROM t PREFERRING LOWEST(v)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("rows = %v", res.Rows)
 	}
 }

@@ -6,23 +6,55 @@ import (
 	"repro/internal/value"
 )
 
+// rowStream is the common pull shape of bmo.Stream (score-ordered
+// progressive skyline) and bmo.ParallelStream (partition-merge
+// progressive skyline).
+type rowStream interface {
+	Next() (value.Row, bool, error)
+}
+
 // BMOOp evaluates the Best-Matches-Only set of its input. The input is
 // materialized at Open (dominance is a property of the whole candidate
 // set); the output streams. In progressive mode undominated tuples are
 // emitted as soon as they are known maximal, so a consumer that stops
 // pulling (TOP-k, first result page) saves the remaining dominance
 // comparisons — the pipelined form of bmo.EvaluateProgressive.
+//
+// The parallel partition-merge algorithm is selected either explicitly
+// (plan.BMO.Algo) or by the planner's statistics hint resolving Auto;
+// its workers share the statement's cancellation hook (Env.Stop), so
+// cancelling the context stops every partition and merge goroutine.
 type BMOOp struct {
 	node   *plan.BMO
 	child  Operator
+	env    *Env
 	input  []value.Row
-	stream *bmo.Stream // progressive mode
+	stream rowStream   // progressive mode
 	buf    []value.Row // batch mode
 	pos    int
 }
 
 // Schema implements Operator.
 func (b *BMOOp) Schema() plan.Schema { return b.node.Schema() }
+
+// config assembles the parallel-evaluation settings from the plan node
+// and the statement environment.
+func (b *BMOOp) config() bmo.Config {
+	cfg := bmo.Config{Workers: b.node.Workers}
+	if b.env != nil {
+		cfg.Stop = b.env.Stop
+	}
+	return cfg
+}
+
+// algo resolves the effective algorithm: the planner's statistics hint
+// promotes Auto to the parallel partition-merge path.
+func (b *BMOOp) algo() bmo.Algorithm {
+	if b.node.Algo == bmo.Auto && b.node.ParallelHint {
+		return bmo.Parallel
+	}
+	return b.node.Algo
+}
 
 // Open drains the child and prepares either the progressive stream or the
 // batch result.
@@ -42,14 +74,32 @@ func (b *BMOOp) Open() error {
 		b.input = append(b.input, row)
 	}
 	if b.node.Progressive {
-		s, err := bmo.NewStream(b.node.Pref, b.input)
+		// An explicitly selected parallel algorithm streams any
+		// preference through the partition-merge stream (rows emerge in
+		// partition order, local skylines computed concurrently). The
+		// Auto path — even when the planner's hint promotes the batch
+		// side to parallel — keeps the score-ordered sequential stream:
+		// progressive consumers want best matches first, and the pull
+		// loop is consumer-paced anyway.
+		if b.node.Algo == bmo.Parallel {
+			s, err := bmo.NewParallelStream(b.node.Pref, b.input, b.config())
+			if err != nil {
+				return err
+			}
+			b.stream = s
+			return nil
+		}
+		// NewStreamConfig so CASCADE prestages honor the statement's
+		// worker cap (incl. the core layer's forced Workers=1 for
+		// subquery-bearing preferences) and its Stop hook.
+		s, err := bmo.NewStreamConfig(b.node.Pref, b.input, b.config())
 		if err != nil {
 			return err
 		}
 		b.stream = s
 		return nil
 	}
-	out, err := bmo.Evaluate(b.node.Pref, b.input, b.node.Algo)
+	out, _, err := bmo.EvaluateConfig(b.node.Pref, b.input, b.algo(), b.config())
 	if err != nil {
 		return err
 	}

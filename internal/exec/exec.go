@@ -147,7 +147,7 @@ func Build(n plan.Node, env *Env) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BMOOp{node: x, child: child}, nil
+		return &BMOOp{node: x, child: child, env: env}, nil
 	}
 	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 }

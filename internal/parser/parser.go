@@ -249,8 +249,40 @@ func (p *Parser) parseStmt() (ast.Stmt, error) {
 		return p.parseCreate()
 	case "DROP":
 		return p.parseDrop()
+	case "SET":
+		return p.parseSet()
 	}
 	return nil, p.errf("unsupported statement %q", t.Text)
+}
+
+// parseSet parses `SET name = literal`, the session-setting statement
+// (execution mode, BMO algorithm, parallel worker count). A bare
+// identifier value is accepted as shorthand for a string literal, so
+// `SET algorithm = parallel` and `SET algorithm = 'parallel'` are the
+// same statement.
+func (p *Parser) parseSet() (ast.Stmt, error) {
+	p.next() // SET
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("="); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Type == lexer.Ident {
+		p.next()
+		return &ast.Set{Name: name, Value: value.NewText(t.Text)}, nil
+	}
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	lit, ok := e.(*ast.Literal)
+	if !ok {
+		return nil, p.errf("SET value must be a literal, got %s", e.SQL())
+	}
+	return &ast.Set{Name: name, Value: lit.Val}, nil
 }
 
 func (p *Parser) parseSelect() (*ast.Select, error) {

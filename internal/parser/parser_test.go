@@ -574,3 +574,45 @@ func TestUnaryPlusIgnored(t *testing.T) {
 		t.Error("unary plus")
 	}
 }
+
+func TestSetStatement(t *testing.T) {
+	cases := []struct {
+		src  string
+		name string
+		sql  string // round-trip rendering
+	}{
+		{`SET algorithm = 'parallel'`, "algorithm", "SET algorithm = 'parallel'"},
+		{`SET algorithm = parallel`, "algorithm", "SET algorithm = 'parallel'"},
+		{`SET workers = 4`, "workers", "SET workers = 4"},
+		{`SET mode = rewrite`, "mode", "SET mode = 'rewrite'"},
+	}
+	for _, tc := range cases {
+		stmt, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		set, ok := stmt.(*ast.Set)
+		if !ok {
+			t.Fatalf("%s: got %T", tc.src, stmt)
+		}
+		if set.Name != tc.name {
+			t.Errorf("%s: name = %q", tc.src, set.Name)
+		}
+		if got := set.SQL(); got != tc.sql {
+			t.Errorf("%s: SQL() = %q, want %q", tc.src, got, tc.sql)
+		}
+		// Rendering must re-parse to the same statement (fuzz contract).
+		again, err := Parse(set.SQL())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", tc.src, err)
+		}
+		if again.SQL() != set.SQL() {
+			t.Errorf("%s: round trip unstable: %q vs %q", tc.src, again.SQL(), set.SQL())
+		}
+	}
+	for _, bad := range []string{`SET`, `SET x`, `SET x = `, `SET x = (SELECT 1)`, `SET x = y + 1`} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q: expected parse error", bad)
+		}
+	}
+}

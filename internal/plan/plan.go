@@ -353,17 +353,53 @@ func (l *Limit) Explain() string {
 }
 
 // BMO computes the Best-Matches-Only set of its input under a compiled
-// preference. In progressive mode (score-based preferences) undominated
-// tuples stream out as soon as they are known maximal, so a TOP-k consumer
-// stops the remaining dominance work; otherwise the input is evaluated in
-// batch with the configured algorithm and the result streamed.
+// preference. In progressive mode (score-based preferences, or any
+// preference under the parallel algorithm) undominated tuples stream out
+// as soon as they are known maximal, so a TOP-k consumer stops the
+// remaining dominance work; otherwise the input is evaluated in batch
+// with the configured algorithm and the result streamed.
 type BMO struct {
 	Child Node
 	Pref  preference.Preference
 	Algo  bmo.Algorithm
 	// Progressive requests streaming evaluation; it is an error when the
-	// preference is not score-based (the QueryProgressive contract).
+	// preference is not score-based (the QueryProgressive contract) and
+	// the algorithm is not Parallel (whose partition-merge stream serves
+	// arbitrary preferences).
 	Progressive bool
+	// Workers caps the partition-merge concurrency; 0 lets the executor
+	// use one worker per available CPU. The session's `SET workers`
+	// setting lands here.
+	Workers int
+	// EstRows is the planner's cardinality estimate for the candidate
+	// relation, derived from table statistics (see EstimateRows); -1
+	// when unknown.
+	EstRows int64
+	// ParallelHint marks an Auto-algorithm node whose estimated input
+	// cardinality reaches bmo.AutoParallelThreshold: the executor
+	// resolves Auto to the parallel partition-merge path without
+	// waiting to count the actual input.
+	ParallelHint bool
+}
+
+// NewBMO builds the BMO node and derives the parallelism hint from the
+// child's estimated cardinality — the planner's table statistics decide
+// up front whether the Auto path should go parallel, so EXPLAIN shows
+// the choice before any row is read.
+func NewBMO(child Node, pref preference.Preference, algo bmo.Algorithm, progressive bool, workers int) *BMO {
+	b := &BMO{Child: child, Pref: pref, Algo: algo, Progressive: progressive,
+		Workers: workers, EstRows: EstimateRows(child)}
+	// A single weak order is answered by Auto's O(n) best-level scan —
+	// strictly cheaper than partitioning — so only multi-component
+	// preferences are promoted. The hint stays independent of the local
+	// core count: even at one worker the partition-merge path wins on
+	// score-based preferences (cached score vectors versus re-scoring on
+	// every Compare), and EXPLAIN output must not depend on the machine.
+	if _, scored := pref.(preference.Scored); !scored &&
+		algo == bmo.Auto && b.EstRows >= bmo.AutoParallelThreshold {
+		b.ParallelHint = true
+	}
+	return b
 }
 
 // Schema implements Node.
@@ -373,7 +409,72 @@ func (b *BMO) Schema() Schema { return b.Child.Schema() }
 func (b *BMO) Explain() string {
 	mode := b.Algo.String()
 	if b.Progressive {
-		mode = "progressive"
+		mode = "progressive " + mode
 	}
-	return fmt.Sprintf("BMO %s [%s]", mode, b.Pref.Describe())
+	out := fmt.Sprintf("BMO %s", mode)
+	if b.ParallelHint {
+		out += fmt.Sprintf(" hint=parallel est=%d", b.EstRows)
+	}
+	if b.Workers > 0 {
+		out += fmt.Sprintf(" workers=%d", b.Workers)
+	}
+	return out + fmt.Sprintf(" [%s]", b.Pref.Describe())
+}
+
+// EstimateRows estimates a plan node's output cardinality from table
+// statistics (storage row counts). The estimates are deliberately crude
+// — filters keep a third, index probes a tenth — but deterministic: the
+// same catalog state always yields the same plan hints, which keeps
+// EXPLAIN output stable and testable.
+func EstimateRows(n Node) int64 {
+	switch x := n.(type) {
+	case *SeqScan:
+		est := int64(x.Table.RowCount())
+		if len(x.Filter) > 0 {
+			est /= 3
+		}
+		if x.Limit >= 0 && x.Limit < est {
+			est = x.Limit
+		}
+		return est
+	case *IndexScan:
+		est := int64(x.Table.RowCount()) / 10
+		if est < 1 {
+			est = 1
+		}
+		return est
+	case *Values:
+		return int64(len(x.Rows))
+	case *Filter:
+		return EstimateRows(x.Child) / 3
+	case *Join:
+		l, r := EstimateRows(x.Left), EstimateRows(x.Right)
+		if l < 0 || r < 0 {
+			return -1
+		}
+		if x.LCol >= 0 || x.On != nil {
+			// Equi/theta join: assume the larger side survives.
+			if l > r {
+				return l
+			}
+			return r
+		}
+		if r != 0 && l > (1<<40)/r {
+			return 1 << 40 // cap the cross-product estimate
+		}
+		return l * r
+	case *Project:
+		return EstimateRows(x.Child)
+	case *Distinct:
+		return EstimateRows(x.Child)
+	case *Limit:
+		est := EstimateRows(x.Child)
+		if x.Count >= 0 && x.Count+x.Offset < est {
+			est = x.Count + x.Offset
+		}
+		return est
+	case *BMO:
+		return EstimateRows(x.Child)
+	}
+	return -1
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -547,6 +548,12 @@ func (c *conn) handleSet(payload []byte) error {
 			return c.sendError(fmt.Errorf("server: unknown algorithm %q", val))
 		}
 		c.sess.SetAlgorithm(a)
+	case wire.SetWorkers:
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return c.sendError(fmt.Errorf("server: workers must be a non-negative integer, got %q", val))
+		}
+		c.sess.SetWorkers(n)
 	default:
 		return c.sendError(fmt.Errorf("server: unknown setting %q", key))
 	}

@@ -531,3 +531,37 @@ func TestRemoteQueryRejectsNonSelect(t *testing.T) {
 		t.Fatal("the rejected INSERT ran anyway")
 	}
 }
+
+// TestSetWorkersOverWire pins the workers session setting end to end:
+// valid values apply, invalid ones error without killing the session,
+// and the SQL SET statement works through the wire too.
+func TestSetWorkersOverWire(t *testing.T) {
+	_, _, addr := startServer(t, 16)
+	c := dial(t, addr)
+
+	if _, err := c.Exec(`CREATE TABLE pts (id INT, x INT, y INT);
+		INSERT INTO pts VALUES (1, 1, 9), (2, 9, 1), (3, 5, 5), (4, 6, 6)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWorkers(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWorkers(-1); err == nil {
+		t.Error("negative workers should error client-side")
+	}
+	if err := c.SetAlgorithm(prefsql.Parallel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`SET workers = 'lots'`); err == nil {
+		t.Error("non-integer workers should error")
+	}
+	// The session survives the failed SET and still answers queries on
+	// the parallel algorithm.
+	res, err := c.Query(`SELECT id FROM pts PREFERRING LOWEST(x) AND LOWEST(y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

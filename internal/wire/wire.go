@@ -25,7 +25,8 @@
 //	                                  the server reuses the cached plan
 //	                                  across argument values
 //	  CloseStmt u32 stmt id
-//	  Set       string key, string value    session settings (mode, algorithm)
+//	  Set       string key, string value    session settings (mode, algorithm,
+//	                                  parallel worker cap)
 //	  Cancel    (empty)               stop the in-flight statement: it cancels
 //	                                  the server-side execution context, so
 //	                                  scans stop mid-table, and cuts a row
@@ -102,7 +103,8 @@ const (
 // Session setting keys for MsgSet.
 const (
 	SetMode      = "mode"      // "native" | "rewrite"
-	SetAlgorithm = "algorithm" // "auto" | "nl" | "bnl" | "sfs" | "bestlevel"
+	SetAlgorithm = "algorithm" // "auto" | "nl" | "bnl" | "sfs" | "bestlevel" | "parallel"
+	SetWorkers   = "workers"   // non-negative integer; "0" = one worker per CPU
 )
 
 // WriteFrame writes one framed message.

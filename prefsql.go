@@ -32,13 +32,16 @@ const (
 // Algorithm selects the native BMO algorithm.
 type Algorithm = bmo.Algorithm
 
-// Native BMO algorithms (see internal/bmo).
+// Native BMO algorithms (see internal/bmo). Parallel is the
+// partition-merge multicore path; Auto switches to it for candidate
+// sets of 10k rows or more when more than one CPU is available.
 const (
 	Auto            = bmo.Auto
 	NestedLoop      = bmo.NestedLoop
 	BlockNestedLoop = bmo.BlockNestedLoop
 	SortFilter      = bmo.SortFilter
 	BestLevel       = bmo.BestLevel
+	Parallel        = bmo.Parallel
 )
 
 // DB is an embedded Preference SQL database.
@@ -96,6 +99,11 @@ func (db *DB) SetMode(m Mode) { db.core.SetMode(m) }
 // default session.
 func (db *DB) SetAlgorithm(a Algorithm) { db.core.SetAlgorithm(a) }
 
+// SetWorkers caps the parallel BMO worker count on the default session;
+// 0 (the default) uses one worker per available CPU. Sessions can also
+// set it per client with `SET workers = n`.
+func (db *DB) SetWorkers(n int) { db.core.DefaultSession().SetWorkers(n) }
+
 // Session is a per-client view of a shared database: it carries the
 // client's mode and algorithm settings so concurrent clients don't
 // interfere, and its queries run concurrently under the shared read lock
@@ -114,6 +122,14 @@ func (db *DB) ExplainRewrite(sql string) (string, error) {
 		return "", err
 	}
 	return plan.Script(), nil
+}
+
+// ExplainNative renders the native operator plan of a SELECT — for
+// preference queries the candidate pipeline with the BMO node on top,
+// including the algorithm, the planner's statistics-derived parallelism
+// hint and the session's worker cap.
+func (db *DB) ExplainNative(sql string) (string, error) {
+	return db.core.ExplainNative(sql)
 }
 
 // QueryProgressive streams the Best-Matches-Only result of a preference
