@@ -1,0 +1,161 @@
+// Command benchgate is the CI performance-regression gate: it compares a
+// fresh quick-run benchmark JSON (p4: parallel BMO, p5: join pushdown)
+// against the committed baseline and fails when a headline speedup
+// regressed by more than the tolerance (default 25%).
+//
+// The gate compares speedup ratios, not wall-clock milliseconds: a ratio
+// (pushed vs unpushed plan, parallel vs sequential BNL) divides out the
+// runner's absolute speed, so the same baseline works on any CI machine.
+// Cells are matched by their identifying fields; baseline cells without a
+// fresh counterpart (e.g. full-scale sizes against a quick run) are
+// skipped, but at least one cell must match per supplied pair.
+//
+// Usage:
+//
+//	benchgate -fresh-p5 BENCH_p5.json -base-p5 internal/bench/baselines/BENCH_p5.quick.json \
+//	          -fresh-p4 BENCH_p4.json -base-p4 internal/bench/baselines/BENCH_p4.quick.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func load(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// check compares one matched cell, printing the verdict line; the
+// returned flag reports a regression beyond tolerance.
+func check(name string, fresh, base, tol float64) bool {
+	floor := base * (1 - tol)
+	status := "ok"
+	bad := fresh < floor
+	if bad {
+		status = "REGRESSED"
+	}
+	fmt.Printf("%-60s baseline %6.2fx  fresh %6.2fx  floor %6.2fx  %s\n",
+		name, base, fresh, floor, status)
+	return bad
+}
+
+func gateP5(freshPath, basePath string, tol, minSpeedup float64) (matched int, failed bool, err error) {
+	var fresh, base bench.P5Result
+	if err := load(freshPath, &fresh); err != nil {
+		return 0, false, err
+	}
+	if err := load(basePath, &base); err != nil {
+		return 0, false, err
+	}
+	freshBy := map[string]bench.P5Entry{}
+	for _, e := range fresh.Entries {
+		freshBy[fmt.Sprintf("%d/%s/%s", e.Rows, e.Query, e.Variant)] = e
+	}
+	for _, b := range base.Entries {
+		if b.Variant != "pushdown-on" {
+			continue
+		}
+		key := fmt.Sprintf("%d/%s/%s", b.Rows, b.Query, b.Variant)
+		f, ok := freshBy[key]
+		if !ok {
+			continue
+		}
+		matched++
+		if check("p5 "+key, f.Speedup, b.Speedup, tol) {
+			failed = true
+		}
+		if f.Speedup < minSpeedup {
+			fmt.Printf("p5 %s: pushed plan no longer beats the unpushed plan (%.2fx < %.2fx)\n",
+				key, f.Speedup, minSpeedup)
+			failed = true
+		}
+	}
+	return matched, failed, nil
+}
+
+func gateP4(freshPath, basePath string, tol float64) (matched int, failed bool, err error) {
+	var fresh, base bench.P4Result
+	if err := load(freshPath, &fresh); err != nil {
+		return 0, false, err
+	}
+	if err := load(basePath, &base); err != nil {
+		return 0, false, err
+	}
+	freshBy := map[string]bench.P4Entry{}
+	for _, e := range fresh.Entries {
+		freshBy[fmt.Sprintf("%d/%s", e.Rows, e.Variant)] = e
+	}
+	for _, b := range base.Entries {
+		if b.Workers == 0 {
+			continue // the sequential baseline is the denominator, not a cell
+		}
+		key := fmt.Sprintf("%d/%s", b.Rows, b.Variant)
+		f, ok := freshBy[key]
+		if !ok {
+			continue
+		}
+		matched++
+		if check("p4 "+key, f.Speedup, b.Speedup, tol) {
+			failed = true
+		}
+	}
+	return matched, failed, nil
+}
+
+func main() {
+	var (
+		freshP4    = flag.String("fresh-p4", "", "fresh BENCH_p4.json ('' skips the p4 gate)")
+		baseP4     = flag.String("base-p4", "", "committed p4 baseline JSON")
+		freshP5    = flag.String("fresh-p5", "", "fresh BENCH_p5.json ('' skips the p5 gate)")
+		baseP5     = flag.String("base-p5", "", "committed p5 baseline JSON")
+		tol        = flag.Float64("tolerance", 0.25, "allowed relative speedup regression")
+		minSpeedup = flag.Float64("min-speedup", 1.0, "p5 pushed plans must keep at least this speedup")
+	)
+	flag.Parse()
+
+	fail := false
+	ran := false
+	if *freshP5 != "" {
+		ran = true
+		n, bad, err := gateP5(*freshP5, *baseP5, *tol, *minSpeedup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: p5: %v\n", err)
+			os.Exit(1)
+		}
+		if n == 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: p5: no baseline cell matched the fresh run")
+			os.Exit(1)
+		}
+		fail = fail || bad
+	}
+	if *freshP4 != "" {
+		ran = true
+		n, bad, err := gateP4(*freshP4, *baseP4, *tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: p4: %v\n", err)
+			os.Exit(1)
+		}
+		if n == 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: p4: no baseline cell matched the fresh run")
+			os.Exit(1)
+		}
+		fail = fail || bad
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -fresh-p4/-fresh-p5)")
+		os.Exit(1)
+	}
+	if fail {
+		fmt.Println("benchgate: FAIL — performance regressed beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gates passed")
+}

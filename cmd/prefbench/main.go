@@ -10,6 +10,7 @@
 //	prefbench -exp p2                   # server throughput; writes BENCH_p2.json
 //	prefbench -exp p3                   # parameterized vs literal; writes BENCH_p3.json
 //	prefbench -exp p4                   # sequential vs parallel BMO; writes BENCH_p4.json
+//	prefbench -exp p5                   # BMO-through-join pushdown; writes BENCH_p5.json
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		p2json  = flag.String("json", "BENCH_p2.json", "file for the structured p2 results ('' disables)")
 		p3json  = flag.String("json-p3", "BENCH_p3.json", "file for the structured p3 results ('' disables)")
 		p4json  = flag.String("json-p4", "BENCH_p4.json", "file for the structured p4 results ('' disables)")
+		p5json  = flag.String("json-p5", "BENCH_p5.json", "file for the structured p5 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -91,6 +93,10 @@ func main() {
 		case name == "p4" && *p4json != "":
 			res, tbl, err := bench.P4(cfg)
 			emitJSON(name, *p4json, res, tbl, err)
+			continue
+		case name == "p5" && *p5json != "":
+			res, tbl, err := bench.P5(cfg)
+			emitJSON(name, *p5json, res, tbl, err)
 			continue
 		}
 		out, err := bench.Run(name, cfg)

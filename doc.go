@@ -89,8 +89,28 @@
 //	res, err := sess.Query(`SELECT ...`)
 //
 // Session settings are also plain SQL statements — `SET mode = rewrite`,
-// `SET algorithm = parallel`, `SET workers = 4` — accepted embedded and
-// over the wire, affecting only the executing session.
+// `SET algorithm = parallel`, `SET workers = 4`, `SET pushdown = off` —
+// accepted embedded and over the wire, affecting only the executing
+// session.
+//
+// # Preference-algebra optimizer
+//
+// The planner implements the paper's preference relational algebra: on
+// join queries it moves Best-Matches-Only evaluation below the join
+// whenever the transformation laws are sound, so dominance work runs on
+// the small join inputs instead of the multiplied join output. A
+// preference reading one input pushes whole (guarded by a semijoin
+// partner filter, so tuples dominated only by partner-less tuples
+// survive exactly as they would above the join); a Pareto accumulation
+// whose components split cleanly across the inputs becomes per-side
+// group-wise pre-filters below the join plus the residual preference
+// above it; cascade stages push head-first. LEFT joins, theta joins,
+// preferences spanning both sides and quality-function queries refuse
+// the rewrite. ExplainNative renders every decision
+// (`BMO ... pushdown=left|right|split`), `SET pushdown = off` pins the
+// unpushed plan, and the differential harness in internal/bmo holds
+// pushed and unpushed plans result-identical over randomized join
+// scenarios. See ARCHITECTURE.md, "Preference-algebra pushdown".
 //
 // # Parallel BMO
 //

@@ -46,6 +46,7 @@ type Config struct {
 	P3Execs            int     // executions per workload variant in P3
 	P4Sizes            []int   // input sizes for the parallel BMO experiment
 	P4Workers          []int   // worker counts for P4
+	P5Sizes            []int   // fact-side sizes for the join-pushdown experiment
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -66,6 +67,7 @@ func DefaultConfig() Config {
 		P3Execs:            200,
 		P4Sizes:            []int{10000, 100000, 1000000},
 		P4Workers:          []int{1, 2, 4, 8},
+		P5Sizes:            []int{10000, 100000, 1000000},
 	}
 }
 
@@ -83,6 +85,7 @@ func TestConfig() Config {
 	cfg.P3Execs = 40
 	cfg.P4Sizes = []int{5000, 20000}
 	cfg.P4Workers = []int{1, 2, 4}
+	cfg.P5Sizes = []int{5000, 20000}
 	return cfg
 }
 
@@ -648,7 +651,7 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 
 // Names lists the available experiments.
 func Names() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5"}
 }
 
 // Run executes one experiment by name and returns its printable output.
@@ -716,6 +719,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p4":
 		_, tbl, err := P4(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p5":
+		_, tbl, err := P5(cfg)
 		if err != nil {
 			return "", err
 		}

@@ -195,7 +195,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 11 {
+	if len(Names()) != 12 {
 		t.Errorf("names: %v", Names())
 	}
 }
@@ -289,6 +289,41 @@ func TestP4Smoke(t *testing.T) {
 		}
 		if e.Millis < 0 || e.Comparisons <= 0 {
 			t.Fatalf("degenerate measurement: %+v", e)
+		}
+	}
+	if len(tbl.Rows) != len(res.Entries) {
+		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))
+	}
+}
+
+// TestP5Smoke runs the join-pushdown experiment at tiny scale and pins
+// its structural invariants: both query shapes measured with pushdown
+// off and on, identical result sizes within a cell, and the pushed
+// variant feeding fewer rows into dominance evaluation.
+func TestP5Smoke(t *testing.T) {
+	cfg := TestConfig()
+	cfg.P5Sizes = []int{4000}
+	res, tbl, err := P5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 4 { // 2 queries x off/on
+		t.Fatalf("entries = %d, want 4", len(res.Entries))
+	}
+	for i := 0; i < len(res.Entries); i += 2 {
+		off, on := res.Entries[i], res.Entries[i+1]
+		if off.Variant != "pushdown-off" || on.Variant != "pushdown-on" || off.Query != on.Query {
+			t.Fatalf("cell order drifted: %+v / %+v", off, on)
+		}
+		if off.ResultRows != on.ResultRows {
+			t.Fatalf("%s: result drift %d vs %d", off.Query, off.ResultRows, on.ResultRows)
+		}
+		if on.BMOInputRows >= off.BMOInputRows {
+			t.Errorf("%s: pushdown did not shrink the dominance input (%d >= %d)",
+				off.Query, on.BMOInputRows, off.BMOInputRows)
+		}
+		if off.Millis <= 0 || on.Millis <= 0 {
+			t.Fatalf("degenerate timing: %+v / %+v", off, on)
 		}
 	}
 	if len(tbl.Rows) != len(res.Entries) {

@@ -48,10 +48,12 @@ type p3Workload struct {
 // the fresh AROUND argument per execution).
 var p3Workloads = []p3Workload{
 	{
-		name:    "plain-select",
-		param:   `SELECT id, salary FROM jobs WHERE region = ? AND salary < ?`,
-		literal: func(arg int) string { return fmt.Sprintf(`SELECT id, salary FROM jobs WHERE region = 'Bayern' AND salary < %d`, arg) },
-		args:    func(arg int) []any { return []any{"Bayern", arg} },
+		name:  "plain-select",
+		param: `SELECT id, salary FROM jobs WHERE region = ? AND salary < ?`,
+		literal: func(arg int) string {
+			return fmt.Sprintf(`SELECT id, salary FROM jobs WHERE region = 'Bayern' AND salary < %d`, arg)
+		},
+		args: func(arg int) []any { return []any{"Bayern", arg} },
 	},
 	{
 		name: "preference-around",

@@ -21,8 +21,12 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/ast"
 	"repro/internal/bmo"
 	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
 	"repro/internal/preference"
 	"repro/internal/value"
 )
@@ -103,6 +107,9 @@ func (g *prefGen) base() preference.Preference {
 				return v.I < limit, nil
 			},
 			Label: fmt.Sprintf("price < %d", limit),
+			// Provenance for the pushdown harness: the condition reads
+			// the price column only.
+			Attrs: []string{"c3"},
 		}
 	default:
 		g.mark("explicit")
@@ -400,6 +407,235 @@ func TestDifferentialLargeInput(t *testing.T) {
 				t.Fatalf("trial %d: %s diverges on %s (%d vs %d rows)",
 					trial, alg.name, p.Describe(), len(got), len(want))
 			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Planner pushdown differential harness
+// ---------------------------------------------------------------------------
+//
+// Every randomized case below also runs through the planner's
+// preference-algebra rewriter: the same preference is evaluated once on
+// the unpushed plan (BMO above the join) and once on plan.PushBMO's
+// rewrite (BMO moved below the join where the laws allow), and both must
+// match the nested-loop reference over the materialized join result.
+// The scenario mix deliberately includes the cases where pushdown must
+// be refused — non-key-preserving joins are the default (the dimension
+// side only covers a subset of the join keys), LEFT and theta joins, and
+// preferences spanning both sides — so the refusal guards are exercised
+// by the same assertion, not just the happy path.
+
+// lSchema mirrors the car columns under the labels prefGen generates
+// (numeric columns c0/c3/c4/c6, plus make/category/color by name).
+func lSchema() plan.Schema {
+	names := []string{"c0", "make", "category", "c3", "c4", "color", "c6", "c7", "c8"}
+	out := make(plan.Schema, len(names))
+	for i, n := range names {
+		out[i] = plan.ColRef{Qual: "l", Name: n}
+	}
+	return out
+}
+
+// rSchema is the dimension side: a join key plus two numeric attributes.
+func rSchema() plan.Schema {
+	return plan.Schema{
+		{Qual: "r", Name: "rkey"},
+		{Qual: "r", Name: "e1"},
+		{Qual: "r", Name: "e2"},
+	}
+}
+
+// rightPref builds a random preference over the dimension columns,
+// bound against the full join schema (L width 9, so e1/e2 live at
+// indexes 10/11 — exactly how the core binder compiles them).
+func rightPref(rng *rand.Rand) preference.Preference {
+	col := 10 + rng.Intn(2)
+	label := []string{"e1", "e2"}[col-10]
+	switch rng.Intn(3) {
+	case 0:
+		return &preference.Lowest{Get: colGet(col), Label: label}
+	case 1:
+		return &preference.Highest{Get: colGet(col), Label: label}
+	default:
+		return &preference.Around{Get: colGet(col), Target: rng.Float64(), Label: label}
+	}
+}
+
+// mixedPref reads both sides in one component — the shape the split law
+// must refuse.
+func mixedPref() preference.Preference {
+	return &preference.Bool{
+		Cond: func(r value.Row) (bool, error) {
+			p, e := r[colPrice], r[10]
+			if p.IsNull() || e.IsNull() {
+				return false, nil
+			}
+			return float64(p.I) < e.Num()*100000, nil
+		},
+		Label: "price-vs-e1",
+		Attrs: []string{"c3", "e1"},
+	}
+}
+
+// pushScenario is one randomized join+preference configuration.
+type pushScenario struct {
+	join       *plan.Join
+	pref       preference.Preference
+	mustRefuse bool
+}
+
+func genPushScenario(rng *rand.Rand, g *prefGen) pushScenario {
+	lrows := genRows(rng, 5+rng.Intn(56))
+	lvals := &plan.Values{Name: "l", Cols: lSchema(), Rows: lrows}
+
+	// Dimension rows over a key pool: either the make strings (fan-out,
+	// duplicates) or the numeric ids. Only a random subset of the pool
+	// gets partner rows, so the join usually does NOT preserve the left
+	// side — the semijoin guard has to earn its keep.
+	joinKind := rng.Intn(5)
+	var rrows []value.Row
+	var lcol int
+	switch joinKind {
+	case 1: // equi on id
+		lcol = colID
+		for id := 1; id <= len(lrows); id++ {
+			if rng.Intn(3) == 0 {
+				continue // absent key: these left rows lose their partners
+			}
+			for f := 0; f < 1+rng.Intn(2); f++ {
+				rrows = append(rrows, value.Row{
+					value.NewInt(int64(id)), value.NewFloat(rng.Float64()), value.NewFloat(rng.Float64()),
+				})
+			}
+		}
+	default: // equi/left/theta/cross share the make-keyed dimension
+		lcol = colMake
+		for _, mk := range datagen.CarMakes {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			for f := 0; f < 1+rng.Intn(3); f++ {
+				row := value.Row{
+					value.NewText(mk), value.NewFloat(rng.Float64()), value.NewFloat(rng.Float64()),
+				}
+				if rng.Intn(10) == 0 {
+					row[1] = value.NewNull()
+				}
+				rrows = append(rrows, row)
+			}
+		}
+	}
+	rvals := &plan.Values{Name: "r", Cols: rSchema(), Rows: rrows}
+
+	var join *plan.Join
+	mustRefuse := false
+	switch joinKind {
+	case 2: // cross join
+		join = plan.NewJoin(lvals, rvals, ast.CrossJoin, nil, -1, -1)
+	case 3: // LEFT join: preserved side must not be pre-filtered
+		join = plan.NewJoin(lvals, rvals, ast.LeftJoin, nil, lcol, 0)
+		mustRefuse = true
+	case 4: // theta join: no key to group or hash partners by
+		on := &ast.Binary{Op: "<", L: &ast.Column{Table: "l", Name: "c0"}, R: &ast.Column{Table: "r", Name: "e1"}}
+		join = plan.NewJoin(lvals, rvals, ast.InnerJoin, on, -1, -1)
+		mustRefuse = true
+	default: // hash equi-join
+		join = plan.NewJoin(lvals, rvals, ast.InnerJoin, nil, lcol, 0)
+	}
+
+	var pref preference.Preference
+	switch rng.Intn(6) {
+	case 0: // left side only
+		pref = g.gen(1)
+	case 1: // right side only
+		pref = rightPref(rng)
+	case 2: // split Pareto
+		parts := []preference.Preference{g.base(), rightPref(rng)}
+		if rng.Intn(2) == 0 {
+			parts = append(parts, g.base())
+		}
+		pref = &preference.Pareto{Parts: parts}
+	case 3: // cascade across sides
+		pref = &preference.Cascade{Parts: []preference.Preference{g.gen(0), rightPref(rng)}}
+	case 4: // component spanning both sides: split must refuse
+		pref = &preference.Pareto{Parts: []preference.Preference{g.base(), mixedPref()}}
+		mustRefuse = true
+	default: // unresolvable provenance: label matches no column
+		pref = &preference.Pareto{Parts: []preference.Preference{
+			g.base(),
+			&preference.Lowest{Get: colGet(colPrice), Label: "no_such_col"},
+		}}
+		mustRefuse = true
+	}
+	return pushScenario{join: join, pref: pref, mustRefuse: mustRefuse}
+}
+
+func drainPlan(t *testing.T, n plan.Node) []value.Row {
+	t.Helper()
+	op, err := exec.Build(n, &exec.Env{Ev: &expr.Evaluator{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestDifferentialPlannerPushdown runs randomized join scenarios through
+// plan.PushBMO: pushed and unpushed plans must produce identical result
+// sets, and the refusal guards must hold exactly where the laws are
+// unsound.
+func TestDifferentialPlannerPushdown(t *testing.T) {
+	const trials = 400
+	rng := rand.New(rand.NewSource(20020528))
+	g := &prefGen{rng: rng, used: map[string]bool{}}
+
+	shapes := map[string]int{}
+	for trial := 0; trial < trials; trial++ {
+		sc := genPushScenario(rng, g)
+		root := plan.NewBMO(sc.join, sc.pref, bmo.Auto, false, 0)
+		pushed := plan.PushBMO(root)
+
+		rewritten := pushed != plan.Node(root)
+		if sc.mustRefuse && rewritten {
+			t.Fatalf("trial %d: pushdown applied where it must be refused\npreference: %s\nplan:\n%s",
+				trial, sc.pref.Describe(), plan.Format(pushed))
+		}
+		switch {
+		case !rewritten:
+			shapes["refused"]++
+		case strings.Contains(plan.Format(pushed), "pushdown=split"):
+			shapes["split"]++
+		case strings.Contains(plan.Format(pushed), "pushdown=left"):
+			shapes["left"]++
+		case strings.Contains(plan.Format(pushed), "pushdown=right"):
+			shapes["right"]++
+		}
+
+		// Reference: materialize the join, then the §3.2 nested loop.
+		joined := drainPlan(t, sc.join)
+		want, err := bmo.Evaluate(sc.pref, joined, bmo.NestedLoop)
+		if err != nil {
+			t.Fatalf("trial %d: reference failed on %s: %v", trial, sc.pref.Describe(), err)
+		}
+		got := drainPlan(t, root)
+		if multiset(got) != multiset(want) {
+			t.Fatalf("trial %d: unpushed plan diverges from reference on %s (%d vs %d rows)",
+				trial, sc.pref.Describe(), len(got), len(want))
+		}
+		gotPushed := drainPlan(t, pushed)
+		if multiset(gotPushed) != multiset(want) {
+			t.Fatalf("trial %d: pushed plan diverges on %s (%d vs %d rows)\nplan:\n%s",
+				trial, sc.pref.Describe(), len(gotPushed), len(want), plan.Format(pushed))
+		}
+	}
+
+	for _, shape := range []string{"left", "right", "split", "refused"} {
+		if shapes[shape] == 0 {
+			t.Errorf("pushdown shape %q never produced — harness coverage regressed (got %v)", shape, shapes)
 		}
 	}
 }

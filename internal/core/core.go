@@ -613,12 +613,20 @@ func (s *Session) queryNative(sel *ast.Select, ee execEnv) (*Result, error) {
 		bmoRows, err = bmo.EvaluateGroupedConfig(pref, candRows, key, s.Algorithm(),
 			bmo.Config{Workers: s.bmoWorkers(sel)})
 	} else {
-		op, berr := pipe.Build(plan.NewBMO(pipe.Node(), pref, s.Algorithm(), false, s.bmoWorkers(sel)))
+		root := plan.NewBMO(pipe.Node(), pref, s.Algorithm(), false, s.bmoWorkers(sel))
+		node := s.maybePush(sel, root)
+		op, berr := pipe.Build(node)
 		if berr != nil {
 			return nil, berr
 		}
 		bmoRows, err = exec.Drain(op)
-		candRows = op.(*exec.BMOOp).Input()
+		if node == plan.Node(root) {
+			// Unpushed plan: the BMO input is the full candidate
+			// relation the quality functions measure against. A pushed
+			// plan never materializes it — maybePush keeps queries that
+			// call TOP/LEVEL/DISTANCE on the unpushed plan.
+			candRows = op.(*exec.BMOOp).Input()
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -769,6 +777,89 @@ func (s *Session) insertPreference(ins *ast.Insert, ee execEnv) (*Result, error)
 // ---------------------------------------------------------------------------
 // Binder and quality-function environment
 // ---------------------------------------------------------------------------
+
+// maybePush applies the planner's preference-algebra rewrite (BMO below
+// joins) to a freshly planned preference query, unless the session
+// disabled it or the query calls a quality function: TOP/LEVEL/DISTANCE
+// measure against the full candidate relation, which only the unpushed
+// plan materializes.
+func (s *Session) maybePush(sel *ast.Select, root *plan.BMO) plan.Node {
+	if !s.Pushdown() || selUsesQualityFuncs(sel) {
+		return root
+	}
+	return plan.PushBMO(root)
+}
+
+// selUsesQualityFuncs reports whether the query calls TOP, LEVEL or
+// DISTANCE anywhere the preference layer evaluates them (SELECT list,
+// ORDER BY, BUT ONLY).
+func selUsesQualityFuncs(sel *ast.Select) bool {
+	for _, it := range sel.Items {
+		if exprHasQualityFunc(it.Expr) {
+			return true
+		}
+	}
+	for _, ob := range sel.OrderBy {
+		if exprHasQualityFunc(ob.Expr) {
+			return true
+		}
+	}
+	return exprHasQualityFunc(sel.ButOnly)
+}
+
+func exprHasQualityFunc(e ast.Expr) bool {
+	found := false
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.Unary:
+			walk(x.X)
+		case *ast.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *ast.IsNull:
+			walk(x.X)
+		case *ast.InList:
+			walk(x.X)
+			for _, i := range x.List {
+				walk(i)
+			}
+		case *ast.Between:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *ast.Like:
+			walk(x.X)
+			walk(x.Pattern)
+		case *ast.Case:
+			walk(x.Operand)
+			for _, w := range x.Whens {
+				walk(w.When)
+				walk(w.Then)
+			}
+			walk(x.Else)
+		// Subqueries are conservatively treated as quality-bearing: a
+		// call anywhere inside the nested SELECT still reaches the
+		// quality environment through the outer-correlation chain
+		// (RowEnv.Func falls back to Outer), so a correlated
+		// `EXISTS (... DISTANCE(x) ...)` evaluates against the
+		// candidate relation just like a top-level call.
+		case *ast.InSelect, *ast.Exists, *ast.ScalarSub:
+			found = true
+		case *ast.FuncCall:
+			switch strings.ToUpper(x.Name) {
+			case "TOP", "LEVEL", "DISTANCE":
+				found = true
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return found
+}
 
 // bmoWorkers resolves the BMO worker cap for one preference query: the
 // session's setting, forced to 1 (single-goroutine evaluation) when the

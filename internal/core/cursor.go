@@ -264,14 +264,31 @@ func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool, ee execEnv)
 	// non-streamable preference still errors unless the session
 	// explicitly selected the parallel algorithm).
 	progressive := strict || bmo.Streamable(pref) || s.Algorithm() == bmo.Parallel
-	op, err := pipe.Build(plan.NewBMO(pipe.Node(), pref, s.Algorithm(), progressive, s.bmoWorkers(sel)))
+	root := plan.NewBMO(pipe.Node(), pref, s.Algorithm(), progressive, s.bmoWorkers(sel))
+	var node plan.Node = root
+	if !strict {
+		// QueryProgressive keeps the unpushed plan: its contract is the
+		// score-ordered progressive stream over the candidate relation,
+		// and its streamability errors must not depend on plan shape.
+		node = s.maybePush(sel, root)
+	}
+	op, err := pipe.Build(node)
 	if err != nil {
 		return nil, err
 	}
 	if err := op.Open(); err != nil {
 		return nil, err // strict mode surfaces the not-score-based error here
 	}
-	q := &qualityCtx{reg: reg, candidates: op.(*exec.BMOOp).Input(), binder: binder}
+	// A pushed plan (whole-preference pushdown) may not have a BMO at
+	// the root, and a split residual's input is not the full candidate
+	// relation; maybePush keeps quality-function queries unpushed, so
+	// candidates are only needed — and only recorded — for the unpushed
+	// shape.
+	var cand []value.Row
+	if bop, ok := op.(*exec.BMOOp); ok && node == plan.Node(root) {
+		cand = bop.Input()
+	}
+	q := &qualityCtx{reg: reg, candidates: cand, binder: binder}
 	outCols, project := prefProjector(sel, cols, binder, q)
 
 	var emitted, skipped int64

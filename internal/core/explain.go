@@ -12,8 +12,10 @@ import (
 // ExplainNative renders the native execution plan of a single SELECT:
 // the operator tree of the candidate pipeline and, for preference
 // queries, the BMO node on top — including the algorithm, the planner's
-// statistics-derived parallelism hint (estimated candidate cardinality)
-// and the session's worker cap. It is the native-mode sibling of
+// statistics-derived parallelism hint (estimated candidate cardinality),
+// the session's worker cap, and the preference-algebra rewrite's
+// decisions (`pushdown=left|right|split`, semijoin and group-wise
+// pre-filter markers). It is the native-mode sibling of
 // ExplainRewrite/RewritePlan and the surface the golden plan tests pin.
 //
 // The rendered plan is the streaming-cursor form (QueryIter /
@@ -63,6 +65,6 @@ func (s *Session) ExplainNative(sql string) (string, error) {
 		return "", err
 	}
 	progressive := bmo.Streamable(pref) || s.Algorithm() == bmo.Parallel
-	node := plan.NewBMO(pipe.Node(), pref, s.Algorithm(), progressive, s.bmoWorkers(sel))
-	return plan.Format(node), nil
+	root := plan.NewBMO(pipe.Node(), pref, s.Algorithm(), progressive, s.bmoWorkers(sel))
+	return plan.Format(s.maybePush(sel, root)), nil
 }

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/bmo"
 	"repro/internal/datagen"
+	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 // explainDB loads two skyline tables around the parallel threshold:
@@ -23,6 +25,16 @@ func explainDB(t *testing.T) *DB {
 		t.Fatal(err)
 	}
 	if err := datagen.Load(db.Engine(), "small", cols, datagen.Skyline(600, 3, datagen.Independent, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// dim is the dimension side of the pushdown goldens: it keys only
+	// ids 1..500, so joins against it do not preserve the fact side.
+	dimCols := []storage.Column{{Name: "k", Kind: value.Int}, {Name: "e1", Kind: value.Float}}
+	dimRows := make([]value.Row, 0, 500)
+	for i := 1; i <= 500; i++ {
+		dimRows = append(dimRows, value.Row{value.NewInt(int64(i)), value.NewFloat(float64(i) / 500)})
+	}
+	if err := datagen.Load(db.Engine(), "dim", dimCols, dimRows); err != nil {
 		t.Fatal(err)
 	}
 	return db
@@ -104,6 +116,160 @@ func TestExplainGolden(t *testing.T) {
 	}
 }
 
+// TestExplainPushdownGolden pins the preference-algebra rewrite rules as
+// golden plans, one per law: whole-preference pushdown onto either join
+// input (with the semijoin partner guard), the grouped Pareto split with
+// its residual node, the cascade head decomposition, and every refusal
+// guard (LEFT join, quality functions, session opt-out).
+func TestExplainPushdownGolden(t *testing.T) {
+	db := explainDB(t)
+	cases := []struct {
+		name string
+		prep func(s *Session)
+		sql  string
+		want string
+	}{
+		{
+			name: "pushed-left",
+			sql:  `SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2)`,
+			want: "Project *\n" +
+				"  HashJoin on (s.id = dim.k)\n" +
+				"    BMO auto pushdown=left semijoin [(LOWEST(s.d1) AND LOWEST(s.d2))]\n" +
+				"      SeqScan s\n" +
+				"    SeqScan dim\n",
+		},
+		{
+			name: "pushed-right",
+			sql:  `SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING HIGHEST(dim.e1)`,
+			want: "Project *\n" +
+				"  HashJoin on (s.id = dim.k)\n" +
+				"    SeqScan s\n" +
+				"    BMO auto pushdown=right semijoin [HIGHEST(dim.e1)]\n" +
+				"      SeqScan dim\n",
+		},
+		{
+			name: "split-pareto",
+			sql:  `SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(dim.e1)`,
+			want: "BMO progressive auto pushdown=split [(LOWEST(s.d1) AND LOWEST(dim.e1))]\n" +
+				"  Project *\n" +
+				"    HashJoin on (s.id = dim.k)\n" +
+				"      BMO auto pushdown=left group=id [LOWEST(s.d1)]\n" +
+				"        SeqScan s\n" +
+				"      BMO auto pushdown=right group=k [LOWEST(dim.e1)]\n" +
+				"        SeqScan dim\n",
+		},
+		{
+			name: "cascade-head-pushed",
+			sql:  `SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) CASCADE LOWEST(dim.e1)`,
+			want: "BMO progressive auto [LOWEST(dim.e1)]\n" +
+				"  Project *\n" +
+				"    HashJoin on (s.id = dim.k)\n" +
+				"      BMO auto pushdown=left semijoin [LOWEST(s.d1)]\n" +
+				"        SeqScan s\n" +
+				"      SeqScan dim\n",
+		},
+		{
+			name: "refused-left-join",
+			sql:  `SELECT * FROM small s LEFT JOIN dim ON s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2)`,
+			want: "BMO progressive auto [(LOWEST(s.d1) AND LOWEST(s.d2))]\n" +
+				"  Project *\n" +
+				"    HashJoin left on (s.id = dim.k)\n" +
+				"      SeqScan s\n" +
+				"      SeqScan dim\n",
+		},
+		{
+			name: "refused-quality-function",
+			sql:  `SELECT id, DISTANCE(s.d1) FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2)`,
+			want: "BMO progressive auto [(LOWEST(s.d1) AND LOWEST(s.d2))]\n" +
+				"  Project *\n" +
+				"    HashJoin on (s.id = dim.k)\n" +
+				"      SeqScan s\n" +
+				"      SeqScan dim\n",
+		},
+		{
+			name: "refused-session-opt-out",
+			prep: func(s *Session) { s.SetPushdown(false) },
+			sql:  `SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2)`,
+			want: "BMO progressive auto [(LOWEST(s.d1) AND LOWEST(s.d2))]\n" +
+				"  Project *\n" +
+				"    HashJoin on (s.id = dim.k)\n" +
+				"      SeqScan s\n" +
+				"      SeqScan dim\n",
+		},
+		{
+			name: "pushed-keeps-parallel-hint",
+			sql:  `SELECT * FROM big b, dim WHERE b.id = dim.k PREFERRING LOWEST(b.d1) AND LOWEST(b.d2)`,
+			want: "Project *\n" +
+				"  HashJoin on (b.id = dim.k)\n" +
+				"    BMO auto hint=parallel est=30000 pushdown=left semijoin [(LOWEST(b.d1) AND LOWEST(b.d2))]\n" +
+				"      SeqScan b\n" +
+				"    SeqScan dim\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess := db.NewSession()
+			if tc.prep != nil {
+				tc.prep(sess)
+			}
+			got, err := sess.ExplainNative(tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("plan diff\n--- want ---\n%s--- got ---\n%s", tc.want, got)
+			}
+		})
+	}
+}
+
+// TestPushdownMatchesExecution pins that every golden rewrite shape
+// returns the same rows as the session-disabled (unpushed) plan, over
+// batch queries and streaming cursors alike.
+func TestPushdownMatchesExecution(t *testing.T) {
+	db := explainDB(t)
+	queries := []string{
+		`SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2)`,
+		`SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING HIGHEST(dim.e1)`,
+		`SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(dim.e1)`,
+		`SELECT * FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) CASCADE LOWEST(dim.e1)`,
+		`SELECT * FROM small s LEFT JOIN dim ON s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2)`,
+		`SELECT id, DISTANCE(s.d1) FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2) ORDER BY id`,
+	}
+	on := db.NewSession()
+	off := db.NewSession()
+	off.SetPushdown(false)
+	for _, q := range queries {
+		want, err := off.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := on.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if canonicalRows(got.Rows) != canonicalRows(want.Rows) {
+			t.Fatalf("pushdown changes the result of %s (%d vs %d rows)", q, len(got.Rows), len(want.Rows))
+		}
+		// The streaming cursor takes the same rewritten plan.
+		cur, err := on.OpenCursor(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		var rows []value.Row
+		for cur.Next() {
+			rows = append(rows, cur.Row())
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		cur.Close()
+		if canonicalRows(rows) != canonicalRows(want.Rows) {
+			t.Fatalf("pushdown cursor changes the result of %s (%d vs %d rows)", q, len(rows), len(want.Rows))
+		}
+	}
+}
+
 // TestExplainMatchesExecution pins that the hint shown by EXPLAIN is the
 // path the executor takes: a hinted Auto plan and an explicit parallel
 // plan return the same rows as the sequential baseline.
@@ -132,5 +298,44 @@ func TestExplainMatchesExecution(t *testing.T) {
 	}
 	if len(got.Rows) == 0 || canonicalRows(got.Rows) != canonicalRows(want.Rows) {
 		t.Fatalf("hinted auto result (%d rows) diverges from BNL (%d rows)", len(got.Rows), len(want.Rows))
+	}
+}
+
+// TestPushdownRefusesQualitySubqueries is the regression test for the
+// guard walker: quality-function calls reach the quality environment
+// through subquery correlation too (`EXISTS (... DISTANCE(x) ...)`), so
+// any subquery in the SELECT list, ORDER BY or BUT ONLY must keep the
+// unpushed plan — the pushed plan never materializes the candidate
+// relation the quality functions measure against, and a silently empty
+// candidate set makes DISTANCE evaluate to -Inf instead of erroring.
+func TestPushdownRefusesQualitySubqueries(t *testing.T) {
+	db := explainDB(t)
+	queries := []string{
+		`SELECT id FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2) BUT ONLY DISTANCE(s.d1) IN (SELECT e1 FROM dim)`,
+		`SELECT id FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2) BUT ONLY EXISTS (SELECT 1 FROM dim WHERE e1 >= DISTANCE(s.d1))`,
+		`SELECT id FROM small s, dim WHERE s.id = dim.k PREFERRING LOWEST(s.d1) AND LOWEST(s.d2) BUT ONLY (SELECT MAX(e1) FROM dim) >= DISTANCE(s.d1)`,
+	}
+	on := db.NewSession()
+	off := db.NewSession()
+	off.SetPushdown(false)
+	for _, q := range queries {
+		plan, err := on.ExplainNative(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if strings.Contains(plan, "pushdown=") {
+			t.Errorf("pushdown applied to a quality-bearing subquery:\n%s\n%s", q, plan)
+		}
+		want, err := off.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := on.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if canonicalRows(got.Rows) != canonicalRows(want.Rows) {
+			t.Fatalf("result drift on %s (%d vs %d rows)", q, len(got.Rows), len(want.Rows))
+		}
 	}
 }

@@ -48,6 +48,10 @@ type Session struct {
 	mode    atomic.Int32
 	algo    atomic.Int32
 	workers atomic.Int32
+	// pushoff disables the planner's preference-algebra pushdown for
+	// this session (stored inverted so the zero-value session keeps the
+	// optimization on).
+	pushoff atomic.Bool
 }
 
 // NewSession creates a session with default settings (native mode, auto
@@ -83,6 +87,15 @@ func (s *Session) SetWorkers(n int) {
 // CPU).
 func (s *Session) Workers() int { return int(s.workers.Load()) }
 
+// SetPushdown enables or disables the planner's preference-algebra
+// rewrite (pushing BMO evaluation below joins) for this session. It is
+// on by default; turning it off pins the unoptimized plan — the
+// differential harness and the benchmark baseline use that.
+func (s *Session) SetPushdown(on bool) { s.pushoff.Store(!on) }
+
+// Pushdown reports whether the preference-algebra rewrite is enabled.
+func (s *Session) Pushdown() bool { return !s.pushoff.Load() }
+
 // StmtReadOnly reports whether a statement only reads data: such
 // statements run under the shared read lock, concurrently with each
 // other. Everything else (DML, DDL, preference definitions) serializes
@@ -102,8 +115,9 @@ func StmtReadOnly(stmt ast.Stmt) bool {
 
 // applySet executes a `SET name = value` statement against this
 // session's settings. Keys mirror the wire protocol's Set message:
-// mode (native|rewrite), algorithm (auto|nl|bnl|sfs|bestlevel|parallel)
-// and workers (non-negative integer, 0 = one per CPU).
+// mode (native|rewrite), algorithm (auto|nl|bnl|sfs|bestlevel|parallel),
+// workers (non-negative integer, 0 = one per CPU) and pushdown
+// (on|off — the preference-algebra join pushdown).
 func (s *Session) applySet(st *ast.Set) (*Result, error) {
 	key := strings.ToLower(st.Name)
 	switch key {
@@ -128,8 +142,17 @@ func (s *Session) applySet(st *ast.Set) (*Result, error) {
 			return nil, fmt.Errorf("core: workers requires a non-negative integer, got %s", st.Value.SQL())
 		}
 		s.SetWorkers(int(v.I))
+	case "pushdown":
+		switch strings.ToLower(st.Value.String()) {
+		case "on", "true", "1":
+			s.SetPushdown(true)
+		case "off", "false", "0":
+			s.SetPushdown(false)
+		default:
+			return nil, fmt.Errorf("core: pushdown requires on or off, got %s", st.Value.SQL())
+		}
 	default:
-		return nil, fmt.Errorf("core: unknown setting %q (want mode, algorithm or workers)", st.Name)
+		return nil, fmt.Errorf("core: unknown setting %q (want mode, algorithm, workers or pushdown)", st.Name)
 	}
 	return &Result{}, nil
 }

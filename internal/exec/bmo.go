@@ -56,6 +56,75 @@ func (b *BMOOp) algo() bmo.Algorithm {
 	return b.node.Algo
 }
 
+// semiFilter restricts the materialized input to rows with at least one
+// join partner: it drains the plan node of the join's other input and
+// keeps only rows whose local key hashes into the partner key set, with
+// the hash join's key semantics (NULL keys never match). This is the
+// partner filter that makes a whole-preference pushdown below an
+// equi-join exact — a tuple dominated only by partner-less tuples
+// survives, exactly as it would in BMO over the full join result.
+func (b *BMOOp) semiFilter() error {
+	// The partner drain re-executes a subtree the join itself will
+	// execute; detach its work counters so RowsScanned/JoinInputRows
+	// keep counting each operator's real consumption exactly once
+	// (cancellation still threads through the shared Stop hook).
+	env := b.env
+	if env != nil {
+		detached := *env
+		detached.Stats = &Stats{}
+		env = &detached
+	}
+	src, err := Build(b.node.SemiSource, env)
+	if err != nil {
+		return err
+	}
+	rows, err := Drain(src)
+	if err != nil {
+		return err
+	}
+	partners := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		if v := r[b.node.SemiSourceCol]; !v.IsNull() {
+			partners[joinKey(v)] = true
+		}
+	}
+	kept := b.input[:0:0]
+	for _, r := range b.input {
+		if v := r[b.node.SemiLocalCol]; !v.IsNull() && partners[joinKey(v)] {
+			kept = append(kept, r)
+		}
+	}
+	b.input = kept
+	return nil
+}
+
+// padRows prepends pad NULL columns to every row, aligning a right join
+// input with the full join schema the preference getters were compiled
+// against. stripPad removes them again before rows re-enter the join.
+func padRows(rows []value.Row, pad int) []value.Row {
+	if pad == 0 {
+		return rows
+	}
+	out := make([]value.Row, len(rows))
+	for i, r := range rows {
+		p := make(value.Row, pad+len(r))
+		copy(p[pad:], r)
+		out[i] = p
+	}
+	return out
+}
+
+func stripPad(rows []value.Row, pad int) []value.Row {
+	if pad == 0 {
+		return rows
+	}
+	out := make([]value.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r[pad:]
+	}
+	return out
+}
+
 // Open drains the child and prepares either the progressive stream or the
 // batch result.
 func (b *BMOOp) Open() error {
@@ -72,6 +141,37 @@ func (b *BMOOp) Open() error {
 			break
 		}
 		b.input = append(b.input, row)
+	}
+	if b.node.SemiSource != nil {
+		if err := b.semiFilter(); err != nil {
+			return err
+		}
+	}
+	if b.env != nil {
+		b.env.count().BMOInputRows += int64(len(b.input))
+	}
+	// Group-wise pre-filter (split pushdown below an equi-join):
+	// dominance runs among rows sharing a join-key value. Pre-filters
+	// are always batch nodes — they sit below a join that materializes
+	// anyway.
+	if b.node.GroupCol >= 0 {
+		eval := padRows(b.input, b.node.Pad)
+		gcol := b.node.Pad + b.node.GroupCol
+		key := func(r value.Row) (string, error) {
+			v := r[gcol]
+			if v.IsNull() {
+				// NULL keys never join; group them together so their
+				// mutual dominance work is wasted on nothing larger.
+				return "\x00null", nil
+			}
+			return joinKey(v), nil
+		}
+		out, err := bmo.EvaluateGroupedConfig(b.node.Pref, eval, key, b.algo(), b.config())
+		if err != nil {
+			return err
+		}
+		b.buf = stripPad(out, b.node.Pad)
+		return nil
 	}
 	if b.node.Progressive {
 		// An explicitly selected parallel algorithm streams any
@@ -99,11 +199,12 @@ func (b *BMOOp) Open() error {
 		b.stream = s
 		return nil
 	}
-	out, _, err := bmo.EvaluateConfig(b.node.Pref, b.input, b.algo(), b.config())
+	eval := padRows(b.input, b.node.Pad)
+	out, _, err := bmo.EvaluateConfig(b.node.Pref, eval, b.algo(), b.config())
 	if err != nil {
 		return err
 	}
-	b.buf = out
+	b.buf = stripPad(out, b.node.Pad)
 	return nil
 }
 

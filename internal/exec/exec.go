@@ -29,6 +29,14 @@ type Operator interface {
 type Stats struct {
 	RowsScanned int64 // rows pulled out of base tables and materialized sources
 	IndexProbes int64 // index probes answered without a full scan
+	// JoinInputRows counts rows consumed by join operators from both of
+	// their inputs — the benchmark harness's "rows entering the join"
+	// metric, which the preference-algebra pushdown exists to shrink.
+	JoinInputRows int64
+	// BMOInputRows counts rows entering dominance evaluation across all
+	// BMO operators of the statement (for pushed nodes: after the
+	// semijoin partner filter).
+	BMOInputRows int64
 }
 
 // Env carries what operators need to evaluate expressions: the evaluator

@@ -287,6 +287,7 @@ func (j *nlJoin) Open() error {
 		if row == nil {
 			break
 		}
+		j.env.count().JoinInputRows++
 		j.inner = append(j.inner, row)
 	}
 	j.drive = nil
@@ -302,6 +303,7 @@ func (j *nlJoin) Next() (value.Row, error) {
 			if err != nil || row == nil {
 				return nil, err
 			}
+			j.env.count().JoinInputRows++
 			j.drive, j.pos, j.matched = row, 0, false
 		}
 		for j.pos < len(j.inner) {
@@ -406,6 +408,7 @@ func (j *hashJoin) Open() error {
 		if row == nil {
 			break
 		}
+		j.env.count().JoinInputRows++
 		if row[bcol].IsNull() {
 			continue
 		}
@@ -431,6 +434,7 @@ func (j *hashJoin) Next() (value.Row, error) {
 			if err != nil || row == nil {
 				return nil, err
 			}
+			j.env.count().JoinInputRows++
 			j.probe, j.pos, j.matched = row, 0, false
 			j.bucket = nil
 			if !row[pcol].IsNull() {

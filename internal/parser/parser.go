@@ -274,6 +274,13 @@ func (p *Parser) parseSet() (ast.Stmt, error) {
 		p.next()
 		return &ast.Set{Name: name, Value: value.NewText(t.Text)}, nil
 	}
+	// Keywords double as setting values here (`SET pushdown = on` — ON
+	// is a join keyword); anything keyword-shaped is taken as text,
+	// lower-cased since setting values are case-insensitive tokens.
+	if t.Type == lexer.Keyword {
+		p.next()
+		return &ast.Set{Name: name, Value: value.NewText(strings.ToLower(t.Text))}, nil
+	}
 	e, err := p.parsePrimary()
 	if err != nil {
 		return nil, err

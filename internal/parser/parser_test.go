@@ -585,6 +585,9 @@ func TestSetStatement(t *testing.T) {
 		{`SET algorithm = parallel`, "algorithm", "SET algorithm = 'parallel'"},
 		{`SET workers = 4`, "workers", "SET workers = 4"},
 		{`SET mode = rewrite`, "mode", "SET mode = 'rewrite'"},
+		// ON is a join keyword, but must still work as a setting value.
+		{`SET pushdown = on`, "pushdown", "SET pushdown = 'on'"},
+		{`SET pushdown = off`, "pushdown", "SET pushdown = 'off'"},
 	}
 	for _, tc := range cases {
 		stmt, err := Parse(tc.src)

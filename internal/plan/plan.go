@@ -380,6 +380,38 @@ type BMO struct {
 	// resolves Auto to the parallel partition-merge path without
 	// waiting to count the actual input.
 	ParallelHint bool
+
+	// The remaining fields are set by the preference-algebra rewriter
+	// (PushBMO) when it moves dominance work below a join.
+
+	// Pushdown labels the node's role in a rewritten plan: "left" /
+	// "right" mark a whole preference moved below the join onto that
+	// input (the BMO above the join disappears), "split" marks the
+	// residual full-preference node kept above a join whose inputs
+	// carry grouped per-side pre-filters.
+	Pushdown string
+	// Pad is the number of join-schema columns to the left of this
+	// node's input: the preference was compiled against the full join
+	// schema, so for a right-side pushdown the executor pads each input
+	// row with Pad NULLs before preference evaluation (making the
+	// full-schema column getters resolve) and strips them on emit.
+	Pad int
+	// GroupCol >= 0 makes the node a group-wise pre-filter: dominance
+	// is evaluated only among rows sharing a join-key value (column
+	// index in the child schema, hashed with the hash join's key
+	// semantics). Group-local dominators share the victim's join
+	// partners, which is what makes a per-side Pareto fragment below an
+	// equi-join sound without knowing the other side.
+	GroupCol int
+	// SemiSource, when non-nil, is the join's other input: before
+	// dominance evaluation the executor drains it and keeps only input
+	// rows whose SemiLocalCol key has at least one partner among the
+	// source's SemiSourceCol keys. Restricting to tuples that survive
+	// the join makes the whole-preference pushdown exact:
+	// BMO(P, L ⋈ R) = BMO(P, L ⋉ R) ⋈ R when P reads only L's columns.
+	SemiSource    Node
+	SemiLocalCol  int
+	SemiSourceCol int
 }
 
 // NewBMO builds the BMO node and derives the parallelism hint from the
@@ -388,7 +420,8 @@ type BMO struct {
 // the choice before any row is read.
 func NewBMO(child Node, pref preference.Preference, algo bmo.Algorithm, progressive bool, workers int) *BMO {
 	b := &BMO{Child: child, Pref: pref, Algo: algo, Progressive: progressive,
-		Workers: workers, EstRows: EstimateRows(child)}
+		Workers: workers, EstRows: EstimateRows(child),
+		GroupCol: -1, SemiLocalCol: -1, SemiSourceCol: -1}
 	// A single weak order is answered by Auto's O(n) best-level scan —
 	// strictly cheaper than partitioning — so only multi-component
 	// preferences are promoted. The hint stays independent of the local
@@ -417,6 +450,15 @@ func (b *BMO) Explain() string {
 	}
 	if b.Workers > 0 {
 		out += fmt.Sprintf(" workers=%d", b.Workers)
+	}
+	if b.Pushdown != "" {
+		out += " pushdown=" + b.Pushdown
+	}
+	if b.SemiSource != nil {
+		out += " semijoin"
+	}
+	if b.GroupCol >= 0 {
+		out += " group=" + b.Child.Schema()[b.GroupCol].Name
 	}
 	return out + fmt.Sprintf(" [%s]", b.Pref.Describe())
 }

@@ -36,7 +36,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		if err != nil {
 			return nil, err
 		}
-		pref := &Around{Get: get, Target: target, Label: x.X.SQL()}
+		pref := &Around{Get: get, Target: target, Label: x.X.SQL(), Attrs: provenance(x.X)}
 		register(reg, pref)
 		return pref, nil
 
@@ -56,7 +56,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		if lo > hi {
 			return nil, fmt.Errorf("BETWEEN bounds out of order: %g > %g", lo, hi)
 		}
-		pref := &Between{Get: get, Lo: lo, Hi: hi, Label: x.X.SQL()}
+		pref := &Between{Get: get, Lo: lo, Hi: hi, Label: x.X.SQL(), Attrs: provenance(x.X)}
 		register(reg, pref)
 		return pref, nil
 
@@ -65,7 +65,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		if err != nil {
 			return nil, err
 		}
-		pref := &Lowest{Get: get, Label: x.X.SQL()}
+		pref := &Lowest{Get: get, Label: x.X.SQL(), Attrs: provenance(x.X)}
 		register(reg, pref)
 		return pref, nil
 
@@ -74,7 +74,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		if err != nil {
 			return nil, err
 		}
-		pref := &Highest{Get: get, Label: x.X.SQL()}
+		pref := &Highest{Get: get, Label: x.X.SQL(), Attrs: provenance(x.X)}
 		register(reg, pref)
 		return pref, nil
 
@@ -87,7 +87,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		if err != nil {
 			return nil, err
 		}
-		pref := &Pos{Get: get, Set: NewSet(vals), Label: x.X.SQL(), Vals: vals}
+		pref := &Pos{Get: get, Set: NewSet(vals), Label: x.X.SQL(), Vals: vals, Attrs: provenance(x.X)}
 		register(reg, pref)
 		return pref, nil
 
@@ -100,7 +100,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		if err != nil {
 			return nil, err
 		}
-		pref := &Neg{Get: get, Set: NewSet(vals), Label: x.X.SQL(), Vals: vals}
+		pref := &Neg{Get: get, Set: NewSet(vals), Label: x.X.SQL(), Vals: vals, Attrs: provenance(x.X)}
 		register(reg, pref)
 		return pref, nil
 
@@ -117,7 +117,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		for i, v := range vals {
 			terms[i] = v.String()
 		}
-		pref := &Contains{Get: get, Terms: terms, Label: x.X.SQL()}
+		pref := &Contains{Get: get, Terms: terms, Label: x.X.SQL(), Attrs: provenance(x.X)}
 		register(reg, pref)
 		return pref, nil
 
@@ -126,7 +126,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		if err != nil {
 			return nil, err
 		}
-		pref := &Bool{Cond: cond, Label: x.Cond.SQL()}
+		pref := &Bool{Cond: cond, Label: x.Cond.SQL(), Attrs: provenance(x.Cond)}
 		register(reg, pref)
 		return pref, nil
 
@@ -151,6 +151,7 @@ func Compile(p ast.Pref, b Binder, reg *Registry) (Preference, error) {
 		if err != nil {
 			return nil, err
 		}
+		pref.Attrs = provenance(x.X)
 		register(reg, pref)
 		return pref, nil
 
@@ -218,6 +219,11 @@ func compileElse(e *ast.PrefElse, b Binder, reg *Registry) (Preference, error) {
 		layers[i] = s
 	}
 	pref := &Layered{Layers: layers, Label: label}
+	for _, l := range layers {
+		if a, ok := AttributesOf(l); ok {
+			pref.Attrs = append(pref.Attrs, a...)
+		}
+	}
 	register(reg, pref)
 	return pref, nil
 }
@@ -232,6 +238,72 @@ func register(reg *Registry, p Preference) {
 	case *Explicit:
 		reg.Add(x.Attr(), p)
 	}
+}
+
+// provenance lists the column references of an attribute expression in
+// the `name` / `qualifier.name` form the pushdown rewriter resolves
+// against plan schemas. When the expression embeds a subquery (whose
+// column set the compiler cannot see) or reads no column at all, it
+// returns the expression's SQL text instead — a label that resolves to
+// no schema column, so pushdown is conservatively refused.
+func provenance(e ast.Expr) []string {
+	cols, opaque := exprColumns(e)
+	if opaque || len(cols) == 0 {
+		return []string{e.SQL()}
+	}
+	return cols
+}
+
+// exprColumns collects the column references of e; opaque reports a
+// subquery or unknown node, which makes the provenance unknowable.
+func exprColumns(e ast.Expr) (cols []string, opaque bool) {
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.Literal, *ast.Star, *ast.Param:
+		case *ast.Column:
+			if x.Table != "" {
+				cols = append(cols, x.Table+"."+x.Name)
+			} else {
+				cols = append(cols, x.Name)
+			}
+		case *ast.Unary:
+			walk(x.X)
+		case *ast.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *ast.IsNull:
+			walk(x.X)
+		case *ast.InList:
+			walk(x.X)
+			for _, i := range x.List {
+				walk(i)
+			}
+		case *ast.Between:
+			walk(x.X)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *ast.Like:
+			walk(x.X)
+			walk(x.Pattern)
+		case *ast.Case:
+			walk(x.Operand)
+			for _, w := range x.Whens {
+				walk(w.When)
+				walk(w.Then)
+			}
+			walk(x.Else)
+		case *ast.FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		default:
+			opaque = true
+		}
+	}
+	walk(e)
+	return cols, opaque
 }
 
 func constNumber(b Binder, e ast.Expr, what string) (float64, error) {

@@ -88,6 +88,121 @@ type Scored interface {
 	Attr() string
 }
 
+// Attributed is the provenance side of a preference: it reports which
+// relation attributes the preference reads. Every constructor in this
+// package implements it; the planner's preference-algebra rewriter uses
+// the labels to decide whether a BMO operator may move below a join
+// (all attributes on one join input) or must stay above it.
+//
+// A label is either a column reference in `name` / `qualifier.name`
+// form (what the compiler records for column-backed preferences) or an
+// arbitrary expression string that deliberately resolves to no schema
+// column — the conservative "provenance unknown" signal that refuses
+// any pushdown.
+type Attributed interface {
+	// Attributes returns the attribute labels the preference reads, in
+	// no particular order. It never returns an empty slice: a
+	// preference with unknown provenance reports its Describe()/Label
+	// text, which no schema resolves.
+	Attributes() []string
+}
+
+// AttributesOf collects the attribute labels of an arbitrary preference
+// tree (descending through Pareto and Cascade constructors). ok is
+// false when some node does not expose provenance — the caller must
+// then treat the whole preference as unsplittable.
+func AttributesOf(p Preference) (attrs []string, ok bool) {
+	switch x := p.(type) {
+	case *Pareto:
+		return attrsOfParts(x.Parts)
+	case *Cascade:
+		return attrsOfParts(x.Parts)
+	case Attributed:
+		return x.Attributes(), true
+	}
+	return nil, false
+}
+
+func attrsOfParts(parts []Preference) ([]string, bool) {
+	var out []string
+	for _, part := range parts {
+		a, ok := AttributesOf(part)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a...)
+	}
+	return out, true
+}
+
+// attrsOr is the Attributes() body of the column-backed constructors:
+// the compiler-recorded provenance when present, otherwise the Label
+// (direct constructions conventionally label a preference with the one
+// attribute it reads).
+func attrsOr(attrs []string, label string) []string {
+	if len(attrs) > 0 {
+		return attrs
+	}
+	return []string{label}
+}
+
+// SplitParts partitions a constructor's sub-preferences by the join
+// input their attributes come from: classify maps an attribute label to
+// a side (conventionally 0 = left, 1 = right) or reports that it
+// resolves to neither. A part whose attributes all land on one side
+// joins that side's list; parts spanning both sides, reading no
+// classifiable attribute, or lacking provenance land in mixed — the
+// rewriter must keep them (and, for Pareto, the whole residual
+// preference) above the join.
+func SplitParts(parts []Preference, classify func(attr string) (int, bool)) (sides [2][]Preference, mixed []Preference) {
+	for _, part := range parts {
+		side, ok := partSide(part, classify)
+		if !ok {
+			mixed = append(mixed, part)
+			continue
+		}
+		sides[side] = append(sides[side], part)
+	}
+	return sides, mixed
+}
+
+// partSide resolves the single side all of a part's attributes belong
+// to; ok is false for unknown provenance or attributes spanning sides.
+func partSide(p Preference, classify func(attr string) (int, bool)) (int, bool) {
+	attrs, ok := AttributesOf(p)
+	if !ok || len(attrs) == 0 {
+		return 0, false
+	}
+	side := -1
+	for _, a := range attrs {
+		s, ok := classify(a)
+		if !ok {
+			return 0, false
+		}
+		if side >= 0 && s != side {
+			return 0, false
+		}
+		side = s
+	}
+	return side, true
+}
+
+// Split partitions the Pareto accumulation's components by join side;
+// see SplitParts. The paper's law L7 (splitting a Pareto preference
+// over a join) is sound only when mixed is empty.
+func (p *Pareto) Split(classify func(attr string) (int, bool)) (sides [2][]Preference, mixed []Preference) {
+	return SplitParts(p.Parts, classify)
+}
+
+// Split partitions the cascade's stages by join side; see SplitParts.
+// Unlike Pareto, a cascade is rewritten stage-wise: only a prefix of
+// one-sided stages may move below the join, so callers typically look
+// at partSide of Parts[0] — Split is provided for symmetry and
+// diagnostics.
+func (p *Cascade) Split(classify func(attr string) (int, bool)) (sides [2][]Preference, mixed []Preference) {
+	return SplitParts(p.Parts, classify)
+}
+
 // compareScores orders two scores as preference outcomes.
 func compareScores(a, b float64) Ordering {
 	switch {
@@ -117,6 +232,10 @@ type Around struct {
 	Get    Getter
 	Target float64
 	Label  string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 }
 
 // Score is |v - target|.
@@ -147,6 +266,9 @@ func (p *Around) HasOptimum() bool { return true }
 // Attr implements Scored.
 func (p *Around) Attr() string { return p.Label }
 
+// Attributes implements Attributed.
+func (p *Around) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
+
 // Describe implements Preference.
 func (p *Around) Describe() string { return fmt.Sprintf("%s AROUND %g", p.Label, p.Target) }
 
@@ -156,6 +278,10 @@ type Between struct {
 	Get    Getter
 	Lo, Hi float64
 	Label  string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 }
 
 // Score is 0 inside the interval, distance to the nearest bound outside.
@@ -193,6 +319,9 @@ func (p *Between) HasOptimum() bool { return true }
 // Attr implements Scored.
 func (p *Between) Attr() string { return p.Label }
 
+// Attributes implements Attributed.
+func (p *Between) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
+
 // Describe implements Preference.
 func (p *Between) Describe() string {
 	return fmt.Sprintf("%s BETWEEN [%g, %g]", p.Label, p.Lo, p.Hi)
@@ -202,6 +331,10 @@ func (p *Between) Describe() string {
 type Lowest struct {
 	Get   Getter
 	Label string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 }
 
 // Score is the value itself.
@@ -232,6 +365,9 @@ func (p *Lowest) HasOptimum() bool { return false }
 // Attr implements Scored.
 func (p *Lowest) Attr() string { return p.Label }
 
+// Attributes implements Attributed.
+func (p *Lowest) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
+
 // Describe implements Preference.
 func (p *Lowest) Describe() string { return "LOWEST(" + p.Label + ")" }
 
@@ -239,6 +375,10 @@ func (p *Lowest) Describe() string { return "LOWEST(" + p.Label + ")" }
 type Highest struct {
 	Get   Getter
 	Label string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 }
 
 // Score is the negated value.
@@ -269,6 +409,9 @@ func (p *Highest) HasOptimum() bool { return false }
 // Attr implements Scored.
 func (p *Highest) Attr() string { return p.Label }
 
+// Attributes implements Attributed.
+func (p *Highest) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
+
 // Describe implements Preference.
 func (p *Highest) Describe() string { return "HIGHEST(" + p.Label + ")" }
 
@@ -277,6 +420,10 @@ type Pos struct {
 	Get   Getter
 	Set   map[string]bool // keys via value.Value.Key
 	Label string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 	Vals  []value.Value // original values, for diagnostics and rewriting
 }
 
@@ -316,6 +463,9 @@ func (p *Pos) HasOptimum() bool { return true }
 // Attr implements Scored.
 func (p *Pos) Attr() string { return p.Label }
 
+// Attributes implements Attributed.
+func (p *Pos) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
+
 // Describe implements Preference.
 func (p *Pos) Describe() string { return fmt.Sprintf("POS(%s, %v)", p.Label, p.Vals) }
 
@@ -324,6 +474,10 @@ type Neg struct {
 	Get   Getter
 	Set   map[string]bool
 	Label string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 	Vals  []value.Value
 }
 
@@ -354,6 +508,9 @@ func (p *Neg) HasOptimum() bool { return true }
 // Attr implements Scored.
 func (p *Neg) Attr() string { return p.Label }
 
+// Attributes implements Attributed.
+func (p *Neg) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
+
 // Describe implements Preference.
 func (p *Neg) Describe() string { return fmt.Sprintf("NEG(%s, %v)", p.Label, p.Vals) }
 
@@ -362,6 +519,10 @@ func (p *Neg) Describe() string { return fmt.Sprintf("NEG(%s, %v)", p.Label, p.V
 type Bool struct {
 	Cond  func(value.Row) (bool, error)
 	Label string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 }
 
 // Score is 0 when the condition holds, 1 otherwise.
@@ -388,6 +549,9 @@ func (p *Bool) HasOptimum() bool { return true }
 // Attr implements Scored.
 func (p *Bool) Attr() string { return p.Label }
 
+// Attributes implements Attributed.
+func (p *Bool) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
+
 // Describe implements Preference.
 func (p *Bool) Describe() string { return "REGULAR(" + p.Label + ")" }
 
@@ -397,6 +561,10 @@ type Contains struct {
 	Get   Getter
 	Terms []string
 	Label string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 }
 
 // Score counts the missing terms: 0 means all terms present.
@@ -430,6 +598,9 @@ func (p *Contains) HasOptimum() bool { return true }
 // Attr implements Scored.
 func (p *Contains) Attr() string { return p.Label }
 
+// Attributes implements Attributed.
+func (p *Contains) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
+
 // Describe implements Preference.
 func (p *Contains) Describe() string {
 	return fmt.Sprintf("%s CONTAINS %v", p.Label, p.Terms)
@@ -444,6 +615,10 @@ func (p *Contains) Describe() string {
 type Layered struct {
 	Layers []Scored
 	Label  string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 }
 
 // Score is the index of the first perfectly matched layer.
@@ -471,6 +646,9 @@ func (p *Layered) HasOptimum() bool { return true }
 
 // Attr implements Scored.
 func (p *Layered) Attr() string { return p.Label }
+
+// Attributes implements Attributed.
+func (p *Layered) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
 
 // Describe implements Preference.
 func (p *Layered) Describe() string {
@@ -505,6 +683,10 @@ func scoredCompare(p Scored, a, b value.Row) (Ordering, error) {
 type Explicit struct {
 	Get   Getter
 	Label string
+	// Attrs is the compiler-recorded provenance: the column references
+	// the preference reads (see Attributed). Empty for direct
+	// constructions, where Label stands in as the single attribute.
+	Attrs []string
 
 	closure map[string]map[string]bool // better -> set of worse (transitive)
 	depth   map[string]int             // longest path from a top value, for LEVEL
@@ -612,6 +794,9 @@ func (p *Explicit) Level(row value.Row) (int, error) {
 
 // Attr returns the attribute label.
 func (p *Explicit) Attr() string { return p.Label }
+
+// Attributes implements Attributed.
+func (p *Explicit) Attributes() []string { return attrsOr(p.Attrs, p.Label) }
 
 // Describe implements Preference.
 func (p *Explicit) Describe() string { return "EXPLICIT(" + p.Label + ")" }

@@ -1,0 +1,119 @@
+package preference
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/value"
+)
+
+// compileAttrs compiles a PREFERRING term over the oldtimer schema and
+// returns its sorted attribute labels.
+func compileAttrs(t *testing.T, term string) ([]string, bool) {
+	t.Helper()
+	p := compilePref(t, term)
+	attrs, ok := AttributesOf(p)
+	sort.Strings(attrs)
+	return attrs, ok
+}
+
+// TestCompiledProvenance pins the attribute labels the compiler records:
+// plain columns by name, expressions by their column set, and opaque
+// shapes (no column at all) by a label that resolves nowhere.
+func TestCompiledProvenance(t *testing.T) {
+	cases := []struct {
+		term string
+		want []string
+	}{
+		{`LOWEST(age)`, []string{"age"}},
+		{`age AROUND 30`, []string{"age"}},
+		{`color IN ('red')`, []string{"color"}},
+		{`LOWEST(age) AND color IN ('red')`, []string{"age", "color"}},
+		{`LOWEST(age) CASCADE HIGHEST(age)`, []string{"age", "age"}},
+		{`age < 30`, []string{"age"}}, // soft condition: column of the predicate
+	}
+	for _, tc := range cases {
+		got, ok := compileAttrs(t, tc.term)
+		if !ok {
+			t.Errorf("%s: provenance unexpectedly unknown", tc.term)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: attributes = %v, want %v", tc.term, got, tc.want)
+		}
+	}
+}
+
+// TestProvenanceExpressions pins the collector on shapes the simple
+// ColBinder cannot compile: multi-column expressions list every column
+// (qualified ones in qualifier.name form), and expressions reading no
+// column report their SQL text — a label no schema resolves, so the
+// rewriter refuses pushdown.
+func TestProvenanceExpressions(t *testing.T) {
+	cases := []struct {
+		term string // full PREFERRING term; provenance of its first expr
+		want []string
+	}{
+		{`LOWEST(age + price)`, []string{"age", "price"}},
+		{`LOWEST(l.age)`, []string{"l.age"}},
+		{`LOWEST(1 + 2)`, []string{"(1 + 2)"}},
+	}
+	for _, tc := range cases {
+		sel := parsePref(t, tc.term)
+		var got []string
+		switch x := sel.(type) {
+		case *ast.PrefLowest:
+			got = provenance(x.X)
+		default:
+			t.Fatalf("%s: unexpected pref node %T", tc.term, sel)
+		}
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: provenance = %v, want %v", tc.term, got, tc.want)
+		}
+	}
+}
+
+// TestDirectConstructionFallback pins the Label fallback: a hand-built
+// preference without compiler provenance reports its label.
+func TestDirectConstructionFallback(t *testing.T) {
+	p := &Lowest{Get: func(r value.Row) (value.Value, error) { return r[0], nil }, Label: "age"}
+	if got, ok := AttributesOf(p); !ok || len(got) != 1 || got[0] != "age" {
+		t.Fatalf("AttributesOf = %v, %v; want [age], true", got, ok)
+	}
+}
+
+// TestSplitParts pins the side partitioning the join rewriter relies on.
+func TestSplitParts(t *testing.T) {
+	classify := func(attr string) (int, bool) {
+		switch attr {
+		case "age", "color":
+			return 0, true
+		case "e1":
+			return 1, true
+		}
+		return 0, false
+	}
+	left := compilePref(t, `LOWEST(age)`)
+	right := &Highest{Get: func(r value.Row) (value.Value, error) { return r[0], nil }, Label: "e1"}
+	spanning := &Bool{
+		Cond:  func(value.Row) (bool, error) { return true, nil },
+		Label: "age-vs-e1",
+		Attrs: []string{"age", "e1"},
+	}
+	unknown := &Lowest{Get: func(r value.Row) (value.Value, error) { return r[0], nil }, Label: "nope"}
+
+	par := &Pareto{Parts: []Preference{left, right, spanning, unknown}}
+	sides, mixed := par.Split(classify)
+	if len(sides[0]) != 1 || sides[0][0] != left {
+		t.Errorf("left side = %v", sides[0])
+	}
+	if len(sides[1]) != 1 || sides[1][0] != Preference(right) {
+		t.Errorf("right side = %v", sides[1])
+	}
+	if len(mixed) != 2 {
+		t.Errorf("mixed = %d parts, want 2 (spanning + unknown provenance)", len(mixed))
+	}
+}

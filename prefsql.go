@@ -104,6 +104,11 @@ func (db *DB) SetAlgorithm(a Algorithm) { db.core.SetAlgorithm(a) }
 // set it per client with `SET workers = n`.
 func (db *DB) SetWorkers(n int) { db.core.DefaultSession().SetWorkers(n) }
 
+// SetPushdown enables or disables the preference-algebra join pushdown
+// on the default session (on by default). Sessions can also set it per
+// client with `SET pushdown = on|off`.
+func (db *DB) SetPushdown(on bool) { db.core.DefaultSession().SetPushdown(on) }
+
 // Session is a per-client view of a shared database: it carries the
 // client's mode and algorithm settings so concurrent clients don't
 // interfere, and its queries run concurrently under the shared read lock
