@@ -1,19 +1,25 @@
-// Command benchgate is the CI performance-regression gate: it compares a
-// fresh quick-run benchmark JSON (p4: parallel BMO, p5: join pushdown)
-// against the committed baseline and fails when a headline speedup
-// regressed by more than the tolerance (default 25%).
+// Command benchgate is the CI performance-regression gate: it compares
+// fresh quick-run benchmark JSONs (p4: parallel BMO, p5: join pushdown,
+// p6: vectorized BMO) against the committed baselines and fails when a
+// headline speedup regressed by more than the tolerance (default 25%).
 //
 // The gate compares speedup ratios, not wall-clock milliseconds: a ratio
-// (pushed vs unpushed plan, parallel vs sequential BNL) divides out the
-// runner's absolute speed, so the same baseline works on any CI machine.
-// Cells are matched by their identifying fields; baseline cells without a
-// fresh counterpart (e.g. full-scale sizes against a quick run) are
-// skipped, but at least one cell must match per supplied pair.
+// (pushed vs unpushed plan, parallel vs sequential BNL, vectorized vs
+// row-at-a-time SFS) divides out the runner's absolute speed, so the
+// same baseline works on any CI machine. Cells are matched by their
+// identifying fields; baseline cells without a fresh counterpart (e.g.
+// full-scale sizes against a quick run) are skipped, but at least one
+// cell must match per supplied pair.
+//
+// Experiments register in the gates table; a new experiment adds an
+// extract function (result JSON → gated cells) and rides the shared
+// flag, matching and verdict machinery.
 //
 // Usage:
 //
 //	benchgate -fresh-p5 BENCH_p5.json -base-p5 internal/bench/baselines/BENCH_p5.quick.json \
-//	          -fresh-p4 BENCH_p4.json -base-p4 internal/bench/baselines/BENCH_p4.quick.json
+//	          -fresh-p4 BENCH_p4.json -base-p4 internal/bench/baselines/BENCH_p4.quick.json \
+//	          -fresh-p6 BENCH_p6.json -base-p6 internal/bench/baselines/BENCH_p6.quick.json
 package main
 
 import (
@@ -21,9 +27,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/bench"
 )
+
+// gateSpec is one experiment's entry in the gate registry. extract
+// reduces a result file to its gated cells: identifying key → headline
+// speedup, omitting cells that are denominators rather than claims (the
+// sequential baseline rows). floor, when true, additionally requires
+// every fresh cell to keep the -min-speedup absolute ratio — the "the
+// optimization still wins at all" check on top of the relative one.
+type gateSpec struct {
+	name    string
+	what    string // one-line description for the flag help
+	extract func(path string) (map[string]float64, error)
+	floor   bool
+
+	fresh, base *string // filled from flags
+}
 
 func load(path string, v any) error {
 	data, err := os.ReadFile(path)
@@ -31,6 +53,57 @@ func load(path string, v any) error {
 		return err
 	}
 	return json.Unmarshal(data, v)
+}
+
+func extractP4(path string) (map[string]float64, error) {
+	var res bench.P4Result
+	if err := load(path, &res); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, e := range res.Entries {
+		if e.Workers == 0 {
+			continue // the sequential baseline is the denominator, not a cell
+		}
+		out[fmt.Sprintf("%d/%s", e.Rows, e.Variant)] = e.Speedup
+	}
+	return out, nil
+}
+
+func extractP5(path string) (map[string]float64, error) {
+	var res bench.P5Result
+	if err := load(path, &res); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, e := range res.Entries {
+		if e.Variant != "pushdown-on" {
+			continue
+		}
+		out[fmt.Sprintf("%d/%s/%s", e.Rows, e.Query, e.Variant)] = e.Speedup
+	}
+	return out, nil
+}
+
+func extractP6(path string) (map[string]float64, error) {
+	var res bench.P6Result
+	if err := load(path, &res); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, e := range res.Entries {
+		if e.Variant != "vec" {
+			continue
+		}
+		out[fmt.Sprintf("%d/%s", e.Rows, e.Variant)] = e.Speedup
+	}
+	return out, nil
+}
+
+var gates = []*gateSpec{
+	{name: "p4", what: "parallel BMO", extract: extractP4},
+	{name: "p5", what: "join pushdown", extract: extractP5, floor: true},
+	{name: "p6", what: "vectorized BMO", extract: extractP6, floor: true},
 }
 
 // check compares one matched cell, printing the verdict line; the
@@ -47,63 +120,35 @@ func check(name string, fresh, base, tol float64) bool {
 	return bad
 }
 
-func gateP5(freshPath, basePath string, tol, minSpeedup float64) (matched int, failed bool, err error) {
-	var fresh, base bench.P5Result
-	if err := load(freshPath, &fresh); err != nil {
+// run executes one gate pair: every baseline cell with a fresh
+// counterpart must hold its speedup within tolerance (and above the
+// absolute floor where the gate demands one).
+func (g *gateSpec) run(tol, minSpeedup float64) (matched int, failed bool, err error) {
+	freshCells, err := g.extract(*g.fresh)
+	if err != nil {
 		return 0, false, err
 	}
-	if err := load(basePath, &base); err != nil {
+	baseCells, err := g.extract(*g.base)
+	if err != nil {
 		return 0, false, err
 	}
-	freshBy := map[string]bench.P5Entry{}
-	for _, e := range fresh.Entries {
-		freshBy[fmt.Sprintf("%d/%s/%s", e.Rows, e.Query, e.Variant)] = e
+	keys := make([]string, 0, len(baseCells))
+	for k := range baseCells {
+		keys = append(keys, k)
 	}
-	for _, b := range base.Entries {
-		if b.Variant != "pushdown-on" {
-			continue
-		}
-		key := fmt.Sprintf("%d/%s/%s", b.Rows, b.Query, b.Variant)
-		f, ok := freshBy[key]
+	sort.Strings(keys)
+	for _, key := range keys {
+		f, ok := freshCells[key]
 		if !ok {
 			continue
 		}
 		matched++
-		if check("p5 "+key, f.Speedup, b.Speedup, tol) {
+		if check(g.name+" "+key, f, baseCells[key], tol) {
 			failed = true
 		}
-		if f.Speedup < minSpeedup {
-			fmt.Printf("p5 %s: pushed plan no longer beats the unpushed plan (%.2fx < %.2fx)\n",
-				key, f.Speedup, minSpeedup)
-			failed = true
-		}
-	}
-	return matched, failed, nil
-}
-
-func gateP4(freshPath, basePath string, tol float64) (matched int, failed bool, err error) {
-	var fresh, base bench.P4Result
-	if err := load(freshPath, &fresh); err != nil {
-		return 0, false, err
-	}
-	if err := load(basePath, &base); err != nil {
-		return 0, false, err
-	}
-	freshBy := map[string]bench.P4Entry{}
-	for _, e := range fresh.Entries {
-		freshBy[fmt.Sprintf("%d/%s", e.Rows, e.Variant)] = e
-	}
-	for _, b := range base.Entries {
-		if b.Workers == 0 {
-			continue // the sequential baseline is the denominator, not a cell
-		}
-		key := fmt.Sprintf("%d/%s", b.Rows, b.Variant)
-		f, ok := freshBy[key]
-		if !ok {
-			continue
-		}
-		matched++
-		if check("p4 "+key, f.Speedup, b.Speedup, tol) {
+		if g.floor && f < minSpeedup {
+			fmt.Printf("%s %s: the optimized plan no longer beats its baseline (%.2fx < %.2fx)\n",
+				g.name, key, f, minSpeedup)
 			failed = true
 		}
 	}
@@ -111,46 +156,36 @@ func gateP4(freshPath, basePath string, tol float64) (matched int, failed bool, 
 }
 
 func main() {
+	for _, g := range gates {
+		g.fresh = flag.String("fresh-"+g.name, "", fmt.Sprintf("fresh BENCH_%s.json for the %s gate ('' skips it)", g.name, g.what))
+		g.base = flag.String("base-"+g.name, "", fmt.Sprintf("committed %s baseline JSON", g.name))
+	}
 	var (
-		freshP4    = flag.String("fresh-p4", "", "fresh BENCH_p4.json ('' skips the p4 gate)")
-		baseP4     = flag.String("base-p4", "", "committed p4 baseline JSON")
-		freshP5    = flag.String("fresh-p5", "", "fresh BENCH_p5.json ('' skips the p5 gate)")
-		baseP5     = flag.String("base-p5", "", "committed p5 baseline JSON")
 		tol        = flag.Float64("tolerance", 0.25, "allowed relative speedup regression")
-		minSpeedup = flag.Float64("min-speedup", 1.0, "p5 pushed plans must keep at least this speedup")
+		minSpeedup = flag.Float64("min-speedup", 1.0, "p5/p6 optimized plans must keep at least this speedup")
 	)
 	flag.Parse()
 
 	fail := false
 	ran := false
-	if *freshP5 != "" {
+	for _, g := range gates {
+		if *g.fresh == "" {
+			continue
+		}
 		ran = true
-		n, bad, err := gateP5(*freshP5, *baseP5, *tol, *minSpeedup)
+		n, bad, err := g.run(*tol, *minSpeedup)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchgate: p5: %v\n", err)
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", g.name, err)
 			os.Exit(1)
 		}
 		if n == 0 {
-			fmt.Fprintln(os.Stderr, "benchgate: p5: no baseline cell matched the fresh run")
-			os.Exit(1)
-		}
-		fail = fail || bad
-	}
-	if *freshP4 != "" {
-		ran = true
-		n, bad, err := gateP4(*freshP4, *baseP4, *tol)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchgate: p4: %v\n", err)
-			os.Exit(1)
-		}
-		if n == 0 {
-			fmt.Fprintln(os.Stderr, "benchgate: p4: no baseline cell matched the fresh run")
+			fmt.Fprintf(os.Stderr, "benchgate: %s: no baseline cell matched the fresh run\n", g.name)
 			os.Exit(1)
 		}
 		fail = fail || bad
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -fresh-p4/-fresh-p5)")
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -fresh-p4/-fresh-p5/-fresh-p6)")
 		os.Exit(1)
 	}
 	if fail {

@@ -11,6 +11,7 @@
 //	prefbench -exp p3                   # parameterized vs literal; writes BENCH_p3.json
 //	prefbench -exp p4                   # sequential vs parallel BMO; writes BENCH_p4.json
 //	prefbench -exp p5                   # BMO-through-join pushdown; writes BENCH_p5.json
+//	prefbench -exp p6                   # row-at-a-time vs vectorized BMO; writes BENCH_p6.json
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		p3json  = flag.String("json-p3", "BENCH_p3.json", "file for the structured p3 results ('' disables)")
 		p4json  = flag.String("json-p4", "BENCH_p4.json", "file for the structured p4 results ('' disables)")
 		p5json  = flag.String("json-p5", "BENCH_p5.json", "file for the structured p5 results ('' disables)")
+		p6json  = flag.String("json-p6", "BENCH_p6.json", "file for the structured p6 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -97,6 +99,10 @@ func main() {
 		case name == "p5" && *p5json != "":
 			res, tbl, err := bench.P5(cfg)
 			emitJSON(name, *p5json, res, tbl, err)
+			continue
+		case name == "p6" && *p6json != "":
+			res, tbl, err := bench.P6(cfg)
+			emitJSON(name, *p6json, res, tbl, err)
 			continue
 		}
 		out, err := bench.Run(name, cfg)

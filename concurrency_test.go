@@ -184,18 +184,26 @@ func canonical(rows []Row) string {
 	return strings.Join(keys, "\n")
 }
 
-// TestConcurrentParallelBMOStress pins the parallel partition-merge
-// executor under -race: 16 concurrent server sessions run parallel-BMO
-// preference queries (the algorithm selected via client SetAlgorithm/
-// SetWorkers for half of them, via the SQL `SET algorithm = 'parallel'`
-// statement for the other half) mixed with a writer on a scratch table,
-// and every result must stay byte-identical to the single-threaded BNL
-// baseline computed up front.
+// TestConcurrentParallelBMOStress pins the parallel partition-merge and
+// vectorized executors under -race: 16 concurrent server sessions run
+// preference queries — sessions split between the parallel algorithm
+// (selected via client SetAlgorithm/SetWorkers or the SQL `SET
+// algorithm` statement), the explicit vectorized algorithm, and planner
+// defaults (which vec-select the big-table query, racing the columnar
+// cache rebuild against the writer's epoch bumps) — mixed with a writer
+// on a scratch table, and every result must stay byte-identical to the
+// single-threaded BNL baseline computed up front.
 func TestConcurrentParallelBMOStress(t *testing.T) {
 	db := Open()
 	cols := datagen.SkylineColumns(4)
 	rows := datagen.Skyline(4000, 4, datagen.AntiCorrelated, 7)
 	if err := datagen.Load(db.Internal().Engine(), "pts", cols, rows); err != nil {
+		t.Fatal(err)
+	}
+	// vpts sits above the planner's auto threshold, so default sessions
+	// take the planner-selected vectorized path with the columnar fill.
+	if err := datagen.Load(db.Internal().Engine(), "vpts", datagen.SkylineColumns(3),
+		datagen.Skyline(12000, 3, datagen.Independent, 8)); err != nil {
 		t.Fatal(err)
 	}
 	db.MustExec(`CREATE TABLE scratch (id INT, v INT)`)
@@ -205,6 +213,7 @@ func TestConcurrentParallelBMOStress(t *testing.T) {
 		`SELECT id FROM pts WHERE d4 < 0.9 PREFERRING LOWEST(d1) AND HIGHEST(d2)`,
 		`SELECT id, d1 FROM pts PREFERRING d1 AROUND 0.5 AND d2 AROUND 0.5 AND LOWEST(d3)`,
 		`SELECT id FROM pts PREFERRING (LOWEST(d1) AND LOWEST(d2)) CASCADE HIGHEST(d3)`,
+		`SELECT id FROM vpts PREFERRING LOWEST(d1) AND LOWEST(d2)`,
 	}
 
 	// Single-threaded baseline with the sequential reference algorithm.
@@ -246,10 +255,13 @@ func TestConcurrentParallelBMOStress(t *testing.T) {
 				return
 			}
 			defer c.Close()
-			// Half the sessions configure via the client API, half via
-			// the SQL SET statement — both land on the same session
-			// settings.
-			if g%2 == 0 {
+			// Sessions split four ways: parallel via the client API,
+			// parallel via the SQL SET statement, the explicit vectorized
+			// algorithm, and planner defaults (Auto vec-selects the
+			// big-table query) — API and SET paths land on the same
+			// session settings.
+			switch g % 4 {
+			case 0:
 				if err := c.SetAlgorithm(Parallel); err != nil {
 					errCh <- err
 					return
@@ -258,12 +270,28 @@ func TestConcurrentParallelBMOStress(t *testing.T) {
 					errCh <- err
 					return
 				}
-			} else {
+			case 1:
 				if _, err := c.Exec(`SET algorithm = 'parallel'`); err != nil {
 					errCh <- err
 					return
 				}
 				if _, err := c.Exec(fmt.Sprintf(`SET workers = %d`, 1+g%4)); err != nil {
+					errCh <- err
+					return
+				}
+			case 2:
+				if _, err := c.Exec(`SET algorithm = 'vec'`); err != nil {
+					errCh <- err
+					return
+				}
+				if err := c.SetWorkers(1 + g%3); err != nil {
+					errCh <- err
+					return
+				}
+			default:
+				// Planner defaults; re-assert the vectorized setting
+				// through the wire path for coverage.
+				if err := c.SetVectorized(true); err != nil {
 					errCh <- err
 					return
 				}

@@ -89,9 +89,9 @@
 //	res, err := sess.Query(`SELECT ...`)
 //
 // Session settings are also plain SQL statements — `SET mode = rewrite`,
-// `SET algorithm = parallel`, `SET workers = 4`, `SET pushdown = off` —
-// accepted embedded and over the wire, affecting only the executing
-// session.
+// `SET algorithm = parallel`, `SET workers = 4`, `SET pushdown = off`,
+// `SET vectorized = off` — accepted embedded and over the wire,
+// affecting only the executing session.
 //
 // # Preference-algebra optimizer
 //
@@ -126,6 +126,24 @@
 // this one included — must pass the cross-algorithm differential harness
 // in internal/bmo before it ships; see ARCHITECTURE.md, "Differential
 // testing policy".
+//
+// # Vectorized BMO
+//
+// Hot tables additionally carry a lazily built columnar image — per
+// numeric column a typed float64 vector plus a validity bitmap, cached
+// under the database write epoch and invalidated by any write — feeding
+// the vectorized skyline operator: score vectors fill without boxing,
+// row indices presort by the monotone sort-filter key, and dominance
+// runs block-at-a-time with per-block zone maps (a block whose best
+// corner is dominated by the frontier is skipped wholesale). The
+// planner selects it from table statistics for score-based preferences
+// over resolvable numeric columns (opaque expressions and subquery
+// preferences keep the row-at-a-time path), `SET vectorized = off`
+// pins it off per session, and its output is byte-identical to the
+// sequential kernel. ExplainNative shows the decision
+// (`BMO vec est=N columnar`); ExplainAnalyze executes the plan and adds
+// the zone-map counters (`blocks=N pruned=M`) plus row-level work
+// counters. See ARCHITECTURE.md, "Columnar layout & vectorized BMO".
 //
 // # Client/server
 //

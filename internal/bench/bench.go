@@ -47,6 +47,7 @@ type Config struct {
 	P4Sizes            []int   // input sizes for the parallel BMO experiment
 	P4Workers          []int   // worker counts for P4
 	P5Sizes            []int   // fact-side sizes for the join-pushdown experiment
+	P6Sizes            []int   // input sizes for the vectorized BMO experiment
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -68,6 +69,7 @@ func DefaultConfig() Config {
 		P4Sizes:            []int{10000, 100000, 1000000},
 		P4Workers:          []int{1, 2, 4, 8},
 		P5Sizes:            []int{10000, 100000, 1000000},
+		P6Sizes:            []int{100000, 1000000, 10000000},
 	}
 }
 
@@ -86,6 +88,9 @@ func TestConfig() Config {
 	cfg.P4Sizes = []int{5000, 20000}
 	cfg.P4Workers = []int{1, 2, 4}
 	cfg.P5Sizes = []int{5000, 20000}
+	// Quick p6 sizes stay above the planner's auto threshold so the
+	// vectorized operator is actually selected.
+	cfg.P6Sizes = []int{20000, 100000}
 	return cfg
 }
 
@@ -651,7 +656,7 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 
 // Names lists the available experiments.
 func Names() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6"}
 }
 
 // Run executes one experiment by name and returns its printable output.
@@ -725,6 +730,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p5":
 		_, tbl, err := P5(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p6":
+		_, tbl, err := P6(cfg)
 		if err != nil {
 			return "", err
 		}

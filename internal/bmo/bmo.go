@@ -18,6 +18,11 @@
 //     kernels), merged pairwise until one dominance-filtered result
 //     remains. Auto switches to it at AutoParallelThreshold rows when
 //     more than one worker is available.
+//   - Vectorized: batch-at-a-time evaluation (see vectorized.go) — rows
+//     are scored into a flat float64 matrix up front, presorted by the
+//     monotone SFS key, and filtered block-wise with per-block zone maps
+//     that prune whole blocks before any pairwise test. Falls back to
+//     BlockNestedLoop for preferences that are not score-based.
 //
 // CASCADE evaluates stage-wise, per the paper's "applying preferences one
 // after the other": BMO(P1 CASCADE P2, R) = BMO(P2, BMO(P1, R)).
@@ -46,6 +51,7 @@ const (
 	SortFilter
 	BestLevel
 	Parallel
+	Vectorized
 )
 
 // String names the algorithm.
@@ -63,6 +69,8 @@ func (a Algorithm) String() string {
 		return "best-level"
 	case Parallel:
 		return "parallel-partition-merge"
+	case Vectorized:
+		return "vectorized"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -137,6 +145,12 @@ func evaluate(p preference.Preference, rows []value.Row, algo Algorithm, st *Sta
 			return bestLevel(s, rows, st)
 		}
 		return parallelSkyline(p, rows, st, cfg)
+	case Vectorized:
+		// CASCADE was already unwound above; fall back to BNL for
+		// non-score-based stages (the forced-fallback path the
+		// differential harness exercises).
+		var vst VecStats
+		return evaluateVectorized(p, rows, st, &vst, cfg)
 	default: // Auto
 		if s, ok := p.(preference.Scored); ok {
 			return bestLevel(s, rows, st) // single weak order: one O(n) pass
@@ -411,6 +425,8 @@ func (a Algorithm) Token() string {
 		return "bestlevel"
 	case Parallel:
 		return "parallel"
+	case Vectorized:
+		return "vec"
 	}
 	return ""
 }
@@ -420,7 +436,7 @@ func (a Algorithm) Token() string {
 // the shell, the server's Set handler, the client — shares this one
 // mapping.
 func ParseToken(tok string) (Algorithm, bool) {
-	for _, a := range []Algorithm{Auto, NestedLoop, BlockNestedLoop, SortFilter, BestLevel, Parallel} {
+	for _, a := range []Algorithm{Auto, NestedLoop, BlockNestedLoop, SortFilter, BestLevel, Parallel, Vectorized} {
 		if a.Token() == tok {
 			return a, true
 		}

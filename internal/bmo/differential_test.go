@@ -293,6 +293,11 @@ var diffAlgorithms = []diffAlgorithm{
 	{name: "parallel-w4", run: batch(bmo.Parallel, 4), applicable: always},
 	{name: "parallel-w7", run: batch(bmo.Parallel, 7), applicable: always},
 	{name: "parallel-stream-w3", run: parallelStream(3), applicable: always},
+	// Vectorized covers every preference: score-based trees take the
+	// blocked zone-map kernel, everything else exercises its forced
+	// row-at-a-time fallback — both must match the reference.
+	{name: "vec", run: batch(bmo.Vectorized, 0), applicable: always},
+	{name: "vec-w3", run: batch(bmo.Vectorized, 3), applicable: always},
 }
 
 // shrink greedily removes rows while the two algorithms still disagree,

@@ -1,0 +1,373 @@
+package bmo
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+// This file implements the vectorized (batch-at-a-time) BMO evaluation:
+// the candidate relation is scored into a flat column-major-friendly
+// float64 matrix up front (one score vector per row, no per-comparison
+// getter or interface dispatch), row indices are presorted by the
+// monotone SFS key, and dominance then runs block-at-a-time:
+//
+//  1. The sorted index sequence is cut into blocks of VecBlockSize rows.
+//  2. Each block carries a zone map: the componentwise minimum of its
+//     score vectors (the block's "best corner"). A block whose corner is
+//     dominated by a member of the current frontier is skipped outright
+//     — every row of the block is transitively dominated — before any
+//     pairwise test touches its rows.
+//  3. Surviving blocks run a block-local SFS against the frontier and
+//     their own accepted rows; waves of blocks evaluate concurrently
+//     (workers > 1) and are stitched in order, the PR-4 partition-merge
+//     argument in miniature.
+//
+// Zone-map soundness: let c be the componentwise minimum of a block's
+// score vectors. If a frontier member w dominates c (w ≤ c with one
+// strict <) then for every row r of the block w ≤ c ≤ r holds
+// componentwise, and the strict component j gives w[j] < c[j] ≤ r[j] —
+// so w dominates every r. A frontier member merely *equal* to the
+// corner must not prune (equality never dominates; substitutable rows
+// all survive), which the shared dominance test already guarantees.
+//
+// Because rows are processed in the monotone (sum, vector, index) order,
+// every accepted row is final (no later row can dominate it), the
+// frontier only grows, and the final output order is exactly the
+// sequential sort-filter-skyline emission order — the vectorized path is
+// byte-identical to the row-at-a-time default.
+
+// VecBlockSize is the number of rows per vectorized evaluation block —
+// the zone-map pruning granularity.
+const VecBlockSize = 1024
+
+// VecStats reports the zone-map effectiveness of one vectorized
+// evaluation; the exec layer folds it into the statement counters.
+type VecStats struct {
+	BlocksScanned int // blocks examined (pruned or not)
+	BlocksPruned  int // blocks skipped wholesale via their zone map
+}
+
+// VecInput is a prebuilt score matrix for the vectorized evaluation:
+// Flat holds one Dim-wide score vector per row (row-major), Sums the
+// +Inf-saturated score sums (the primary SFS sort key). The exec layer
+// fills it straight from columnar storage; BuildVecInput is the generic
+// row-at-a-time fallback fill.
+type VecInput struct {
+	Rows []value.Row
+	Dim  int
+	Flat []float64
+	Sums []float64
+}
+
+// ScoreBased exposes the score-vector classification (a single weak
+// order, or a Pareto accumulation of weak orders) to the planner and
+// exec layers — the exact condition under which the vectorized and
+// sequential-SFS kernels apply.
+func ScoreBased(p preference.Preference) ([]preference.Scored, bool) {
+	return streamScorers(p)
+}
+
+// SaturateSums computes the +Inf-saturated score sums of a filled score
+// matrix (see scoreRows for why saturation matters: an unsaturated
+// +Inf + -Inf is NaN, which would wreck the presort).
+func SaturateSums(flat []float64, n, d int) []float64 {
+	sums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vec := flat[i*d : (i+1)*d]
+		sum := 0.0
+		for _, v := range vec {
+			if math.IsInf(v, 1) {
+				sum = math.Inf(1)
+				break
+			}
+			sum += v
+		}
+		sums[i] = sum
+	}
+	return sums
+}
+
+// BuildVecInput fills the score matrix generically, one scorer call per
+// row and component — the fallback when no columnar image serves the
+// input.
+func BuildVecInput(scorers []preference.Scored, rows []value.Row) (VecInput, error) {
+	d := len(scorers)
+	in := VecInput{Rows: rows, Dim: d, Flat: make([]float64, len(rows)*d)}
+	for i, r := range rows {
+		vec := in.Flat[i*d : (i+1)*d]
+		for j, s := range scorers {
+			v, err := s.Score(r)
+			if err != nil {
+				return VecInput{}, err
+			}
+			vec[j] = v
+		}
+	}
+	in.Sums = SaturateSums(in.Flat, len(rows), d)
+	return in, nil
+}
+
+// EvaluateVectorized runs the vectorized BMO evaluation of p over rows,
+// reporting zone-map statistics alongside the usual work counters.
+// Preferences that are not score-based fall back to block-nested-loop
+// (VecStats stays zero); CASCADE evaluates stage-wise like every other
+// algorithm.
+func EvaluateVectorized(p preference.Preference, rows []value.Row, cfg Config) ([]value.Row, Stats, VecStats, error) {
+	var st Stats
+	var vst VecStats
+	out, err := evaluateVectorized(p, rows, &st, &vst, cfg)
+	return out, st, vst, err
+}
+
+// EvaluateVecInput runs the vectorized evaluation on a prebuilt score
+// matrix — the exec layer's columnar fast path, where the matrix was
+// filled from typed column vectors without boxing a single value.
+func EvaluateVecInput(in VecInput, cfg Config) ([]value.Row, Stats, VecStats, error) {
+	var st Stats
+	var vst VecStats
+	out, err := vectorizedSkyline(in, &st, &vst, cfg)
+	return out, st, vst, err
+}
+
+func evaluateVectorized(p preference.Preference, rows []value.Row, st *Stats, vst *VecStats, cfg Config) ([]value.Row, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if c, ok := p.(*preference.Cascade); ok {
+		current := rows
+		for _, part := range c.Parts {
+			st.Stages++
+			next, err := evaluateVectorized(part, current, st, vst, cfg)
+			if err != nil {
+				return nil, err
+			}
+			current = next
+			if len(current) <= 1 {
+				break
+			}
+		}
+		return current, nil
+	}
+	scorers, ok := streamScorers(p)
+	if !ok || len(scorers) == 0 {
+		// Forced fallback: EXPLICIT, ELSE-accumulations and other
+		// non-score-based preferences take the row-at-a-time path.
+		return blockNestedLoop(p, rows, st)
+	}
+	in, err := BuildVecInput(scorers, rows)
+	if err != nil {
+		return nil, err
+	}
+	return vectorizedSkyline(in, st, vst, cfg)
+}
+
+// sortVecOrder sorts row indices by the monotone SFS key (sum, score
+// vector lexicographically, input index) — a total order, so the
+// unstable pdqsort is deterministic. Sorting 4-byte indices instead of
+// scoredRow structs keeps swaps cheap at millions of rows, and the
+// generic slices.SortFunc comparator inlines (no sort.Interface
+// dispatch, which dominates the wall clock at that scale).
+func sortVecOrder(idx []int32, sums, flat []float64, d int) {
+	slices.SortFunc(idx, func(a, b int32) int {
+		sa, sb := sums[a], sums[b]
+		if sa != sb {
+			if sa < sb {
+				return -1
+			}
+			return 1
+		}
+		av := flat[int(a)*d : int(a)*d+d]
+		bv := flat[int(b)*d : int(b)*d+d]
+		for j := range av {
+			if av[j] != bv[j] {
+				if av[j] < bv[j] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return int(a - b)
+	})
+}
+
+// vdominates is the vectorized dominance test: a dominates b iff a ≤ b
+// componentwise with at least one strict <. Equal vectors never
+// dominate.
+func vdominates(a, b []float64, st *Stats) bool {
+	st.Comparisons++
+	better := false
+	for j := range a {
+		if a[j] > b[j] {
+			return false
+		}
+		if a[j] < b[j] {
+			better = true
+		}
+	}
+	return better
+}
+
+// vectorizedSkyline is the core block-at-a-time evaluation over a
+// filled score matrix.
+func vectorizedSkyline(in VecInput, st *Stats, vst *VecStats, cfg Config) ([]value.Row, error) {
+	n := len(in.Rows)
+	if n == 0 {
+		return nil, nil
+	}
+	d := in.Dim
+	vec := func(i int32) []float64 { return in.Flat[int(i)*d : int(i)*d+d] }
+
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sortVecOrder(idx, in.Sums, in.Flat, d)
+
+	nb := (n + VecBlockSize - 1) / VecBlockSize
+	workers := cfg.workerCount()
+	frontier := make([]int32, 0, 64)
+	corner := make([]float64, 0, d) // scratch reused by the wave loop
+
+	ticks := 0
+	for base := 0; base < nb; base += workers {
+		cnt := nb - base
+		if cnt > workers {
+			cnt = workers
+		}
+		waveStart := len(frontier)
+		survivors := make([][]int32, cnt)
+		skipped := make([]bool, cnt)
+		stats := make([]Stats, cnt)
+		// Phase 1 — per block, against the pre-wave frontier snapshot
+		// (read-only, so the wave parallelizes): zone-map check, then a
+		// block-local SFS. With one worker this runs inline.
+		err := runConcurrent(cnt, workers, func(k int) error {
+			b := base + k
+			lo, hi := b*VecBlockSize, (b+1)*VecBlockSize
+			if hi > n {
+				hi = n
+			}
+			blk := idx[lo:hi]
+			bst := &stats[k]
+			bticks := 0
+
+			// Zone map: the block's best corner and its saturated sum.
+			crn := corner[:0]
+			if k > 0 {
+				crn = make([]float64, 0, d) // workers need private scratch
+			}
+			crn = append(crn, vec(blk[0])...)
+			for _, c := range blk[1:] {
+				cv := vec(c)
+				for j, v := range cv {
+					if v < crn[j] {
+						crn[j] = v
+					}
+				}
+			}
+			cornerSum := 0.0
+			for _, v := range crn {
+				if math.IsInf(v, 1) {
+					cornerSum = math.Inf(1)
+					break
+				}
+				cornerSum += v
+			}
+			// A dominator of the corner has a componentwise ≤ vector,
+			// hence a sum ≤ cornerSum: the frontier is sum-ordered, so
+			// the scan stops at the first member past it.
+			for _, w := range frontier {
+				if in.Sums[w] > cornerSum {
+					break
+				}
+				if err := cfg.checkStop(&bticks); err != nil {
+					return err
+				}
+				if vdominates(vec(w), crn, bst) {
+					skipped[k] = true
+					return nil
+				}
+			}
+
+			var acc []int32
+			for _, c := range blk {
+				cv := vec(c)
+				cs := in.Sums[c]
+				dominated := false
+				for _, w := range frontier {
+					if in.Sums[w] > cs {
+						break // dominators have sum ≤ the candidate's
+					}
+					if err := cfg.checkStop(&bticks); err != nil {
+						return err
+					}
+					if vdominates(vec(w), cv, bst) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					for _, w := range acc {
+						if err := cfg.checkStop(&bticks); err != nil {
+							return err
+						}
+						if vdominates(vec(w), cv, bst) {
+							dominated = true
+							break
+						}
+					}
+				}
+				if !dominated {
+					acc = append(acc, c)
+				}
+			}
+			survivors[k] = acc
+			return nil
+		})
+		mergeStats(st, stats)
+		if err != nil {
+			return nil, err
+		}
+		// Phase 2 — stitch the wave in block order: each survivor is
+		// re-filtered against the rows the wave has accepted so far
+		// (exact by transitivity — a stitched-out dominator is itself
+		// dominated by an accepted row that also dominates the
+		// candidate), then appended. Monotone processing order makes
+		// every append final.
+		vst.BlocksScanned += cnt
+		for k := 0; k < cnt; k++ {
+			if skipped[k] {
+				vst.BlocksPruned++
+				continue
+			}
+			for _, c := range survivors[k] {
+				cv := vec(c)
+				dominated := false
+				for _, w := range frontier[waveStart:] {
+					if err := cfg.checkStop(&ticks); err != nil {
+						return nil, err
+					}
+					if vdominates(vec(w), cv, st) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					frontier = append(frontier, c)
+				}
+			}
+		}
+		if len(frontier) > st.MaxWindow {
+			st.MaxWindow = len(frontier)
+		}
+	}
+
+	out := make([]value.Row, len(frontier))
+	for i, ix := range frontier {
+		out[i] = in.Rows[ix]
+	}
+	return out, nil
+}

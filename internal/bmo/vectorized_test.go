@@ -1,0 +1,263 @@
+package bmo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+// carRows draws a car-shaped catalog without importing datagen (which
+// would cycle back into bmo through the engine): 7 columns with id at
+// 0, numeric attributes at 3 (price), 4 (power) and 6 (mileage) and a
+// text color at 5.
+func carRows(rng *rand.Rand, n int) []value.Row {
+	colors := []string{"red", "black", "silver", "blue"}
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i + 1)),
+			value.NewText("make"),
+			value.NewText("category"),
+			value.NewInt(int64(rng.Intn(100000))),
+			value.NewInt(int64(50 + rng.Intn(400))),
+			value.NewText(colors[rng.Intn(len(colors))]),
+			value.NewFloat(rng.Float64() * 200000),
+		}
+	}
+	return rows
+}
+
+func cget(i int) preference.Getter {
+	return func(r value.Row) (value.Value, error) { return r[i], nil }
+}
+
+// scoreBasedPref draws a random Pareto combination of the four numeric
+// scorer kinds over the car schema (price=3, power=4, mileage=6).
+func scoreBasedPref(rng *rand.Rand) preference.Preference {
+	cols := []int{0, 3, 4, 6}
+	mk := func() preference.Preference {
+		col := cols[rng.Intn(len(cols))]
+		label := fmt.Sprintf("c%d", col)
+		switch rng.Intn(4) {
+		case 0:
+			return &preference.Lowest{Get: cget(col), Label: label}
+		case 1:
+			return &preference.Highest{Get: cget(col), Label: label}
+		case 2:
+			return &preference.Around{Get: cget(col), Target: float64(rng.Intn(100000)), Label: label}
+		default:
+			lo := float64(rng.Intn(50000))
+			return &preference.Between{Get: cget(col), Lo: lo, Hi: lo + float64(rng.Intn(50000)), Label: label}
+		}
+	}
+	n := 1 + rng.Intn(3)
+	if n == 1 {
+		return mk()
+	}
+	parts := make([]preference.Preference, n)
+	for i := range parts {
+		parts[i] = mk()
+	}
+	return &preference.Pareto{Parts: parts}
+}
+
+// nullCars draws a car-shaped catalog and punches NULL holes into the
+// numeric columns (a NULL score is +Inf: it sorts last and never
+// dominates).
+func nullCars(rng *rand.Rand, n int) []value.Row {
+	rows := carRows(rng, n)
+	null := value.NewNull()
+	for _, r := range rows {
+		for _, c := range []int{3, 4, 6} {
+			if rng.Intn(10) == 0 {
+				r[c] = null
+			}
+		}
+	}
+	return rows
+}
+
+// TestVectorizedOrderMatchesSFS pins the strongest property the
+// vectorized path claims: its output is byte-identical — same rows in
+// the same order, not just the same set — to the sequential
+// sort-filter-skyline, across block boundaries, worker counts and NULL
+// scores.
+func TestVectorizedOrderMatchesSFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(20020529))
+	for trial := 0; trial < 40; trial++ {
+		p := scoreBasedPref(rng)
+		// Sizes straddle the block size: sub-block, exact multiple, ragged.
+		n := []int{17, VecBlockSize, VecBlockSize + 1, 3000}[rng.Intn(4)]
+		rows := nullCars(rng, n)
+		want, _, err := EvaluateConfig(p, rows, SortFilter, Config{})
+		if err != nil {
+			t.Fatalf("trial %d: SFS failed: %v", trial, err)
+		}
+		for _, workers := range []int{1, 3} {
+			got, _, vst, err := EvaluateVectorized(p, rows, Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d: vectorized (w=%d) failed: %v", trial, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d (w=%d): %d rows, want %d\npreference: %s",
+					trial, workers, len(got), len(want), p.Describe())
+			}
+			for i := range got {
+				if got[i].Key() != want[i].Key() {
+					t.Fatalf("trial %d (w=%d): row %d differs from SFS order\npreference: %s",
+						trial, workers, i, p.Describe())
+				}
+			}
+			if wantBlocks := (n + VecBlockSize - 1) / VecBlockSize; vst.BlocksScanned != wantBlocks {
+				t.Fatalf("trial %d (w=%d): scanned %d blocks, want %d", trial, workers, vst.BlocksScanned, wantBlocks)
+			}
+		}
+	}
+}
+
+// TestVectorizedZoneMapPruning pins the block counters on a dataset
+// built to prune: rows (i, i) form a chain, so the first block's best
+// row (0, 0) dominates every later block's corner.
+func TestVectorizedZoneMapPruning(t *testing.T) {
+	const n = 8 * VecBlockSize
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(int64(i))}
+	}
+	p := &preference.Pareto{Parts: []preference.Preference{
+		&preference.Lowest{Get: cget(0), Label: "a"},
+		&preference.Lowest{Get: cget(1), Label: "b"},
+	}}
+	// With one worker every block after the first sees (0, 0) on the
+	// frontier and is zone-pruned. With two workers the first wave's
+	// second block runs against a still-empty pre-wave frontier snapshot,
+	// so only the six later blocks prune.
+	for _, tc := range []struct {
+		workers, pruned int
+	}{{1, 7}, {2, 6}} {
+		out, _, vst, err := EvaluateVectorized(p, rows, Config{Workers: tc.workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 || out[0][0].I != 0 {
+			t.Fatalf("w=%d: expected the single row (0, 0), got %d rows", tc.workers, len(out))
+		}
+		if vst.BlocksScanned != 8 || vst.BlocksPruned != tc.pruned {
+			t.Fatalf("w=%d: zone-map counters: scanned=%d pruned=%d, want scanned=8 pruned=%d",
+				tc.workers, vst.BlocksScanned, vst.BlocksPruned, tc.pruned)
+		}
+	}
+}
+
+// TestVectorizedFallbackNonScoreBased pins the forced fallback: a
+// preference without a score-vector form (EXPLICIT here) evaluates
+// row-at-a-time and reports no block activity.
+func TestVectorizedFallbackNonScoreBased(t *testing.T) {
+	ex, err := preference.NewExplicit(cget(5), "color", [][2]value.Value{
+		{value.NewText("red"), value.NewText("black")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := carRows(rand.New(rand.NewSource(7)), 500)
+	want, err := Evaluate(ex, rows, BlockNestedLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, vst, err := EvaluateVectorized(ex, rows, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rowSet(got), rowSet(want)
+	if !subMultiset(a, b) || !subMultiset(b, a) {
+		t.Fatalf("fallback diverges from BNL: %d vs %d rows", len(got), len(want))
+	}
+	if vst.BlocksScanned != 0 || vst.BlocksPruned != 0 {
+		t.Fatalf("fallback must not report block counters, got %+v", vst)
+	}
+}
+
+// TestVectorizedCascadeStages pins stage-wise CASCADE evaluation through
+// the vectorized entry point (each stage narrows the candidate set).
+func TestVectorizedCascadeStages(t *testing.T) {
+	rows := carRows(rand.New(rand.NewSource(11)), 2000)
+	p := &preference.Cascade{Parts: []preference.Preference{
+		&preference.Lowest{Get: cget(3), Label: "price"},
+		&preference.Highest{Get: cget(4), Label: "power"},
+	}}
+	want, err := Evaluate(p, rows, NestedLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, _, err := EvaluateVectorized(p, rows, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rowSet(got), rowSet(want)
+	if !subMultiset(a, b) || !subMultiset(b, a) {
+		t.Fatalf("cascade diverges: %d vs %d rows", len(got), len(want))
+	}
+	if st.Stages < 1 {
+		t.Fatalf("expected stage counter to advance, got %d", st.Stages)
+	}
+}
+
+// TestVectorizedStop pins cancellation: a failing Stop hook aborts the
+// evaluation with its error.
+func TestVectorizedStop(t *testing.T) {
+	// Anti-correlated rows (i, n-i): everything is incomparable, so the
+	// frontier grows to n and the kernel performs plenty of comparisons
+	// between Stop polls.
+	const n = 4 * VecBlockSize
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(int64(n - i))}
+	}
+	p := &preference.Pareto{Parts: []preference.Preference{
+		&preference.Lowest{Get: cget(0), Label: "a"},
+		&preference.Lowest{Get: cget(1), Label: "b"},
+	}}
+	stopErr := errors.New("cancelled")
+	_, _, _, err := EvaluateVectorized(p, rows, Config{Stop: func() error { return stopErr }})
+	if !errors.Is(err, stopErr) {
+		t.Fatalf("expected the Stop error, got %v", err)
+	}
+}
+
+// FuzzVectorizedVsBNL drives the vectorized kernel against the
+// block-nested-loop reference on arbitrary small matrices: the result
+// multiset must match BNL and the emission order must match SFS.
+func FuzzVectorizedVsBNL(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(1))
+	f.Add([]byte{0, 0, 0, 9, 9, 9, 3, 1, 2, 2, 3, 1}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, workers uint8) {
+		rows := vecRows(data, 3)
+		p := pareto(3)
+		cfg := Config{Workers: int(workers % 8)}
+		got, _, _, err := EvaluateVectorized(p, rows, cfg)
+		if err != nil {
+			t.Fatalf("vectorized failed: %v", err)
+		}
+		want, err := Evaluate(p, rows, BlockNestedLoop)
+		if err != nil {
+			t.Fatalf("BNL failed: %v", err)
+		}
+		a, b := rowSet(got), rowSet(want)
+		if !subMultiset(a, b) || !subMultiset(b, a) {
+			t.Fatalf("vectorized multiset diverges from BNL: %d vs %d rows", len(got), len(want))
+		}
+		ordered, _, err := EvaluateConfig(p, rows, SortFilter, Config{})
+		if err != nil {
+			t.Fatalf("SFS failed: %v", err)
+		}
+		for i := range got {
+			if got[i].Key() != ordered[i].Key() {
+				t.Fatalf("row %d diverges from the SFS emission order", i)
+			}
+		}
+	})
+}

@@ -615,6 +615,7 @@ func (s *Session) queryNative(sel *ast.Select, ee execEnv) (*Result, error) {
 	} else {
 		root := plan.NewBMO(pipe.Node(), pref, s.Algorithm(), false, s.bmoWorkers(sel))
 		node := s.maybePush(sel, root)
+		s.vectorize(sel, root, node)
 		op, berr := pipe.Build(node)
 		if berr != nil {
 			return nil, berr

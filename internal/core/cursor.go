@@ -270,7 +270,10 @@ func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool, ee execEnv)
 		// QueryProgressive keeps the unpushed plan: its contract is the
 		// score-ordered progressive stream over the candidate relation,
 		// and its streamability errors must not depend on plan shape.
+		// The vectorized selection likewise only applies to the relaxed
+		// cursor (it trades the progressive stream for the batch kernel).
 		node = s.maybePush(sel, root)
+		s.vectorize(sel, root, node)
 	}
 	op, err := pipe.Build(node)
 	if err != nil {

@@ -53,8 +53,56 @@ func TestExplainGolden(t *testing.T) {
 		want string
 	}{
 		{
-			name: "hint-present-big-table",
+			name: "vec-selected-big-table",
 			sql:  `SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO vec est=30000 columnar [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan big\n",
+		},
+		{
+			name: "hint-present-big-table",
+			prep: func(s *Session) { s.SetVectorized(false) },
+			sql:  `SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO progressive auto hint=parallel est=30000 [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan big\n",
+		},
+		{
+			name: "vec-filtered-scan-generic-fill",
+			sql:  `SELECT id FROM big WHERE d3 < 2 PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO vec est=10000 [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan big [(d3 < 2)]\n",
+		},
+		{
+			// An opaque computed score expression cannot map onto column
+			// vectors, so the planner refuses vectorization and keeps the
+			// parallel hint.
+			name: "vec-refused-opaque-expression",
+			sql:  `SELECT id FROM big PREFERRING LOWEST(d1 + d2) AND LOWEST(d2)`,
+			want: "BMO progressive auto hint=parallel est=30000 [(LOWEST((d1 + d2)) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan big\n",
+		},
+		{
+			// Subquery preferences stay row-at-a-time (and single-worker,
+			// like the parallel path).
+			name: "vec-refused-subquery-preference",
+			sql:  `SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST((SELECT MIN(e1) FROM dim) + d2)`,
+			want: "BMO progressive auto hint=parallel est=30000 workers=1 [(LOWEST(d1) AND LOWEST(((SELECT MIN(e1) FROM dim) + d2)))]\n" +
+				"  Project *\n" +
+				"    SeqScan big\n",
+		},
+		{
+			// `SET vectorized = off` pins the row-at-a-time path for the
+			// session, restoring the pre-vectorized rendering.
+			name: "vec-pinned-off-via-set",
+			prep: func(s *Session) {
+				if _, err := s.Exec(`SET vectorized = off`); err != nil {
+					panic(err)
+				}
+			},
+			sql: `SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST(d2)`,
 			want: "BMO progressive auto hint=parallel est=30000 [(LOWEST(d1) AND LOWEST(d2))]\n" +
 				"  Project *\n" +
 				"    SeqScan big\n",
@@ -111,6 +159,56 @@ func TestExplainGolden(t *testing.T) {
 			}
 			if got != tc.want {
 				t.Errorf("plan diff\n--- want ---\n%s--- got ---\n%s", tc.want, got)
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzeGolden pins EXPLAIN ANALYZE: the vectorized BMO node
+// reports its zone-map activity (blocks scanned / blocks pruned) and
+// every statement gets a footer with the runtime work counters. The
+// block counts are deterministic for the seeded datasets: big is 30000
+// rows = ceil(30000/1024) = 30 blocks, 15 of which the zone maps skip.
+func TestExplainAnalyzeGolden(t *testing.T) {
+	db := explainDB(t)
+	cases := []struct {
+		name string
+		sql  string
+		want string
+	}{
+		{
+			name: "vec-zone-map-counters",
+			sql:  `SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO vec blocks=30 pruned=15 est=30000 columnar [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan big\n" +
+				"-- rows=15 scanned=30000 probes=0 join_in=0 bmo_in=30000\n",
+		},
+		{
+			name: "row-at-a-time-no-block-counters",
+			sql:  `SELECT id FROM small PREFERRING LOWEST(d1) AND LOWEST(d2)`,
+			want: "BMO progressive auto [(LOWEST(d1) AND LOWEST(d2))]\n" +
+				"  Project *\n" +
+				"    SeqScan small\n" +
+				"-- rows=6 scanned=600 probes=0 join_in=0 bmo_in=600\n",
+		},
+		{
+			name: "plain-select-footer",
+			sql:  `SELECT id FROM big WHERE d1 < 0.1 LIMIT 5`,
+			want: "Limit count=5 offset=0\n" +
+				"  Project id\n" +
+				"    SeqScan big [(d1 < 0.1)]\n" +
+				"-- rows=5 scanned=61 probes=0 join_in=0 bmo_in=0\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := db.NewSession().ExplainAnalyze(tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("analyze diff\n--- want ---\n%s--- got ---\n%s", tc.want, got)
 			}
 		})
 	}
@@ -270,9 +368,11 @@ func TestPushdownMatchesExecution(t *testing.T) {
 	}
 }
 
-// TestExplainMatchesExecution pins that the hint shown by EXPLAIN is the
-// path the executor takes: a hinted Auto plan and an explicit parallel
-// plan return the same rows as the sequential baseline.
+// TestExplainMatchesExecution pins that the physical choice shown by
+// EXPLAIN is the path the executor takes: the default Auto plan (now the
+// vectorized operator on the big table), the vectorized-off plan (the
+// parallel hint) and the explicit sequential baseline all return the
+// same rows.
 func TestExplainMatchesExecution(t *testing.T) {
 	db := explainDB(t)
 	q := `SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST(d2)`
@@ -281,8 +381,17 @@ func TestExplainMatchesExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(plan, "hint=parallel") {
-		t.Fatalf("expected parallel hint in plan:\n%s", plan)
+	if !strings.Contains(plan, "BMO vec") {
+		t.Fatalf("expected vectorized selection in plan:\n%s", plan)
+	}
+	novec := db.NewSession()
+	novec.SetVectorized(false)
+	offPlan, err := novec.ExplainNative(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(offPlan, "hint=parallel") {
+		t.Fatalf("expected parallel hint in vectorized-off plan:\n%s", offPlan)
 	}
 
 	ref := db.NewSession()
@@ -291,13 +400,20 @@ func TestExplainMatchesExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	auto := db.NewSession() // Auto + hint
+	auto := db.NewSession() // Auto: vectorized
 	got, err := auto.Query(q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got.Rows) == 0 || canonicalRows(got.Rows) != canonicalRows(want.Rows) {
-		t.Fatalf("hinted auto result (%d rows) diverges from BNL (%d rows)", len(got.Rows), len(want.Rows))
+		t.Fatalf("vectorized auto result (%d rows) diverges from BNL (%d rows)", len(got.Rows), len(want.Rows))
+	}
+	offRows, err := novec.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalRows(offRows.Rows) != canonicalRows(want.Rows) {
+		t.Fatalf("vectorized-off result (%d rows) diverges from BNL (%d rows)", len(offRows.Rows), len(want.Rows))
 	}
 }
 

@@ -52,6 +52,9 @@ type Session struct {
 	// this session (stored inverted so the zero-value session keeps the
 	// optimization on).
 	pushoff atomic.Bool
+	// vecoff disables the planner's vectorized BMO selection for this
+	// session (stored inverted like pushoff: zero value = on).
+	vecoff atomic.Bool
 }
 
 // NewSession creates a session with default settings (native mode, auto
@@ -96,6 +99,16 @@ func (s *Session) SetPushdown(on bool) { s.pushoff.Store(!on) }
 // Pushdown reports whether the preference-algebra rewrite is enabled.
 func (s *Session) Pushdown() bool { return !s.pushoff.Load() }
 
+// SetVectorized enables or disables the planner's vectorized BMO
+// selection (the columnar batch-at-a-time skyline with zone-map
+// pruning) for this session. It is on by default; turning it off pins
+// the row-at-a-time path — the differential harness and the benchmark
+// baseline use that.
+func (s *Session) SetVectorized(on bool) { s.vecoff.Store(!on) }
+
+// Vectorized reports whether vectorized BMO selection is enabled.
+func (s *Session) Vectorized() bool { return !s.vecoff.Load() }
+
 // StmtReadOnly reports whether a statement only reads data: such
 // statements run under the shared read lock, concurrently with each
 // other. Everything else (DML, DDL, preference definitions) serializes
@@ -115,9 +128,11 @@ func StmtReadOnly(stmt ast.Stmt) bool {
 
 // applySet executes a `SET name = value` statement against this
 // session's settings. Keys mirror the wire protocol's Set message:
-// mode (native|rewrite), algorithm (auto|nl|bnl|sfs|bestlevel|parallel),
-// workers (non-negative integer, 0 = one per CPU) and pushdown
-// (on|off — the preference-algebra join pushdown).
+// mode (native|rewrite), algorithm
+// (auto|nl|bnl|sfs|bestlevel|parallel|vec), workers (non-negative
+// integer, 0 = one per CPU), pushdown (on|off — the preference-algebra
+// join pushdown) and vectorized (on|off — the planner's vectorized BMO
+// selection).
 func (s *Session) applySet(st *ast.Set) (*Result, error) {
 	key := strings.ToLower(st.Name)
 	switch key {
@@ -133,7 +148,7 @@ func (s *Session) applySet(st *ast.Set) (*Result, error) {
 	case "algorithm", "algo":
 		a, ok := bmo.ParseToken(strings.ToLower(st.Value.String()))
 		if !ok {
-			return nil, fmt.Errorf("core: unknown algorithm %s (want auto, nl, bnl, sfs, bestlevel or parallel)", st.Value.SQL())
+			return nil, fmt.Errorf("core: unknown algorithm %s (want auto, nl, bnl, sfs, bestlevel, parallel or vec)", st.Value.SQL())
 		}
 		s.SetAlgorithm(a)
 	case "workers":
@@ -151,8 +166,17 @@ func (s *Session) applySet(st *ast.Set) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("core: pushdown requires on or off, got %s", st.Value.SQL())
 		}
+	case "vectorized":
+		switch strings.ToLower(st.Value.String()) {
+		case "on", "true", "1":
+			s.SetVectorized(true)
+		case "off", "false", "0":
+			s.SetVectorized(false)
+		default:
+			return nil, fmt.Errorf("core: vectorized requires on or off, got %s", st.Value.SQL())
+		}
 	default:
-		return nil, fmt.Errorf("core: unknown setting %q (want mode, algorithm, workers or pushdown)", st.Name)
+		return nil, fmt.Errorf("core: unknown setting %q (want mode, algorithm, workers, pushdown or vectorized)", st.Name)
 	}
 	return &Result{}, nil
 }

@@ -150,6 +150,11 @@ func (b *BMOOp) Open() error {
 	if b.env != nil {
 		b.env.count().BMOInputRows += int64(len(b.input))
 	}
+	// Vectorized physical operator (planner-selected, root nodes only —
+	// never combined with pushdown padding, grouping or streaming).
+	if b.node.Vec {
+		return b.openVectorized()
+	}
 	// Group-wise pre-filter (split pushdown below an equi-join):
 	// dominance runs among rows sharing a join-key value. Pre-filters
 	// are always batch nodes — they sit below a join that materializes

@@ -37,6 +37,12 @@ type Stats struct {
 	// BMO operators of the statement (for pushed nodes: after the
 	// semijoin partner filter).
 	BMOInputRows int64
+	// VecBlocksScanned / VecBlocksPruned count the vectorized BMO path's
+	// zone-map activity: blocks examined, and blocks skipped wholesale
+	// because a frontier member dominated the block's best corner.
+	// EXPLAIN ANALYZE renders them as `blocks=N pruned=M`.
+	VecBlocksScanned int64
+	VecBlocksPruned  int64
 }
 
 // Env carries what operators need to evaluate expressions: the evaluator

@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"math"
+
+	"repro/internal/bmo"
+	"repro/internal/preference"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Vectorized BMO execution: the planner marked the node Vec after
+// verifying the preference is fully score-based over resolvable numeric
+// columns. The operator fills a flat score matrix — straight from the
+// table's columnar image when the child pipeline is a bare table scan
+// (VecTable), otherwise by generic per-row scoring — and hands it to the
+// batch zone-map kernel. Zone-map counters land in the statement Stats
+// for EXPLAIN ANALYZE.
+
+// openVectorized is the Vec branch of BMOOp.Open; the input is already
+// materialized and counted.
+func (b *BMOOp) openVectorized() error {
+	cfg := b.config()
+	scorers, ok := bmo.ScoreBased(b.node.Pref)
+	if ok && len(scorers) == len(b.node.VecCols) && b.node.VecTable != nil {
+		if c := b.node.VecTable.Columnar(b.node.VecEpoch); c.NRows == len(b.input) {
+			if in, filled := fillColumnar(scorers, b.node.VecCols, c, b.input); filled {
+				out, _, vst, err := bmo.EvaluateVecInput(in, cfg)
+				if err != nil {
+					return err
+				}
+				b.countVec(vst)
+				b.buf = out
+				return nil
+			}
+		}
+	}
+	// Generic path: score via the compiled getters row-at-a-time, then
+	// evaluate the same batch kernel (also the safety net when the
+	// columnar image went stale between planning and execution).
+	out, _, vst, err := bmo.EvaluateVectorized(b.node.Pref, b.input, cfg)
+	if err != nil {
+		return err
+	}
+	b.countVec(vst)
+	b.buf = out
+	return nil
+}
+
+func (b *BMOOp) countVec(vst bmo.VecStats) {
+	if b.env == nil {
+		return
+	}
+	s := b.env.count()
+	s.VecBlocksScanned += int64(vst.BlocksScanned)
+	s.VecBlocksPruned += int64(vst.BlocksPruned)
+}
+
+// fillColumnar builds the score matrix from the table's columnar image
+// with per-preference kernels — tight loops over typed float64 vectors,
+// no value boxing and no per-row interface dispatch. It reports false
+// when some component has no specialized kernel (discrete scorers read
+// boxed values), sending the operator down the generic fill.
+func fillColumnar(scorers []preference.Scored, cols []int, c *storage.Columnar, rows []value.Row) (bmo.VecInput, bool) {
+	n := c.NRows
+	d := len(scorers)
+	flat := make([]float64, n*d)
+	inf := math.Inf(1)
+	for j, s := range scorers {
+		cv := c.Cols[cols[j]]
+		if cv == nil {
+			return bmo.VecInput{}, false
+		}
+		nums, k := cv.Nums, j
+		switch p := s.(type) {
+		case *preference.Lowest:
+			for i := 0; i < n; i++ {
+				v := inf
+				if cv.IsValid(i) {
+					v = nums[i]
+				}
+				flat[i*d+k] = v
+			}
+		case *preference.Highest:
+			for i := 0; i < n; i++ {
+				v := inf
+				if cv.IsValid(i) {
+					v = -nums[i]
+				}
+				flat[i*d+k] = v
+			}
+		case *preference.Around:
+			for i := 0; i < n; i++ {
+				v := inf
+				if cv.IsValid(i) {
+					v = math.Abs(nums[i] - p.Target)
+				}
+				flat[i*d+k] = v
+			}
+		case *preference.Between:
+			for i := 0; i < n; i++ {
+				v := inf
+				if cv.IsValid(i) {
+					switch x := nums[i]; {
+					case x < p.Lo:
+						v = p.Lo - x
+					case x > p.Hi:
+						v = x - p.Hi
+					default:
+						v = 0
+					}
+				}
+				flat[i*d+k] = v
+			}
+		default:
+			return bmo.VecInput{}, false
+		}
+	}
+	in := bmo.VecInput{Rows: rows, Dim: d, Flat: flat, Sums: bmo.SaturateSums(flat, n, d)}
+	return in, true
+}

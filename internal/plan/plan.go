@@ -381,6 +381,23 @@ type BMO struct {
 	// waiting to count the actual input.
 	ParallelHint bool
 
+	// Vec selects the vectorized physical operator: the executor fills a
+	// flat score matrix (from columnar storage when VecTable is set, or
+	// by generic per-row scoring) and evaluates batch-at-a-time with
+	// zone-map block pruning. The planner sets it from table statistics
+	// when the preference is fully score-based over resolvable numeric
+	// columns; see core's vectorize step.
+	Vec bool
+	// VecCols maps each score component to its child-schema column index
+	// (parallel to the preference's scorer list).
+	VecCols []int
+	// VecTable, when non-nil, lets the executor fill score vectors from
+	// the table's columnar image at write epoch VecEpoch instead of
+	// boxing row values — only safe when the child pipeline scans the
+	// table bare (no filter, no limit), so heap order matches input.
+	VecTable *storage.Table
+	VecEpoch uint64
+
 	// The remaining fields are set by the preference-algebra rewriter
 	// (PushBMO) when it moves dominance work below a join.
 
@@ -444,7 +461,16 @@ func (b *BMO) Explain() string {
 	if b.Progressive {
 		mode = "progressive " + mode
 	}
+	if b.Vec {
+		mode = "vec"
+	}
 	out := fmt.Sprintf("BMO %s", mode)
+	if b.Vec {
+		out += fmt.Sprintf(" est=%d", b.EstRows)
+		if b.VecTable != nil {
+			out += " columnar"
+		}
+	}
 	if b.ParallelHint {
 		out += fmt.Sprintf(" hint=parallel est=%d", b.EstRows)
 	}

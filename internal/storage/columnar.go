@@ -1,0 +1,76 @@
+package storage
+
+import "repro/internal/value"
+
+// Columnar storage: a lazily built, immutable column-major image of a
+// table's heap for the vectorized BMO path. Numeric columns (INT, FLOAT,
+// BOOL, DATE) decompose into a typed float64 vector plus a validity
+// bitmap; TEXT columns have no vector (their slot is nil) since no score
+// kernel consumes them.
+//
+// The image is cached on the table and tagged with the database write
+// epoch it was built under. Readers ask for the image at their epoch:
+// a cached image from an older epoch is discarded and rebuilt from a
+// fresh heap snapshot. Writes serialize under the statement write lock
+// and bump the epoch before any later reader plans, so a cache hit is
+// always consistent with the heap the reader scans; concurrent
+// same-epoch rebuilds are idempotent (both produce identical images,
+// last store wins).
+
+// ColVec is one numeric column as a typed vector: Nums[i] holds row i's
+// value as a float64 (value.Value.Num semantics: INT/BOOL/DATE widen,
+// FLOAT passes through) and bit i of Valid marks it non-NULL. Slots of
+// NULL rows hold 0 and must be ignored via the bitmap.
+type ColVec struct {
+	Kind  value.Kind
+	Nums  []float64
+	Valid []uint64
+}
+
+// IsValid reports whether row i is non-NULL.
+func (c *ColVec) IsValid(i int) bool {
+	return c.Valid[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Columnar is the column-major image of a table heap at one write epoch.
+// Cols is parallel to the table schema; non-numeric columns are nil.
+type Columnar struct {
+	Epoch uint64
+	NRows int
+	Cols  []*ColVec
+}
+
+// Columnar returns the column-major image of the table as of the given
+// write epoch, building (and caching) it on first use. A cached image
+// from a different epoch is stale — some write happened since — and is
+// rebuilt from the current heap.
+func (t *Table) Columnar(epoch uint64) *Columnar {
+	if c := t.columnar.Load(); c != nil && c.Epoch == epoch {
+		return c
+	}
+	c := buildColumnar(t.Rows(), &t.Schema, epoch)
+	t.columnar.Store(c)
+	return c
+}
+
+func buildColumnar(rows []value.Row, schema *Schema, epoch uint64) *Columnar {
+	n := len(rows)
+	c := &Columnar{Epoch: epoch, NRows: n, Cols: make([]*ColVec, len(schema.Cols))}
+	words := (n + 63) / 64
+	for j, col := range schema.Cols {
+		switch col.Kind {
+		case value.Int, value.Float, value.Bool, value.Date:
+			cv := &ColVec{Kind: col.Kind, Nums: make([]float64, n), Valid: make([]uint64, words)}
+			for i, r := range rows {
+				v := r[j]
+				if v.IsNull() {
+					continue
+				}
+				cv.Nums[i] = v.Num()
+				cv.Valid[i>>6] |= 1 << (uint(i) & 63)
+			}
+			c.Cols[j] = cv
+		}
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func columnarTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := carsTable()
+	rows := []value.Row{
+		{value.NewInt(1), value.NewText("Audi"), value.NewFloat(40000)},
+		{value.NewInt(2), value.NewText("BMW"), value.NewNull()},
+		{value.NewInt(3), value.NewNull(), value.NewFloat(35000)},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestColumnarBuildAndLayout(t *testing.T) {
+	tbl := columnarTable(t)
+	c := tbl.Columnar(5)
+	if c.Epoch != 5 || c.NRows != 3 {
+		t.Fatalf("image epoch=%d rows=%d, want 5/3", c.Epoch, c.NRows)
+	}
+	// TEXT columns get no vector; numeric columns decompose into
+	// float64 values plus a validity bitmap.
+	if c.Cols[1] != nil {
+		t.Error("text column should have a nil vector slot")
+	}
+	id := c.Cols[0]
+	if id == nil || id.Nums[0] != 1 || id.Nums[2] != 3 || !id.IsValid(1) {
+		t.Fatalf("id vector wrong: %+v", id)
+	}
+	price := c.Cols[2]
+	if price == nil || price.Nums[0] != 40000 || price.Nums[2] != 35000 {
+		t.Fatalf("price vector wrong: %+v", price)
+	}
+	if price.IsValid(1) {
+		t.Error("NULL price must clear its validity bit")
+	}
+	if !price.IsValid(0) || !price.IsValid(2) {
+		t.Error("non-NULL prices must set their validity bits")
+	}
+}
+
+func TestColumnarCacheHitAndEpochInvalidation(t *testing.T) {
+	tbl := columnarTable(t)
+	c1 := tbl.Columnar(1)
+	if c2 := tbl.Columnar(1); c2 != c1 {
+		t.Error("same-epoch request must return the cached image")
+	}
+	// A later epoch means some write happened: the image is rebuilt from
+	// the current heap.
+	if err := tbl.Insert(value.Row{value.NewInt(4), value.NewText("VW"), value.NewFloat(20000)}); err != nil {
+		t.Fatal(err)
+	}
+	c3 := tbl.Columnar(2)
+	if c3 == c1 {
+		t.Fatal("stale-epoch image must be rebuilt")
+	}
+	if c3.NRows != 4 || c3.Cols[2].Nums[3] != 20000 {
+		t.Fatalf("rebuilt image misses the new row: %+v", c3)
+	}
+	if c4 := tbl.Columnar(2); c4 != c3 {
+		t.Error("rebuilt image must be cached in turn")
+	}
+}
+
+func TestColumnarValidityPastWordBoundary(t *testing.T) {
+	// 70 rows cross the first 64-bit bitmap word; every odd id is NULL
+	// in the price column.
+	tbl := carsTable()
+	for i := 1; i <= 70; i++ {
+		price := value.NewFloat(float64(i))
+		if i%2 == 1 {
+			price = value.NewNull()
+		}
+		if err := tbl.Insert(value.Row{value.NewInt(int64(i)), value.NewText("x"), price}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tbl.Columnar(1)
+	price := c.Cols[2]
+	for i := 0; i < 70; i++ {
+		odd := (i+1)%2 == 1
+		if price.IsValid(i) == odd {
+			t.Fatalf("row %d validity wrong (odd ids are NULL)", i)
+		}
+		if !odd && price.Nums[i] != float64(i+1) {
+			t.Fatalf("row %d value %v", i, price.Nums[i])
+		}
+	}
+}

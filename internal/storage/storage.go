@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/value"
@@ -73,6 +74,10 @@ type Table struct {
 	rows    []value.Row
 	indexes map[string]*Index
 	pkCol   int // -1 if no primary key
+
+	// columnar caches the lazily built column-major image of the heap,
+	// tagged with the write epoch it was built under (see columnar.go).
+	columnar atomic.Pointer[Columnar]
 }
 
 // NewTable creates an empty table with the given schema.

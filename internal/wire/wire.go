@@ -102,9 +102,10 @@ const (
 
 // Session setting keys for MsgSet.
 const (
-	SetMode      = "mode"      // "native" | "rewrite"
-	SetAlgorithm = "algorithm" // "auto" | "nl" | "bnl" | "sfs" | "bestlevel" | "parallel"
-	SetWorkers   = "workers"   // non-negative integer; "0" = one worker per CPU
+	SetMode       = "mode"       // "native" | "rewrite"
+	SetAlgorithm  = "algorithm"  // "auto" | "nl" | "bnl" | "sfs" | "bestlevel" | "parallel" | "vec"
+	SetWorkers    = "workers"    // non-negative integer; "0" = one worker per CPU
+	SetVectorized = "vectorized" // "on" | "off" — planner's vectorized BMO selection
 )
 
 // WriteFrame writes one framed message.

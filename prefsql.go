@@ -42,6 +42,7 @@ const (
 	SortFilter      = bmo.SortFilter
 	BestLevel       = bmo.BestLevel
 	Parallel        = bmo.Parallel
+	Vectorized      = bmo.Vectorized
 )
 
 // DB is an embedded Preference SQL database.
@@ -109,6 +110,12 @@ func (db *DB) SetWorkers(n int) { db.core.DefaultSession().SetWorkers(n) }
 // client with `SET pushdown = on|off`.
 func (db *DB) SetPushdown(on bool) { db.core.DefaultSession().SetPushdown(on) }
 
+// SetVectorized enables or disables the planner's vectorized BMO
+// selection — the columnar batch-at-a-time skyline with zone-map
+// pruning — on the default session (on by default). Sessions can also
+// set it per client with `SET vectorized = on|off`.
+func (db *DB) SetVectorized(on bool) { db.core.DefaultSession().SetVectorized(on) }
+
 // Session is a per-client view of a shared database: it carries the
 // client's mode and algorithm settings so concurrent clients don't
 // interfere, and its queries run concurrently under the shared read lock
@@ -135,6 +142,14 @@ func (db *DB) ExplainRewrite(sql string) (string, error) {
 // hint and the session's worker cap.
 func (db *DB) ExplainNative(sql string) (string, error) {
 	return db.core.ExplainNative(sql)
+}
+
+// ExplainAnalyze executes a SELECT and renders its native plan annotated
+// with runtime counters: the vectorized BMO node reports its zone-map
+// activity (`blocks=N pruned=M`) and a footer line carries the
+// statement's row-level work counters.
+func (db *DB) ExplainAnalyze(sql string) (string, error) {
+	return db.core.ExplainAnalyze(sql)
 }
 
 // QueryProgressive streams the Best-Matches-Only result of a preference
