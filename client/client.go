@@ -46,6 +46,9 @@ type (
 	Row       = value.Row
 	Mode      = core.Mode
 	Algorithm = bmo.Algorithm
+	// QueryStats is one statement's server-side execution statistics
+	// (latency, work counters, annotated plan); see RequestStats.
+	QueryStats = wire.QueryStats
 )
 
 // Statement flags reported by the server with each result.
@@ -70,7 +73,21 @@ type Conn struct {
 	bw     *bufio.Writer
 	sessID uint32
 	banner string
+
+	wantStats atomic.Bool                // RequestStats toggle
+	lastStats atomic.Pointer[QueryStats] // most recent Stats frame
 }
+
+// RequestStats asks the server to attach execution statistics to every
+// subsequent Query on this connection: latency, the engine's work
+// counters, and the per-operator annotated plan. Fetch them with
+// LastStats after the statement (or stream) completes.
+func (c *Conn) RequestStats(on bool) { c.wantStats.Store(on) }
+
+// LastStats returns the most recent statement's server-side statistics,
+// or nil when none have been received (RequestStats off, or the
+// statement failed before recording).
+func (c *Conn) LastStats() *QueryStats { return c.lastStats.Load() }
 
 // Dial connects to a prefserve instance and performs the handshake.
 func Dial(addr string) (*Conn, error) {
@@ -284,6 +301,10 @@ func (c *Conn) ExecFlagsContext(ctx context.Context, sql string, args ...any) (*
 	var b wire.Buffer
 	b.String(sql)
 	b.Values(vals)
+	if c.wantStats.Load() {
+		c.lastStats.Store(nil) // don't let a stale snapshot pass for this statement's
+		b.U8(wire.QueryFlagWantStats)
+	}
 	if err := c.send(wire.MsgQuery, b.B); err != nil {
 		return nil, 0, c.broken(err)
 	}
@@ -312,6 +333,12 @@ func (c *Conn) collect() (*Result, byte, error) {
 			res.Columns = r.Strings()
 		case wire.MsgRow:
 			res.Rows = append(res.Rows, r.Row())
+		case wire.MsgStats:
+			qs := wire.DecodeQueryStats(r)
+			if err := r.Err(); err != nil {
+				return nil, 0, c.broken(err)
+			}
+			c.lastStats.Store(&qs)
 		case wire.MsgDone:
 			affected := r.U32()
 			r.U32() // row count, implied by len(res.Rows)
@@ -381,6 +408,10 @@ func (c *Conn) QueryIterContext(ctx context.Context, sql string, args ...any) (*
 	var b wire.Buffer
 	b.String(sql)
 	b.Values(vals)
+	if c.wantStats.Load() {
+		c.lastStats.Store(nil)
+		b.U8(wire.QueryFlagWantStats)
+	}
 	if err := c.send(wire.MsgQuery, b.B); err != nil {
 		return fail(c.broken(err))
 	}
@@ -459,6 +490,17 @@ func (r *Rows) Next() bool {
 		}
 		r.row = row
 		return true
+	case wire.MsgStats:
+		// The stream's statistics arrive between the last row and Done;
+		// stash them and keep pulling for the Done frame.
+		qs := wire.DecodeQueryStats(rd)
+		if err := rd.Err(); err != nil {
+			r.err = r.c.broken(err)
+			r.finish()
+			return false
+		}
+		r.c.lastStats.Store(&qs)
+		return r.Next()
 	case wire.MsgDone:
 		rd.U32()
 		rd.U32()
@@ -545,6 +587,12 @@ func (r *Rows) Close() error {
 			return nil
 		case wire.MsgRow:
 			// discard in-flight rows
+		case wire.MsgStats:
+			rd := wire.NewReader(payload)
+			qs := wire.DecodeQueryStats(rd)
+			if rd.Err() == nil {
+				r.c.lastStats.Store(&qs)
+			}
 		default:
 			r.err = r.c.broken(fmt.Errorf("client: unexpected message %#x", typ))
 			r.finish()

@@ -1,7 +1,8 @@
 // Command benchgate is the CI performance-regression gate: it compares
 // fresh quick-run benchmark JSONs (p4: parallel BMO, p5: join pushdown,
-// p6: vectorized BMO) against the committed baselines and fails when a
-// headline speedup regressed by more than the tolerance (default 25%).
+// p6: vectorized BMO, p7: instrumentation overhead) against the
+// committed baselines and fails when a headline speedup regressed by
+// more than the tolerance (default 25%).
 //
 // The gate compares speedup ratios, not wall-clock milliseconds: a ratio
 // (pushed vs unpushed plan, parallel vs sequential BNL, vectorized vs
@@ -19,7 +20,8 @@
 //
 //	benchgate -fresh-p5 BENCH_p5.json -base-p5 internal/bench/baselines/BENCH_p5.quick.json \
 //	          -fresh-p4 BENCH_p4.json -base-p4 internal/bench/baselines/BENCH_p4.quick.json \
-//	          -fresh-p6 BENCH_p6.json -base-p6 internal/bench/baselines/BENCH_p6.quick.json
+//	          -fresh-p6 BENCH_p6.json -base-p6 internal/bench/baselines/BENCH_p6.quick.json \
+//	          -fresh-p7 BENCH_p7.json -base-p7 internal/bench/baselines/BENCH_p7.quick.json
 package main
 
 import (
@@ -43,6 +45,7 @@ type gateSpec struct {
 	what    string // one-line description for the flag help
 	extract func(path string) (map[string]float64, error)
 	floor   bool
+	min     float64 // per-gate floor override; 0 = use the -min-speedup flag
 
 	fresh, base *string // filled from flags
 }
@@ -85,6 +88,21 @@ func extractP5(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+func extractP7(path string) (map[string]float64, error) {
+	var res bench.P7Result
+	if err := load(path, &res); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, e := range res.Entries {
+		if e.Variant != "recorded" {
+			continue
+		}
+		out[fmt.Sprintf("%d/%s", e.Rows, e.Variant)] = e.Speedup
+	}
+	return out, nil
+}
+
 func extractP6(path string) (map[string]float64, error) {
 	var res bench.P6Result
 	if err := load(path, &res); err != nil {
@@ -104,6 +122,14 @@ var gates = []*gateSpec{
 	{name: "p4", what: "parallel BMO", extract: extractP4},
 	{name: "p5", what: "join pushdown", extract: extractP5, floor: true},
 	{name: "p6", what: "vectorized BMO", extract: extractP6, floor: true},
+	// p7's ratio is instrumented-off vs instrumented-on of the same plan:
+	// the ideal is 1.0x and the budget is 3% (0.97x, held by the
+	// committed full-scale BENCH_p7.json). The quick-run CI floor sits at
+	// 0.90x: the overhead signal at quick scale is itself a few percent
+	// and shared runners jitter by about as much — a tighter floor would
+	// flake, while a 10% drop still catches any structural regression
+	// (the un-sampled recorder cost 40%).
+	{name: "p7", what: "instrumentation overhead", extract: extractP7, floor: true, min: 0.90},
 }
 
 // check compares one matched cell, printing the verdict line; the
@@ -146,9 +172,13 @@ func (g *gateSpec) run(tol, minSpeedup float64) (matched int, failed bool, err e
 		if check(g.name+" "+key, f, baseCells[key], tol) {
 			failed = true
 		}
-		if g.floor && f < minSpeedup {
+		floor := minSpeedup
+		if g.min > 0 {
+			floor = g.min
+		}
+		if g.floor && f < floor {
 			fmt.Printf("%s %s: the optimized plan no longer beats its baseline (%.2fx < %.2fx)\n",
-				g.name, key, f, minSpeedup)
+				g.name, key, f, floor)
 			failed = true
 		}
 	}
@@ -185,7 +215,7 @@ func main() {
 		fail = fail || bad
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -fresh-p4/-fresh-p5/-fresh-p6)")
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -fresh-p4/-fresh-p5/-fresh-p6/-fresh-p7)")
 		os.Exit(1)
 	}
 	if fail {

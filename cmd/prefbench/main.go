@@ -12,6 +12,7 @@
 //	prefbench -exp p4                   # sequential vs parallel BMO; writes BENCH_p4.json
 //	prefbench -exp p5                   # BMO-through-join pushdown; writes BENCH_p5.json
 //	prefbench -exp p6                   # row-at-a-time vs vectorized BMO; writes BENCH_p6.json
+//	prefbench -exp p7                   # per-operator instrumentation overhead; writes BENCH_p7.json
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		p4json  = flag.String("json-p4", "BENCH_p4.json", "file for the structured p4 results ('' disables)")
 		p5json  = flag.String("json-p5", "BENCH_p5.json", "file for the structured p5 results ('' disables)")
 		p6json  = flag.String("json-p6", "BENCH_p6.json", "file for the structured p6 results ('' disables)")
+		p7json  = flag.String("json-p7", "BENCH_p7.json", "file for the structured p7 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -103,6 +105,10 @@ func main() {
 		case name == "p6" && *p6json != "":
 			res, tbl, err := bench.P6(cfg)
 			emitJSON(name, *p6json, res, tbl, err)
+			continue
+		case name == "p7" && *p7json != "":
+			res, tbl, err := bench.P7(cfg)
+			emitJSON(name, *p7json, res, tbl, err)
 			continue
 		}
 		out, err := bench.Run(name, cfg)

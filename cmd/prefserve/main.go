@@ -8,6 +8,8 @@
 //	prefserve                          # serve an empty database on :7654
 //	prefserve -addr :6000 -f init.sql  # bulk-load a script, then serve
 //	prefserve -cache 512 -v            # bigger statement cache, verbose
+//	prefserve -metrics-addr :9090      # expose /metrics, /debug/vars, /debug/pprof
+//	prefserve -slow-query-ms 250       # log statements at or above 250ms
 //
 // Clients connect with the repro/client package or `prefsql -addr`.
 package main
@@ -16,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 
 	"repro/internal/bench"
@@ -26,11 +29,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7654", "listen address")
-		file    = flag.String("f", "", "SQL script to execute before serving (schema + data)")
-		cache   = flag.Int("cache", 128, "prepared-statement cache capacity")
-		demo    = flag.String("demo", "", "pre-load a demo dataset: jobs[:N] (synthetic job relation)")
-		verbose = flag.Bool("v", false, "log connections")
+		addr        = flag.String("addr", ":7654", "listen address")
+		file        = flag.String("f", "", "SQL script to execute before serving (schema + data)")
+		cache       = flag.Int("cache", 128, "prepared-statement cache capacity")
+		demo        = flag.String("demo", "", "pre-load a demo dataset: jobs[:N] (synthetic job relation)")
+		verbose     = flag.Bool("v", false, "log connections")
+		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listener (/metrics, /debug/vars, /debug/pprof); empty = off")
+		slowMs      = flag.Int64("slow-query-ms", 0, "log statements taking at least this many milliseconds; 0 = off")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -53,11 +59,34 @@ func main() {
 		}
 	}
 
-	opts := server.Options{CacheSize: *cache, Banner: "prefserve"}
+	// Structured logging: connection lifecycle at Info (behind -v) and
+	// slow queries at Warn (always, when a threshold is set).
+	level := slog.LevelWarn
 	if *verbose {
-		opts.Logf = log.Printf
+		level = slog.LevelInfo
+	}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	}
+	logger := slog.New(handler)
+
+	opts := server.Options{
+		CacheSize:   *cache,
+		Banner:      "prefserve",
+		Logger:      logger,
+		SlowQueryMs: *slowMs,
 	}
 	srv := server.New(db, opts)
+	if *metricsAddr != "" {
+		_, maddr, err := server.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("prefserve: metrics listener: %v", err)
+		}
+		log.Printf("prefserve: metrics on http://%s/metrics (pprof under /debug/pprof/)", maddr)
+	}
 	log.Printf("prefserve: listening on %s (statement cache %d)", *addr, *cache)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("prefserve: %v", err)

@@ -19,6 +19,9 @@
 //	                      (per session; `SET algorithm = ...` works as SQL too)
 //	\tables               list tables and views
 //	\prefs                list named preferences (CREATE PREFERENCE ...)
+//	\stats                show engine metrics and the last statement's
+//	                      execution statistics (per-operator plan included);
+//	                      over -addr, the server-reported statistics
 //	\q                    quit
 //
 // Session settings are also plain SQL statements, embedded or remote:
@@ -36,6 +39,7 @@ import (
 	prefsql "repro"
 	"repro/client"
 	"repro/internal/bmo"
+	"repro/internal/metrics"
 )
 
 // backend abstracts the embedded database and a remote server
@@ -48,6 +52,7 @@ type backend interface {
 	plan(sql string) (string, error)
 	tables() ([]string, error)
 	prefs() ([]string, error)
+	stats() (string, error)
 	close()
 }
 
@@ -81,6 +86,32 @@ func (b embeddedBackend) prefs() ([]string, error) {
 	return out, nil
 }
 
+func (b embeddedBackend) stats() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("-- engine metrics --\n")
+	for _, s := range metrics.Default.Snapshot() {
+		series := s.Name
+		if s.Labels != "" {
+			series += "{" + s.Labels + "}"
+		}
+		if s.Type == "histogram" {
+			fmt.Fprintf(&sb, "%-48s count=%d sum=%.3fs p50=%.3fms p95=%.3fms p99=%.3fms\n",
+				series, s.Count, s.Sum,
+				s.Quants["p50"]*1000, s.Quants["p95"]*1000, s.Quants["p99"]*1000)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-48s %d\n", series, s.Value)
+	}
+	if st := b.db.Internal().DefaultSession().LastStats(); st != nil {
+		fmt.Fprintf(&sb, "\n-- last statement (%s, %v, %d rows) --\n%s\n",
+			st.Kind, st.Duration.Round(time.Microsecond), st.Rows, strings.TrimSpace(st.SQL))
+		if st.Plan != "" {
+			sb.WriteString(st.Plan)
+		}
+	}
+	return sb.String(), nil
+}
+
 type remoteBackend struct{ c *client.Conn }
 
 func (b remoteBackend) exec(sql string) (*prefsql.Result, error) { return b.c.Exec(sql) }
@@ -101,6 +132,29 @@ func (b remoteBackend) prefs() ([]string, error) {
 	return nil, fmt.Errorf("\\prefs is not supported over -addr")
 }
 
+func (b remoteBackend) stats() (string, error) {
+	st := b.c.LastStats()
+	if st == nil {
+		return "", fmt.Errorf("no statistics yet — run a query first")
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- last statement (server-reported) --\n")
+	fmt.Fprintf(&sb, "duration    %v\n", time.Duration(st.Nanos).Round(time.Microsecond))
+	fmt.Fprintf(&sb, "rows        %d\n", st.Rows)
+	fmt.Fprintf(&sb, "scanned     %d\n", st.RowsScanned)
+	fmt.Fprintf(&sb, "probes      %d\n", st.IndexProbes)
+	fmt.Fprintf(&sb, "join_in     %d\n", st.JoinInputRows)
+	fmt.Fprintf(&sb, "bmo_in      %d\n", st.BMOInputRows)
+	fmt.Fprintf(&sb, "bmo_out     %d\n", st.BMOOutputRows)
+	if st.VecBlocksScanned > 0 {
+		fmt.Fprintf(&sb, "vec_blocks  %d (pruned %d)\n", st.VecBlocksScanned, st.VecBlocksPruned)
+	}
+	if st.Plan != "" {
+		sb.WriteString(st.Plan)
+	}
+	return sb.String(), nil
+}
+
 func main() {
 	var (
 		file        = flag.String("f", "", "SQL script to execute")
@@ -118,9 +172,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("connected to %s (%s, session %d)\n", *addr, conn.Banner(), conn.SessionID())
+		// Ask the server for per-statement statistics so \stats has
+		// something to show.
+		conn.RequestStats(true)
 		db = remoteBackend{c: conn}
 	} else {
-		db = embeddedBackend{db: prefsql.Open()}
+		edb := prefsql.Open()
+		// Record per-operator statistics so \stats can show the last
+		// statement's annotated plan (interactive use; the overhead is
+		// irrelevant at shell speed).
+		edb.Internal().DefaultSession().SetRecordNodeStats(true)
+		db = embeddedBackend{db: edb}
 	}
 	defer db.close()
 
@@ -245,6 +307,13 @@ func command(db backend, line string) bool {
 		for _, l := range lines {
 			fmt.Println(l)
 		}
+	case "\\stats":
+		out, err := db.stats()
+		if err != nil {
+			fail(err)
+			break
+		}
+		fmt.Print(out)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", parts[0])
 	}

@@ -142,8 +142,36 @@
 // pins it off per session, and its output is byte-identical to the
 // sequential kernel. ExplainNative shows the decision
 // (`BMO vec est=N columnar`); ExplainAnalyze executes the plan and adds
-// the zone-map counters (`blocks=N pruned=M`) plus row-level work
-// counters. See ARCHITECTURE.md, "Columnar layout & vectorized BMO".
+// per-node and row-level work counters. See ARCHITECTURE.md, "Columnar
+// layout & vectorized BMO".
+//
+// # Observability
+//
+// ExplainAnalyze executes a SELECT and annotates every plan node with
+// its actual work — `(rows=N est=M time=T)` plus operator-specific
+// counters such as index probes, semijoin partner drops and zone-map
+// pruning — and appends a footer of statement-level counters:
+//
+//	out, err := db.ExplainAnalyze(`SELECT id FROM trips
+//	    PREFERRING LOWEST(price) AND LOWEST(duration)`)
+//
+// Per-operator recording is off unless asked for (`SET node_stats = on`
+// per session, or implicitly via ExplainAnalyze, an armed slow-query
+// log, or a client stats request); row counts are exact and timing is
+// sampled, so leaving it armed costs a few percent at most (the p7
+// benchmark pins the budget). Each session also keeps its last
+// statement's record — kind, duration, rows, work counters, annotated
+// plan — behind Session.LastStats; `SET slow_query_ms = N` makes the
+// server log statements at or above the threshold as structured
+// slog records, and client.Conn.RequestStats(true) asks the server to
+// attach the same record to each result, readable via
+// client.Conn.LastStats (the prefsql shell's \stats shows it).
+// Engine-wide, internal/metrics aggregates counters, gauges and latency
+// histograms (statements and errors by kind, rows scanned, BMO in/out
+// rows, statement-cache hits, connections); `prefserve -metrics-addr`
+// serves them as Prometheus text on /metrics, expvar JSON on
+// /debug/vars, and mounts pprof under /debug/pprof/. See
+// ARCHITECTURE.md, "Observability".
 //
 // # Client/server
 //

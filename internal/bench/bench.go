@@ -48,6 +48,7 @@ type Config struct {
 	P4Workers          []int   // worker counts for P4
 	P5Sizes            []int   // fact-side sizes for the join-pushdown experiment
 	P6Sizes            []int   // input sizes for the vectorized BMO experiment
+	P7Sizes            []int   // input sizes for the instrumentation-overhead experiment
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -70,6 +71,7 @@ func DefaultConfig() Config {
 		P4Workers:          []int{1, 2, 4, 8},
 		P5Sizes:            []int{10000, 100000, 1000000},
 		P6Sizes:            []int{100000, 1000000, 10000000},
+		P7Sizes:            []int{100000, 1000000},
 	}
 }
 
@@ -91,6 +93,7 @@ func TestConfig() Config {
 	// Quick p6 sizes stay above the planner's auto threshold so the
 	// vectorized operator is actually selected.
 	cfg.P6Sizes = []int{20000, 100000}
+	cfg.P7Sizes = []int{20000, 100000}
 	return cfg
 }
 
@@ -656,7 +659,7 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 
 // Names lists the available experiments.
 func Names() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
 }
 
 // Run executes one experiment by name and returns its printable output.
@@ -736,6 +739,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p6":
 		_, tbl, err := P6(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p7":
+		_, tbl, err := P7(cfg)
 		if err != nil {
 			return "", err
 		}

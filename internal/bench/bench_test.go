@@ -195,7 +195,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 13 {
+	if len(Names()) != 14 {
 		t.Errorf("names: %v", Names())
 	}
 }
@@ -354,6 +354,36 @@ func TestP5Smoke(t *testing.T) {
 		if off.Millis <= 0 || on.Millis <= 0 {
 			t.Fatalf("degenerate timing: %+v / %+v", off, on)
 		}
+	}
+	if len(tbl.Rows) != len(res.Entries) {
+		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))
+	}
+}
+
+// TestP7Smoke runs the instrumentation-overhead experiment at small
+// scale and pins its structural invariants: a plain and a recorded cell
+// per size, identical skylines, and a sane (positive, near-1) ratio.
+// The 3% budget itself is the CI gate's job, not this smoke test's —
+// at smoke scale the ratio is all noise.
+func TestP7Smoke(t *testing.T) {
+	cfg := TestConfig()
+	cfg.P7Sizes = []int{12000}
+	res, tbl, err := P7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(res.Entries))
+	}
+	plain, rec := res.Entries[0], res.Entries[1]
+	if plain.Variant != "plain" || rec.Variant != "recorded" {
+		t.Fatalf("cell order drifted: %+v / %+v", plain, rec)
+	}
+	if plain.SkylineSize != rec.SkylineSize || plain.SkylineSize <= 0 {
+		t.Fatalf("skyline drift: %d vs %d", plain.SkylineSize, rec.SkylineSize)
+	}
+	if plain.Millis <= 0 || rec.Millis <= 0 || rec.Speedup <= 0 {
+		t.Fatalf("degenerate measurement: %+v / %+v", plain, rec)
 	}
 	if len(tbl.Rows) != len(res.Entries) {
 		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))

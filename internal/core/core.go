@@ -137,10 +137,11 @@ func (db *DB) QueryContext(ctx context.Context, sql string, args ...any) (*Resul
 // ExecStmt runs one parsed statement on the default session.
 func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) { return db.def.ExecStmt(stmt) }
 
-// execStmt runs one parsed statement, routing preference queries through
-// the preference layer and everything else to the engine untouched. The
-// caller holds the appropriate statement lock.
-func (s *Session) execStmt(stmt ast.Stmt, ee execEnv) (*Result, error) {
+// routeStmt runs one parsed statement, routing preference queries
+// through the preference layer and everything else to the engine
+// untouched. Callers go through execStmt (observe.go), which wraps the
+// routing with the statement metrics and LastStats recording.
+func (s *Session) routeStmt(stmt ast.Stmt, ee execEnv) (*Result, error) {
 	db := s.db
 	stmt, err := bindLimitParams(stmt, ee.params)
 	if err != nil {
@@ -568,6 +569,10 @@ func (s *Session) queryNative(sel *ast.Select, ee execEnv) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *exec.NodeRec
+	if s.RecordNodeStats() {
+		rec = pipe.EnableNodeStats()
+	}
 	cols := pipe.Columns()
 
 	// 2. Compile the preference over that relation.
@@ -626,7 +631,10 @@ func (s *Session) queryNative(sel *ast.Select, ee execEnv) (*Result, error) {
 			// relation the quality functions measure against. A pushed
 			// plan never materializes it — maybePush keeps queries that
 			// call TOP/LEVEL/DISTANCE on the unpushed plan.
-			candRows = op.(*exec.BMOOp).Input()
+			candRows = exec.Unwrap(op).(*exec.BMOOp).Input()
+		}
+		if rec != nil && err == nil {
+			s.stashPlan(node, rec)
 		}
 	}
 	if err != nil {
@@ -652,7 +660,11 @@ func (s *Session) queryNative(sel *ast.Select, ee execEnv) (*Result, error) {
 	}
 
 	// 5. Projection with quality functions.
-	return db.projectPreference(sel, cols, bmoRows, binder, q)
+	res, err := db.projectPreference(sel, cols, bmoRows, binder, q)
+	if res != nil {
+		res.Stats = pipe.Stats()
+	}
+	return res, err
 }
 
 func (db *DB) projectPreference(sel *ast.Select, cols []engine.ColInfo,

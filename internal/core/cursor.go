@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/bmo"
@@ -32,14 +33,15 @@ import (
 //	}
 //	err = c.Err()
 type Cursor struct {
-	cols  []string
-	stats *exec.Stats
-	pull  func() (value.Row, error)
-	fin   func() error
-	row   value.Row
-	err   error
-	done  bool
-	ctx   context.Context // nil = not cancellable
+	cols    []string
+	stats   *exec.Stats
+	pull    func() (value.Row, error)
+	fin     func() error
+	row     value.Row
+	err     error
+	done    bool
+	emitted int64           // rows handed to the consumer, for observability
+	ctx     context.Context // nil = not cancellable
 }
 
 // Columns returns the result column names.
@@ -69,6 +71,7 @@ func (c *Cursor) Next() bool {
 		return false
 	}
 	c.row = row
+	c.emitted++
 	return true
 }
 
@@ -201,7 +204,13 @@ func (s *Session) openCursor(sel *ast.Select, strict bool, ee execEnv) (*Cursor,
 			if rerr != nil {
 				return nil, rerr
 			}
-			return bufferCursor(res.Columns, res.Rows), nil
+			c := bufferCursor(res.Columns, res.Rows)
+			c.stats = res.Stats
+			return s.trackCursor(c, "select", sel, nil, nil), nil
+		}
+		var rec *exec.NodeRec
+		if s.RecordNodeStats() {
+			rec = pipe.EnableNodeStats()
 		}
 		op, err := pipe.Build(nil)
 		if err != nil {
@@ -214,9 +223,39 @@ func (s *Session) openCursor(sel *ast.Select, strict bool, ee execEnv) (*Cursor,
 		for _, c := range pipe.Columns() {
 			names = append(names, c.Name)
 		}
-		return &Cursor{cols: names, stats: pipe.Stats(), pull: op.Next, fin: op.Close, ctx: ee.ctx}, nil
+		c := &Cursor{cols: names, stats: pipe.Stats(), pull: op.Next, fin: op.Close, ctx: ee.ctx}
+		return s.trackCursor(c, "select", sel, pipe.Node(), rec), nil
 	}
 	return s.openPreferenceCursor(sel, strict, ee)
+}
+
+// trackCursor arms the observability seam on a cursor: when the cursor
+// is closed, the statement is recorded exactly once — latency histogram,
+// per-kind counter, work-counter flush, LastStats (with the annotated
+// plan when per-operator recording was on). Batch-fallback cursors pick
+// up the plan the batch path stashed instead.
+func (s *Session) trackCursor(c *Cursor, kind string, sel *ast.Select, node plan.Node, rec *exec.NodeRec) *Cursor {
+	start := time.Now()
+	fin := c.fin
+	recorded := false
+	c.fin = func() error {
+		var err error
+		if fin != nil {
+			err = fin()
+		}
+		if !recorded {
+			recorded = true
+			planText := ""
+			if rec != nil && node != nil {
+				planText = annotatePlan(node, rec)
+			} else if p := s.pendingPlan.Swap(nil); p != nil {
+				planText = *p
+			}
+			s.observeCursor(kind, sel.SQL(), c.emitted, c.stats, planText, time.Since(start))
+		}
+		return err
+	}
+	return c
 }
 
 func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool, ee execEnv) (*Cursor, error) {
@@ -244,12 +283,17 @@ func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool, ee execEnv)
 		}
 		c := bufferCursor(res.Columns, res.Rows)
 		c.ctx = ee.ctx
-		return c, nil
+		c.stats = res.Stats
+		return s.trackCursor(c, "pref_select", sel, nil, nil), nil
 	}
 
 	pipe, err := db.candidatePipeline(sel, ee)
 	if err != nil {
 		return nil, err
+	}
+	var rec *exec.NodeRec
+	if s.RecordNodeStats() {
+		rec = pipe.EnableNodeStats()
 	}
 	cols := pipe.Columns()
 	binder := newRelBinder(cols, db.eng, ee)
@@ -288,7 +332,7 @@ func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool, ee execEnv)
 	// candidates are only needed — and only recorded — for the unpushed
 	// shape.
 	var cand []value.Row
-	if bop, ok := op.(*exec.BMOOp); ok && node == plan.Node(root) {
+	if bop, ok := exec.Unwrap(op).(*exec.BMOOp); ok && node == plan.Node(root) {
 		cand = bop.Input()
 	}
 	q := &qualityCtx{reg: reg, candidates: cand, binder: binder}
@@ -326,7 +370,8 @@ func (s *Session) openPreferenceCursor(sel *ast.Select, strict bool, ee execEnv)
 			return out, nil
 		}
 	}
-	return &Cursor{cols: outCols, stats: pipe.Stats(), pull: pull, fin: op.Close, ctx: ee.ctx}, nil
+	c := &Cursor{cols: outCols, stats: pipe.Stats(), pull: pull, fin: op.Close, ctx: ee.ctx}
+	return s.trackCursor(c, "pref_select", sel, node, rec), nil
 }
 
 // prefProjector compiles the SELECT list of a preference query into output

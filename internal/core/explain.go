@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/bmo"
 	"repro/internal/exec"
@@ -74,10 +73,12 @@ func (s *Session) ExplainNative(sql string) (string, error) {
 }
 
 // ExplainAnalyze plans a single SELECT exactly like ExplainNative, then
-// executes the plan and renders it annotated with the runtime work
-// counters: the vectorized BMO line gains `blocks=N pruned=M` (zone-map
-// blocks examined / skipped), and a footer reports the statement's
-// row-level counters.
+// executes the plan with per-operator instrumentation and renders every
+// plan line annotated with its runtime counters — `(rows=N est=M
+// time=T)` on each operator, plus the operator-specific extras (index
+// probes; BMO input rows, semijoin partner-filter drops, vectorized
+// zone-map `blocks=N pruned=M`) — and a footer totalling the
+// statement's row-level work.
 func (db *DB) ExplainAnalyze(sql string) (string, error) { return db.def.ExplainAnalyze(sql) }
 
 // ExplainAnalyze is the session-scoped variant; the session's algorithm,
@@ -96,6 +97,7 @@ func (s *Session) ExplainAnalyze(sql string) (string, error) {
 		if err != nil {
 			return "", err
 		}
+		rec := pipe.EnableNodeStats()
 		op, err := pipe.Build(nil)
 		if err != nil {
 			return "", err
@@ -104,7 +106,7 @@ func (s *Session) ExplainAnalyze(sql string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		return plan.Format(pipe.Node()) + analyzeFooter(len(rows), pipe.Stats()), nil
+		return annotatePlan(pipe.Node(), rec) + analyzeFooter(len(rows), pipe.Stats()), nil
 	}
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return "", fmt.Errorf("core: GROUP BY/HAVING cannot be combined with PREFERRING")
@@ -122,6 +124,7 @@ func (s *Session) ExplainAnalyze(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	rec := pipe.EnableNodeStats()
 	binder := newRelBinder(pipe.Columns(), db.eng, bgEnv)
 	pref, err := preference.Compile(sel.Preferring, binder, preference.NewRegistry())
 	if err != nil {
@@ -139,17 +142,12 @@ func (s *Session) ExplainAnalyze(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	st := pipe.Stats()
-	out := plan.Format(node)
-	if root.Vec {
-		out = strings.Replace(out, "BMO vec",
-			fmt.Sprintf("BMO vec blocks=%d pruned=%d", st.VecBlocksScanned, st.VecBlocksPruned), 1)
-	}
-	return out + analyzeFooter(len(rows), st), nil
+	return annotatePlan(node, rec) + analyzeFooter(len(rows), pipe.Stats()), nil
 }
 
-// analyzeFooter renders the EXPLAIN ANALYZE counter line.
+// analyzeFooter renders the EXPLAIN ANALYZE totals line.
 func analyzeFooter(rows int, st *exec.Stats) string {
-	return fmt.Sprintf("-- rows=%d scanned=%d probes=%d join_in=%d bmo_in=%d\n",
-		rows, st.RowsScanned, st.IndexProbes, st.JoinInputRows, st.BMOInputRows)
+	snap := st.Snapshot()
+	return fmt.Sprintf("-- rows=%d scanned=%d probes=%d join_in=%d bmo_in=%d bmo_out=%d\n",
+		rows, snap.RowsScanned, snap.IndexProbes, snap.JoinInputRows, snap.BMOInputRows, snap.BMOOutputRows)
 }

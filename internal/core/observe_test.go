@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExplainAnalyzeConcurrent hammers per-node statistics recording from
+// many sessions at once — some on the vectorized single-threaded path,
+// some on the parallel partition-merge path whose workers bump the same
+// NodeStats concurrently. Run under -race this pins that the whole
+// recording chain (exec.Stats, NodeRec, statsOp) is atomic.
+func TestExplainAnalyzeConcurrent(t *testing.T) {
+	db := explainDB(t)
+	const goroutines = 4
+	const iters = 5
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			if g%2 == 0 {
+				if _, err := sess.Exec("SET algorithm = parallel"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := sess.Exec("SET workers = 4"); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for i := 0; i < iters; i++ {
+				out, err := sess.ExplainAnalyze("SELECT id FROM big PREFERRING LOWEST(d1) AND LOWEST(d2)")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !strings.Contains(out, "rows=") || !strings.Contains(out, "time=") {
+					errs <- &statError{out}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type statError struct{ out string }
+
+func (e *statError) Error() string { return "output missing node stats:\n" + e.out }
+
+// TestSlowQueryThreshold pins the session-level gate: SlowQueryMillis
+// returns -1 when unset (nothing qualifies), the set value afterwards
+// (including 0 = log everything), and `SET slow_query_ms = off` disarms
+// it again.
+func TestSlowQueryThreshold(t *testing.T) {
+	db := Open()
+	sess := db.NewSession()
+
+	if ms := sess.SlowQueryMillis(); ms != -1 {
+		t.Fatalf("unset threshold = %d, want -1", ms)
+	}
+	if _, err := sess.Exec("SET slow_query_ms = 250"); err != nil {
+		t.Fatal(err)
+	}
+	if ms := sess.SlowQueryMillis(); ms != 250 {
+		t.Fatalf("threshold = %d, want 250", ms)
+	}
+	if _, err := sess.Exec("SET slow_query_ms = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if ms := sess.SlowQueryMillis(); ms != 0 {
+		t.Fatalf("threshold = %d, want 0 (log everything)", ms)
+	}
+	if _, err := sess.Exec("SET slow_query_ms = off"); err != nil {
+		t.Fatal(err)
+	}
+	if ms := sess.SlowQueryMillis(); ms != -1 {
+		t.Fatalf("threshold after off = %d, want -1", ms)
+	}
+	if _, err := sess.Exec("SET slow_query_ms = -1"); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+
+	// Arming the threshold turns node-stats recording on (the slow log
+	// wants the annotated plan), without the explicit node_stats toggle.
+	if sess.RecordNodeStats() {
+		t.Fatal("recording on while disarmed")
+	}
+	if _, err := sess.Exec("SET slow_query_ms = 100"); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.RecordNodeStats() {
+		t.Fatal("recording off while the slow-query log is armed")
+	}
+}
+
+// TestLastStats pins the per-statement record every surface (slow log,
+// \stats, wire Stats frame) reads: a SELECT overwrites it with its own
+// row/scan counts and duration, a failed statement leaves it untouched.
+func TestLastStats(t *testing.T) {
+	db := Open()
+	sess := db.NewSession()
+	if _, err := sess.Exec(`CREATE TABLE pts (id INT, x INT, y INT);
+		INSERT INTO pts VALUES (1, 1, 9), (2, 5, 5), (3, 9, 1), (4, 9, 9)`); err != nil {
+		t.Fatal(err)
+	}
+
+	if st := sess.LastStats(); st != nil && st.Kind == "pref_select" {
+		t.Fatalf("unexpected pref_select stats before any query: %+v", st)
+	}
+	res, err := sess.Exec(`SELECT id FROM pts PREFERRING LOWEST(x) AND LOWEST(y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sess.LastStats()
+	if st == nil {
+		t.Fatal("LastStats = nil after a query")
+	}
+	if st.Kind != "pref_select" {
+		t.Fatalf("kind = %q", st.Kind)
+	}
+	if st.Rows != int64(len(res.Rows)) {
+		t.Fatalf("rows = %d, result has %d", st.Rows, len(res.Rows))
+	}
+	if st.Exec.RowsScanned != 4 {
+		t.Fatalf("scanned = %d, want 4", st.Exec.RowsScanned)
+	}
+	if st.Duration <= 0 || st.Duration > time.Minute {
+		t.Fatalf("duration = %v", st.Duration)
+	}
+	if !strings.Contains(st.SQL, "PREFERRING") {
+		t.Fatalf("sql = %q", st.SQL)
+	}
+
+	// Errors must not clobber the last successful record.
+	if _, err := sess.Exec(`SELECT id FROM missing`); err == nil {
+		t.Fatal("want error")
+	}
+	if got := sess.LastStats(); got != st {
+		t.Fatalf("failed statement replaced LastStats: %+v", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/engine"
@@ -129,7 +130,14 @@ func (s *Session) execPreparedStmt(p *Prepared, st ast.Stmt, ee execEnv) (*Resul
 		defer db.stmtMu.RUnlock()
 		if sel, ok := p.SingleSelect(); ok && sel == st {
 			if node, reused := p.cachedPlan(db, sel); node != nil {
+				if reused {
+					mPlanReuses.Inc()
+				} else {
+					mPlanRebuilds.Inc()
+				}
+				start := time.Now()
 				res, err := db.eng.ExecPlanArgs(ee.ctx, node, ee.params)
+				s.observe("select", p.SQL, res, err, time.Since(start))
 				return res, reused, err
 			}
 		}
@@ -139,6 +147,7 @@ func (s *Session) execPreparedStmt(p *Prepared, st ast.Stmt, ee execEnv) (*Resul
 	db.stmtMu.Lock()
 	defer db.stmtMu.Unlock()
 	db.epoch.Add(1)
+	mEpochBumps.Inc()
 	res, err := s.execStmt(st, ee)
 	return res, false, err
 }

@@ -55,6 +55,20 @@ type Session struct {
 	// vecoff disables the planner's vectorized BMO selection for this
 	// session (stored inverted like pushoff: zero value = on).
 	vecoff atomic.Bool
+	// slowq holds the slow-query threshold in milliseconds plus one, so
+	// the zero value means "disabled" while `SET slow_query_ms = 0`
+	// (log everything) stays representable.
+	slowq atomic.Int64
+	// recnodes turns on per-operator node statistics for this session's
+	// statements even without a slow-query threshold (prefsql's \stats
+	// uses it; EXPLAIN ANALYZE always records regardless).
+	recnodes atomic.Bool
+	// last is the most recently completed statement's summary; see
+	// LastStats (observe.go).
+	last atomic.Pointer[StmtStats]
+	// pendingPlan carries a statement's node-annotated plan from the
+	// execution path to the observe call that completes it.
+	pendingPlan atomic.Pointer[string]
 }
 
 // NewSession creates a session with default settings (native mode, auto
@@ -108,6 +122,36 @@ func (s *Session) SetVectorized(on bool) { s.vecoff.Store(!on) }
 
 // Vectorized reports whether vectorized BMO selection is enabled.
 func (s *Session) Vectorized() bool { return !s.vecoff.Load() }
+
+// SetSlowQueryMillis arms the session's slow-query threshold: completed
+// statements taking at least ms milliseconds count toward the slow-query
+// metric and (in the server) the structured slow-query log. A negative
+// ms disables the threshold (the default).
+func (s *Session) SetSlowQueryMillis(ms int64) {
+	if ms < 0 {
+		s.slowq.Store(0)
+		return
+	}
+	s.slowq.Store(ms + 1)
+}
+
+// SlowQueryMillis reports the slow-query threshold in milliseconds, or
+// -1 when disabled.
+func (s *Session) SlowQueryMillis() int64 { return s.slowq.Load() - 1 }
+
+// SetRecordNodeStats turns on per-operator instrumentation for this
+// session's statements: every executed plan records rows and wall time
+// per node, and LastStats carries the annotated plan. Off by default —
+// the recording costs two clock reads per operator per row.
+func (s *Session) SetRecordNodeStats(on bool) { s.recnodes.Store(on) }
+
+// RecordNodeStats reports whether this session's statements record
+// per-operator node statistics: explicitly enabled, or implied by an
+// armed slow-query threshold (the slow-query log wants the annotated
+// plan of the statement it reports).
+func (s *Session) RecordNodeStats() bool {
+	return s.recnodes.Load() || s.slowq.Load() > 0
+}
 
 // StmtReadOnly reports whether a statement only reads data: such
 // statements run under the shared read lock, concurrently with each
@@ -175,8 +219,27 @@ func (s *Session) applySet(st *ast.Set) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("core: vectorized requires on or off, got %s", st.Value.SQL())
 		}
+	case "slow_query_ms":
+		if strings.EqualFold(st.Value.String(), "off") {
+			s.SetSlowQueryMillis(-1)
+			break
+		}
+		v, err := value.Coerce(st.Value, value.Int)
+		if err != nil || v.IsNull() {
+			return nil, fmt.Errorf("core: slow_query_ms requires an integer threshold in milliseconds (negative or 'off' disables), got %s", st.Value.SQL())
+		}
+		s.SetSlowQueryMillis(v.I)
+	case "node_stats":
+		switch strings.ToLower(st.Value.String()) {
+		case "on", "true", "1":
+			s.SetRecordNodeStats(true)
+		case "off", "false", "0":
+			s.SetRecordNodeStats(false)
+		default:
+			return nil, fmt.Errorf("core: node_stats requires on or off, got %s", st.Value.SQL())
+		}
 	default:
-		return nil, fmt.Errorf("core: unknown setting %q (want mode, algorithm, workers, pushdown or vectorized)", st.Name)
+		return nil, fmt.Errorf("core: unknown setting %q (want mode, algorithm, workers, pushdown, vectorized, slow_query_ms or node_stats)", st.Name)
 	}
 	return &Result{}, nil
 }
@@ -273,6 +336,7 @@ func (s *Session) execStmtLocked(stmt ast.Stmt, ee execEnv) (*Result, error) {
 	s.db.stmtMu.Lock()
 	defer s.db.stmtMu.Unlock()
 	s.db.epoch.Add(1)
+	mEpochBumps.Inc()
 	return s.execStmt(stmt, ee)
 }
 

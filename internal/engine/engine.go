@@ -34,6 +34,10 @@ type Result struct {
 	Columns  []string    // result column names (SELECT only)
 	Rows     []value.Row // result rows (SELECT only)
 	Affected int         // rows changed (INSERT/UPDATE/DELETE)
+	// Stats, when non-nil, exposes the statement's pipeline work counters
+	// to the observability layer (metrics flush, LastStats, slow-query
+	// log); it is not part of the result data.
+	Stats *exec.Stats
 }
 
 // DB is one in-memory database instance. It is safe for concurrent readers;
@@ -79,6 +83,14 @@ func (db *DB) ExecStmt(stmt ast.Stmt) (*Result, error) {
 // params[Index], and cancelling qctx stops the statement's scans.
 func (db *DB) ExecStmtArgs(qctx context.Context, stmt ast.Stmt, params []value.Value) (*Result, error) {
 	ec := newExecContextArgs(db, qctx, params)
+	res, err := db.execStmtWith(ec, stmt)
+	if res != nil && res.Stats == nil {
+		res.Stats = ec.stats
+	}
+	return res, err
+}
+
+func (db *DB) execStmtWith(ec *execContext, stmt ast.Stmt) (*Result, error) {
 	switch s := stmt.(type) {
 	case *ast.Select:
 		return db.selectWith(ec, s)
@@ -118,7 +130,7 @@ func (db *DB) selectWith(ec *execContext, sel *ast.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: rel.names(), Rows: rel.rows}, nil
+	return &Result{Columns: rel.names(), Rows: rel.rows, Stats: ec.stats}, nil
 }
 
 // ColInfo labels one output column with its qualifier (table name or

@@ -84,6 +84,7 @@ type Pipeline struct {
 	ev    *expr.Evaluator
 	node  plan.Node
 	stats *exec.Stats
+	rec   *exec.NodeRec // per-operator recorder; nil = recording off
 }
 
 // Pipeline plans a plain, non-grouped SELECT for streaming execution.
@@ -172,7 +173,7 @@ func (db *DB) ExecPlanArgs(qctx context.Context, node plan.Node, params []value.
 	for i, c := range sch {
 		cols[i] = c.Name
 	}
-	return &Result{Columns: cols, Rows: rows}, nil
+	return &Result{Columns: cols, Rows: rows, Stats: ctx.stats}, nil
 }
 
 // Node returns the plan root, for wrapping or EXPLAIN formatting.
@@ -191,11 +192,25 @@ func (p *Pipeline) Columns() []ColInfo {
 // Stats exposes the pipeline's work counters (rows scanned, index probes).
 func (p *Pipeline) Stats() *exec.Stats { return p.stats }
 
+// EnableNodeStats turns on per-operator instrumentation for operators
+// built by this pipeline: every Build wraps the operator tree in
+// recorders accumulating rows and wall time per plan node. Must be
+// called before Build; the returned recorder maps plan nodes to their
+// runtime counters (EXPLAIN ANALYZE's per-node annotations).
+func (p *Pipeline) EnableNodeStats() *exec.NodeRec {
+	if p.rec == nil {
+		p.rec = exec.NewNodeRec()
+	}
+	return p.rec
+}
+
 // Build compiles root into an operator tree bound to this statement's
 // context; a nil root builds the planned query itself.
 func (p *Pipeline) Build(root plan.Node) (exec.Operator, error) {
 	if root == nil {
 		root = p.node
 	}
-	return exec.Build(root, p.ctx.execEnv(p.ev, nil))
+	env := p.ctx.execEnv(p.ev, nil)
+	env.Rec = p.rec
+	return exec.Build(root, env)
 }

@@ -28,6 +28,7 @@ type BMOOp struct {
 	node   *plan.BMO
 	child  Operator
 	env    *Env
+	ns     *NodeStats // per-node instrumentation slot; nil when recording is off
 	input  []value.Row
 	stream rowStream   // progressive mode
 	buf    []value.Row // batch mode
@@ -94,6 +95,7 @@ func (b *BMOOp) semiFilter() error {
 			kept = append(kept, r)
 		}
 	}
+	b.ns.AddSemiDropped(int64(len(b.input) - len(kept)))
 	b.input = kept
 	return nil
 }
@@ -148,8 +150,9 @@ func (b *BMOOp) Open() error {
 		}
 	}
 	if b.env != nil {
-		b.env.count().BMOInputRows += int64(len(b.input))
+		b.env.count().AddBMOInputRows(int64(len(b.input)))
 	}
+	b.ns.AddInputRows(int64(len(b.input)))
 	// Vectorized physical operator (planner-selected, root nodes only —
 	// never combined with pushdown padding, grouping or streaming).
 	if b.node.Vec {
@@ -220,6 +223,9 @@ func (b *BMOOp) Next() (value.Row, error) {
 		if err != nil || !ok {
 			return nil, err
 		}
+		if b.env != nil {
+			b.env.count().AddBMOOutputRows(1)
+		}
 		return row, nil
 	}
 	if b.pos >= len(b.buf) {
@@ -227,6 +233,9 @@ func (b *BMOOp) Next() (value.Row, error) {
 	}
 	row := b.buf[b.pos]
 	b.pos++
+	if b.env != nil {
+		b.env.count().AddBMOOutputRows(1)
+	}
 	return row, nil
 }
 

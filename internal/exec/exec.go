@@ -7,6 +7,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/expr"
@@ -25,7 +26,12 @@ type Operator interface {
 }
 
 // Stats counts work done by a pipeline — the benchmark harness uses it to
-// show how many base rows a TOP-k query actually touched.
+// show how many base rows a TOP-k query actually touched. All mutations
+// go through the atomic Add methods: a statement's counters may be
+// written from parallel or vectorized worker goroutines and read by an
+// EXPLAIN ANALYZE running concurrently, so plain increments would race.
+// Post-execution readers may access the fields directly; concurrent
+// readers use Snapshot.
 type Stats struct {
 	RowsScanned int64 // rows pulled out of base tables and materialized sources
 	IndexProbes int64 // index probes answered without a full scan
@@ -35,14 +41,54 @@ type Stats struct {
 	JoinInputRows int64
 	// BMOInputRows counts rows entering dominance evaluation across all
 	// BMO operators of the statement (for pushed nodes: after the
-	// semijoin partner filter).
-	BMOInputRows int64
+	// semijoin partner filter). BMOOutputRows counts the undominated
+	// rows those operators emitted.
+	BMOInputRows  int64
+	BMOOutputRows int64
 	// VecBlocksScanned / VecBlocksPruned count the vectorized BMO path's
 	// zone-map activity: blocks examined, and blocks skipped wholesale
 	// because a frontier member dominated the block's best corner.
 	// EXPLAIN ANALYZE renders them as `blocks=N pruned=M`.
 	VecBlocksScanned int64
 	VecBlocksPruned  int64
+}
+
+// AddRowsScanned atomically counts base-table and materialized-source rows.
+func (s *Stats) AddRowsScanned(n int64) { atomic.AddInt64(&s.RowsScanned, n) }
+
+// AddIndexProbes atomically counts index probes.
+func (s *Stats) AddIndexProbes(n int64) { atomic.AddInt64(&s.IndexProbes, n) }
+
+// AddJoinInputRows atomically counts rows consumed by join operators.
+func (s *Stats) AddJoinInputRows(n int64) { atomic.AddInt64(&s.JoinInputRows, n) }
+
+// AddBMOInputRows atomically counts rows entering dominance evaluation.
+func (s *Stats) AddBMOInputRows(n int64) { atomic.AddInt64(&s.BMOInputRows, n) }
+
+// AddBMOOutputRows atomically counts undominated rows emitted by BMO nodes.
+func (s *Stats) AddBMOOutputRows(n int64) { atomic.AddInt64(&s.BMOOutputRows, n) }
+
+// AddVecBlocks atomically counts the vectorized kernel's zone-map work.
+func (s *Stats) AddVecBlocks(scanned, pruned int64) {
+	atomic.AddInt64(&s.VecBlocksScanned, scanned)
+	atomic.AddInt64(&s.VecBlocksPruned, pruned)
+}
+
+// Snapshot returns a consistent copy of the counters via atomic loads —
+// safe while operators are still running.
+func (s *Stats) Snapshot() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		RowsScanned:      atomic.LoadInt64(&s.RowsScanned),
+		IndexProbes:      atomic.LoadInt64(&s.IndexProbes),
+		JoinInputRows:    atomic.LoadInt64(&s.JoinInputRows),
+		BMOInputRows:     atomic.LoadInt64(&s.BMOInputRows),
+		BMOOutputRows:    atomic.LoadInt64(&s.BMOOutputRows),
+		VecBlocksScanned: atomic.LoadInt64(&s.VecBlocksScanned),
+		VecBlocksPruned:  atomic.LoadInt64(&s.VecBlocksPruned),
+	}
 }
 
 // Env carries what operators need to evaluate expressions: the evaluator
@@ -58,6 +104,10 @@ type Env struct {
 	// context.Context, so cancelling the context stops scans mid-table
 	// rather than only between emitted rows.
 	Stop func() error
+	// Rec, when non-nil, turns on per-operator instrumentation: Build
+	// wraps every operator in a recorder accumulating rows and wall time
+	// into the statement's NodeStats tree (see nodestats.go).
+	Rec *NodeRec
 }
 
 func (e *Env) count() *Stats {
@@ -110,8 +160,17 @@ func (e *RowEnv) Func(fc *ast.FuncCall) (value.Value, bool, error) {
 	return value.Value{}, false, nil
 }
 
-// Build compiles a plan tree into an operator tree.
+// Build compiles a plan tree into an operator tree. With Env.Rec set,
+// every operator is wrapped in the per-node statistics recorder.
 func Build(n plan.Node, env *Env) (Operator, error) {
+	op, err := build(n, env)
+	if err != nil {
+		return nil, err
+	}
+	return wrapStats(n, op, env), nil
+}
+
+func build(n plan.Node, env *Env) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.SeqScan:
 		return newSeqScan(x, env), nil
@@ -161,7 +220,7 @@ func Build(n plan.Node, env *Env) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BMOOp{node: x, child: child, env: env}, nil
+		return &BMOOp{node: x, child: child, env: env, ns: env.NodeStats(x)}, nil
 	}
 	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 }

@@ -65,7 +65,7 @@ func (s *seqScan) Next() (value.Row, error) {
 		if !ok {
 			return nil, nil
 		}
-		s.env.count().RowsScanned++
+		s.env.count().AddRowsScanned(1)
 		s.renv.Row = row
 		keep, err := evalConds(s.env, s.n.Filter, &s.renv)
 		if err != nil {
@@ -83,13 +83,14 @@ func (s *seqScan) Close() error { return nil }
 type indexScan struct {
 	n      *plan.IndexScan
 	env    *Env
+	ns     *NodeStats
 	it     storage.RowIter
 	renv   RowEnv
 	polled int64
 }
 
 func newIndexScan(n *plan.IndexScan, env *Env) *indexScan {
-	return &indexScan{n: n, env: env}
+	return &indexScan{n: n, env: env, ns: env.NodeStats(n)}
 }
 
 func (s *indexScan) Schema() plan.Schema { return s.n.Schema() }
@@ -120,7 +121,8 @@ func (s *indexScan) Open() error {
 		s.it = s.n.Table.Scan()
 		return nil
 	}
-	s.env.count().IndexProbes++
+	s.env.count().AddIndexProbes(1)
+	s.ns.AddProbes(1)
 	s.it = s.n.Table.Probe(s.n.Index, cv)
 	return nil
 }
@@ -134,7 +136,7 @@ func (s *indexScan) Next() (value.Row, error) {
 		if !ok {
 			return nil, nil
 		}
-		s.env.count().RowsScanned++
+		s.env.count().AddRowsScanned(1)
 		s.renv.Row = row
 		keep, err := evalConds(s.env, s.n.Filter, &s.renv)
 		if err != nil {
@@ -176,7 +178,7 @@ func (v *valuesOp) Next() (value.Row, error) {
 	}
 	row := v.n.Rows[v.pos]
 	v.pos++
-	v.env.count().RowsScanned++
+	v.env.count().AddRowsScanned(1)
 	return row, nil
 }
 
@@ -287,7 +289,7 @@ func (j *nlJoin) Open() error {
 		if row == nil {
 			break
 		}
-		j.env.count().JoinInputRows++
+		j.env.count().AddJoinInputRows(1)
 		j.inner = append(j.inner, row)
 	}
 	j.drive = nil
@@ -303,7 +305,7 @@ func (j *nlJoin) Next() (value.Row, error) {
 			if err != nil || row == nil {
 				return nil, err
 			}
-			j.env.count().JoinInputRows++
+			j.env.count().AddJoinInputRows(1)
 			j.drive, j.pos, j.matched = row, 0, false
 		}
 		for j.pos < len(j.inner) {
@@ -408,7 +410,7 @@ func (j *hashJoin) Open() error {
 		if row == nil {
 			break
 		}
-		j.env.count().JoinInputRows++
+		j.env.count().AddJoinInputRows(1)
 		if row[bcol].IsNull() {
 			continue
 		}
@@ -434,7 +436,7 @@ func (j *hashJoin) Next() (value.Row, error) {
 			if err != nil || row == nil {
 				return nil, err
 			}
-			j.env.count().JoinInputRows++
+			j.env.count().AddJoinInputRows(1)
 			j.probe, j.pos, j.matched = row, 0, false
 			j.bucket = nil
 			if !row[pcol].IsNull() {

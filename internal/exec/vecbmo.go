@@ -48,12 +48,11 @@ func (b *BMOOp) openVectorized() error {
 }
 
 func (b *BMOOp) countVec(vst bmo.VecStats) {
+	b.ns.AddBlocks(int64(vst.BlocksScanned), int64(vst.BlocksPruned))
 	if b.env == nil {
 		return
 	}
-	s := b.env.count()
-	s.VecBlocksScanned += int64(vst.BlocksScanned)
-	s.VecBlocksPruned += int64(vst.BlocksPruned)
+	b.env.count().AddVecBlocks(int64(vst.BlocksScanned), int64(vst.BlocksPruned))
 }
 
 // fillColumnar builds the score matrix from the table's columnar image

@@ -1,0 +1,361 @@
+// Package metrics is a dependency-free registry of atomic counters,
+// gauges and histograms for engine-wide observability. The instrumented
+// layers (core sessions, the plan caches, storage, the server loop)
+// register their series once at init against the Default registry;
+// consumers render the whole registry as Prometheus text exposition
+// (the server's /metrics endpoint), as an expvar-compatible snapshot
+// (/debug/vars), or as a tabular snapshot (prefsql's \stats).
+//
+// Everything is stdlib-only and allocation-free on the hot path: a
+// counter increment is one atomic add, a histogram observation is two
+// atomic adds plus a bucket search over a small sorted slice.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency histogram bounds, in seconds —
+// 100µs to 10s, the span between an index probe on a small table and a
+// multi-million-row skyline.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	v    atomic.Int64
+	meta meta
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a series that can go up and down.
+type Gauge struct {
+	v    atomic.Int64
+	meta meta
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Observations are float64
+// (seconds, by convention); the running sum is kept in nanoseconds so
+// that updates stay single atomic adds.
+type Histogram struct {
+	meta    meta
+	bounds  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// Observe records one observation (in seconds).
+func (h *Histogram) Observe(sec float64) {
+	i := sort.SearchFloat64s(h.bounds, sec)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(sec * 1e9))
+}
+
+// ObserveDuration records one duration observation.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations, in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket where the cumulative count crosses q. Observations
+// beyond the last finite bound clamp to it; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket: clamp
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// meta identifies one registered series.
+type meta struct {
+	name   string // Prometheus family name, e.g. prefsql_statements_total
+	labels string // rendered label pairs without braces, e.g. `kind="select"`; "" for none
+	help   string
+}
+
+func (m meta) series() string {
+	if m.labels == "" {
+		return m.name
+	}
+	return m.name + "{" + m.labels + "}"
+}
+
+// entry is one registered metric of any kind.
+type entry struct {
+	meta meta
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+func (e entry) typ() string {
+	switch {
+	case e.c != nil:
+		return "counter"
+	case e.g != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds an ordered set of metrics. Registration is idempotent:
+// re-registering the same series name+labels returns the existing metric
+// (so package-level instrumentation and tests compose), but a kind
+// mismatch panics — that is a programming error.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	byKey   map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byKey: map[string]int{}} }
+
+// Default is the process-wide registry all engine instrumentation uses.
+var Default = NewRegistry()
+
+func (r *Registry) lookup(m meta) (entry, bool) {
+	if i, ok := r.byKey[m.series()]; ok {
+		return r.entries[i], true
+	}
+	return entry{}, false
+}
+
+func (r *Registry) add(e entry) {
+	r.byKey[e.meta.series()] = len(r.entries)
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers (or returns) a counter with no labels.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, "", help)
+}
+
+// CounterL registers (or returns) a counter with rendered label pairs,
+// e.g. CounterL("prefsql_statements_total", `kind="select"`, ...).
+func (r *Registry) CounterL(name, labels, help string) *Counter {
+	m := meta{name: name, labels: labels, help: help}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(m); ok {
+		if e.c == nil {
+			panic("metrics: " + m.series() + " re-registered with a different kind")
+		}
+		return e.c
+	}
+	c := &Counter{meta: m}
+	r.add(entry{meta: m, c: c})
+	return c
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := meta{name: name, help: help}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(m); ok {
+		if e.g == nil {
+			panic("metrics: " + m.series() + " re-registered with a different kind")
+		}
+		return e.g
+	}
+	g := &Gauge{meta: m}
+	r.add(entry{meta: m, g: g})
+	return g
+}
+
+// Histogram registers (or returns) a histogram with the given ascending
+// upper bounds (DefBuckets when none are given).
+func (r *Registry) Histogram(name, help string, bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	m := meta{name: name, help: help}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(m); ok {
+		if e.h == nil {
+			panic("metrics: " + m.series() + " re-registered with a different kind")
+		}
+		return e.h
+	}
+	h := &Histogram{meta: m, bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	r.add(entry{meta: m, h: h})
+	return h
+}
+
+// snapshotEntries copies the entry list under the lock; the metric values
+// themselves are read atomically afterwards.
+func (r *Registry) snapshotEntries() []entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]entry(nil), r.entries...)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Families sharing a name emit one HELP/TYPE
+// header; histograms expand into cumulative _bucket series plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	entries := r.snapshotEntries()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].meta.name != entries[j].meta.name {
+			return entries[i].meta.name < entries[j].meta.name
+		}
+		return entries[i].meta.labels < entries[j].meta.labels
+	})
+	lastFamily := ""
+	for _, e := range entries {
+		if e.meta.name != lastFamily {
+			fmt.Fprintf(w, "# HELP %s %s\n", e.meta.name, e.meta.help)
+			fmt.Fprintf(w, "# TYPE %s %s\n", e.meta.name, e.typ())
+			lastFamily = e.meta.name
+		}
+		switch {
+		case e.c != nil:
+			fmt.Fprintf(w, "%s %d\n", e.meta.series(), e.c.Value())
+		case e.g != nil:
+			fmt.Fprintf(w, "%s %d\n", e.meta.series(), e.g.Value())
+		case e.h != nil:
+			writePromHistogram(w, e.meta, e.h)
+		}
+	}
+}
+
+func writePromHistogram(w io.Writer, m meta, h *Histogram) {
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatBound(ub), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", m.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", m.name, h.Count())
+}
+
+func formatBound(b float64) string {
+	if b == math.Trunc(b) {
+		return fmt.Sprintf("%g", b)
+	}
+	return strings.TrimRight(fmt.Sprintf("%f", b), "0")
+}
+
+// Snapshot is one metric's point-in-time reading, for the expvar surface
+// and prefsql's \stats display.
+type Snapshot struct {
+	Name   string             `json:"name"`
+	Labels string             `json:"labels,omitempty"`
+	Type   string             `json:"type"`
+	Value  int64              `json:"value,omitempty"`     // counter / gauge
+	Count  int64              `json:"count,omitempty"`     // histogram
+	Sum    float64            `json:"sum,omitempty"`       // histogram, seconds
+	Quants map[string]float64 `json:"quantiles,omitempty"` // histogram: p50/p95/p99, seconds
+}
+
+// Snapshot reads every registered metric, in registration order.
+func (r *Registry) Snapshot() []Snapshot {
+	entries := r.snapshotEntries()
+	out := make([]Snapshot, 0, len(entries))
+	for _, e := range entries {
+		s := Snapshot{Name: e.meta.name, Labels: e.meta.labels, Type: e.typ()}
+		switch {
+		case e.c != nil:
+			s.Value = e.c.Value()
+		case e.g != nil:
+			s.Value = e.g.Value()
+		case e.h != nil:
+			s.Count = e.h.Count()
+			s.Sum = e.h.Sum()
+			s.Quants = map[string]float64{
+				"p50": e.h.Quantile(0.50),
+				"p95": e.h.Quantile(0.95),
+				"p99": e.h.Quantile(0.99),
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Expvar returns the snapshot as a map keyed by series name, the shape
+// published under /debug/vars.
+func (r *Registry) Expvar() map[string]any {
+	out := map[string]any{}
+	for _, s := range r.Snapshot() {
+		key := s.Name
+		if s.Labels != "" {
+			key += "{" + s.Labels + "}"
+		}
+		switch s.Type {
+		case "histogram":
+			out[key] = map[string]any{"count": s.Count, "sum": s.Sum, "quantiles": s.Quants}
+		default:
+			out[key] = s.Value
+		}
+	}
+	return out
+}

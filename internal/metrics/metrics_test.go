@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.CounterL("m_total", `kind="a"`, "help")
+	c2 := r.CounterL("m_total", `kind="a"`, "help")
+	if c1 != c2 {
+		t.Fatal("re-registering the same series returned a different counter")
+	}
+	if other := r.CounterL("m_total", `kind="b"`, "help"); other == c1 {
+		t.Fatal("distinct labels shared a counter")
+	}
+	g1 := r.Gauge("m_gauge", "help")
+	if g2 := r.Gauge("m_gauge", "help"); g1 != g2 {
+		t.Fatal("re-registering the same gauge returned a different gauge")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Counter("m_gauge", "help") // registered above as a gauge
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-100)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", 0.01, 0.1, 1)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05) // second bucket
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %g, want within the first bucket", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 <= 0.01 || p95 > 0.1 {
+		t.Fatalf("p95 = %g, want within the second bucket", p95)
+	}
+	h.ObserveDuration(time.Hour) // beyond the last bound: clamps
+	if got := h.Quantile(0.9999); got != 1 {
+		t.Fatalf("overflow quantile = %g, want clamp to last bound", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.CounterL("q_total", `kind="select"`, "queries by kind").Add(3)
+	r.CounterL("q_total", `kind="insert"`, "queries by kind").Add(2)
+	h := r.Histogram("lat_seconds", "latency", 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	if n := strings.Count(out, "# TYPE q_total counter"); n != 1 {
+		t.Fatalf("q_total TYPE header emitted %d times:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`q_total{kind="insert"} 2`,
+		`q_total{kind="select"} 3`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help").Add(7)
+	r.Histogram("b_seconds", "help", 0.1, 1).Observe(0.05)
+	snaps := r.Snapshot()
+	if len(snaps) != 2 || snaps[0].Name != "a_total" || snaps[0].Value != 7 {
+		t.Fatalf("snapshot = %+v", snaps)
+	}
+	if snaps[1].Type != "histogram" || snaps[1].Count != 1 || snaps[1].Quants["p50"] <= 0 {
+		t.Fatalf("histogram snapshot = %+v", snaps[1])
+	}
+	ev := r.Expvar()
+	if ev["a_total"] != int64(7) {
+		t.Fatalf("expvar a_total = %v", ev["a_total"])
+	}
+	if _, ok := ev["b_seconds"].(map[string]any); !ok {
+		t.Fatalf("expvar b_seconds = %T", ev["b_seconds"])
+	}
+}
+
+// TestConcurrentUse pins that registration and updates are safe under
+// the race detector: many goroutines re-register and bump the same
+// series while another renders the registry.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.CounterL("cc_total", `kind="x"`, "help").Inc()
+				r.Histogram("ch_seconds", "help").Observe(0.001)
+				var sb strings.Builder
+				r.WritePrometheus(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterL("cc_total", `kind="x"`, "help").Value(); got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+}

@@ -90,11 +90,25 @@ func children(n Node) []Node {
 // Format renders the plan tree indented, one node per line — the EXPLAIN
 // output of the pipeline.
 func Format(n Node) string {
+	return FormatAnnotated(n, nil)
+}
+
+// FormatAnnotated renders the plan tree like Format, appending the
+// annotation returned for each node to its line (empty annotations are
+// omitted). EXPLAIN ANALYZE uses it to put per-operator runtime counters
+// — `rows=N time=T`, estimate vs actual — next to each plan line.
+func FormatAnnotated(n Node, annotate func(Node) string) string {
 	var b strings.Builder
 	var walk func(Node, int)
 	walk = func(n Node, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
 		b.WriteString(n.Explain())
+		if annotate != nil {
+			if a := annotate(n); a != "" {
+				b.WriteByte(' ')
+				b.WriteString(a)
+			}
+		}
 		b.WriteByte('\n')
 		for _, c := range children(n) {
 			walk(c, depth+1)

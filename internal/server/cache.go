@@ -5,6 +5,18 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Statement-cache metrics, mirrored from the per-server CacheStats so the
+// /metrics endpoint sees cache effectiveness without a Server handle.
+var (
+	mCacheHits = metrics.Default.Counter("prefsql_stmt_cache_hits_total",
+		"Prepared-statement cache hits (parse skipped)")
+	mCacheMisses = metrics.Default.Counter("prefsql_stmt_cache_misses_total",
+		"Prepared-statement cache misses (statement parsed)")
+	mCacheEvictions = metrics.Default.Counter("prefsql_stmt_cache_evictions_total",
+		"Prepared-statement cache LRU evictions")
 )
 
 // stmtCache is the server's shared prepared-statement cache: an LRU map
@@ -67,10 +79,12 @@ func (c *stmtCache) get(db *core.DB, sql string, keep func(*core.Prepared) bool)
 		c.hits++
 		prep = el.Value.(*cacheEntry).prep
 		c.mu.Unlock()
+		mCacheHits.Inc()
 		return prep, true, nil
 	}
 	c.misses++
 	c.mu.Unlock()
+	mCacheMisses.Inc()
 
 	// Parse outside the lock; concurrent misses on the same text may both
 	// parse, and the second insert wins the map slot — harmless.
@@ -95,6 +109,7 @@ func (c *stmtCache) get(db *core.DB, sql string, keep func(*core.Prepared) bool)
 			delete(c.entries, last.Value.(*cacheEntry).sql)
 			c.order.Remove(last)
 			c.evictions++
+			mCacheEvictions.Inc()
 		}
 	}
 	c.mu.Unlock()

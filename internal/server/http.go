@@ -1,0 +1,56 @@
+package server
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// expvarOnce guards publishing the engine registry under /debug/vars:
+// expvar.Publish panics on duplicate names, and a process may start
+// several servers (tests do).
+var expvarOnce sync.Once
+
+// MetricsHandler returns the observability HTTP surface:
+//
+//	/metrics        the Default metrics registry, Prometheus text format
+//	/debug/vars     the same registry as expvar JSON (plus Go runtime vars)
+//	/debug/pprof/*  the standard pprof profiles (heap, goroutine, CPU, trace)
+//
+// The handler is independent of any Server instance — the registry is
+// process-wide — so one listener observes every server and embedded
+// session in the process.
+func MetricsHandler() http.Handler {
+	expvarOnce.Do(func() {
+		expvar.Publish("prefsql", expvar.Func(func() any { return metrics.Default.Expvar() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.Default.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeMetrics starts the observability HTTP listener on addr (use
+// "127.0.0.1:0" for an ephemeral port) and returns the server and its
+// bound address. Shut it down with (*http.Server).Close.
+func ServeMetrics(addr string) (*http.Server, net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: MetricsHandler()}
+	go func() { _ = hs.Serve(lis) }()
+	return hs, lis.Addr(), nil
+}

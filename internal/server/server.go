@@ -21,16 +21,27 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/bmo"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/value"
 	"repro/internal/wire"
+)
+
+// Server-loop metrics (the per-statement series live in internal/core).
+var (
+	mConnections = metrics.Default.Counter("prefsql_connections_total",
+		"Client connections accepted")
+	mActiveSessions = metrics.Default.Gauge("prefsql_active_sessions",
+		"Client connections currently open")
 )
 
 // Options configures a Server. The zero value is usable.
@@ -40,7 +51,17 @@ type Options struct {
 	// Banner is sent in the handshake reply.
 	Banner string
 	// Logf, when set, receives one line per accepted/failed connection.
+	// Superseded by Logger; kept for callers that only want those lines.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured connection and slow-query
+	// events. Every record carries the session id; statement records add
+	// a query id ("<session>/<statement>") for correlation.
+	Logger *slog.Logger
+	// SlowQueryMs seeds every session's slow-query threshold: statements
+	// at or above it are logged through Logger with their SQL, latency
+	// and work-counter summary. 0 disables (a session can still opt in
+	// with `SET slow_query_ms = N`).
+	SlowQueryMs int64
 }
 
 // Server serves Preference SQL over TCP.
@@ -173,6 +194,16 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// discardLogger sinks structured events when Options.Logger is unset.
+var discardLogger = slog.New(slog.DiscardHandler)
+
+func (s *Server) logger() *slog.Logger {
+	if s.opts.Logger != nil {
+		return s.opts.Logger
+	}
+	return discardLogger
+}
+
 // ---------------------------------------------------------------------------
 // Per-connection handler
 // ---------------------------------------------------------------------------
@@ -207,7 +238,14 @@ type conn struct {
 	stmtSeq  uint32
 	sessID   uint32
 	shakenOK bool
+
+	log     *slog.Logger // carries the session id on every record
+	stmtNum uint64       // statements begun, for query ids
 }
+
+// qid returns the current statement's query id ("<session>/<statement>"),
+// the correlation key between slow-query records and client-side traces.
+func (c *conn) qid() string { return fmt.Sprintf("%d/%d", c.sessID, c.stmtNum) }
 
 // beginStmt arms a fresh cancellable execution context for one statement:
 // a Cancel frame received while it runs cancels the context (stopping the
@@ -215,12 +253,69 @@ type conn struct {
 // returned finish releases the context's resources.
 func (c *conn) beginStmt() (ctx context.Context, finish func()) {
 	c.cancel.Store(false)
+	c.stmtNum++
 	ctx, cancelFn := context.WithCancel(context.Background())
 	c.stmtCancel.Store(cancelFn)
 	return ctx, func() {
 		c.stmtCancel.Store(context.CancelFunc(nil))
 		cancelFn()
 	}
+}
+
+// logSlow emits the structured slow-query record for the statement the
+// session just recorded, when it crossed the session's threshold. prev
+// distinguishes "this statement was recorded" from a stale LastStats
+// left by an earlier statement (errors don't record).
+func (c *conn) logSlow(prev *core.StmtStats) {
+	st := c.sess.LastStats()
+	if st == nil || st == prev {
+		return
+	}
+	ms := c.sess.SlowQueryMillis()
+	if ms < 0 || st.Duration < time.Duration(ms)*time.Millisecond {
+		return
+	}
+	attrs := []any{
+		"qid", c.qid(),
+		"kind", st.Kind,
+		"sql", st.SQL,
+		"duration_ms", float64(st.Duration.Microseconds()) / 1000,
+		"rows", st.Rows,
+		"rows_scanned", st.Exec.RowsScanned,
+		"index_probes", st.Exec.IndexProbes,
+		"bmo_in", st.Exec.BMOInputRows,
+		"bmo_out", st.Exec.BMOOutputRows,
+	}
+	if st.Plan != "" {
+		attrs = append(attrs, "plan", st.Plan)
+	}
+	c.log.Warn("slow query", attrs...)
+}
+
+// sendStats answers QueryFlagWantStats: the statement the session just
+// recorded goes out as a Stats frame (immediately before Done). A
+// statement that recorded nothing — an error, or LastStats unchanged —
+// sends nothing; the client treats the absence as "no stats".
+func (c *conn) sendStats(prev *core.StmtStats) error {
+	st := c.sess.LastStats()
+	if st == nil || st == prev {
+		return nil
+	}
+	qs := wire.QueryStats{
+		Nanos:            st.Duration.Nanoseconds(),
+		Rows:             st.Rows,
+		RowsScanned:      st.Exec.RowsScanned,
+		IndexProbes:      st.Exec.IndexProbes,
+		JoinInputRows:    st.Exec.JoinInputRows,
+		BMOInputRows:     st.Exec.BMOInputRows,
+		BMOOutputRows:    st.Exec.BMOOutputRows,
+		VecBlocksScanned: st.Exec.VecBlocksScanned,
+		VecBlocksPruned:  st.Exec.VecBlocksPruned,
+		Plan:             st.Plan,
+	}
+	var b wire.Buffer
+	qs.Encode(&b)
+	return c.send(wire.MsgStats, b.B)
 }
 
 func (s *Server) handle(nc net.Conn) {
@@ -234,13 +329,25 @@ func (s *Server) handle(nc net.Conn) {
 		stmts:  map[uint32]*core.Prepared{},
 		sessID: s.sessionSeq.Add(1),
 	}
+	c.log = s.logger().With("session", c.sessID)
+	if ms := s.opts.SlowQueryMs; ms > 0 {
+		c.sess.SetSlowQueryMillis(ms)
+	}
+	mConnections.Inc()
+	mActiveSessions.Add(1)
+	defer mActiveSessions.Add(-1)
 	defer nc.Close()
 	defer close(c.done)
 
+	c.log.Info("session open", "remote", nc.RemoteAddr().String())
 	go c.readLoop()
 
-	if err := c.run(); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+	err := c.run()
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 		s.logf("server: session %d: %v", c.sessID, err)
+		c.log.Error("session failed", "error", err)
+	} else {
+		c.log.Info("session closed", "statements", c.stmtNum)
 	}
 }
 
@@ -345,8 +452,9 @@ func (c *conn) sendDone(affected, rows int, flags byte) error {
 	return c.send(wire.MsgDone, b.B)
 }
 
-// sendResult streams a materialized result.
-func (c *conn) sendResult(res *core.Result, flags byte) error {
+// sendResult streams a materialized result. preDone, when non-nil, runs
+// between the last row and Done (the Stats frame's slot).
+func (c *conn) sendResult(res *core.Result, flags byte, preDone func() error) error {
 	if len(res.Columns) > 0 {
 		var b wire.Buffer
 		b.Strings(res.Columns)
@@ -361,6 +469,11 @@ func (c *conn) sendResult(res *core.Result, flags byte) error {
 			}
 		}
 	}
+	if preDone != nil {
+		if err := preDone(); err != nil {
+			return err
+		}
+	}
 	return c.sendDone(res.Affected, len(res.Rows), flags)
 }
 
@@ -368,11 +481,28 @@ func (c *conn) handleQuery(payload []byte) error {
 	r := wire.NewReader(payload)
 	sql := r.String()
 	args := r.Values()
+	// The query-flags byte is optional: a version-2 client that predates
+	// it simply omits it, which reads as 0.
+	var qflags byte
+	if r.More() {
+		qflags = r.U8()
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}
 	ctx, finish := c.beginStmt()
 	defer finish()
+	wantStats := qflags&wire.QueryFlagWantStats != 0
+	if wantStats {
+		// Record per-operator stats for this statement so the Stats frame
+		// carries the annotated plan; restore the session's prior setting
+		// afterwards (a session that already records keeps recording).
+		pinned := c.sess.RecordNodeStats()
+		c.sess.SetRecordNodeStats(true)
+		defer c.sess.SetRecordNodeStats(pinned)
+	}
+	prev := c.sess.LastStats()
+	defer c.logSlow(prev)
 	// Ad-hoc statements enter the shared cache only when they are a
 	// single SELECT — the shape that profits from re-execution. One-shot
 	// DML/bulk-load scripts execute parse-and-discard. The cache is keyed
@@ -394,7 +524,7 @@ func (c *conn) handleQuery(payload []byte) error {
 		flags |= wire.FlagCacheHit
 	}
 	if sel, ok := prep.SingleSelect(); ok {
-		return c.streamSelect(ctx, sel, args, flags)
+		return c.streamSelect(ctx, sel, args, flags, wantStats, prev)
 	}
 	res, err := c.sess.ExecStmtsArgs(ctx, prep.Stmts(), args)
 	if err != nil {
@@ -403,7 +533,11 @@ func (c *conn) handleQuery(payload []byte) error {
 		}
 		return c.sendError(err)
 	}
-	return c.sendResult(res, flags)
+	var preDone func() error
+	if wantStats {
+		preDone = func() error { return c.sendStats(prev) }
+	}
+	return c.sendResult(res, flags, preDone)
 }
 
 // streamSelect runs one SELECT through the session cursor and streams
@@ -411,7 +545,7 @@ func (c *conn) handleQuery(payload []byte) error {
 // client sees the first best matches while dominance testing continues,
 // and a Cancel stops the remaining work (between rows via the flag, and
 // mid-scan via the statement context).
-func (c *conn) streamSelect(ctx context.Context, sel *ast.Select, args []value.Value, flags byte) error {
+func (c *conn) streamSelect(ctx context.Context, sel *ast.Select, args []value.Value, flags byte, wantStats bool, prev *core.StmtStats) error {
 	cur, err := c.sess.OpenCursorSelectArgs(ctx, sel, args)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -452,6 +586,15 @@ func (c *conn) streamSelect(ctx context.Context, sel *ast.Select, args []value.V
 			return c.sendDone(0, n, flags|wire.FlagCancelled)
 		}
 		return c.sendError(err)
+	}
+	// Close before reading stats: the cursor records its statement
+	// (latency, counters, plan) when it closes. Close is idempotent, so
+	// the deferred Close stays harmless.
+	cur.Close()
+	if wantStats {
+		if err := c.sendStats(prev); err != nil {
+			return err
+		}
 	}
 	return c.sendDone(0, n, flags)
 }
@@ -497,6 +640,8 @@ func (c *conn) handleExecute(payload []byte) error {
 	}
 	ctx, finish := c.beginStmt()
 	defer finish()
+	prev := c.sess.LastStats()
+	defer c.logSlow(prev)
 	// Execute runs through ExecPreparedArgs so a plain single SELECT
 	// re-executes its cached plan with the fresh arguments — the planner
 	// is skipped across distinct argument values, which is the point of
@@ -513,7 +658,7 @@ func (c *conn) handleExecute(payload []byte) error {
 	if reused {
 		flags |= wire.FlagPlanReused
 	}
-	return c.sendResult(res, flags)
+	return c.sendResult(res, flags, nil)
 }
 
 func (c *conn) handleCloseStmt(payload []byte) error {

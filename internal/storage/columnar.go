@@ -1,6 +1,9 @@
 package storage
 
-import "repro/internal/value"
+import (
+	"repro/internal/metrics"
+	"repro/internal/value"
+)
 
 // Columnar storage: a lazily built, immutable column-major image of a
 // table's heap for the vectorized BMO path. Numeric columns (INT, FLOAT,
@@ -48,10 +51,16 @@ func (t *Table) Columnar(epoch uint64) *Columnar {
 	if c := t.columnar.Load(); c != nil && c.Epoch == epoch {
 		return c
 	}
+	mColumnarRebuilds.Inc()
 	c := buildColumnar(t.Rows(), &t.Schema, epoch)
 	t.columnar.Store(c)
 	return c
 }
+
+// mColumnarRebuilds counts cold or stale columnar-image builds — the
+// write-amplification cost of the columnar cache (a hit is free).
+var mColumnarRebuilds = metrics.Default.Counter("prefsql_columnar_rebuilds_total",
+	"Columnar image builds (cold or invalidated by a write epoch bump)")
 
 func buildColumnar(rows []value.Row, schema *Schema, epoch uint64) *Columnar {
 	n := len(rows)

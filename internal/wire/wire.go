@@ -14,10 +14,13 @@
 //
 //	client → server
 //	  Hello     u16 protocol version, string client name
-//	  Query     string sql, u16 argc, argc× value
+//	  Query     string sql, u16 argc, argc× value, [u8 query flags]
 //	                                  run a script; single SELECTs stream.
 //	                                  argc binds positional '?'/'$n'
-//	                                  parameters left to right
+//	                                  parameters left to right. The flags
+//	                                  byte is optional (absent = 0, so old
+//	                                  clients interoperate); QueryFlagWantStats
+//	                                  asks for a Stats frame before Done
 //	  Prepare   string sql            parse/cache once, answer Prepared id
 //	                                  (with the statement's parameter count)
 //	  Execute   u32 stmt id, u16 argc, argc× value
@@ -41,6 +44,9 @@
 //	  Error     string                statement failed (frame-level errors
 //	                                  close the connection instead)
 //	  Prepared  u32 stmt id, u16 parameter count    answer to Prepare
+//	  Stats     QueryStats            per-statement execution statistics;
+//	                                  sent immediately before Done when the
+//	                                  Query carried QueryFlagWantStats
 //
 // Values encode as a kind byte followed by a kind-specific body: NULL is
 // empty, INT/BOOL/DATE are zig-zag varints, FLOAT is 8 IEEE-754 bytes,
@@ -86,6 +92,14 @@ const (
 	MsgDone     byte = 0x84
 	MsgError    byte = 0x85
 	MsgPrepared byte = 0x86
+	MsgStats    byte = 0x87
+)
+
+// Query flags (the optional trailing byte of a Query payload).
+const (
+	// QueryFlagWantStats asks the server to send a Stats frame — the
+	// statement's execution statistics and annotated plan — before Done.
+	QueryFlagWantStats byte = 1 << 0
 )
 
 // Done flags.
@@ -160,6 +174,9 @@ func (b *Buffer) U16(v uint16) { b.B = binary.BigEndian.AppendUint16(b.B, v) }
 // U32 appends a big-endian uint32.
 func (b *Buffer) U32(v uint32) { b.B = binary.BigEndian.AppendUint32(b.B, v) }
 
+// I64 appends a zig-zag varint int64.
+func (b *Buffer) I64(v int64) { b.B = binary.AppendVarint(b.B, v) }
+
 // String appends a uvarint-length-prefixed string.
 func (b *Buffer) String(s string) {
 	b.B = binary.AppendUvarint(b.B, uint64(len(s)))
@@ -205,6 +222,58 @@ func (b *Buffer) Values(vs []value.Value) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Query statistics
+// ---------------------------------------------------------------------------
+
+// QueryStats is the Stats payload: one statement's execution statistics
+// as the server session recorded them — wall time, result cardinality,
+// the engine's row-level work counters, and (when the server had
+// per-operator recording on) the annotated plan EXPLAIN ANALYZE would
+// print.
+type QueryStats struct {
+	Nanos            int64  // statement wall time
+	Rows             int64  // rows in the result / streamed to the client
+	RowsScanned      int64  // base-table rows read
+	IndexProbes      int64  // index point-lookups
+	JoinInputRows    int64  // rows entering join operators
+	BMOInputRows     int64  // candidate rows entering BMO operators
+	BMOOutputRows    int64  // BMO result rows
+	VecBlocksScanned int64  // vectorized BMO zone-map blocks examined
+	VecBlocksPruned  int64  // vectorized BMO zone-map blocks skipped
+	Plan             string // annotated per-node plan; "" when not recorded
+}
+
+// Encode appends the QueryStats body to a payload buffer.
+func (q *QueryStats) Encode(b *Buffer) {
+	b.I64(q.Nanos)
+	b.I64(q.Rows)
+	b.I64(q.RowsScanned)
+	b.I64(q.IndexProbes)
+	b.I64(q.JoinInputRows)
+	b.I64(q.BMOInputRows)
+	b.I64(q.BMOOutputRows)
+	b.I64(q.VecBlocksScanned)
+	b.I64(q.VecBlocksPruned)
+	b.String(q.Plan)
+}
+
+// DecodeQueryStats parses a Stats payload.
+func DecodeQueryStats(r *Reader) QueryStats {
+	return QueryStats{
+		Nanos:            r.I64(),
+		Rows:             r.I64(),
+		RowsScanned:      r.I64(),
+		IndexProbes:      r.I64(),
+		JoinInputRows:    r.I64(),
+		BMOInputRows:     r.I64(),
+		BMOOutputRows:    r.I64(),
+		VecBlocksScanned: r.I64(),
+		VecBlocksPruned:  r.I64(),
+		Plan:             r.String(),
+	}
+}
+
 // Reader parses a message payload. The first malformed field latches an
 // error; callers check Err once after reading every field.
 type Reader struct {
@@ -235,6 +304,24 @@ func (r *Reader) U8() byte {
 	r.i++
 	return v
 }
+
+// I64 reads a zig-zag varint int64.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, w := binary.Varint(r.B[r.i:])
+	if w <= 0 {
+		r.fail()
+		return 0
+	}
+	r.i += w
+	return v
+}
+
+// More reports whether unread payload bytes remain — how the server
+// detects the optional trailing query-flags byte an older client omits.
+func (r *Reader) More() bool { return r.err == nil && r.i < len(r.B) }
 
 // U16 reads a big-endian uint16.
 func (r *Reader) U16() uint16 {

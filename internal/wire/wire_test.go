@@ -120,3 +120,85 @@ func TestReaderHugeLengthDoesNotPanic(t *testing.T) {
 		}
 	}
 }
+
+func TestQueryStatsRoundtrip(t *testing.T) {
+	in := QueryStats{
+		Nanos:            1234567890,
+		Rows:             42,
+		RowsScanned:      100000,
+		IndexProbes:      7,
+		JoinInputRows:    512,
+		BMOInputRows:     100000,
+		BMOOutputRows:    42,
+		VecBlocksScanned: 98,
+		VecBlocksPruned:  31,
+		Plan:             "BMO vec est=100000 [LOWEST(price)]\n  SeqScan trips\n",
+	}
+	var b Buffer
+	in.Encode(&b)
+	r := NewReader(b.B)
+	got := DecodeQueryStats(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, in)
+	}
+	if r.More() {
+		t.Fatal("reader has trailing bytes after a full decode")
+	}
+}
+
+func TestVarintRoundtrip(t *testing.T) {
+	vals := []int64{0, 1, -1, 63, 64, -65, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63}
+	var b Buffer
+	for _, v := range vals {
+		b.I64(v)
+	}
+	r := NewReader(b.B)
+	for i, want := range vals {
+		if got := r.I64(); got != want {
+			t.Fatalf("val %d: got %d, want %d (err %v)", i, got, want, r.Err())
+		}
+	}
+	if r.More() {
+		t.Fatal("trailing bytes")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderMore pins the optional-trailing-field idiom the Query message
+// relies on for back-compat: More is true exactly while undecoded bytes
+// remain and the reader is healthy.
+func TestReaderMore(t *testing.T) {
+	var b Buffer
+	b.String("SELECT 1")
+	b.U8(QueryFlagWantStats)
+	r := NewReader(b.B)
+	if !r.More() {
+		t.Fatal("More = false before any read")
+	}
+	if got := r.String(); got != "SELECT 1" {
+		t.Fatalf("sql = %q", got)
+	}
+	if !r.More() {
+		t.Fatal("More = false with the flags byte still unread")
+	}
+	if f := r.U8(); f&QueryFlagWantStats == 0 {
+		t.Fatalf("flags = %#x", f)
+	}
+	if r.More() {
+		t.Fatal("More = true after the payload is exhausted")
+	}
+
+	// A pre-flags client payload: More is simply false after the fixed part.
+	var old Buffer
+	old.String("SELECT 1")
+	r2 := NewReader(old.B)
+	_ = r2.String()
+	if r2.More() {
+		t.Fatal("More = true on a flag-less payload")
+	}
+}
