@@ -809,3 +809,273 @@ func (c *Conn) SetVectorized(on bool) error {
 	}
 	return c.set(wire.SetVectorized, val)
 }
+
+// ---------------------------------------------------------------------------
+// Continuous queries
+// ---------------------------------------------------------------------------
+
+// Delta ops, mirroring the wire encoding.
+const (
+	// DeltaAdd: the row entered the live result set.
+	DeltaAdd = wire.DeltaAdd
+	// DeltaRemove: the row left the live result set.
+	DeltaRemove = wire.DeltaRemove
+)
+
+// Delta is one incremental change to a subscription's result set. Seq
+// numbers are contiguous from 1 per subscription; a gap means deltas
+// were lost (which the protocol does not allow — treat it as a bug).
+type Delta struct {
+	Seq int64
+	Op  byte // DeltaAdd or DeltaRemove
+	Row Row
+}
+
+// ErrEvicted reports that the server terminated the subscription because
+// this client consumed deltas slower than writers produced them (the
+// bounded server-side queue overflowed). Re-subscribe to resume; the
+// fresh Initial set restores a consistent state.
+var ErrEvicted = errors.New("client: subscription evicted (slow consumer)")
+
+// Sub is a live continuous-query stream. The connection is busy until
+// Close: run other statements on their own Conn.
+type Sub struct {
+	c       *Conn
+	id      uint32
+	cols    []string
+	initial []Row
+	delta   Delta
+	err     error
+	done    bool
+	ctx     context.Context
+	unwatch func()
+}
+
+// Subscribe registers a continuous query (`SUBSCRIBE SELECT ... FROM t
+// [WHERE ...] [PREFERRING ...]`; the SUBSCRIBE keyword is optional) and
+// returns its live stream: Initial holds the result set frozen at
+// registration, and Next yields every later change as writers commit.
+// Cancelling ctx closes the subscription. queue semantics are server
+// side: fall a full queue behind and the server evicts the stream
+// (Err() == ErrEvicted) rather than slowing writers down.
+func (c *Conn) Subscribe(ctx context.Context, sql string, args ...any) (*Sub, error) {
+	return c.SubscribeBuffered(ctx, 0, sql, args...)
+}
+
+// SubscribeBuffered is Subscribe with an explicit server-side delta
+// queue capacity (0 means the server default). Small queues evict
+// sooner; large queues absorb longer consumer stalls at the cost of
+// server memory.
+func (c *Conn) SubscribeBuffered(ctx context.Context, queue int, sql string, args ...any) (*Sub, error) {
+	if queue < 0 {
+		return nil, fmt.Errorf("client: queue must be non-negative, got %d", queue)
+	}
+	vals, err := value.FromGoArgs(args)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	if err := c.acquire(); err != nil {
+		return nil, err
+	}
+	// The stock watchdog works for subscriptions too: Cancel maps onto
+	// the registration's statement context server-side, which closes the
+	// subscription and ends the stream with FlagCancelled.
+	unwatch := c.watch(ctx)
+	fail := func(err error) (*Sub, error) {
+		unwatch()
+		c.mu.Unlock()
+		return nil, err
+	}
+	var b wire.Buffer
+	b.U32(uint32(queue))
+	b.String(sql)
+	b.Values(vals)
+	if err := c.send(wire.MsgSubscribe, b.B); err != nil {
+		return fail(c.broken(err))
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return fail(c.broken(err))
+	}
+	r := wire.NewReader(payload)
+	switch typ {
+	case wire.MsgError:
+		unwatch()
+		c.mu.Unlock()
+		return nil, errors.New(r.String())
+	case wire.MsgSubscribed:
+	default:
+		return fail(c.broken(fmt.Errorf("client: unexpected message %#x", typ)))
+	}
+	id := r.U32()
+	cols := r.Strings()
+	if err := r.Err(); err != nil {
+		return fail(c.broken(err))
+	}
+	// The initial result set streams as Row frames closed by a Done.
+	var initial []Row
+collect:
+	for {
+		typ, payload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return fail(c.broken(err))
+		}
+		rd := wire.NewReader(payload)
+		switch typ {
+		case wire.MsgRow:
+			initial = append(initial, rd.Row())
+		case wire.MsgDone:
+			break collect
+		default:
+			return fail(c.broken(fmt.Errorf("client: unexpected message %#x", typ)))
+		}
+		if err := rd.Err(); err != nil {
+			return fail(c.broken(err))
+		}
+	}
+	c.busy = true
+	c.mu.Unlock()
+	return &Sub{c: c, id: id, cols: cols, initial: initial, ctx: ctx, unwatch: unwatch}, nil
+}
+
+// ID returns the server-assigned subscription id.
+func (s *Sub) ID() uint32 { return s.id }
+
+// Columns returns the result column names.
+func (s *Sub) Columns() []string { return s.cols }
+
+// Initial returns the result set as of registration; deltas apply on
+// top of it.
+func (s *Sub) Initial() []Row { return s.initial }
+
+// Next blocks for the next delta; false when the stream ended (see Err).
+func (s *Sub) Next() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	if s.ctx != nil {
+		if cerr := s.ctx.Err(); cerr != nil {
+			_ = s.Close()
+			if s.err == nil {
+				s.err = cerr
+			}
+			return false
+		}
+	}
+	typ, payload, err := wire.ReadFrame(s.c.br)
+	if err != nil {
+		s.err = s.c.broken(err)
+		s.finish()
+		return false
+	}
+	rd := wire.NewReader(payload)
+	switch typ {
+	case wire.MsgDelta:
+		rd.U32() // subscription id, implied
+		seq := rd.I64()
+		op := rd.U8()
+		row := rd.Row()
+		if err := rd.Err(); err != nil {
+			s.err = s.c.broken(err)
+			s.finish()
+			return false
+		}
+		s.delta = Delta{Seq: seq, Op: op, Row: row}
+		return true
+	case wire.MsgDone:
+		rd.U32()
+		rd.U32()
+		flags := rd.U8()
+		if err := rd.Err(); err != nil {
+			s.err = s.c.broken(err)
+		}
+		if s.err == nil && flags&wire.FlagEvicted != 0 {
+			s.err = ErrEvicted
+		}
+		if s.err == nil && flags&wire.FlagCancelled != 0 && s.ctx != nil && s.ctx.Err() != nil {
+			s.err = s.ctx.Err()
+		}
+		s.finish()
+		return false
+	case wire.MsgError:
+		s.err = errors.New(rd.String())
+		s.finish()
+		return false
+	default:
+		s.err = s.c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+		s.finish()
+		return false
+	}
+}
+
+// Delta returns the current change; valid after Next returned true.
+func (s *Sub) Delta() Delta { return s.delta }
+
+// Err returns the terminal error: nil after a clean close, ErrEvicted
+// when the server dropped this consumer, the context's error when ctx
+// ended the stream, or a transport error.
+func (s *Sub) Err() error { return s.err }
+
+// finish marks the stream complete and releases the connection.
+func (s *Sub) finish() {
+	if !s.done {
+		s.done = true
+		if s.unwatch != nil {
+			s.unwatch()
+		}
+		s.c.mu.Lock()
+		s.c.busy = false
+		s.c.mu.Unlock()
+	}
+}
+
+// Close unsubscribes and drains the stream so the connection is ready
+// for the next statement. Queued deltas are discarded. Safe to call
+// more than once.
+func (s *Sub) Close() error {
+	if s.done {
+		return nil
+	}
+	if !s.c.closed.Load() {
+		var b wire.Buffer
+		b.U32(s.id)
+		if err := s.c.send(wire.MsgUnsubscribe, b.B); err != nil {
+			s.err = s.c.broken(err)
+			s.finish()
+			return s.err
+		}
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(s.c.br)
+		if err != nil {
+			s.err = s.c.broken(err)
+			s.finish()
+			return s.err
+		}
+		switch typ {
+		case wire.MsgDone:
+			rd := wire.NewReader(payload)
+			rd.U32()
+			rd.U32()
+			flags := rd.U8()
+			if rd.Err() == nil && s.err == nil && flags&wire.FlagEvicted != 0 {
+				s.err = ErrEvicted
+			}
+			s.finish()
+			return nil
+		case wire.MsgError:
+			s.err = errors.New(wire.NewReader(payload).String())
+			s.finish()
+			return nil
+		case wire.MsgDelta, wire.MsgRow:
+			// discard in-flight deltas
+		default:
+			s.err = s.c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+			s.finish()
+			return s.err
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Command benchgate is the CI performance-regression gate: it compares
 // fresh quick-run benchmark JSONs (p4: parallel BMO, p5: join pushdown,
-// p6: vectorized BMO, p7: instrumentation overhead) against the
+// p6: vectorized BMO, p7: instrumentation overhead, p8: live-query
+// maintenance) against the
 // committed baselines and fails when a headline speedup regressed by
 // more than the tolerance (default 25%).
 //
@@ -103,6 +104,25 @@ func extractP7(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+func extractP8(path string) (map[string]float64, error) {
+	var res bench.P8Result
+	if err := load(path, &res); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, e := range res.Entries {
+		// Gate only the headline 10-subscription cell: its ratio vs the
+		// subscription-free baseline is the "writers stay within 2x"
+		// claim. The 0-sub row is the denominator and the 100-sub row is
+		// a scaling observation, not a bound.
+		if e.Subs != 10 {
+			continue
+		}
+		out[fmt.Sprintf("subs=%d", e.Subs)] = e.Ratio
+	}
+	return out, nil
+}
+
 func extractP6(path string) (map[string]float64, error) {
 	var res bench.P6Result
 	if err := load(path, &res); err != nil {
@@ -130,6 +150,13 @@ var gates = []*gateSpec{
 	// flake, while a 10% drop still catches any structural regression
 	// (the un-sampled recorder cost 40%).
 	{name: "p7", what: "instrumentation overhead", extract: extractP7, floor: true, min: 0.90},
+	// p8's ratio is DML throughput with 10 live subscriptions vs none —
+	// the incremental-maintenance tax on writers. The claim is "within
+	// 2x" (0.50); the quick CI floor sits at 0.40 to absorb shared-runner
+	// scheduling noise on a concurrency-sensitive measurement, while
+	// still catching a structural regression (a full recompute per DML
+	// statement lands far below it).
+	{name: "p8", what: "live-query maintenance", extract: extractP8, floor: true, min: 0.40},
 }
 
 // check compares one matched cell, printing the verdict line; the
@@ -215,7 +242,7 @@ func main() {
 		fail = fail || bad
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -fresh-p4/-fresh-p5/-fresh-p6/-fresh-p7)")
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to compare (pass -fresh-p4/-fresh-p5/-fresh-p6/-fresh-p7/-fresh-p8)")
 		os.Exit(1)
 	}
 	if fail {

@@ -13,6 +13,7 @@
 //	prefbench -exp p5                   # BMO-through-join pushdown; writes BENCH_p5.json
 //	prefbench -exp p6                   # row-at-a-time vs vectorized BMO; writes BENCH_p6.json
 //	prefbench -exp p7                   # per-operator instrumentation overhead; writes BENCH_p7.json
+//	prefbench -exp p8                   # live-query maintenance cost; writes BENCH_p8.json
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		p5json  = flag.String("json-p5", "BENCH_p5.json", "file for the structured p5 results ('' disables)")
 		p6json  = flag.String("json-p6", "BENCH_p6.json", "file for the structured p6 results ('' disables)")
 		p7json  = flag.String("json-p7", "BENCH_p7.json", "file for the structured p7 results ('' disables)")
+		p8json  = flag.String("json-p8", "BENCH_p8.json", "file for the structured p8 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -109,6 +111,10 @@ func main() {
 		case name == "p7" && *p7json != "":
 			res, tbl, err := bench.P7(cfg)
 			emitJSON(name, *p7json, res, tbl, err)
+			continue
+		case name == "p8" && *p8json != "":
+			res, tbl, err := bench.P8(cfg)
+			emitJSON(name, *p8json, res, tbl, err)
 			continue
 		}
 		out, err := bench.Run(name, cfg)

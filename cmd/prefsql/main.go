@@ -21,7 +21,11 @@
 //	\prefs                list named preferences (CREATE PREFERENCE ...)
 //	\stats                show engine metrics and the last statement's
 //	                      execution statistics (per-operator plan included);
-//	                      over -addr, the server-reported statistics
+//	                      over -addr, the server-reported statistics;
+//	                      embedded, also each active subscription's counters
+//	\watch SELECT ...     subscribe to a continuous query: print the result
+//	                      set, then stream +/- deltas as writers change it
+//	                      (incremental skyline maintenance); Enter stops
 //	\q                    quit
 //
 // Session settings are also plain SQL statements, embedded or remote:
@@ -30,6 +34,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +52,9 @@ import (
 // connection behind the shell's commands.
 type backend interface {
 	exec(sql string) (*prefsql.Result, error)
+	// watch registers a continuous query; the stream ends when ctx is
+	// cancelled (see \watch in repl).
+	watch(ctx context.Context, sql string) (watchStream, error)
 	setMode(m prefsql.Mode) error
 	setAlgo(a prefsql.Algorithm) error
 	explain(sql string) (string, error)
@@ -56,7 +65,35 @@ type backend interface {
 	close()
 }
 
+// watchStream normalizes the embedded and remote subscription APIs for
+// the \watch loop: next blocks for one delta and reports false when the
+// stream ended (err distinguishes a clean stop from a failure).
+type watchStream interface {
+	columns() []string
+	initial() []prefsql.Row
+	next() (add bool, row prefsql.Row, ok bool)
+	err() error
+}
+
 type embeddedBackend struct{ db *prefsql.DB }
+
+type embeddedWatch struct{ sub *prefsql.Subscription }
+
+func (w embeddedWatch) columns() []string      { return w.sub.Columns() }
+func (w embeddedWatch) initial() []prefsql.Row { return w.sub.Initial() }
+func (w embeddedWatch) err() error             { return w.sub.Err() }
+func (w embeddedWatch) next() (bool, prefsql.Row, bool) {
+	d, ok := <-w.sub.C()
+	return d.Op == prefsql.OpAdd, d.Row, ok
+}
+
+func (b embeddedBackend) watch(ctx context.Context, sql string) (watchStream, error) {
+	sub, err := b.db.Subscribe(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return embeddedWatch{sub: sub}, nil
+}
 
 func (b embeddedBackend) exec(sql string) (*prefsql.Result, error) { return b.db.Exec(sql) }
 func (b embeddedBackend) setMode(m prefsql.Mode) error             { b.db.SetMode(m); return nil }
@@ -102,6 +139,16 @@ func (b embeddedBackend) stats() (string, error) {
 		}
 		fmt.Fprintf(&sb, "%-48s %d\n", series, s.Value)
 	}
+	if subs := b.db.Internal().Live().Active(); len(subs) > 0 {
+		sb.WriteString("\n-- active subscriptions --\n")
+		for _, sub := range subs {
+			st := sub.Stats()
+			fmt.Fprintf(&sb, "#%d %s\n", st.ID, st.SQL)
+			fmt.Fprintf(&sb, "   skyline=%d shadow=%d seq=%d adds=%d removes=%d changes=%d compares=%d requalified=%d queue=%d/%d\n",
+				st.Skyline, st.Shadow, st.LastSeq, st.Adds, st.Removes,
+				st.Changes, st.Compares, st.Requalified, st.Queued, st.QueueCap)
+		}
+	}
 	if st := b.db.Internal().DefaultSession().LastStats(); st != nil {
 		fmt.Fprintf(&sb, "\n-- last statement (%s, %v, %d rows) --\n%s\n",
 			st.Kind, st.Duration.Round(time.Microsecond), st.Rows, strings.TrimSpace(st.SQL))
@@ -113,6 +160,34 @@ func (b embeddedBackend) stats() (string, error) {
 }
 
 type remoteBackend struct{ c *client.Conn }
+
+type remoteWatch struct{ sub *client.Sub }
+
+func (w remoteWatch) columns() []string      { return w.sub.Columns() }
+func (w remoteWatch) initial() []prefsql.Row { return w.sub.Initial() }
+func (w remoteWatch) next() (bool, prefsql.Row, bool) {
+	if !w.sub.Next() {
+		return false, nil, false
+	}
+	d := w.sub.Delta()
+	return d.Op == client.DeltaAdd, d.Row, true
+}
+
+func (w remoteWatch) err() error {
+	// Cancelling \watch's context is the intended way to stop.
+	if err := w.sub.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
+}
+
+func (b remoteBackend) watch(ctx context.Context, sql string) (watchStream, error) {
+	sub, err := b.c.Subscribe(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return remoteWatch{sub: sub}, nil
+}
 
 func (b remoteBackend) exec(sql string) (*prefsql.Result, error) { return b.c.Exec(sql) }
 func (b remoteBackend) setMode(m prefsql.Mode) error             { return b.c.SetMode(m) }
@@ -218,6 +293,13 @@ func repl(db backend, timing bool) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			// \watch needs the scanner (Enter stops the stream), so it is
+			// handled here rather than in command.
+			if strings.HasPrefix(trimmed, "\\watch") {
+				arg := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\watch"))
+				runWatch(db, arg, scanner)
+				continue
+			}
 			if done := command(db, trimmed); done {
 				return
 			}
@@ -238,6 +320,58 @@ func repl(db backend, timing bool) {
 			prompt = "    ...> "
 		}
 	}
+}
+
+// runWatch subscribes to a continuous query and streams its deltas to
+// the terminal — the initial result set first, then one '+'/'-' line per
+// change as writers commit — until the user presses Enter.
+func runWatch(db backend, sql string, scanner *bufio.Scanner) {
+	if strings.TrimSuffix(sql, ";") == "" {
+		fmt.Fprintln(os.Stderr, "usage: \\watch SELECT ... [PREFERRING ...]")
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := db.watch(ctx, strings.TrimSuffix(sql, ";"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Printf("watching (%s) — press Enter to stop\n", strings.Join(w.columns(), ", "))
+	for _, row := range w.initial() {
+		fmt.Printf("  %s\n", formatRow(row))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			add, row, ok := w.next()
+			if !ok {
+				return
+			}
+			sign := "-"
+			if add {
+				sign = "+"
+			}
+			fmt.Printf("%s %s\n", sign, formatRow(row))
+		}
+	}()
+	// Enter (or EOF) stops the watch: cancel ends the subscription, the
+	// delta printer drains to the stream's end and exits.
+	scanner.Scan()
+	cancel()
+	<-done
+	if err := w.err(); err != nil {
+		fmt.Fprintf(os.Stderr, "watch ended: %v\n", err)
+	}
+}
+
+func formatRow(row prefsql.Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " | ")
 }
 
 // command handles backslash meta-commands; it reports whether to quit.

@@ -173,6 +173,34 @@
 // /debug/vars, and mounts pprof under /debug/pprof/. See
 // ARCHITECTURE.md, "Observability".
 //
+// # Continuous queries
+//
+// SUBSCRIBE registers a standing query whose result set is maintained
+// incrementally under DML, streaming +row/-row deltas instead of being
+// re-run:
+//
+//	sub, err := db.Subscribe(ctx, `SUBSCRIBE SELECT * FROM offers
+//	    PREFERRING LOWEST(price) AND HIGHEST(rating)`)
+//	defer sub.Close()
+//	for _, row := range sub.Initial() { show(row) }
+//	for d := range sub.C() {
+//	    switch d.Op {
+//	    case prefsql.OpAdd:    show(d.Row)
+//	    case prefsql.OpRemove: hide(d.Row)
+//	    }
+//	}
+//
+// Preference subscriptions maintain the skyline incrementally: an
+// insert pays one dominance pass (evicting members it now dominates),
+// and removing a skyline member requalifies only the rows it had been
+// dominating — never a full recompute. Deltas carry a per-subscription
+// sequence number contiguous from 1, and delivery is bounded: a
+// consumer that lets its queue overflow is evicted (the channel closes
+// and Err reports the eviction) rather than silently losing deltas.
+// The same statement works remotely via client.Conn.Subscribe, and the
+// prefsql shell's \watch follows a query live. See ARCHITECTURE.md,
+// "Continuous queries".
+//
 // # Client/server
 //
 // The original system ran as middleware that applications reached over

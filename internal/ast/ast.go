@@ -814,7 +814,19 @@ type Set struct {
 	Value value.Value
 }
 
+// Subscribe is a continuous query: `SUBSCRIBE SELECT ...` registers a
+// standing statement whose result set is maintained incrementally and
+// streamed to the subscriber as +row/-row deltas. The wrapped Select
+// carries the projection, WHERE clause and PREFERRING clause; the live
+// layer restricts which Select shapes are accepted.
+type Subscribe struct {
+	Sel *Select
+}
+
+func (s *Subscribe) SQL() string { return "SUBSCRIBE " + s.Sel.SQL() }
+
 func (*Select) stmtNode()           {}
+func (*Subscribe) stmtNode()        {}
 func (*Insert) stmtNode()           {}
 func (*Update) stmtNode()           {}
 func (*Delete) stmtNode()           {}

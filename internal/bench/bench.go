@@ -49,6 +49,8 @@ type Config struct {
 	P5Sizes            []int   // fact-side sizes for the join-pushdown experiment
 	P6Sizes            []int   // input sizes for the vectorized BMO experiment
 	P7Sizes            []int   // input sizes for the instrumentation-overhead experiment
+	P8Subs             []int   // active-subscription counts for the live-query experiment
+	P8Ops              int     // DML statements per P8 measurement
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -72,6 +74,8 @@ func DefaultConfig() Config {
 		P5Sizes:            []int{10000, 100000, 1000000},
 		P6Sizes:            []int{100000, 1000000, 10000000},
 		P7Sizes:            []int{100000, 1000000},
+		P8Subs:             []int{0, 10, 100},
+		P8Ops:              20000,
 	}
 }
 
@@ -94,6 +98,8 @@ func TestConfig() Config {
 	// vectorized operator is actually selected.
 	cfg.P6Sizes = []int{20000, 100000}
 	cfg.P7Sizes = []int{20000, 100000}
+	cfg.P8Subs = []int{0, 10, 100}
+	cfg.P8Ops = 4000
 	return cfg
 }
 
@@ -659,7 +665,7 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 
 // Names lists the available experiments.
 func Names() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"}
 }
 
 // Run executes one experiment by name and returns its printable output.
@@ -745,6 +751,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p7":
 		_, tbl, err := P7(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p8":
+		_, tbl, err := P8(cfg)
 		if err != nil {
 			return "", err
 		}

@@ -195,7 +195,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 14 {
+	if len(Names()) != 15 {
 		t.Errorf("names: %v", Names())
 	}
 }
@@ -354,6 +354,43 @@ func TestP5Smoke(t *testing.T) {
 		if off.Millis <= 0 || on.Millis <= 0 {
 			t.Fatalf("degenerate timing: %+v / %+v", off, on)
 		}
+	}
+	if len(tbl.Rows) != len(res.Entries) {
+		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))
+	}
+}
+
+// TestP8Smoke runs the live-query maintenance experiment at small scale
+// and pins its structural invariants: one entry per subscription count,
+// the 0-sub baseline carries ratio 1.0 and no deltas, and the subscribed
+// cells actually produced delta traffic with sane latency percentiles.
+// The 2x throughput budget itself is the CI gate's job.
+func TestP8Smoke(t *testing.T) {
+	cfg := TestConfig()
+	cfg.P8Subs = []int{0, 4}
+	cfg.P8Ops = 600
+	res, tbl, err := P8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(res.Entries))
+	}
+	base, subbed := res.Entries[0], res.Entries[1]
+	if base.Subs != 0 || subbed.Subs != 4 {
+		t.Fatalf("cell order drifted: %+v / %+v", base, subbed)
+	}
+	if base.Ratio != 1.0 || base.Deltas != 0 {
+		t.Fatalf("baseline cell not a baseline: %+v", base)
+	}
+	if subbed.Deltas == 0 {
+		t.Fatal("subscribed run produced no deltas")
+	}
+	if subbed.Ratio <= 0 || subbed.DeltaP50Us < 0 || subbed.DeltaP95Us < subbed.DeltaP50Us {
+		t.Fatalf("degenerate measurement: %+v", subbed)
+	}
+	if base.Millis <= 0 || subbed.Millis <= 0 {
+		t.Fatalf("degenerate timing: %+v / %+v", base, subbed)
 	}
 	if len(tbl.Rows) != len(res.Entries) {
 		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/value"
+)
+
+// P8Entry is one measurement of the continuous-query experiment: a
+// mixed DML workload (insert-heavy, with deletes and updates) against a
+// database carrying Subs live subscriptions. Throughput is the writer's
+// statements per second; Ratio divides it by the 0-subscription
+// baseline of the same run (1.00 = free, 0.50 = writers pay 2x).
+// Delta latency is measured from the storage-change timestamp to the
+// consumer goroutine receiving the delta.
+type P8Entry struct {
+	Subs       int     `json:"subs"`
+	Ops        int     `json:"ops"`
+	Millis     float64 `json:"ms"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Ratio      float64 `json:"throughput_vs_baseline"`
+	Deltas     int64   `json:"deltas"`
+	DeltaP50Us float64 `json:"delta_p50_us"`
+	DeltaP95Us float64 `json:"delta_p95_us"`
+}
+
+// P8Result is the full experiment outcome, the payload of BENCH_p8.json.
+type P8Result struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Entries    []P8Entry `json:"entries"`
+}
+
+// p8Subscriptions registers n live queries — alternating an incremental
+// two-dimensional skyline and a plain predicate subscription — and one
+// drainer goroutine per subscription that records delivery latency.
+// stop joins the drainers and returns every recorded latency (µs).
+func p8Subscriptions(db *core.DB, n int) (stop func() []float64, err error) {
+	subs := make([]*live.Subscription, 0, n)
+	lat := make([][]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		q := `SUBSCRIBE SELECT * FROM pts PREFERRING LOWEST(d1) AND LOWEST(d2)`
+		if i%2 == 1 {
+			q = `SUBSCRIBE SELECT * FROM pts WHERE d1 < 0.5`
+		}
+		sub, err := db.DefaultSession().Subscribe(context.Background(), q)
+		if err != nil {
+			for _, s := range subs {
+				s.Close()
+			}
+			return nil, err
+		}
+		subs = append(subs, sub)
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range sub.C() {
+				lat[i] = append(lat[i], float64(time.Since(d.Time).Microseconds()))
+			}
+		}()
+	}
+	return func() []float64 {
+		for _, s := range subs {
+			s.Close()
+		}
+		wg.Wait()
+		var all []float64
+		for _, l := range lat {
+			all = append(all, l...)
+		}
+		return all
+	}, nil
+}
+
+// P8 measures what live-query maintenance costs writers and how fast
+// deltas reach consumers: the same mixed DML workload (70% insert, 15%
+// delete, 15% update via prepared statements) against 0, 10 and 100
+// active subscriptions. Each insert pays one dominance pass over every
+// skyline subscription's current result; deletions of skyline members
+// pay a bounded requalification. The headline claim, gated in CI: with
+// 10 subscriptions, writer throughput stays within 2x of the
+// subscription-free baseline (ratio ≥ 0.5 full scale; quick floor 0.40
+// for runner noise).
+func P8(cfg Config) (*P8Result, *Table, error) {
+	subCounts := cfg.P8Subs
+	if len(subCounts) == 0 {
+		subCounts = []int{0, 10, 100}
+	}
+	ops := cfg.P8Ops
+	if ops == 0 {
+		ops = 20000
+	}
+	out := &P8Result{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	var baselineTput float64
+	for _, ns := range subCounts {
+		db := core.Open()
+		if _, err := db.Exec(`CREATE TABLE pts (id INTEGER PRIMARY KEY, d1 FLOAT, d2 FLOAT)`); err != nil {
+			return nil, nil, err
+		}
+		sess := db.DefaultSession()
+		ins, err := db.Prepare(`INSERT INTO pts VALUES (?, ?, ?)`)
+		if err != nil {
+			return nil, nil, err
+		}
+		del, err := db.Prepare(`DELETE FROM pts WHERE id = ?`)
+		if err != nil {
+			return nil, nil, err
+		}
+		upd, err := db.Prepare(`UPDATE pts SET d1 = ? WHERE id = ?`)
+		if err != nil {
+			return nil, nil, err
+		}
+		exec := func(p *core.Prepared, args ...any) error {
+			vals, err := value.FromGoArgs(args)
+			if err != nil {
+				return err
+			}
+			_, _, err = sess.ExecPreparedArgs(context.Background(), p, vals)
+			return err
+		}
+
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		const seedRows = 2000
+		nextID := 0
+		ids := make([]int, 0, seedRows+ops)
+		for i := 0; i < seedRows; i++ {
+			nextID++
+			ids = append(ids, nextID)
+			if err := exec(ins, nextID, rng.Float64(), rng.Float64()); err != nil {
+				return nil, nil, err
+			}
+		}
+
+		stop := func() []float64 { return nil }
+		if ns > 0 {
+			stop, err = p8Subscriptions(db, ns)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+
+		runtime.GC()
+		t0 := time.Now()
+		for op := 0; op < ops; op++ {
+			switch k := rng.Intn(20); {
+			case k < 14 || len(ids) == 0: // insert
+				nextID++
+				ids = append(ids, nextID)
+				err = exec(ins, nextID, rng.Float64(), rng.Float64())
+			case k < 17: // delete
+				j := rng.Intn(len(ids))
+				id := ids[j]
+				ids = append(ids[:j], ids[j+1:]...)
+				err = exec(del, id)
+			default: // update
+				err = exec(upd, rng.Float64(), ids[rng.Intn(len(ids))])
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		elapsed := time.Since(t0)
+		latencies := stop()
+
+		tput := float64(ops) / elapsed.Seconds()
+		ratio := 1.0
+		if ns == 0 {
+			baselineTput = tput
+		} else if baselineTput > 0 {
+			ratio = tput / baselineTput
+		}
+		p50, p95 := percentile(latencies, 0.50), percentile(latencies, 0.95)
+		out.Entries = append(out.Entries, P8Entry{
+			Subs: ns, Ops: ops,
+			Millis:    float64(elapsed.Nanoseconds()) / 1e6,
+			OpsPerSec: tput, Ratio: ratio,
+			Deltas:     int64(len(latencies)),
+			DeltaP50Us: p50, DeltaP95Us: p95,
+		})
+	}
+
+	tbl := &Table{
+		Title: fmt.Sprintf("P8: live-query maintenance cost (mixed DML, 2-d skyline + predicate subscriptions, GOMAXPROCS=%d)",
+			out.GOMAXPROCS),
+		Header: []string{"subs", "ops/s", "vs 0 subs", "deltas", "delta p50", "delta p95"},
+		Notes: []string{
+			"subscriptions alternate incremental skyline (LOWEST(d1) AND LOWEST(d2)) and plain predicate (d1 < 0.5)",
+			"delta latency: storage-change timestamp -> consumer receive, in-process",
+			"gate: 10-subscription throughput ratio vs 0 subs; within 2x full scale (>=0.50), quick CI floor 0.40",
+		},
+	}
+	for _, e := range out.Entries {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", e.Subs),
+			fmt.Sprintf("%.0f", e.OpsPerSec),
+			fmt.Sprintf("%.2fx", e.Ratio),
+			fmt.Sprintf("%d", e.Deltas),
+			fmt.Sprintf("%.0fµs", e.DeltaP50Us),
+			fmt.Sprintf("%.0fµs", e.DeltaP95Us),
+		})
+	}
+	return out, tbl, nil
+}
+
+// percentile returns the q-quantile of xs (0 when empty).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

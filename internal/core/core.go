@@ -29,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/live"
 	"repro/internal/parser"
 	"repro/internal/plan"
 	"repro/internal/preference"
@@ -76,6 +77,10 @@ type DB struct {
 
 	prefMu sync.RWMutex
 	prefs  map[string]ast.Pref // Preference Definition Language objects
+
+	// live tracks this database's continuous queries (SUBSCRIBE); see
+	// Session.Subscribe and package live.
+	live *live.Registry
 }
 
 // Open creates an empty Preference SQL database.
@@ -83,10 +88,13 @@ func Open() *DB { return OpenOn(engine.New()) }
 
 // OpenOn wraps an existing engine instance.
 func OpenOn(eng *engine.DB) *DB {
-	db := &DB{eng: eng, prefs: map[string]ast.Pref{}}
+	db := &DB{eng: eng, prefs: map[string]ast.Pref{}, live: live.NewRegistry()}
 	db.def = db.NewSession()
 	return db
 }
+
+// Live exposes the subscription registry (active continuous queries).
+func (db *DB) Live() *live.Registry { return db.live }
 
 // Engine exposes the underlying plain-SQL engine.
 func (db *DB) Engine() *engine.DB { return db.eng }
@@ -148,6 +156,8 @@ func (s *Session) routeStmt(stmt ast.Stmt, ee execEnv) (*Result, error) {
 		return nil, err
 	}
 	switch st := stmt.(type) {
+	case *ast.Subscribe:
+		return nil, fmt.Errorf("core: SUBSCRIBE needs a streaming consumer — use Session.Subscribe (embedded), the client's Subscribe, or prefsql's \\watch")
 	case *ast.Select:
 		if st.HasPreference() {
 			return s.queryPreference(st, ee)

@@ -74,6 +74,7 @@ var keywords = map[string]bool{
 	"CASCADE":    true, "AROUND": true, "LOWEST": true, "HIGHEST": true,
 	"POS": true, "NEG": true, "CONTAINS": true, "EXPLICIT": true,
 	"TOP": true, "LEVEL": true, "DISTANCE": true, "REGULAR": true,
+	"SUBSCRIBE": true,
 }
 
 // IsKeyword reports whether the upper-cased word is reserved.

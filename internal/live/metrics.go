@@ -1,0 +1,87 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Subscription observability: registered on the process-wide registry
+// so /metrics and prefsql's \stats see them without extra wiring.
+var (
+	mSubsActive = metrics.Default.Gauge("prefsql_live_subscriptions_active",
+		"currently registered live subscriptions")
+	mSubsTotal = metrics.Default.Counter("prefsql_live_subscriptions_total",
+		"subscriptions ever registered")
+	mSubsEvicted = metrics.Default.Counter("prefsql_live_evictions_total",
+		"subscriptions evicted as slow consumers (bounded queue overflow)")
+	mChanges = metrics.Default.Counter("prefsql_live_changes_total",
+		"table change events folded into subscription state")
+	mCompares = metrics.Default.Counter("prefsql_live_compares_total",
+		"preference comparisons spent on incremental maintenance")
+	mRequalified = metrics.Default.Counter("prefsql_live_requalified_total",
+		"shadow rows promoted back into a skyline after a member left")
+	mDeltaAdds = metrics.Default.CounterL("prefsql_live_deltas_total",
+		`op="add"`, "deltas produced, by operation")
+	mDeltaRemoves = metrics.Default.CounterL("prefsql_live_deltas_total",
+		`op="remove"`, "deltas produced, by operation")
+	mMaintainSeconds = metrics.Default.Histogram("prefsql_live_maintenance_seconds",
+		"time to fold one table change into all subscription state")
+	mDeliverSeconds = metrics.Default.Histogram("prefsql_live_delta_latency_seconds",
+		"change-capture to delivery latency of one delta")
+)
+
+// ObserveDelivery records the change-to-delivery latency of a delta;
+// delivery points (the server's fan-out loop, embedded consumers that
+// care) call it when the delta is handed to the subscriber.
+func ObserveDelivery(d Delta) {
+	if !d.Time.IsZero() {
+		mDeliverSeconds.ObserveDuration(time.Since(d.Time))
+	}
+}
+
+// Stats is a point-in-time snapshot of one subscription, surfaced by
+// prefsql's \stats and the tests.
+type Stats struct {
+	ID          uint64
+	SQL         string
+	Table       string
+	Skyline     int
+	Shadow      int
+	LastSeq     int64
+	Adds        int64
+	Removes     int64
+	Changes     int64
+	Compares    int64
+	Requalified int64
+	Queued      int // deltas waiting in the queue
+	QueueCap    int
+	Closed      bool
+	Err         string
+}
+
+// Stats returns the subscription's current counters.
+func (s *Subscription) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		ID:          s.id,
+		SQL:         s.sql,
+		Table:       s.table,
+		Skyline:     len(s.skyline),
+		Shadow:      len(s.shadow),
+		LastSeq:     s.seq,
+		Adds:        s.adds,
+		Removes:     s.removes,
+		Changes:     s.changes,
+		Compares:    s.compares,
+		Requalified: s.requalified,
+		Queued:      len(s.ch),
+		QueueCap:    cap(s.ch),
+		Closed:      s.closed,
+	}
+	if s.err != nil {
+		st.Err = s.err.Error()
+	}
+	return st
+}

@@ -239,6 +239,8 @@ func (p *Parser) parseStmt() (ast.Stmt, error) {
 	switch t.Text {
 	case "SELECT":
 		return p.parseSelect()
+	case "SUBSCRIBE":
+		return p.parseSubscribe()
 	case "INSERT":
 		return p.parseInsert()
 	case "UPDATE":
@@ -253,6 +255,23 @@ func (p *Parser) parseStmt() (ast.Stmt, error) {
 		return p.parseSet()
 	}
 	return nil, p.errf("unsupported statement %q", t.Text)
+}
+
+// parseSubscribe parses `SUBSCRIBE SELECT ...`, the continuous-query
+// statement. Shape restrictions (single base table, no subqueries, no
+// grouping/ordering/limits) are the registration layer's job, not the
+// grammar's, so error messages can explain what live maintenance does
+// not support.
+func (p *Parser) parseSubscribe() (ast.Stmt, error) {
+	p.next() // SUBSCRIBE
+	if p.peek().Text != "SELECT" {
+		return nil, p.errf("SUBSCRIBE must be followed by SELECT")
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Subscribe{Sel: sel}, nil
 }
 
 // parseSet parses `SET name = literal`, the session-setting statement

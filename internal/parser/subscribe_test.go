@@ -1,0 +1,55 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestParseSubscribe(t *testing.T) {
+	stmt, err := Parse(`SUBSCRIBE SELECT id, price FROM cars WHERE price < 30000 PREFERRING LOWEST(price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := stmt.(*ast.Subscribe)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if sub.Sel == nil || sub.Sel.Where == nil || !sub.Sel.HasPreference() {
+		t.Fatalf("select body incomplete: %+v", sub.Sel)
+	}
+	if got := sub.SQL(); !strings.HasPrefix(got, "SUBSCRIBE SELECT") || !strings.Contains(got, "PREFERRING") {
+		t.Fatalf("SQL() = %q", got)
+	}
+	// Round-trip: the rendered SQL must parse back to a Subscribe.
+	again, err := Parse(sub.SQL())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", sub.SQL(), err)
+	}
+	if _, ok := again.(*ast.Subscribe); !ok {
+		t.Fatalf("reparse got %T", again)
+	}
+}
+
+func TestParseSubscribeCountsParams(t *testing.T) {
+	stmts, n, err := ParseAllCount(`SUBSCRIBE SELECT * FROM cars WHERE price < ? AND power > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 || n != 2 {
+		t.Fatalf("stmts=%d params=%d", len(stmts), n)
+	}
+}
+
+func TestParseSubscribeErrors(t *testing.T) {
+	for _, src := range []string{
+		`SUBSCRIBE`,
+		`SUBSCRIBE INSERT INTO t VALUES (1)`,
+		`SUBSCRIBE UPDATE t SET a = 1`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}

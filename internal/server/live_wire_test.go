@@ -1,0 +1,176 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	prefsql "repro"
+	"repro/client"
+)
+
+// The over-the-wire arm of the continuous-query differential: the same
+// randomized-DML-vs-recompute check as in internal/core, but with the
+// deltas crossing a real loopback connection. Writes go through the
+// embedded handle (the server shares the database); the subscription's
+// maintained state must converge to the recompute after every
+// operation — deltas for one write are fully emitted before the write
+// statement returns, so convergence only waits on TCP delivery.
+
+var wireDiffQueries = []string{
+	`SELECT * FROM data PREFERRING LOWEST(x) AND HIGHEST(y)`,
+	`SELECT * FROM data PREFERRING x AROUND 5 AND color IN ('red', 'blue')`,
+	`SELECT * FROM data PREFERRING color = 'white' ELSE color = 'yellow' CASCADE LOWEST(x)`,
+	`SELECT id, x, color FROM data WHERE x > 2 PREFERRING EXPLICIT(color, 'red' > 'blue') AND LOWEST(y)`,
+}
+
+func TestSubscribeWireDifferential(t *testing.T) {
+	const opsPerQuery = 130 // 4 queries × 130 = 520 randomized operations
+	for qi, q := range wireDiffQueries {
+		q := q
+		t.Run(fmt.Sprintf("q%d", qi), func(t *testing.T) {
+			db, _, addr := startServer(t, 16)
+			c := dial(t, addr)
+			rng := rand.New(rand.NewSource(int64(19990703 + qi)))
+			w := &wireDiffWriter{rng: rng, db: db}
+			w.seed(t, 20)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			sub, err := c.Subscribe(ctx, "SUBSCRIBE "+q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sub.Close()
+
+			state := map[string]int{}
+			for _, r := range sub.Initial() {
+				state[r.Key()]++
+			}
+			// Kill switch: if maintained state never converges, cancel the
+			// subscription so a blocked Next returns instead of hanging.
+			guard := time.AfterFunc(30*time.Second, cancel)
+			defer guard.Stop()
+
+			var lastSeq int64
+			for i := 0; i < opsPerQuery; i++ {
+				sql := w.step(t)
+				res, err := db.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := wireRowKeys(res.Rows)
+				for wireStateKeys(state) != want {
+					if !sub.Next() {
+						t.Fatalf("op %d (%s): stream ended (%v) before state converged\nmaintained: %v\nrecompute:  %v",
+							i, sql, sub.Err(), wireStateKeys(state), want)
+					}
+					d := sub.Delta()
+					if d.Seq != lastSeq+1 {
+						t.Fatalf("op %d: delta seq %d after %d (lost or duplicated)", i, d.Seq, lastSeq)
+					}
+					lastSeq = d.Seq
+					if d.Op == client.DeltaAdd {
+						state[d.Row.Key()]++
+					} else {
+						state[d.Row.Key()]--
+						if state[d.Row.Key()] == 0 {
+							delete(state, d.Row.Key())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+type wireDiffWriter struct {
+	rng    *rand.Rand
+	db     *prefsql.DB
+	nextID int
+	ids    []int
+}
+
+func (w *wireDiffWriter) lit(v int) string {
+	if w.rng.Intn(3) == 0 {
+		return "NULL"
+	}
+	return fmt.Sprint(v)
+}
+
+func (w *wireDiffWriter) colorLit() string {
+	colors := []string{"red", "blue", "green", "white", "yellow"}
+	if w.rng.Intn(4) == 0 {
+		return "NULL"
+	}
+	return "'" + colors[w.rng.Intn(len(colors))] + "'"
+}
+
+func (w *wireDiffWriter) seed(t *testing.T, n int) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`CREATE TABLE data (id INTEGER PRIMARY KEY, x INT, y INT, color VARCHAR); INSERT INTO data VALUES `)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		w.nextID++
+		w.ids = append(w.ids, w.nextID)
+		fmt.Fprintf(&sb, "(%d, %s, %s, %s)", w.nextID, w.lit(w.rng.Intn(10)), w.lit(w.rng.Intn(10)), w.colorLit())
+	}
+	w.db.MustExec(sb.String())
+}
+
+func (w *wireDiffWriter) step(t *testing.T) string {
+	t.Helper()
+	switch k := w.rng.Intn(10); {
+	case k < 5 || len(w.ids) == 0:
+		w.nextID++
+		w.ids = append(w.ids, w.nextID)
+		sql := fmt.Sprintf(`INSERT INTO data VALUES (%d, %s, %s, %s)`,
+			w.nextID, w.lit(w.rng.Intn(10)), w.lit(w.rng.Intn(10)), w.colorLit())
+		w.db.MustExec(sql)
+		return sql
+	case k < 7:
+		i := w.rng.Intn(len(w.ids))
+		id := w.ids[i]
+		w.ids = append(w.ids[:i], w.ids[i+1:]...)
+		sql := fmt.Sprintf(`DELETE FROM data WHERE id = %d`, id)
+		w.db.MustExec(sql)
+		return sql
+	default:
+		id := w.ids[w.rng.Intn(len(w.ids))]
+		sets := []string{
+			"x = " + w.lit(w.rng.Intn(10)),
+			"y = " + w.lit(w.rng.Intn(10)),
+			"color = " + w.colorLit(),
+		}
+		sql := fmt.Sprintf(`UPDATE data SET %s WHERE id = %d`, sets[w.rng.Intn(len(sets))], id)
+		w.db.MustExec(sql)
+		return sql
+	}
+}
+
+func wireRowKeys(rows []prefsql.Row) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = r.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+func wireStateKeys(state map[string]int) string {
+	var keys []string
+	for k, n := range state {
+		for i := 0; i < n; i++ {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}

@@ -420,6 +420,12 @@ func (c *conn) run() error {
 			err = c.handleCloseStmt(f.payload)
 		case wire.MsgSet:
 			err = c.handleSet(f.payload)
+		case wire.MsgSubscribe:
+			err = c.handleSubscribe(f.payload)
+		case wire.MsgUnsubscribe:
+			// No subscription in flight on this connection; tolerate the
+			// stray frame (a client Close racing the server's Done).
+			err = nil
 		default:
 			err = fmt.Errorf("unexpected message %#x", f.typ)
 		}

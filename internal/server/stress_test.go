@@ -1,0 +1,192 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// TestSubscribeStress drives the whole live-query stack at once under
+// the race detector: concurrent DML writers, one-shot SELECT clients,
+// and a pool of live subscriptions (half of which hang up mid-stream).
+// Every subscription must observe a gap-free, duplicate-free delta
+// sequence, and the registry must drain to zero on Server.Close.
+func TestSubscribeStress(t *testing.T) {
+	db, srv, addr := startServer(t, 32)
+	setup := dial(t, addr)
+	setup.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, x INT, y INT)`)
+
+	const (
+		nSubs       = 10 // ≥8 live subscriptions
+		nDisconnect = 4  // of which these hang up mid-stream
+		nWriters    = 4
+		nReaders    = 3
+		opsPerW     = 150
+	)
+	subQueries := []string{
+		`SUBSCRIBE SELECT * FROM t PREFERRING LOWEST(x) AND HIGHEST(y)`,
+		`SUBSCRIBE SELECT * FROM t PREFERRING LOWEST(x)`,
+		`SELECT * FROM t WHERE x < 50`,
+		`SELECT id, y FROM t`,
+	}
+
+	var writersDone atomic.Bool
+	var wg sync.WaitGroup
+
+	// Live subscribers: consume deltas, asserting seq contiguity (a gap
+	// is a lost delta, a repeat is a duplicate).
+	type subResult struct {
+		deltas int64
+		err    error
+	}
+	results := make([]subResult, nSubs)
+	var subsReady sync.WaitGroup
+	for i := 0; i < nSubs; i++ {
+		i := i
+		wg.Add(1)
+		subsReady.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				subsReady.Done()
+				results[i].err = err
+				return
+			}
+			defer c.Close()
+			// A generous queue keeps this a correctness test: eviction
+			// has its own test, and here it would mask lost-delta bugs.
+			sub, err := c.SubscribeBuffered(context.Background(), 1<<16, subQueries[i%len(subQueries)])
+			subsReady.Done()
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			var lastSeq int64
+			for sub.Next() {
+				d := sub.Delta()
+				if d.Seq != lastSeq+1 {
+					results[i].err = fmt.Errorf("seq %d after %d", d.Seq, lastSeq)
+					return
+				}
+				lastSeq = d.Seq
+				results[i].deltas++
+				// The first nDisconnect subscribers hang up abruptly
+				// mid-stream once they have seen some traffic.
+				if i < nDisconnect && results[i].deltas >= 25 {
+					c.Close()
+					return
+				}
+			}
+			// Stream end is legitimate only once the server is closing
+			// (transport error) — not while writers are still running.
+			if err := sub.Err(); err != nil && !writersDone.Load() {
+				results[i].err = err
+			}
+		}()
+	}
+	subsReady.Wait()
+
+	// Writers: disjoint id ranges so concurrent DML never collides on
+	// the primary key.
+	var wwg sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		w := w
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := (w + 1) * 1_000_000
+			var ids []int
+			for op := 0; op < opsPerW; op++ {
+				switch k := rng.Intn(10); {
+				case k < 5 || len(ids) == 0:
+					id := base + op
+					ids = append(ids, id)
+					_, err = c.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d, %d)`,
+						id, rng.Intn(100), rng.Intn(100)))
+				case k < 7:
+					j := rng.Intn(len(ids))
+					id := ids[j]
+					ids = append(ids[:j], ids[j+1:]...)
+					_, err = c.Exec(fmt.Sprintf(`DELETE FROM t WHERE id = %d`, id))
+				default:
+					_, err = c.Exec(fmt.Sprintf(`UPDATE t SET x = %d WHERE id = %d`,
+						rng.Intn(100), ids[rng.Intn(len(ids))]))
+				}
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// One-shot readers alongside the streams; joined before Server.Close
+	// so an in-flight Query never races the shutdown's connection reset.
+	var rwg sync.WaitGroup
+	for r := 0; r < nReaders; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for !writersDone.Load() {
+				if _, err := c.Query(`SELECT * FROM t PREFERRING LOWEST(x) AND HIGHEST(y)`); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	wwg.Wait()
+	writersDone.Store(true)
+	rwg.Wait()
+
+	// The disconnected clients' registrations must drain before Close —
+	// the server notices the hangup and detaches them.
+	waitActive(t, func() int { return db.Internal().Live().ActiveCount() }, nSubs-nDisconnect)
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("clients did not terminate after Server.Close")
+	}
+
+	var total int64
+	for i, r := range results {
+		if r.err != nil && !errors.Is(r.err, client.ErrClosed) {
+			t.Errorf("sub %d: %v (after %d deltas)", i, r.err, r.deltas)
+		}
+		total += r.deltas
+	}
+	if total == 0 {
+		t.Fatal("no deltas observed — the stress produced no live traffic")
+	}
+	if n := db.Internal().Live().ActiveCount(); n != 0 {
+		t.Fatalf("registry not drained after Close: %d active", n)
+	}
+}

@@ -1,0 +1,88 @@
+package storage
+
+import "repro/internal/value"
+
+// Change describes one committed write to a table: the rows the write
+// added and the rows it removed. An UPDATE reports each changed row in
+// both lists (old image in Removed, new image in Added, pairwise in
+// order). Listeners receive the slices by reference and must not mutate
+// them.
+type Change struct {
+	Table   string
+	Added   []value.Row
+	Removed []value.Row
+}
+
+// ChangeListener observes committed writes. Listeners are invoked on
+// the writer's goroutine after the mutation is published and the table
+// lock has been released, so a listener may freely read the table
+// (RowCount, Rows, Snapshot, Scan) or issue queries against it. The
+// trade-off of notifying after release is that a listener must not
+// assume the table still looks exactly like the Change it was handed —
+// under the SQL layers it does, because statements holding the write
+// lock deliver their notifications before the lock is given up.
+type ChangeListener func(Change)
+
+// changeEntry is one registered listener; the id makes removal stable
+// under concurrent registration.
+type changeEntry struct {
+	id uint64
+	fn ChangeListener
+}
+
+// AddListener registers fn to run after every committed write to the
+// table and returns a function that unregisters it. Registration and
+// removal swap a copy-on-write slice, so they are cheap and safe to
+// call concurrently with writers; a write that is already past its
+// listener check may miss a just-added listener (callers wanting a
+// consistent "snapshot + all later changes" view must exclude writers
+// around the snapshot+register pair, as the core layer does with its
+// statement lock).
+func (t *Table) AddListener(fn ChangeListener) (remove func()) {
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	t.nextLsn++
+	id := t.nextLsn
+	var cur []changeEntry
+	if p := t.listeners.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]changeEntry, len(cur), len(cur)+1)
+	copy(next, cur)
+	next = append(next, changeEntry{id: id, fn: fn})
+	t.listeners.Store(&next)
+	return func() {
+		t.lmu.Lock()
+		defer t.lmu.Unlock()
+		p := t.listeners.Load()
+		if p == nil {
+			return
+		}
+		pruned := make([]changeEntry, 0, len(*p))
+		for _, e := range *p {
+			if e.id != id {
+				pruned = append(pruned, e)
+			}
+		}
+		t.listeners.Store(&pruned)
+	}
+}
+
+// watched reports whether any listener is registered; writers use it to
+// skip collecting old/new row images on the unwatched fast path.
+func (t *Table) watched() bool {
+	p := t.listeners.Load()
+	return p != nil && len(*p) > 0
+}
+
+// notify delivers ch to every registered listener, in registration
+// order. It must only be called with t.mu released.
+func (t *Table) notify(ch Change) {
+	p := t.listeners.Load()
+	if p == nil {
+		return
+	}
+	for _, e := range *p {
+		e.fn(ch)
+	}
+}

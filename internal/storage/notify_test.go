@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func carRow(id int64, mk string, price float64) value.Row {
+	return value.Row{value.NewInt(id), value.NewText(mk), value.NewFloat(price)}
+}
+
+// runOrDeadlock fails the test if f does not return within the timeout —
+// the shape a listener deadlock takes (a re-entrant read blocking on the
+// write lock never returns).
+func runOrDeadlock(t *testing.T, what string, f func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s: deadlocked (listener likely invoked under the table lock)", what)
+	}
+}
+
+// TestListenerMayReadTable is the regression test for the re-entrancy
+// hazard: a change listener that reads the table back (RowCount, Rows,
+// Snapshot+Scan) must not deadlock, which pins that Insert, Update,
+// Delete and Truncate all fire notifications outside the table lock.
+func TestListenerMayReadTable(t *testing.T) {
+	tbl := carsTable()
+	calls := 0
+	remove := tbl.AddListener(func(ch Change) {
+		calls++
+		// Each of these takes t.mu.RLock (or t.mu.Lock via none); under
+		// the old defer-unlock structure any of them self-deadlocks.
+		_ = tbl.RowCount()
+		_ = tbl.Rows()
+		it := tbl.Snapshot().Scan()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	})
+	defer remove()
+
+	runOrDeadlock(t, "insert", func() {
+		if err := tbl.Insert(carRow(1, "Audi", 40000)); err != nil {
+			t.Error(err)
+		}
+		if err := tbl.Insert(carRow(2, "BMW", 35000)); err != nil {
+			t.Error(err)
+		}
+	})
+	runOrDeadlock(t, "update", func() {
+		if _, err := tbl.Update(
+			func(r value.Row) (bool, error) { return r[0].I == 1, nil },
+			func(r value.Row) (value.Row, error) { r[2] = value.NewFloat(39000); return r, nil },
+		); err != nil {
+			t.Error(err)
+		}
+	})
+	runOrDeadlock(t, "delete", func() {
+		if _, err := tbl.Delete(func(r value.Row) (bool, error) { return r[0].I == 2, nil }); err != nil {
+			t.Error(err)
+		}
+	})
+	runOrDeadlock(t, "truncate", func() { tbl.Truncate() })
+
+	if calls != 5 {
+		t.Errorf("listener calls = %d, want 5 (2 inserts, update, delete, truncate)", calls)
+	}
+}
+
+func TestListenerChangeContents(t *testing.T) {
+	tbl := carsTable()
+	var last Change
+	remove := tbl.AddListener(func(ch Change) { last = ch })
+
+	if err := tbl.Insert(carRow(1, "Audi", 40000)); err != nil {
+		t.Fatal(err)
+	}
+	if len(last.Added) != 1 || len(last.Removed) != 0 || last.Added[0][0].I != 1 || last.Table != "cars" {
+		t.Fatalf("insert change = %+v", last)
+	}
+
+	if _, err := tbl.Update(
+		func(r value.Row) (bool, error) { return true, nil },
+		func(r value.Row) (value.Row, error) { r[2] = value.NewFloat(1000); return r, nil },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if len(last.Added) != 1 || len(last.Removed) != 1 {
+		t.Fatalf("update change = %+v", last)
+	}
+	if last.Removed[0][2].F != 40000 || last.Added[0][2].F != 1000 {
+		t.Fatalf("update old/new images wrong: %+v", last)
+	}
+
+	if _, err := tbl.Delete(func(r value.Row) (bool, error) { return true, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(last.Added) != 0 || len(last.Removed) != 1 || last.Removed[0][0].I != 1 {
+		t.Fatalf("delete change = %+v", last)
+	}
+
+	// A matched-nothing write must not notify.
+	before := last
+	if _, err := tbl.Delete(func(r value.Row) (bool, error) { return false, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if &before.Removed[0] != &last.Removed[0] {
+		t.Fatal("no-op delete notified")
+	}
+
+	remove()
+	if err := tbl.Insert(carRow(9, "VW", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(last.Added) != 0 {
+		t.Fatal("removed listener still notified")
+	}
+}

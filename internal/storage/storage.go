@@ -78,6 +78,13 @@ type Table struct {
 	// columnar caches the lazily built column-major image of the heap,
 	// tagged with the write epoch it was built under (see columnar.go).
 	columnar atomic.Pointer[Columnar]
+
+	// listeners is the copy-on-write change-listener set (see notify.go):
+	// lmu serializes AddListener/remove, notify reads lock-free. Writers
+	// invoke listeners only after releasing t.mu.
+	lmu       sync.Mutex
+	nextLsn   uint64
+	listeners atomic.Pointer[[]changeEntry]
 }
 
 // NewTable creates an empty table with the given schema.
@@ -141,11 +148,11 @@ func (t *Table) Insert(row value.Row) error {
 		return err
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.pkCol >= 0 {
 		key := norm[t.pkCol].Key()
 		for _, r := range t.rows {
 			if r[t.pkCol].Key() == key {
+				t.mu.Unlock()
 				return fmt.Errorf("table %s: duplicate primary key %v", t.Name, norm[t.pkCol])
 			}
 		}
@@ -154,6 +161,12 @@ func (t *Table) Insert(row value.Row) error {
 	t.rows = append(t.rows, norm)
 	for _, idx := range t.indexes {
 		idx.add(norm, pos)
+	}
+	t.mu.Unlock()
+	// Listeners run strictly after the lock is released: they may read
+	// this very table (see ChangeListener).
+	if t.watched() {
+		t.notify(Change{Table: t.Name, Added: []value.Row{norm}})
 	}
 	return nil
 }
@@ -171,6 +184,8 @@ func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) 
 	t.mu.RLock()
 	rows := append([]value.Row(nil), t.rows...)
 	t.mu.RUnlock()
+	watched := t.watched()
+	var added, removed []value.Row
 	n := 0
 	for i, r := range rows {
 		ok, err := match(r)
@@ -188,6 +203,10 @@ func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) 
 		if err != nil {
 			return n, err
 		}
+		if watched {
+			removed = append(removed, r)
+			added = append(added, norm)
+		}
 		rows[i] = norm
 		n++
 	}
@@ -196,6 +215,9 @@ func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) 
 		t.rows = rows
 		t.rebuildIndexes()
 		t.mu.Unlock()
+		if watched {
+			t.notify(Change{Table: t.Name, Added: added, Removed: removed})
+		}
 	}
 	return n, nil
 }
@@ -209,13 +231,18 @@ func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
 	t.mu.RLock()
 	old := t.rows
 	t.mu.RUnlock()
+	watched := t.watched()
 	kept := make([]value.Row, 0, len(old))
+	var removed []value.Row
 	n := 0
 	publish := func() {
 		t.mu.Lock()
 		t.rows = kept
 		t.rebuildIndexes()
 		t.mu.Unlock()
+		if watched && len(removed) > 0 {
+			t.notify(Change{Table: t.Name, Removed: removed})
+		}
 	}
 	for _, r := range old {
 		ok, err := match(r)
@@ -226,6 +253,9 @@ func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
 			return n, err
 		}
 		if ok {
+			if watched {
+				removed = append(removed, r)
+			}
 			n++
 			continue
 		}
@@ -239,10 +269,15 @@ func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
 
 // Truncate removes all rows.
 func (t *Table) Truncate() {
+	watched := t.watched()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	old := t.rows
 	t.rows = nil
 	t.rebuildIndexes()
+	t.mu.Unlock()
+	if watched && len(old) > 0 {
+		t.notify(Change{Table: t.Name, Removed: old})
+	}
 }
 
 func (t *Table) rebuildIndexes() {

@@ -35,6 +35,18 @@
 //	                                  scans stop mid-table, and cuts a row
 //	                                  stream short (Done carries FlagCancelled)
 //	  Quit      (empty)
+//	  Subscribe u32 queue cap (0 = server default), string sql,
+//	            u16 argc, argc× value, [u8 flags]
+//	                                  register a continuous query; the server
+//	                                  answers Subscribed + the initial result
+//	                                  rows + Done, then streams Delta frames
+//	                                  until Unsubscribe / eviction / Quit. The
+//	                                  trailing flags byte is reserved (absent
+//	                                  = 0, like the Query flags byte)
+//	  Unsubscribe u32 subscription id
+//	                                  end the connection's subscription; the
+//	                                  server finishes the delta stream with a
+//	                                  Done frame (FlagCancelled)
 //
 //	server → client
 //	  HelloOK   u16 version, u32 session id, string server banner
@@ -47,6 +59,18 @@
 //	  Stats     QueryStats            per-statement execution statistics;
 //	                                  sent immediately before Done when the
 //	                                  Query carried QueryFlagWantStats
+//	  Subscribed u32 subscription id, u16 n, n× string
+//	                                  subscription accepted: its id and the
+//	                                  result columns; the initial rows follow
+//	                                  as Row frames closed by a Done
+//	  Delta     u32 subscription id, i64 seq, u8 op (0 add / 1 remove),
+//	            u16 n, n× value
+//	                                  one incremental result change; seq is
+//	                                  contiguous from 1 per subscription
+//
+// Old clients never send Subscribe, so the new server frames are
+// invisible to them; old servers answer Subscribe with an Error frame
+// (unknown message), which new clients surface as a plain error.
 //
 // Values encode as a kind byte followed by a kind-specific body: NULL is
 // empty, INT/BOOL/DATE are zig-zag varints, FLOAT is 8 IEEE-754 bytes,
@@ -82,6 +106,10 @@ const (
 	MsgSet       byte = 0x06
 	MsgCancel    byte = 0x07
 	MsgQuit      byte = 0x08
+	// Version 2 extension (continuous queries). Old servers reject the
+	// unknown type with an Error frame; old clients never send it.
+	MsgSubscribe   byte = 0x09
+	MsgUnsubscribe byte = 0x0A
 )
 
 // Server → client message types.
@@ -93,6 +121,10 @@ const (
 	MsgError    byte = 0x85
 	MsgPrepared byte = 0x86
 	MsgStats    byte = 0x87
+	// Version 2 extension (continuous queries); only ever sent to
+	// clients that subscribed, so old clients never see them.
+	MsgSubscribed byte = 0x88
+	MsgDelta      byte = 0x89
 )
 
 // Query flags (the optional trailing byte of a Query payload).
@@ -112,6 +144,16 @@ const (
 	FlagPlanReused byte = 1 << 1
 	// FlagCancelled marks a result cut short by a client Cancel.
 	FlagCancelled byte = 1 << 2
+	// FlagEvicted marks a delta stream the server terminated because the
+	// client consumed too slowly (the bounded subscription queue
+	// overflowed); it arrives on the Done frame that closes the stream.
+	FlagEvicted byte = 1 << 3
+)
+
+// Delta operations (the op byte of a Delta frame).
+const (
+	DeltaAdd    byte = 0
+	DeltaRemove byte = 1
 )
 
 // Session setting keys for MsgSet.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bmo"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/live"
 	"repro/internal/value"
 )
 
@@ -262,6 +263,35 @@ func (r *Rows) Err() error { return r.c.Err() }
 
 // Close releases the cursor's pipeline; safe to call more than once.
 func (r *Rows) Close() error { return r.c.Close() }
+
+// Subscription is a live continuous query: the result set frozen at
+// registration (Initial) plus a bounded channel of incremental deltas
+// maintained under DML; see DB.Subscribe and package internal/live.
+type Subscription = live.Subscription
+
+// Delta is one incremental change to a subscription's result set.
+type Delta = live.Delta
+
+// Delta operations.
+const (
+	// OpAdd: the row entered the live result set.
+	OpAdd = live.OpAdd
+	// OpRemove: the row left the live result set.
+	OpRemove = live.OpRemove
+)
+
+// Subscribe registers a continuous query on the default session:
+// `SUBSCRIBE SELECT ... FROM t [WHERE ...] [PREFERRING ...]` (the
+// SUBSCRIBE keyword is optional in the statement text). The result set
+// is maintained incrementally as writers commit — an insert enters the
+// live skyline iff undominated, a deletion re-qualifies only the rows
+// the leaver dominated — and every change streams on the subscription's
+// channel as a +row/-row delta. Cancelling ctx closes the subscription.
+// A consumer that falls a full queue behind is evicted
+// (Err() == live.ErrSlowConsumer) rather than back-pressuring writers.
+func (db *DB) Subscribe(ctx context.Context, sql string, args ...any) (*Subscription, error) {
+	return db.core.DefaultSession().Subscribe(ctx, sql, args...)
+}
 
 // Internal exposes the underlying query processor for advanced embedding
 // (benchmark harness, database/sql driver).
