@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bmo"
 	"repro/internal/core"
@@ -90,10 +91,45 @@ func (c *Conn) RequestStats(on bool) { c.wantStats.Store(on) }
 func (c *Conn) LastStats() *QueryStats { return c.lastStats.Load() }
 
 // Dial connects to a prefserve instance and performs the handshake.
+// It is DialContext with a background context: no connect or handshake
+// deadline beyond the operating system's own TCP timeouts.
 func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a prefserve instance and performs the
+// handshake, honoring ctx for both the TCP connect and the handshake
+// exchange: a hung or blackholed host fails when ctx does instead of
+// blocking the caller forever. Coordinator→shard dials in internal/dist
+// depend on this. The deadline is lifted once the handshake completes;
+// it does not bound later statements (use per-call contexts for that).
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	// The handshake is a blocking read; ctx alone cannot interrupt it, so
+	// mirror its deadline onto the socket and watch for cancellation. The
+	// deadline is cleared on the way out (LIFO after the watcher stops, so
+	// the watcher cannot re-poison a successful connection).
+	defer nc.SetDeadline(time.Time{})
+	if dl, ok := ctx.Deadline(); ok {
+		if err := nc.SetDeadline(dl); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
+	if ctx.Done() != nil {
+		shaken := make(chan struct{})
+		defer close(shaken)
+		go func() {
+			select {
+			case <-ctx.Done():
+				nc.SetDeadline(time.Unix(1, 0)) // force pending I/O to fail
+			case <-shaken:
+			}
+		}()
 	}
 	c := &Conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
 	var b wire.Buffer
@@ -770,6 +806,58 @@ func (c *Conn) set(key, val string) error {
 	}
 	_, _, err := c.collect()
 	return err
+}
+
+// Explain modes accepted by Conn.Explain, mirroring the embedded API:
+// ExplainRewrite is prefsql's ExplainRewrite (the preference → SQL92
+// script), ExplainPlan its ExplainNative (the operator plan), and
+// ExplainAnalyze its ExplainAnalyze (executed, with per-node stats).
+const (
+	ExplainRewrite = wire.ExplainRewrite
+	ExplainPlan    = wire.ExplainPlan
+	ExplainAnalyze = wire.ExplainAnalyze
+)
+
+// Explain renders a statement's plan on the server and returns the plan
+// text, so remote (and shard-annotated) plans are visible without local
+// access to the server's catalog. Old servers answer with an "unknown
+// message" error.
+func (c *Conn) Explain(mode byte, sql string) (string, error) {
+	return c.ExplainContext(context.Background(), mode, sql)
+}
+
+// ExplainContext is Explain with a context; note ExplainAnalyze executes
+// the statement server-side, so cancellation behaves like a query cancel.
+func (c *Conn) ExplainContext(ctx context.Context, mode byte, sql string) (string, error) {
+	if err := c.acquire(); err != nil {
+		return "", err
+	}
+	defer c.mu.Unlock()
+	stop := c.watch(ctx)
+	defer stop()
+	var b wire.Buffer
+	b.U8(mode)
+	b.String(sql)
+	if err := c.send(wire.MsgExplain, b.B); err != nil {
+		return "", c.broken(err)
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return "", c.broken(err)
+	}
+	r := wire.NewReader(payload)
+	switch typ {
+	case wire.MsgPlanText:
+		text := r.String()
+		if err := r.Err(); err != nil {
+			return "", c.broken(err)
+		}
+		return text, nil
+	case wire.MsgError:
+		return "", errors.New(r.String())
+	default:
+		return "", c.broken(fmt.Errorf("client: unexpected message %#x", typ))
+	}
 }
 
 // SetMode switches this connection's session between native BMO

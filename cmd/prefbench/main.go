@@ -14,6 +14,7 @@
 //	prefbench -exp p6                   # row-at-a-time vs vectorized BMO; writes BENCH_p6.json
 //	prefbench -exp p7                   # per-operator instrumentation overhead; writes BENCH_p7.json
 //	prefbench -exp p8                   # live-query maintenance cost; writes BENCH_p8.json
+//	prefbench -exp p9                   # distributed scale-out vs scale-up; writes BENCH_p9.json
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		p6json  = flag.String("json-p6", "BENCH_p6.json", "file for the structured p6 results ('' disables)")
 		p7json  = flag.String("json-p7", "BENCH_p7.json", "file for the structured p7 results ('' disables)")
 		p8json  = flag.String("json-p8", "BENCH_p8.json", "file for the structured p8 results ('' disables)")
+		p9json  = flag.String("json-p9", "BENCH_p9.json", "file for the structured p9 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -115,6 +117,10 @@ func main() {
 		case name == "p8" && *p8json != "":
 			res, tbl, err := bench.P8(cfg)
 			emitJSON(name, *p8json, res, tbl, err)
+			continue
+		case name == "p9" && *p9json != "":
+			res, tbl, err := bench.P9(cfg)
+			emitJSON(name, *p9json, res, tbl, err)
 			continue
 		}
 		out, err := bench.Run(name, cfg)

@@ -11,6 +11,12 @@
 //	prefserve -metrics-addr :9090      # expose /metrics, /debug/vars, /debug/pprof
 //	prefserve -slow-query-ms 250       # log statements at or above 250ms
 //
+// A coordinator node for distributed preference SQL declares its shard
+// topology with repeatable flags (every node runs this same binary):
+//
+//	prefserve -shard s0=host0:7654 -shard s1=host1:7654 \
+//	          -shard-table jobs:id -f schema.sql
+//
 // Clients connect with the repro/client package or `prefsql -addr`.
 package main
 
@@ -20,12 +26,25 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/dist"
 	"repro/internal/server"
 )
+
+// repeatedFlag collects every occurrence of a repeatable string flag.
+type repeatedFlag []string
+
+func (f *repeatedFlag) String() string { return strings.Join(*f, ",") }
+
+func (f *repeatedFlag) Set(s string) error {
+	*f = append(*f, s)
+	return nil
+}
 
 func main() {
 	var (
@@ -37,10 +56,26 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "observability HTTP listener (/metrics, /debug/vars, /debug/pprof); empty = off")
 		slowMs      = flag.Int64("slow-query-ms", 0, "log statements taking at least this many milliseconds; 0 = off")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		idleTO      = flag.Duration("idle-timeout", 0, "disconnect a client silent this long with no statement in flight; 0 = off")
+		writeTO     = flag.Duration("write-timeout", 0, "per-write socket deadline (disconnects peers that stop reading); 0 = off")
+		dialTO      = flag.Duration("dial-timeout", 5*time.Second, "connect+handshake deadline per shard; 0 = off")
+
+		shardFlags repeatedFlag
+		tableFlags repeatedFlag
 	)
+	flag.Var(&shardFlags, "shard", "shard node as name=addr or addr (repeatable, in shard order); makes this node a coordinator")
+	flag.Var(&tableFlags, "shard-table", "hash-partitioned table as table:hashcol (repeatable)")
 	flag.Parse()
 
 	db := core.Open()
+	if len(shardFlags) > 0 || len(tableFlags) > 0 {
+		coord, err := buildCoordinator(shardFlags, tableFlags, *dialTO)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefserve: %v\n", err)
+			os.Exit(1)
+		}
+		db.SetDistributor(coord)
+	}
 	if *demo != "" {
 		if err := loadDemo(db, *demo); err != nil {
 			fmt.Fprintf(os.Stderr, "prefserve: %v\n", err)
@@ -74,10 +109,12 @@ func main() {
 	logger := slog.New(handler)
 
 	opts := server.Options{
-		CacheSize:   *cache,
-		Banner:      "prefserve",
-		Logger:      logger,
-		SlowQueryMs: *slowMs,
+		CacheSize:    *cache,
+		Banner:       "prefserve",
+		Logger:       logger,
+		SlowQueryMs:  *slowMs,
+		IdleTimeout:  *idleTO,
+		WriteTimeout: *writeTO,
 	}
 	srv := server.New(db, opts)
 	if *metricsAddr != "" {
@@ -91,6 +128,35 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("prefserve: %v", err)
 	}
+}
+
+// buildCoordinator validates the shard topology flags and builds the
+// distributor this node injects into core. Declaring shards without
+// sharded tables (or vice versa) is a configuration mistake.
+func buildCoordinator(shardFlags, tableFlags []string, dialTimeout time.Duration) (*dist.Coordinator, error) {
+	if len(shardFlags) == 0 {
+		return nil, fmt.Errorf("-shard-table requires at least one -shard node")
+	}
+	if len(tableFlags) == 0 {
+		return nil, fmt.Errorf("-shard requires at least one -shard-table declaration")
+	}
+	shards := make([]dist.Shard, 0, len(shardFlags))
+	for _, s := range shardFlags {
+		sh, err := dist.ParseShard(s)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, sh)
+	}
+	tables := make(map[string]string, len(tableFlags))
+	for _, t := range tableFlags {
+		table, hashCol, err := dist.ParseTable(t)
+		if err != nil {
+			return nil, err
+		}
+		tables[table] = hashCol
+	}
+	return dist.NewCoordinator(shards, tables, dialTimeout), nil
 }
 
 // loadDemo pre-loads a named synthetic dataset, so a server with data to

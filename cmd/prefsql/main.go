@@ -194,11 +194,11 @@ func (b remoteBackend) setMode(m prefsql.Mode) error             { return b.c.Se
 func (b remoteBackend) setAlgo(a prefsql.Algorithm) error        { return b.c.SetAlgorithm(a) }
 func (b remoteBackend) close()                                   { b.c.Close() }
 
-func (b remoteBackend) explain(string) (string, error) {
-	return "", fmt.Errorf("\\explain is not supported over -addr")
+func (b remoteBackend) explain(sql string) (string, error) {
+	return b.c.Explain(client.ExplainRewrite, sql)
 }
-func (b remoteBackend) plan(string) (string, error) {
-	return "", fmt.Errorf("\\plan is not supported over -addr")
+func (b remoteBackend) plan(sql string) (string, error) {
+	return b.c.Explain(client.ExplainPlan, sql)
 }
 func (b remoteBackend) tables() ([]string, error) {
 	return nil, fmt.Errorf("\\tables is not supported over -addr")

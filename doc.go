@@ -225,5 +225,36 @@
 //	    use(rows.Row())
 //	}
 //
+// The server optionally guards connections with an idle deadline
+// (silent clients with no statement in flight are disconnected) and a
+// write deadline (peers that stop reading mid-stream are dropped
+// instead of parking a handler goroutine forever) — `prefserve
+// -idle-timeout`, `-write-timeout`. The shell's \explain and \plan
+// work remotely too, via the protocol's Explain message.
+//
+// # Distributed execution
+//
+// A prefserve node becomes a coordinator over hash-sharded tables by
+// naming its shards and each table's hash column:
+//
+//	prefserve -shard s0=host0:7654 -shard s1=host1:7654 -shard-table jobs:id
+//
+// Shards are plain prefserve nodes serving their partition. A SELECT
+// over a sharded table scatters to every shard with the hard WHERE and
+// the first preference stage pushed (sound because a skyline
+// distributes over a partition union: skyline(R) ⊆ ∪ skyline(Rᵢ)),
+// gathers the partial results concurrently, and merges them under the
+// same preference at the coordinator — progressively, when the
+// preference streams, so answers emit before the slowest shard
+// finishes. Residual cascade stages, BUT ONLY, DISTINCT, ORDER BY and
+// LIMIT evaluate at the coordinator over the merged relation. INSERTs
+// hash-route by the shard column; UPDATE/DELETE broadcast. Statements
+// whose distributed evaluation would be unsound (joins over sharded
+// tables, subqueries, aggregates, GROUPING, TOP/LEVEL/DISTANCE,
+// SUBSCRIBE) are
+// rejected with a clear error, and a shard failing mid-query fails the
+// statement rather than truncating its result. See ARCHITECTURE.md,
+// "Distributed execution".
+//
 // See ARCHITECTURE.md for the layer map and the protocol message table.
 package prefsql

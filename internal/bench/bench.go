@@ -51,6 +51,8 @@ type Config struct {
 	P7Sizes            []int   // input sizes for the instrumentation-overhead experiment
 	P8Subs             []int   // active-subscription counts for the live-query experiment
 	P8Ops              int     // DML statements per P8 measurement
+	P9Sizes            []int   // input sizes for the distributed scale-out experiment
+	P9Shards           []int   // shard counts for P9
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -76,6 +78,8 @@ func DefaultConfig() Config {
 		P7Sizes:            []int{100000, 1000000},
 		P8Subs:             []int{0, 10, 100},
 		P8Ops:              20000,
+		P9Sizes:            []int{100000, 1000000},
+		P9Shards:           []int{1, 2, 4},
 	}
 }
 
@@ -100,6 +104,8 @@ func TestConfig() Config {
 	cfg.P7Sizes = []int{20000, 100000}
 	cfg.P8Subs = []int{0, 10, 100}
 	cfg.P8Ops = 4000
+	cfg.P9Sizes = []int{20000, 100000}
+	cfg.P9Shards = []int{1, 2, 4}
 	return cfg
 }
 
@@ -665,7 +671,7 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 
 // Names lists the available experiments.
 func Names() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9"}
 }
 
 // Run executes one experiment by name and returns its printable output.
@@ -757,6 +763,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p8":
 		_, tbl, err := P8(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p9":
+		_, tbl, err := P9(cfg)
 		if err != nil {
 			return "", err
 		}

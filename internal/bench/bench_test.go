@@ -195,7 +195,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 15 {
+	if len(Names()) != 16 {
 		t.Errorf("names: %v", Names())
 	}
 }
@@ -421,6 +421,43 @@ func TestP7Smoke(t *testing.T) {
 	}
 	if plain.Millis <= 0 || rec.Millis <= 0 || rec.Speedup <= 0 {
 		t.Fatalf("degenerate measurement: %+v / %+v", plain, rec)
+	}
+	if len(tbl.Rows) != len(res.Entries) {
+		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))
+	}
+}
+
+// TestP9Smoke runs the distributed scale-out experiment at small scale
+// and pins its structural invariants: a single-node baseline cell with
+// speedup 1.0 plus one cell per shard count, all reporting the same
+// skyline size (P9 itself errors on a mismatch — the cross-check that
+// the scatter-gather path returns the single-node result). The scale-out
+// floor itself is the CI gate's job; at smoke scale the distributed
+// cells only measure protocol overhead.
+func TestP9Smoke(t *testing.T) {
+	cfg := TestConfig()
+	cfg.P9Sizes = []int{3000}
+	cfg.P9Shards = []int{2}
+	res, tbl, err := P9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) < 2 {
+		t.Fatalf("entries = %d, want a baseline and a shard cell", len(res.Entries))
+	}
+	base := res.Entries[0]
+	if base.Variant != "single-w1" || base.Speedup != 1.0 || base.Shards != 0 {
+		t.Fatalf("baseline cell drifted: %+v", base)
+	}
+	sharded := res.Entries[len(res.Entries)-1]
+	if sharded.Variant != "shards-2" || sharded.Shards != 2 {
+		t.Fatalf("shard cell drifted: %+v", sharded)
+	}
+	if sharded.SkylineSize != base.SkylineSize || base.SkylineSize == 0 {
+		t.Fatalf("skyline mismatch: %+v vs %+v", base, sharded)
+	}
+	if base.Millis <= 0 || sharded.Millis <= 0 || sharded.Speedup <= 0 {
+		t.Fatalf("degenerate timing: %+v / %+v", base, sharded)
 	}
 	if len(tbl.Rows) != len(res.Entries) {
 		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))

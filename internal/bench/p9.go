@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dist"
+	"repro/internal/server"
+	"repro/internal/value"
+)
+
+// P9Entry is one measurement of the scale-out experiment: a 2-d skyline
+// query over one input size, evaluated either on a single node (with 1
+// or GOMAXPROCS BMO workers) or scattered over an in-process shard
+// cluster. Speedup is wall-clock relative to the single-node
+// single-worker baseline at the same size.
+type P9Entry struct {
+	Rows        int     `json:"rows"`
+	Variant     string  `json:"variant"` // "single-w1" | "single-wN" | "shards-K"
+	Shards      int     `json:"shards"`  // 0 for single-node
+	Workers     int     `json:"workers"`
+	Millis      float64 `json:"ms"`
+	SkylineSize int     `json:"skyline_size"`
+	Speedup     float64 `json:"speedup_vs_single_w1"`
+}
+
+// P9Result is the full experiment outcome, the payload of BENCH_p9.json.
+type P9Result struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Entries    []P9Entry `json:"entries"`
+}
+
+const p9Query = `SELECT id FROM pts PREFERRING LOWEST(d1) AND LOWEST(d2)`
+
+// p9Cluster starts k in-process shard servers over loopback TCP, loads
+// each with its partition, and returns a coordinator wired to them. The
+// coordinator holds the usual empty schema copy of pts.
+func p9Cluster(k int, parts [][]value.Row) (coord *core.DB, shutdown func(), err error) {
+	cols := datagen.SkylineColumns(2)
+	servers := make([]*server.Server, 0, k)
+	shutdown = func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	shards := make([]dist.Shard, k)
+	for i := 0; i < k; i++ {
+		sdb := core.Open()
+		if err := datagen.Load(sdb.Engine(), "pts", cols, parts[i]); err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		srv := server.New(sdb, server.Options{CacheSize: 16})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		shards[i] = dist.Shard{Name: fmt.Sprintf("s%d", i), Addr: addr.String()}
+	}
+	coord = core.Open()
+	if err := datagen.Load(coord.Engine(), "pts", cols, nil); err != nil {
+		shutdown()
+		return nil, nil, err
+	}
+	coord.SetDistributor(dist.NewCoordinator(shards, map[string]string{"pts": "id"}, 5*time.Second))
+	return coord, shutdown, nil
+}
+
+// P9 measures distributed scale-out against single-node worker
+// scale-up: the same independent 2-d skyline query at each input size,
+// run (a) on one node with 1 worker, (b) on one node with GOMAXPROCS
+// workers (the parallel BMO), and (c) scattered over 1/2/4 in-process
+// shard servers with the preference pushed to each shard and the
+// partial skylines merged at the coordinator. The distributed times
+// include everything real deployments pay — per-query shard dials, the
+// wire round-trips, and the dominance-filtered merge — so the 1-shard
+// column is the pure protocol overhead and the 4-shard column is the
+// scale-out claim, gated in CI at its largest size.
+func P9(cfg Config) (*P9Result, *Table, error) {
+	sizes := cfg.P9Sizes
+	if len(sizes) == 0 {
+		sizes = []int{100000, 1000000}
+	}
+	shardCounts := cfg.P9Shards
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	out := &P9Result{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	cols := datagen.SkylineColumns(2)
+
+	for _, n := range sizes {
+		rows := datagen.Skyline(n, 2, datagen.Independent, cfg.Seed)
+
+		// Single-node baselines: 1 worker, then the parallel BMO.
+		var baseMs float64
+		var skyline int
+		for _, w := range []int{1, out.GOMAXPROCS} {
+			db := core.Open()
+			if err := datagen.Load(db.Engine(), "pts", cols, rows); err != nil {
+				return nil, nil, err
+			}
+			db.DefaultSession().SetWorkers(w)
+			var res *core.Result
+			ms, err := p4Time(n, func() error {
+				var qerr error
+				res, qerr = db.Query(p9Query)
+				return qerr
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			variant := "single-w1"
+			if w != 1 {
+				variant = fmt.Sprintf("single-w%d", w)
+			}
+			speedup := 1.0
+			if w == 1 {
+				baseMs = ms
+				skyline = len(res.Rows)
+			} else if ms > 0 {
+				speedup = baseMs / ms
+			}
+			out.Entries = append(out.Entries, P9Entry{
+				Rows: n, Variant: variant, Workers: w,
+				Millis: ms, SkylineSize: len(res.Rows), Speedup: speedup,
+			})
+			if w == out.GOMAXPROCS {
+				break // w1 == wN on a single-core runner
+			}
+		}
+
+		// Scale-out: round-robin partitions (any partitioning is sound for
+		// reads; hash routing only matters for DML consistency).
+		for _, k := range shardCounts {
+			parts := make([][]value.Row, k)
+			for i, r := range rows {
+				parts[i%k] = append(parts[i%k], r)
+			}
+			coord, shutdown, err := p9Cluster(k, parts)
+			if err != nil {
+				return nil, nil, err
+			}
+			var res *core.Result
+			ms, err := p4Time(n, func() error {
+				var qerr error
+				res, qerr = coord.Query(p9Query)
+				return qerr
+			})
+			shutdown()
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(res.Rows) != skyline {
+				return nil, nil, fmt.Errorf("bench: p9 shards=%d returned %d skyline rows, single node %d", k, len(res.Rows), skyline)
+			}
+			speedup := 1.0
+			if ms > 0 {
+				speedup = baseMs / ms
+			}
+			out.Entries = append(out.Entries, P9Entry{
+				Rows: n, Variant: fmt.Sprintf("shards-%d", k), Shards: k, Workers: 1,
+				Millis: ms, SkylineSize: len(res.Rows), Speedup: speedup,
+			})
+		}
+	}
+
+	tbl := &Table{
+		Title: fmt.Sprintf("P9: distributed scale-out vs single-node scale-up (2-d independent skyline, GOMAXPROCS=%d)",
+			out.GOMAXPROCS),
+		Header: []string{"rows", "variant", "time", "skyline", "speedup vs single-w1"},
+		Notes: []string{
+			"shards-K: preference pushed to K in-process shard servers over loopback TCP, partial skylines merged at the coordinator",
+			"distributed times include per-query shard dials and wire round-trips",
+			"gate: shards-4 speedup at the largest size (quick CI floor 0.25 — the cluster shares the runner's cores, so the gate is a catastrophe check, not a scale-out claim)",
+		},
+	}
+	for _, e := range out.Entries {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", e.Rows),
+			e.Variant,
+			fmt.Sprintf("%.1fms", e.Millis),
+			fmt.Sprintf("%d", e.SkylineSize),
+			fmt.Sprintf("%.2fx", e.Speedup),
+		})
+	}
+	return out, tbl, nil
+}

@@ -1,0 +1,292 @@
+package bmo
+
+import (
+	"fmt"
+
+	"repro/internal/preference"
+	"repro/internal/value"
+)
+
+// This file implements the coordinator side of distributed BMO: merging
+// per-shard partial skylines into the global Best-Matches-Only set. It
+// is the network form of the partition-merge algebra in parallel.go —
+// each shard is a partition that computed its local skyline where the
+// data lives, and the same two partial-order properties make the merge
+// exact (skyline(R) ⊆ ∪ᵢ skyline(Rᵢ); filtering against unfiltered
+// members of other partials is exact by transitivity).
+//
+// Two merge modes:
+//
+//   - Progressive (score-based preference, no residual cascade stages):
+//     each shard streams its partial skyline in (sum, vec) sort order —
+//     the coordinator forces `SET algorithm = sfs` on the shard session,
+//     and the sequential SFS stream emits accepted rows in presort
+//     order. A k-way merge of sorted streams yields a globally sorted
+//     candidate sequence, so the SFS filtering invariant holds at the
+//     coordinator too: any dominator of a candidate has a strictly
+//     smaller (sum, vec) key (dominance implies componentwise ≤ with one
+//     <, which survives +Inf NULL-score saturation), so it was merged
+//     earlier, and by transitivity filtering against the accepted window
+//     alone is exact. First rows flow as soon as every shard has
+//     produced one row — not after the slowest shard finishes.
+//
+//   - Batch (any other preference shape, residual cascade stages, or no
+//     preference at all): drain every shard, then dominance-filter the
+//     partials pairwise with the parallel path's kernel (vector mode for
+//     score-based preferences, pref.Compare otherwise), and finally
+//     apply the residual stages. Plain concatenation when there is no
+//     preference to merge under.
+
+// RowSource is one shard's result stream as the gather merge consumes
+// it: the pull half of a remote cursor. Next returns ok=false at end of
+// stream; Close releases the underlying connection (and is how the
+// merge's owner cancels a shard mid-stream).
+type RowSource interface {
+	Next() (value.Row, bool, error)
+	Close() error
+}
+
+// GatherMerge merges per-shard partial skyline streams into the global
+// skyline. Construct with NewGatherMerge, pull with Next, and Close to
+// release the shard streams (Close is idempotent and must be called
+// even after an error, so surviving shard streams are torn down).
+type GatherMerge struct {
+	kern    kernel
+	post    preference.Preference
+	sources []RowSource
+	cfg     Config
+	st      Stats
+
+	progressive bool
+
+	// Progressive k-way merge state.
+	heads  []scoredRow
+	alive  []bool
+	primed bool
+	window []scoredRow
+
+	// Batch state.
+	buf    []value.Row
+	pos    int
+	loaded bool
+
+	ticks int
+}
+
+// NewGatherMerge prepares a merge of the per-shard streams. pref is the
+// preference the shards evaluated locally (the first cascade stage when
+// the query's cascade was split); nil means no preference — the shards
+// ran a plain SELECT and the merge is a concatenation. post carries the
+// residual cascade stages to apply after the merge, nil when the whole
+// preference was pushed. The merge is progressive exactly when pref is
+// score-based and there is no residual: then shard streams arrive
+// (sum, vec)-sorted and rows are emitted as soon as they are known
+// maximal.
+func NewGatherMerge(pref, post preference.Preference, sources []RowSource, cfg Config) *GatherMerge {
+	g := &GatherMerge{post: post, sources: sources, cfg: cfg}
+	if pref != nil {
+		g.kern = newKernel(pref)
+		g.progressive = g.kern.scorers != nil && post == nil
+	}
+	return g
+}
+
+// Progressive reports whether rows stream out before all shards finish.
+func (g *GatherMerge) Progressive() bool { return g.progressive }
+
+// Stats reports the dominance work done so far (merge comparisons and
+// the coordinator's filter window; shard-local work is counted on the
+// shards).
+func (g *GatherMerge) Stats() Stats { return g.st }
+
+// Close closes every shard stream, returning the first error. Safe to
+// call more than once.
+func (g *GatherMerge) Close() error {
+	var first error
+	for _, src := range g.sources {
+		if err := src.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Next returns the next globally maximal tuple, or ok=false once the
+// merged BMO set is exhausted.
+func (g *GatherMerge) Next() (value.Row, bool, error) {
+	if g.progressive {
+		return g.nextProgressive()
+	}
+	if !g.loaded {
+		g.loaded = true
+		if err := g.loadBatch(); err != nil {
+			return nil, false, err
+		}
+	}
+	if g.pos >= len(g.buf) {
+		return nil, false, nil
+	}
+	r := g.buf[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// headLess orders two scored candidates by the SFS (sum, vec) key. Equal
+// keys mean identical score vectors — mutually non-dominating — so the
+// caller's lower-shard-index tiebreak only fixes emission order, never
+// membership.
+func headLess(a, b scoredRow) bool {
+	if a.sum != b.sum {
+		return a.sum < b.sum
+	}
+	return vecLess(a.vec, b.vec)
+}
+
+// advance pulls shard i's next row and scores it. A shard emitting rows
+// out of (sum, vec) order would silently break the merge's filtering
+// invariant, so regression is checked and reported loudly — it means the
+// shard session did not run the SFS stream it was asked to.
+func (g *GatherMerge) advance(i int) error {
+	row, ok, err := g.sources[i].Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		g.alive[i] = false
+		return nil
+	}
+	sc, err := scoreRows(g.kern.scorers, []value.Row{row})
+	if err != nil {
+		return err
+	}
+	if g.primed && headLess(sc[0], g.heads[i]) {
+		return fmt.Errorf("bmo: shard %d stream is not in skyline sort order", i)
+	}
+	g.heads[i] = sc[0]
+	return nil
+}
+
+func (g *GatherMerge) nextProgressive() (value.Row, bool, error) {
+	if g.heads == nil {
+		g.heads = make([]scoredRow, len(g.sources))
+		g.alive = make([]bool, len(g.sources))
+		for i := range g.sources {
+			g.alive[i] = true
+			if err := g.advance(i); err != nil {
+				return nil, false, err
+			}
+		}
+		g.primed = true
+	}
+	for {
+		// Pop the globally minimal head; the lower shard index wins key
+		// ties, so emission order is deterministic across runs.
+		best := -1
+		for i := range g.heads {
+			if !g.alive[i] {
+				continue
+			}
+			if best < 0 || headLess(g.heads[i], g.heads[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, false, nil
+		}
+		cand := g.heads[best]
+		if err := g.advance(best); err != nil {
+			return nil, false, err
+		}
+		dominated := false
+		for _, w := range g.window {
+			if err := g.cfg.checkStop(&g.ticks); err != nil {
+				return nil, false, err
+			}
+			dom, err := g.kern.dominates(w, cand, &g.st)
+			if err != nil {
+				return nil, false, err
+			}
+			if dom {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		g.window = append(g.window, cand)
+		if len(g.window) > g.st.MaxWindow {
+			g.st.MaxWindow = len(g.window)
+		}
+		return cand.row, true, nil
+	}
+}
+
+// loadBatch drains every shard and computes the merged result: pairwise
+// dominance-filtered merges of the partial skylines (exactly the
+// parallel path's merge phase, run on the calling goroutine — shard
+// counts are small), then the residual cascade stages over the complete
+// merged relation. Residual stages cannot run on the shards: a later
+// stage discriminates only among survivors of the earlier stages over
+// the WHOLE relation, which no single shard sees.
+func (g *GatherMerge) loadBatch() error {
+	var parts [][]scoredRow
+	var all []value.Row
+	for _, src := range g.sources {
+		var rows []value.Row
+		for {
+			r, ok, err := src.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			rows = append(rows, r)
+		}
+		if g.kern.pref == nil {
+			all = append(all, rows...)
+			continue
+		}
+		sc, err := g.kern.load(rows)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, sc)
+	}
+	if g.kern.pref != nil {
+		for len(parts) > 1 {
+			var next [][]scoredRow
+			for i := 0; i+1 < len(parts); i += 2 {
+				m, err := g.kern.merge(parts[i], parts[i+1], &g.st, g.cfg)
+				if err != nil {
+					return err
+				}
+				next = append(next, m)
+			}
+			if len(parts)%2 == 1 {
+				next = append(next, parts[len(parts)-1])
+			}
+			parts = next
+		}
+		if len(parts) == 1 {
+			all = make([]value.Row, 0, len(parts[0]))
+			for _, sr := range parts[0] {
+				all = append(all, sr.row)
+			}
+		}
+	}
+	if g.post != nil {
+		out, st, err := EvaluateConfig(g.post, all, Auto, g.cfg)
+		if err != nil {
+			return err
+		}
+		g.st.Comparisons += st.Comparisons
+		if st.MaxWindow > g.st.MaxWindow {
+			g.st.MaxWindow = st.MaxWindow
+		}
+		all = out
+	}
+	g.buf = all
+	return nil
+}

@@ -81,6 +81,11 @@ type DB struct {
 	// live tracks this database's continuous queries (SUBSCRIBE); see
 	// Session.Subscribe and package live.
 	live *live.Registry
+
+	// dist, when non-nil, makes this node a coordinator: statements on
+	// hash-partitioned tables scatter-gather over the cluster (dist.go).
+	// Injected once at startup via SetDistributor.
+	dist Distributor
 }
 
 // Open creates an empty Preference SQL database.
@@ -159,6 +164,11 @@ func (s *Session) routeStmt(stmt ast.Stmt, ee execEnv) (*Result, error) {
 	case *ast.Subscribe:
 		return nil, fmt.Errorf("core: SUBSCRIBE needs a streaming consumer — use Session.Subscribe (embedded), the client's Subscribe, or prefsql's \\watch")
 	case *ast.Select:
+		if table, dist, derr := db.distSelectTable(st); derr != nil {
+			return nil, derr
+		} else if dist {
+			return s.queryDistributed(st, table, ee)
+		}
 		if st.HasPreference() {
 			return s.queryPreference(st, ee)
 		}
@@ -167,11 +177,45 @@ func (s *Session) routeStmt(stmt ast.Stmt, ee execEnv) (*Result, error) {
 		}
 		return db.eng.SelectArgs(ee.ctx, st, ee.params)
 	case *ast.Insert:
+		if db.dist != nil {
+			if handled, res, err := s.distInsert(st, ee); handled {
+				return res, err
+			}
+		}
 		if st.Sel != nil && st.Sel.HasPreference() {
 			return s.insertPreference(st, ee)
 		}
 		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
+	case *ast.Update:
+		if db.dist != nil {
+			if handled, res, err := s.distUpdate(st, ee); handled {
+				return res, err
+			}
+		}
+		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
+	case *ast.Delete:
+		if db.dist != nil {
+			if handled, res, err := s.distDelete(st, ee); handled {
+				return res, err
+			}
+		}
+		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
+	case *ast.CreateTable:
+		if db.dist != nil {
+			if hashCol, ok := db.dist.Lookup(st.Name); ok {
+				return s.distCreateTable(st, hashCol, ee)
+			}
+		}
+		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
+	case *ast.CreateIndex:
+		if db.distSharded(st.Table) {
+			return s.distBroadcastDDL(st, ee)
+		}
+		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
 	case *ast.CreateView:
+		if db.distTouches(st.Sel) {
+			return nil, fmt.Errorf("core: CREATE VIEW over a sharded table is not supported")
+		}
 		if st.Sel.HasPreference() {
 			return nil, fmt.Errorf("core: views over PREFERRING queries are not supported")
 		}
@@ -191,6 +235,24 @@ func (s *Session) routeStmt(stmt ast.Stmt, ee execEnv) (*Result, error) {
 	case *ast.Drop:
 		if st.Kind == "PREFERENCE" {
 			return db.dropPreference(st)
+		}
+		if st.Kind == "TABLE" && db.distSharded(st.Name) {
+			return s.distBroadcastDDL(st, ee)
+		}
+		if st.Kind == "INDEX" && db.dist != nil {
+			// An index name does not say which table it indexes, so drop it
+			// on the shards opportunistically (IF EXISTS): indexes created
+			// on sharded tables exist cluster-wide, local-only ones don't.
+			res, err := db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
+			if err != nil {
+				return nil, err
+			}
+			clone := *st
+			clone.IfExists = true
+			if _, err := db.dist.ExecAll(ee.ctx, clone.SQL(), nil); err != nil {
+				return nil, err
+			}
+			return res, nil
 		}
 		return db.eng.ExecStmtArgs(ee.ctx, st, ee.params)
 	default:

@@ -192,6 +192,11 @@ func (s *Session) openCursor(sel *ast.Select, strict bool, ee execEnv) (*Cursor,
 	if err != nil {
 		return nil, err
 	}
+	if table, dist, derr := db.distSelectTable(sel); derr != nil {
+		return nil, derr
+	} else if dist {
+		return s.openDistCursor(sel, table, strict, ee)
+	}
 	if !sel.HasPreference() {
 		if sel.ButOnly != nil || len(sel.Grouping) > 0 {
 			return nil, fmt.Errorf("core: GROUPING and BUT ONLY require a PREFERRING clause")

@@ -37,6 +37,15 @@ func (s *Session) ExplainNative(sql string) (string, error) {
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
 
+	if table, dist, derr := db.distSelectTable(sel); derr != nil {
+		return "", derr
+	} else if dist {
+		dq, err := s.planDistSelect(sel, table, bgEnv)
+		if err != nil {
+			return "", err
+		}
+		return plan.Format(dq.node), nil
+	}
 	if !sel.HasPreference() {
 		node, err := db.eng.PlanStream(sel)
 		if err != nil {
@@ -92,6 +101,25 @@ func (s *Session) ExplainAnalyze(sql string) (string, error) {
 	db.stmtMu.RLock()
 	defer db.stmtMu.RUnlock()
 
+	if table, dist, derr := db.distSelectTable(sel); derr != nil {
+		return "", derr
+	} else if dist {
+		dq, err := s.planDistSelect(sel, table, bgEnv)
+		if err != nil {
+			return "", err
+		}
+		st := &exec.Stats{}
+		rec := exec.NewNodeRec()
+		op, err := exec.Build(dq.node, &exec.Env{Stats: st, Rec: rec})
+		if err != nil {
+			return "", err
+		}
+		rows, err := exec.Drain(op)
+		if err != nil {
+			return "", err
+		}
+		return annotatePlan(dq.node, rec) + analyzeFooter(len(rows), st), nil
+	}
 	if !sel.HasPreference() {
 		pipe, err := db.eng.PipelineArgs(bgEnv.ctx, sel, nil)
 		if err != nil {

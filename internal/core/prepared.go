@@ -128,7 +128,9 @@ func (s *Session) execPreparedStmt(p *Prepared, st ast.Stmt, ee execEnv) (*Resul
 	if StmtReadOnly(st) {
 		db.stmtMu.RLock()
 		defer db.stmtMu.RUnlock()
-		if sel, ok := p.SingleSelect(); ok && sel == st {
+		// Sharded selects must route through the distributed path — the
+		// local plan cache would read the coordinator's empty schema copy.
+		if sel, ok := p.SingleSelect(); ok && sel == st && !db.distTouches(sel) {
 			if node, reused := p.cachedPlan(db, sel); node != nil {
 				if reused {
 					mPlanReuses.Inc()

@@ -73,6 +73,9 @@ func (s *Session) subscribeSelect(ctx context.Context, sel *ast.Select, args []v
 	if err != nil {
 		return nil, err
 	}
+	if db.distSharded(tbl.Name) {
+		return nil, fmt.Errorf("core: SUBSCRIBE is not supported on sharded table %s (writes happen on the shards, not the coordinator)", tbl.Name)
+	}
 	if err := checkSubscribeShape(sel); err != nil {
 		return nil, err
 	}

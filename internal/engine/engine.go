@@ -480,6 +480,11 @@ func hasAggregates(sel *ast.Select) bool {
 	return sel.Having != nil && exprHasAggregate(sel.Having)
 }
 
+// HasAggregates is the exported form of hasAggregates, used by the
+// distributed router to refuse aggregate queries over sharded tables
+// (a per-shard aggregate is not the global aggregate).
+func HasAggregates(sel *ast.Select) bool { return hasAggregates(sel) }
+
 func exprHasAggregate(e ast.Expr) bool {
 	found := false
 	walkExpr(e, func(x ast.Expr) {

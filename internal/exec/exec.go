@@ -221,6 +221,8 @@ func build(n plan.Node, env *Env) (Operator, error) {
 			return nil, err
 		}
 		return &BMOOp{node: x, child: child, env: env, ns: env.NodeStats(x)}, nil
+	case *plan.Gather:
+		return &GatherOp{node: x, env: env, ns: env.NodeStats(x)}, nil
 	}
 	return nil, fmt.Errorf("exec: unsupported plan node %T", n)
 }

@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bmo"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// stopPollInterval is how often the gather operator maps the statement's
+// Stop hook onto the shard-stream context. The merge blocks on channel
+// receives, so it cannot poll Stop per comparison the way local
+// operators do; a short timer keeps cancellation latency bounded.
+const stopPollInterval = 50 * time.Millisecond
+
+// GatherOp executes a plan.Gather: it opens one result stream per shard
+// over the transport, pumps each stream into a bounded channel on its
+// own goroutine (so every shard makes progress concurrently), and pulls
+// the merged skyline from bmo.GatherMerge. Cancellation threads through
+// a shared context: the statement's Env.Stop, an operator Close, and
+// any shard failure all cancel it, which tears down every surviving
+// shard stream — a dead shard yields one clean statement error, never a
+// silently partial result (the pump delivers the error in-band before
+// its channel closes, so the merge cannot mistake the stream for
+// complete).
+type GatherOp struct {
+	node *plan.Gather
+	env  *Env
+	ns   *NodeStats
+
+	merge  *bmo.GatherMerge
+	cancel context.CancelFunc
+	done   chan struct{} // closed by Close to stop the Stop poller
+	pumps  chan struct{} // counts live pump goroutines by closure
+	nPumps int
+	closed bool
+}
+
+// shardItem is one pump transfer: a row, or the shard's terminal error.
+type shardItem struct {
+	row value.Row
+	err error
+}
+
+// shardSource adapts one shard's pump channel to bmo.RowSource. Close
+// cancels the shared gather context: the merge only closes sources as a
+// group, and any single-shard teardown must stop the whole statement
+// anyway.
+type shardSource struct {
+	ch     <-chan shardItem
+	cancel context.CancelFunc
+}
+
+func (s *shardSource) Next() (value.Row, bool, error) {
+	it, ok := <-s.ch
+	if !ok {
+		return nil, false, nil
+	}
+	if it.err != nil {
+		return nil, false, it.err
+	}
+	return it.row, true, nil
+}
+
+func (s *shardSource) Close() error { s.cancel(); return nil }
+
+// Schema implements Operator.
+func (g *GatherOp) Schema() plan.Schema { return g.node.Cols }
+
+// Open implements Operator: it dials every shard's stream and starts the
+// pumps. Any shard failing to open fails the statement and cancels the
+// streams already opened.
+func (g *GatherOp) Open() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	g.cancel = cancel
+	g.done = make(chan struct{})
+	names := g.node.Transport.ShardNames()
+	streams := make([]plan.ShardStream, len(names))
+	for i := range names {
+		st, err := g.node.Transport.Query(ctx, i, g.node.ShardSQL, g.node.Args, g.node.Progressive)
+		if err != nil {
+			for _, s := range streams[:i] {
+				s.Close()
+			}
+			cancel()
+			return fmt.Errorf("exec: gather %s: shard %s: %w", g.node.Table, names[i], err)
+		}
+		streams[i] = st
+	}
+	// Map the statement's cancellation hook onto the shard context.
+	if g.env != nil && g.env.Stop != nil {
+		stop := g.env.Stop
+		go func() {
+			t := time.NewTicker(stopPollInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if stop() != nil {
+						cancel()
+						return
+					}
+				case <-g.done:
+					return
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	g.pumps = make(chan struct{}, len(names))
+	g.nPumps = len(names)
+	sources := make([]bmo.RowSource, len(names))
+	for i, st := range streams {
+		ch := make(chan shardItem, 64)
+		sources[i] = &shardSource{ch: ch, cancel: cancel}
+		go func(i int, st plan.ShardStream) {
+			defer func() { g.pumps <- struct{}{} }()
+			defer close(ch)
+			defer st.Close()
+			for {
+				row, ok, err := st.Next()
+				if err != nil {
+					select {
+					case ch <- shardItem{err: fmt.Errorf("shard %s: %w", names[i], err)}:
+					case <-ctx.Done():
+					}
+					return
+				}
+				if !ok {
+					return
+				}
+				select {
+				case ch <- shardItem{row: row}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(i, st)
+	}
+	cfg := bmo.Config{Workers: g.node.Workers}
+	if g.env != nil {
+		cfg.Stop = g.env.Stop
+	}
+	g.merge = bmo.NewGatherMerge(g.node.Pref, g.node.Post, sources, cfg)
+	return nil
+}
+
+// Next implements Operator.
+func (g *GatherOp) Next() (value.Row, error) {
+	row, ok, err := g.merge.Next()
+	if err != nil {
+		g.cancel() // a shard failed: stop the surviving streams now
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	if g.env != nil {
+		g.env.count().AddBMOOutputRows(1)
+	}
+	g.ns.AddInputRows(1)
+	return row, nil
+}
+
+// Close implements Operator: it cancels the shard streams and joins
+// every pump goroutine, so a closed gather leaks nothing even when the
+// consumer stopped early (LIMIT, client cancel, shard failure).
+func (g *GatherOp) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if g.cancel != nil {
+		g.cancel()
+	}
+	if g.done != nil {
+		close(g.done)
+	}
+	if g.merge != nil {
+		g.merge.Close()
+	}
+	// Join the pumps: each is unblocked by the cancelled context even
+	// when parked on a full channel send or a slow stream read.
+	for i := 0; i < g.nPumps; i++ {
+		<-g.pumps
+	}
+	return nil
+}

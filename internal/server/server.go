@@ -62,6 +62,16 @@ type Options struct {
 	// and work-counter summary. 0 disables (a session can still opt in
 	// with `SET slow_query_ms = N`).
 	SlowQueryMs int64
+	// IdleTimeout bounds the silence between client frames while no
+	// statement is in flight: a peer that dies without closing its
+	// socket (or leaks an idle connection) is disconnected instead of
+	// holding a session goroutine forever. 0 disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each socket write (frame or flush): a peer
+	// that stops draining its receive window fails the statement and
+	// releases the handler instead of wedging it on a blocked send.
+	// 0 disables.
+	WriteTimeout time.Duration
 }
 
 // Server serves Preference SQL over TCP.
@@ -357,8 +367,20 @@ func (s *Server) handle(nc net.Conn) {
 func (c *conn) readLoop() {
 	defer close(c.frames)
 	for {
+		if d := c.srv.opts.IdleTimeout; d > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(d))
+		}
 		typ, payload, err := wire.ReadFrame(c.nc)
 		if err != nil {
+			// The idle deadline applies between statements only: while one
+			// is in flight the client is legitimately silent (it is reading
+			// our rows), so re-arm and keep listening for its Cancel.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if f, _ := c.stmtCancel.Load().(context.CancelFunc); f != nil {
+					continue
+				}
+			}
 			return
 		}
 		if typ == wire.MsgCancel {
@@ -420,6 +442,8 @@ func (c *conn) run() error {
 			err = c.handleCloseStmt(f.payload)
 		case wire.MsgSet:
 			err = c.handleSet(f.payload)
+		case wire.MsgExplain:
+			err = c.handleExplain(f.payload)
 		case wire.MsgSubscribe:
 			err = c.handleSubscribe(f.payload)
 		case wire.MsgUnsubscribe:
@@ -436,7 +460,19 @@ func (c *conn) run() error {
 	return io.EOF
 }
 
+// armWrite applies the server's write timeout ahead of socket writes.
+// It is re-armed per frame, so the bound is per write, not per
+// statement — a long result stream to a healthy-but-slow client keeps
+// extending it, while a peer that stopped draining trips it once its
+// receive window and our buffer fill.
+func (c *conn) armWrite() {
+	if d := c.srv.opts.WriteTimeout; d > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(d))
+	}
+}
+
 func (c *conn) send(typ byte, payload []byte) error {
+	c.armWrite()
 	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
 		return err
 	}
@@ -470,6 +506,7 @@ func (c *conn) sendResult(res *core.Result, flags byte, preDone func() error) er
 		for _, row := range res.Rows {
 			var rb wire.Buffer
 			rb.Row(row)
+			c.armWrite()
 			if err := wire.WriteFrame(c.bw, wire.MsgRow, rb.B); err != nil {
 				return err
 			}
@@ -573,6 +610,7 @@ func (c *conn) streamSelect(ctx context.Context, sel *ast.Select, args []value.V
 		}
 		var rb wire.Buffer
 		rb.Row(cur.Row())
+		c.armWrite()
 		if err := wire.WriteFrame(c.bw, wire.MsgRow, rb.B); err != nil {
 			return err
 		}
@@ -718,4 +756,40 @@ func (c *conn) handleSet(payload []byte) error {
 		return c.sendError(fmt.Errorf("server: unknown setting %q", key))
 	}
 	return c.sendDone(0, 0, 0)
+}
+
+// handleExplain renders a statement's plan without (for rewrite/plan
+// modes) executing it. The exchange is exactly one PlanText or Error
+// frame — no Done — mirroring the client's Explain call.
+func (c *conn) handleExplain(payload []byte) error {
+	r := wire.NewReader(payload)
+	mode := r.U8()
+	sql := r.String()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	var (
+		text string
+		err  error
+	)
+	switch mode {
+	case wire.ExplainRewrite:
+		if p, perr := c.srv.db.RewritePlan(sql); perr != nil {
+			err = perr
+		} else {
+			text = p.Script()
+		}
+	case wire.ExplainPlan:
+		text, err = c.sess.ExplainNative(sql)
+	case wire.ExplainAnalyze:
+		text, err = c.sess.ExplainAnalyze(sql)
+	default:
+		err = fmt.Errorf("server: unknown explain mode %d", mode)
+	}
+	if err != nil {
+		return c.sendError(err)
+	}
+	var b wire.Buffer
+	b.String(text)
+	return c.send(wire.MsgPlanText, b.B)
 }

@@ -64,6 +64,7 @@ func (c *conn) handleSubscribe(payload []byte) error {
 	for _, row := range initial {
 		var rb wire.Buffer
 		rb.Row(row)
+		c.armWrite()
 		if err := wire.WriteFrame(c.bw, wire.MsgRow, rb.B); err != nil {
 			return err
 		}
@@ -91,6 +92,7 @@ func (c *conn) handleSubscribe(payload []byte) error {
 			// Batch the flush: drain the queue into the buffer and hit
 			// the socket once the burst is over.
 			if len(sub.C()) == 0 {
+				c.armWrite()
 				if err := c.bw.Flush(); err != nil {
 					return err
 				}

@@ -47,6 +47,11 @@
 //	                                  end the connection's subscription; the
 //	                                  server finishes the delta stream with a
 //	                                  Done frame (FlagCancelled)
+//	  Explain   u8 mode (0 rewrite / 1 plan / 2 analyze), string sql
+//	                                  render the statement's plan server-side
+//	                                  (so remote and shard-annotated plans are
+//	                                  visible from the CLI); answered with a
+//	                                  PlanText frame
 //
 //	server → client
 //	  HelloOK   u16 version, u32 session id, string server banner
@@ -67,6 +72,8 @@
 //	            u16 n, n× value
 //	                                  one incremental result change; seq is
 //	                                  contiguous from 1 per subscription
+//	  PlanText  string                answer to Explain: the rendered plan
+//	                                  (or an Error frame if planning failed)
 //
 // Old clients never send Subscribe, so the new server frames are
 // invisible to them; old servers answer Subscribe with an Error frame
@@ -110,6 +117,9 @@ const (
 	// unknown type with an Error frame; old clients never send it.
 	MsgSubscribe   byte = 0x09
 	MsgUnsubscribe byte = 0x0A
+	// Version 2 extension (remote EXPLAIN). Old servers reject the
+	// unknown type with an Error frame; old clients never send it.
+	MsgExplain byte = 0x0B
 )
 
 // Server → client message types.
@@ -125,6 +135,16 @@ const (
 	// clients that subscribed, so old clients never see them.
 	MsgSubscribed byte = 0x88
 	MsgDelta      byte = 0x89
+	// Version 2 extension (remote EXPLAIN); only ever sent in answer to
+	// an Explain request, so old clients never see it.
+	MsgPlanText byte = 0x8A
+)
+
+// Explain modes (the mode byte of an Explain payload).
+const (
+	ExplainRewrite byte = 0 // preference → rewritten-SQL script
+	ExplainPlan    byte = 1 // native operator plan
+	ExplainAnalyze byte = 2 // executed plan with per-node statistics
 )
 
 // Query flags (the optional trailing byte of a Query payload).
