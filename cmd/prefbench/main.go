@@ -15,6 +15,7 @@
 //	prefbench -exp p7                   # per-operator instrumentation overhead; writes BENCH_p7.json
 //	prefbench -exp p8                   # live-query maintenance cost; writes BENCH_p8.json
 //	prefbench -exp p9                   # distributed scale-out vs scale-up; writes BENCH_p9.json
+//	prefbench -exp p10                  # durable-storage overhead; writes BENCH_p10.json
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 		p7json  = flag.String("json-p7", "BENCH_p7.json", "file for the structured p7 results ('' disables)")
 		p8json  = flag.String("json-p8", "BENCH_p8.json", "file for the structured p8 results ('' disables)")
 		p9json  = flag.String("json-p9", "BENCH_p9.json", "file for the structured p9 results ('' disables)")
+		p10json = flag.String("json-p10", "BENCH_p10.json", "file for the structured p10 results ('' disables)")
 	)
 	flag.Parse()
 
@@ -121,6 +123,10 @@ func main() {
 		case name == "p9" && *p9json != "":
 			res, tbl, err := bench.P9(cfg)
 			emitJSON(name, *p9json, res, tbl, err)
+			continue
+		case name == "p10" && *p10json != "":
+			res, tbl, err := bench.P10(cfg)
+			emitJSON(name, *p10json, res, tbl, err)
 			continue
 		}
 		out, err := bench.Run(name, cfg)

@@ -10,6 +10,12 @@
 //	prefserve -cache 512 -v            # bigger statement cache, verbose
 //	prefserve -metrics-addr :9090      # expose /metrics, /debug/vars, /debug/pprof
 //	prefserve -slow-query-ms 250       # log statements at or above 250ms
+//	prefserve -data-dir /var/lib/pref  # durable storage: WAL + heap files
+//	prefserve -data-dir d -fsync off   # durable, but skip the per-commit fsync
+//
+// With -data-dir the server opens the durable backend (recovering from
+// the write-ahead log if the previous process crashed), logs every
+// mutation before applying it, and checkpoints on SIGINT/SIGTERM.
 //
 // A coordinator node for distributed preference SQL declares its shard
 // topology with repeatable flags (every node runs this same binary):
@@ -26,14 +32,19 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/storage/disk"
+	"repro/internal/storage/wal"
 )
 
 // repeatedFlag collects every occurrence of a repeatable string flag.
@@ -59,6 +70,8 @@ func main() {
 		idleTO      = flag.Duration("idle-timeout", 0, "disconnect a client silent this long with no statement in flight; 0 = off")
 		writeTO     = flag.Duration("write-timeout", 0, "per-write socket deadline (disconnects peers that stop reading); 0 = off")
 		dialTO      = flag.Duration("dial-timeout", 5*time.Second, "connect+handshake deadline per shard; 0 = off")
+		dataDir     = flag.String("data-dir", "", "durable storage directory (WAL + heap files); empty = in-memory")
+		fsyncMode   = flag.String("fsync", "always", "WAL durability with -data-dir: always (fsync per group commit) or off")
 
 		shardFlags repeatedFlag
 		tableFlags repeatedFlag
@@ -67,7 +80,52 @@ func main() {
 	flag.Var(&tableFlags, "shard-table", "hash-partitioned table as table:hashcol (repeatable)")
 	flag.Parse()
 
-	db := core.Open()
+	// Structured logging: connection lifecycle at Info (behind -v) and
+	// slow queries at Warn (always, when a threshold is set). Built
+	// before the database so recovery can report through it.
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	}
+	logger := slog.New(handler)
+
+	var db *core.DB
+	var backend *disk.DB
+	if *dataDir != "" {
+		mode, err := wal.ParseSyncMode(*fsyncMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefserve: %v\n", err)
+			os.Exit(1)
+		}
+		d, stats, err := disk.Open(*dataDir, disk.Options{Sync: mode})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prefserve: open %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		backend = d
+		db = core.OpenOn(engine.NewOn(d.Catalog()))
+		recLog := logger.Info
+		if stats.TornBytes > 0 {
+			// A torn WAL tail means the previous process died mid-write;
+			// that is worth seeing without -v.
+			recLog = logger.Warn
+		}
+		recLog("recovered durable database",
+			"dir", *dataDir, "fsync", mode.String(), "gen", stats.Gen,
+			"tables", stats.Tables, "heap_rows", stats.HeapRows,
+			"wal_records", stats.WalRecords, "wal_bytes", stats.WalBytes,
+			"torn_bytes", stats.TornBytes, "elapsed", stats.Elapsed)
+		log.Printf("prefserve: durable storage in %s (fsync=%s, generation %d, %d tables, %d rows recovered)",
+			*dataDir, mode, stats.Gen, stats.Tables, stats.HeapRows+stats.WalRecords)
+	} else {
+		db = core.Open()
+	}
 	if len(shardFlags) > 0 || len(tableFlags) > 0 {
 		coord, err := buildCoordinator(shardFlags, tableFlags, *dialTO)
 		if err != nil {
@@ -94,20 +152,6 @@ func main() {
 		}
 	}
 
-	// Structured logging: connection lifecycle at Info (behind -v) and
-	// slow queries at Warn (always, when a threshold is set).
-	level := slog.LevelWarn
-	if *verbose {
-		level = slog.LevelInfo
-	}
-	var handler slog.Handler
-	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
-	} else {
-		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
-	}
-	logger := slog.New(handler)
-
 	opts := server.Options{
 		CacheSize:    *cache,
 		Banner:       "prefserve",
@@ -124,9 +168,32 @@ func main() {
 		}
 		log.Printf("prefserve: metrics on http://%s/metrics (pprof under /debug/pprof/)", maddr)
 	}
+	// SIGINT/SIGTERM drain the server, then checkpoint and close the
+	// durable backend so the next start recovers from a clean image
+	// with an empty WAL tail.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		logger.Info("shutting down", "signal", sig.String())
+		srv.Close()
+	}()
+
 	log.Printf("prefserve: listening on %s (statement cache %d)", *addr, *cache)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("prefserve: %v", err)
+	}
+	if backend != nil {
+		// The quiesced close: the statement write lock excludes any
+		// stragglers while the final checkpoint runs.
+		if err := db.Checkpoint(core.CheckpointerFunc(backend.Close)); err != nil {
+			log.Fatalf("prefserve: shutdown checkpoint: %v", err)
+		}
+		st := backend.WalStats()
+		logger.Info("checkpointed on shutdown",
+			"gen", backend.Generation(), "wal_appends", st.Appends,
+			"wal_batches", st.Batches, "max_batch", st.MaxBatch)
+		log.Printf("prefserve: checkpointed %s at generation %d", *dataDir, backend.Generation())
 	}
 }
 

@@ -232,6 +232,33 @@
 // -idle-timeout`, `-write-timeout`. The shell's \explain and \plan
 // work remotely too, via the protocol's Explain message.
 //
+// # Durable storage
+//
+// The database is in-memory by default and stays that way for
+// evaluation; durability is an opt-in backend underneath the catalog.
+// A server started with a data directory logs every committed mutation
+// to a write-ahead log before applying it (group commit: concurrent
+// writers share one fsync), pages checkpoint images into slotted heap
+// files behind an LRU buffer pool, and recovers on start by loading
+// the last checkpoint and replaying the WAL tail — a torn final record
+// is truncated, anything worse refuses the directory rather than
+// silently dropping committed history:
+//
+//	prefserve -data-dir /var/lib/pref            # fsync per group commit
+//	prefserve -data-dir /var/lib/pref -fsync off # leave flushing to the OS
+//
+// Clean shutdown (SIGINT/SIGTERM) checkpoints, so the next start
+// replays an empty tail. Embedded use opens the same backend directly:
+//
+//	d, stats, err := disk.Open(dir, disk.Options{Sync: wal.SyncAlways})
+//	db := core.OpenOn(engine.NewOn(d.Catalog()))
+//
+// The kill -9 torture harness (cmd/crashtest, CI's crash-recovery job)
+// holds the contract that an acknowledged commit is never lost, and
+// the p10 benchmark prices the overhead against the in-memory backend
+// with the results identity-checked. See ARCHITECTURE.md, "Durable
+// storage".
+//
 // # Distributed execution
 //
 // A prefserve node becomes a coordinator over hash-sharded tables by

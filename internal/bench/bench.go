@@ -53,6 +53,8 @@ type Config struct {
 	P8Ops              int     // DML statements per P8 measurement
 	P9Sizes            []int   // input sizes for the distributed scale-out experiment
 	P9Shards           []int   // shard counts for P9
+	P10Sizes           []int   // input sizes for the durable-storage experiment
+	P10Ops             int     // mixed read/write statements per P10 measurement
 }
 
 // DefaultConfig mirrors the paper's scale where feasible on a laptop:
@@ -80,6 +82,8 @@ func DefaultConfig() Config {
 		P8Ops:              20000,
 		P9Sizes:            []int{100000, 1000000},
 		P9Shards:           []int{1, 2, 4},
+		P10Sizes:           []int{100000, 1000000},
+		P10Ops:             5000,
 	}
 }
 
@@ -106,6 +110,8 @@ func TestConfig() Config {
 	cfg.P8Ops = 4000
 	cfg.P9Sizes = []int{20000, 100000}
 	cfg.P9Shards = []int{1, 2, 4}
+	cfg.P10Sizes = []int{20000, 100000}
+	cfg.P10Ops = 1500
 	return cfg
 }
 
@@ -671,7 +677,7 @@ func A2(cfg Config) ([]A2Entry, *Table, error) {
 
 // Names lists the available experiments.
 func Names() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9", "p10"}
 }
 
 // Run executes one experiment by name and returns its printable output.
@@ -769,6 +775,12 @@ func Run(name string, cfg Config) (string, error) {
 		return tbl.String(), nil
 	case "p9":
 		_, tbl, err := P9(cfg)
+		if err != nil {
+			return "", err
+		}
+		return tbl.String(), nil
+	case "p10":
+		_, tbl, err := P10(cfg)
 		if err != nil {
 			return "", err
 		}

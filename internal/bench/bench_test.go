@@ -195,7 +195,7 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run("nope", cfg); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if len(Names()) != 16 {
+	if len(Names()) != 17 {
 		t.Errorf("names: %v", Names())
 	}
 }
@@ -458,6 +458,41 @@ func TestP9Smoke(t *testing.T) {
 	}
 	if base.Millis <= 0 || sharded.Millis <= 0 || sharded.Speedup <= 0 {
 		t.Fatalf("degenerate timing: %+v / %+v", base, sharded)
+	}
+	if len(tbl.Rows) != len(res.Entries) {
+		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))
+	}
+}
+
+// TestP10Smoke runs the durable-storage experiment at a tiny scale and
+// sanity-checks the structure: all three variants present, skylines
+// identical (P10 itself fails otherwise), and the disk cells carrying a
+// recovery measurement.
+func TestP10Smoke(t *testing.T) {
+	cfg := TestConfig()
+	cfg.P10Sizes = []int{2000}
+	cfg.P10Ops = 200
+	res, tbl, err := P10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 3 {
+		t.Fatalf("entries = %d, want memory/disk/disk-fsync", len(res.Entries))
+	}
+	mem := res.Entries[0]
+	if mem.Variant != "memory" || mem.Ratio != 1.0 {
+		t.Fatalf("baseline cell drifted: %+v", mem)
+	}
+	for _, e := range res.Entries[1:] {
+		if e.SkylineSize != mem.SkylineSize {
+			t.Fatalf("skyline mismatch: %+v vs %+v", mem, e)
+		}
+		if e.OpsPerSec <= 0 || e.Ratio <= 0 {
+			t.Fatalf("degenerate timing: %+v", e)
+		}
+		if e.RecoverRows+e.WalReplayed == 0 {
+			t.Fatalf("disk cell without recovery work: %+v", e)
+		}
 	}
 	if len(tbl.Rows) != len(res.Entries) {
 		t.Fatalf("table rows = %d, entries = %d", len(tbl.Rows), len(res.Entries))

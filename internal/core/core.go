@@ -98,6 +98,31 @@ func OpenOn(eng *engine.DB) *DB {
 	return db
 }
 
+// Checkpointer is the slice of a durable storage backend the core layer
+// drives: internal/storage/disk's DB satisfies it. The core layer keeps
+// no direct dependency on the disk package — callers (prefserve, tests)
+// open the backend, build an engine on its catalog via engine.NewOn,
+// and hand the backend here for quiesced checkpoints.
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// CheckpointerFunc adapts a plain func to Checkpointer (e.g. a
+// backend's Close for the shutdown path).
+type CheckpointerFunc func() error
+
+// Checkpoint implements Checkpointer.
+func (f CheckpointerFunc) Checkpoint() error { return f() }
+
+// Checkpoint quiesces the database (the statement write lock excludes
+// every reader and writer) and runs the backend's checkpoint, so the
+// heap images capture a statement-consistent state.
+func (db *DB) Checkpoint(cp Checkpointer) error {
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	return cp.Checkpoint()
+}
+
 // Live exposes the subscription registry (active continuous queries).
 func (db *DB) Live() *live.Registry { return db.live }
 

@@ -279,10 +279,7 @@ func Load(db *engine.DB, table string, cols []storage.Column, rows []value.Row) 
 	if err := db.Catalog().CreateTable(tbl); err != nil {
 		return err
 	}
-	for _, r := range rows {
-		if err := tbl.Insert(r); err != nil {
-			return err
-		}
-	}
-	return nil
+	// One batch: on the durable backend this is a single WAL record
+	// rather than an fsync per generated row.
+	return tbl.InsertBatch(rows)
 }

@@ -49,6 +49,11 @@ type DB struct {
 // New returns an empty database.
 func New() *DB { return &DB{cat: storage.NewCatalog()} }
 
+// NewOn returns a database over an existing catalog — the seam through
+// which the durable backend (internal/storage/disk) hands a recovered,
+// logging catalog to the SQL layers.
+func NewOn(cat *storage.Catalog) *DB { return &DB{cat: cat} }
+
 // Catalog exposes the underlying catalog (used by the preference layer and
 // data generators for bulk loading).
 func (db *DB) Catalog() *storage.Catalog { return db.cat }
@@ -820,7 +825,10 @@ func (db *DB) insert(ec *execContext, ins *ast.Insert) (*Result, error) {
 		return full, nil
 	}
 
-	n := 0
+	// Rows are collected and applied as one batch: a multi-row INSERT
+	// is atomic and, on the durable backend, costs one WAL record (one
+	// group-commit fsync) instead of one per row.
+	var batch []value.Row
 	if ins.Sel != nil {
 		res, err := db.selectWith(ec, ins.Sel)
 		if err != nil {
@@ -831,35 +839,31 @@ func (db *DB) insert(ec *execContext, ins *ast.Insert) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := tbl.Insert(full); err != nil {
-				return nil, err
-			}
-			n++
+			batch = append(batch, full)
 		}
-		return &Result{Affected: n}, nil
-	}
-
-	ev := ec.evaluator()
-	env := expr.MapEnv{}
-	for _, exprRow := range ins.Rows {
-		vals := make(value.Row, len(exprRow))
-		for i, e := range exprRow {
-			v, err := ev.Eval(e, env)
+	} else {
+		ev := ec.evaluator()
+		env := expr.MapEnv{}
+		for _, exprRow := range ins.Rows {
+			vals := make(value.Row, len(exprRow))
+			for i, e := range exprRow {
+				v, err := ev.Eval(e, env)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			full, err := toFull(vals)
 			if err != nil {
 				return nil, err
 			}
-			vals[i] = v
+			batch = append(batch, full)
 		}
-		full, err := toFull(vals)
-		if err != nil {
-			return nil, err
-		}
-		if err := tbl.Insert(full); err != nil {
-			return nil, err
-		}
-		n++
 	}
-	return &Result{Affected: n}, nil
+	if err := tbl.InsertBatch(batch); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: len(batch)}, nil
 }
 
 // InsertRows bulk-inserts pre-built rows; the fast path for data generators.
@@ -868,10 +872,8 @@ func (db *DB) InsertRows(table string, rows []value.Row) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("engine: no such table: %s", table)
 	}
-	for i, r := range rows {
-		if err := tbl.Insert(r); err != nil {
-			return i, err
-		}
+	if err := tbl.InsertBatch(rows); err != nil {
+		return 0, err
 	}
 	return len(rows), nil
 }

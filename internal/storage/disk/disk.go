@@ -1,0 +1,683 @@
+// Package disk is the durable storage backend: it implements
+// storage.Backend over a write-ahead log (internal/storage/wal) and
+// per-table paged heap files (internal/storage/heap).
+//
+// The design is a checkpoint-plus-log scheme. The in-memory catalog
+// remains the evaluation heap — every query keeps running against the
+// copy-on-write tables exactly as in the default engine. Durability
+// comes from two artifacts in the data directory:
+//
+//   - <table>.<gen>.tbl — a heap-file image of each table as of
+//     checkpoint generation <gen>, written through the buffer pool;
+//     tuples carry a rowid so load order is insertion order regardless
+//     of free-space-map placement.
+//   - wal.<gen>.log — the write-ahead log of every logical mutation
+//     since that checkpoint. DML records are positional (see
+//     storage.Backend); DDL records carry schemas, index column lists
+//     and view SQL.
+//
+// MANIFEST (JSON) names the current generation and the table/view/index
+// inventory. A checkpoint writes the next generation's heap images and
+// a fresh empty WAL, then atomically swaps MANIFEST (tmp + rename +
+// directory fsync) and deletes the old generation; a crash anywhere in
+// between recovers from whichever generation MANIFEST still names,
+// and Open removes orphaned files from unfinished checkpoints.
+//
+// Recovery (Open) loads the manifest generation's heap images, replays
+// the WAL tail through the storage.Apply* methods (which bypass
+// re-logging), and only then attaches the backend to the catalog.
+package disk
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/parser"
+	"repro/internal/storage"
+	"repro/internal/storage/heap"
+	"repro/internal/storage/wal"
+	"repro/internal/value"
+)
+
+var (
+	mRecoveries = metrics.Default.Counter("prefsql_disk_recoveries_total",
+		"Data-directory opens that ran crash recovery (manifest load + WAL replay).")
+	mRecoveredRows = metrics.Default.Counter("prefsql_disk_recovered_rows_total",
+		"Rows restored from checkpoint heap images during recovery.")
+	mReplayedRecords = metrics.Default.Counter("prefsql_disk_wal_records_replayed_total",
+		"WAL records replayed during recovery.")
+	mTornBytes = metrics.Default.Counter("prefsql_disk_wal_torn_bytes_total",
+		"Torn-tail bytes truncated from the WAL during recovery.")
+	mCheckpoints = metrics.Default.Counter("prefsql_disk_checkpoints_total",
+		"Checkpoints completed (heap images + manifest swap).")
+	mWalRecords = metrics.Default.Counter("prefsql_disk_wal_records_total",
+		"Mutation records appended to the write-ahead log.")
+	mPoolHits = metrics.Default.Gauge("prefsql_disk_pool_hits",
+		"Buffer-pool page hits (cumulative for this process).")
+	mPoolMisses = metrics.Default.Gauge("prefsql_disk_pool_misses",
+		"Buffer-pool page misses (cumulative for this process).")
+	mPoolEvictions = metrics.Default.Gauge("prefsql_disk_pool_evictions",
+		"Buffer-pool evictions (cumulative for this process).")
+)
+
+const manifestName = "MANIFEST"
+
+// Options configure Open.
+type Options struct {
+	// Sync selects WAL durability (default SyncAlways).
+	Sync wal.SyncMode
+	// PoolPages caps the buffer pool (default 1024 frames).
+	PoolPages int
+	// PageSize sets the heap page size (default heap.DefaultPageSize).
+	PageSize int
+}
+
+// RecoveryStats reports what Open had to do to restore the database.
+type RecoveryStats struct {
+	Gen        uint64        // checkpoint generation recovered from
+	Tables     int           // tables restored from heap images
+	HeapRows   int           // rows loaded from heap images
+	WalRecords int           // WAL records replayed on top
+	WalBytes   int64         // valid WAL bytes scanned
+	TornBytes  int64         // torn-tail bytes truncated from the WAL
+	Elapsed    time.Duration // wall time of the whole recovery
+}
+
+// manifest is the on-disk generation descriptor.
+type manifest struct {
+	Gen    uint64          `json:"gen"`
+	Tables []manifestTable `json:"tables"`
+	Views  []manifestView  `json:"views"`
+}
+
+type manifestTable struct {
+	Name    string          `json:"name"`
+	Cols    []manifestCol   `json:"cols"`
+	Indexes []manifestIndex `json:"indexes,omitempty"`
+}
+
+type manifestCol struct {
+	Name       string `json:"name"`
+	Kind       int    `json:"kind"`
+	NotNull    bool   `json:"not_null,omitempty"`
+	PrimaryKey bool   `json:"primary_key,omitempty"`
+}
+
+type manifestIndex struct {
+	Name string   `json:"name"`
+	Cols []string `json:"cols"`
+}
+
+type manifestView struct {
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+}
+
+// DB is one open durable database. It implements storage.Backend.
+type DB struct {
+	dir  string
+	cat  *storage.Catalog
+	pool *heap.Pool
+	mode wal.SyncMode
+
+	// mu guards the generation swap: Log* hold it shared while
+	// appending to the current WAL, Checkpoint holds it exclusively
+	// while retiring the log. Under the engine's statement write lock
+	// there is no actual contention; the lock makes the backend safe
+	// for direct (non-SQL) use too.
+	mu  sync.RWMutex
+	wal *wal.Log
+	gen uint64
+
+	closed bool
+}
+
+func walName(gen uint64) string { return fmt.Sprintf("wal.%d.log", gen) }
+
+func heapName(table string, gen uint64) string {
+	return fmt.Sprintf("%s.%d.tbl", strings.ToLower(table), gen)
+}
+
+// Open opens (creating if needed) the durable database in dir, running
+// crash recovery: manifest load, heap-image scan, WAL tail replay,
+// torn-tail truncation. The returned catalog is fully restored and
+// logging — hand it to engine.NewOn.
+func Open(dir string, opts Options) (*DB, RecoveryStats, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	d := &DB{
+		dir:  dir,
+		cat:  storage.NewCatalog(),
+		pool: heap.NewPool(opts.PoolPages, opts.PageSize),
+		mode: opts.Sync,
+	}
+	var stats RecoveryStats
+
+	m, err := readManifest(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		// Fresh database: start generation 1 with an empty manifest so
+		// a crash before the first checkpoint still finds a consistent
+		// root.
+		m = &manifest{Gen: 1}
+		if err := writeManifest(dir, m); err != nil {
+			return nil, stats, err
+		}
+	} else if err != nil {
+		return nil, stats, err
+	}
+	d.gen = m.Gen
+	stats.Gen = m.Gen
+
+	// Load the checkpoint images named by the manifest.
+	for _, mt := range m.Tables {
+		tbl, err := d.loadTable(mt)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Tables++
+		stats.HeapRows += tbl.RowCount()
+	}
+	for _, mv := range m.Views {
+		sel, err := parser.ParseSelect(mv.SQL)
+		if err != nil {
+			return nil, stats, fmt.Errorf("disk: view %s: %w", mv.Name, err)
+		}
+		if err := d.cat.CreateView(mv.Name, sel); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	// Replay the WAL tail over the images. The catalog has no backend
+	// attached yet, so replay does not re-log.
+	log, res, err := wal.OpenReplay(filepath.Join(dir, walName(m.Gen)), opts.Sync, d.applyRecord)
+	if err != nil {
+		return nil, stats, err
+	}
+	d.wal = log
+	stats.WalRecords = res.Records
+	stats.WalBytes = res.Bytes
+	stats.TornBytes = res.Truncated
+
+	// Remove orphans from an unfinished checkpoint (files of any other
+	// generation) — they were never reachable from MANIFEST.
+	if err := d.removeOtherGenerations(m.Gen); err != nil {
+		d.wal.Close()
+		return nil, stats, err
+	}
+
+	// The Apply* replay methods defer index maintenance (a per-record
+	// rebuild would make recovery quadratic); settle every table's
+	// indexes in one pass now that the last record is in.
+	for _, name := range d.cat.TableNames() {
+		if tbl, ok := d.cat.Table(name); ok {
+			tbl.Reindex()
+		}
+	}
+
+	d.cat.SetBackend(d)
+	stats.Elapsed = time.Since(start)
+	mRecoveries.Inc()
+	mRecoveredRows.Add(int64(stats.HeapRows))
+	mReplayedRecords.Add(int64(stats.WalRecords))
+	mTornBytes.Add(stats.TornBytes)
+	return d, stats, nil
+}
+
+// Catalog returns the recovered, logging catalog.
+func (d *DB) Catalog() *storage.Catalog { return d.cat }
+
+// Dir returns the data directory.
+func (d *DB) Dir() string { return d.dir }
+
+// SyncMode returns the WAL durability mode.
+func (d *DB) SyncMode() wal.SyncMode { return d.mode }
+
+// Generation returns the current checkpoint generation.
+func (d *DB) Generation() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen
+}
+
+// WalStats returns the current WAL's group-commit counters.
+func (d *DB) WalStats() wal.Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.wal.Stats()
+}
+
+// PoolStats returns the buffer-pool counters.
+func (d *DB) PoolStats() heap.Stats { return d.pool.Stats() }
+
+// loadTable restores one table from its manifest entry and heap image.
+func (d *DB) loadTable(mt manifestTable) (*storage.Table, error) {
+	cols := make([]storage.Column, len(mt.Cols))
+	for i, c := range mt.Cols {
+		cols[i] = storage.Column{Name: c.Name, Kind: value.Kind(c.Kind), NotNull: c.NotNull, PrimaryKey: c.PrimaryKey}
+	}
+	tbl := storage.NewTable(mt.Name, storage.Schema{Cols: cols})
+	if err := d.cat.CreateTable(tbl); err != nil {
+		return nil, err
+	}
+	for _, ix := range mt.Indexes {
+		if _, err := tbl.CreateIndex(ix.Name, ix.Cols); err != nil {
+			return nil, err
+		}
+	}
+	f, err := d.pool.Open(filepath.Join(d.dir, heapName(mt.Name, d.gen)))
+	if errors.Is(err, os.ErrNotExist) {
+		// A table created and checkpointed while empty has no image.
+		return tbl, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type numbered struct {
+		rowid uint64
+		row   value.Row
+	}
+	var rows []numbered
+	err = f.Scan(func(rec []byte) error {
+		rowid, row, err := decodeHeapTuple(rec)
+		if err != nil {
+			return fmt.Errorf("disk: %s: %w", f.Path(), err)
+		}
+		rows = append(rows, numbered{rowid, row})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The free-space map may have placed tuples out of page order; the
+	// rowid restores insertion order, which positional WAL replay (and
+	// deterministic scans) depend on.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].rowid < rows[j].rowid })
+	batch := make([]value.Row, len(rows))
+	for i, r := range rows {
+		batch[i] = r.row
+	}
+	tbl.ApplyInsert(batch)
+	return tbl, nil
+}
+
+// applyRecord replays one WAL record against the (backend-less) catalog.
+func (d *DB) applyRecord(payload []byte) error {
+	dec := &decoder{b: payload}
+	op, err := dec.byte()
+	if err != nil {
+		return err
+	}
+	// Every op starts with a name (table for DML/table DDL, view name
+	// for view DDL).
+	name, err := dec.string()
+	if err != nil {
+		return err
+	}
+	table := func() (*storage.Table, error) {
+		t, ok := d.cat.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("disk: wal replay: no such table %q", name)
+		}
+		return t, nil
+	}
+	switch op {
+	case opInsert:
+		rows, err := dec.rows()
+		if err != nil {
+			return err
+		}
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		t.ApplyInsert(rows)
+	case opUpdate:
+		pos, err := dec.positions()
+		if err != nil {
+			return err
+		}
+		rows, err := dec.rows()
+		if err != nil {
+			return err
+		}
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		return t.ApplyUpdate(pos, rows)
+	case opDelete:
+		pos, err := dec.positions()
+		if err != nil {
+			return err
+		}
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		return t.ApplyDelete(pos)
+	case opTruncate:
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		t.ApplyTruncate()
+	case opCreateTable:
+		schema, err := dec.schema()
+		if err != nil {
+			return err
+		}
+		return d.cat.CreateTable(storage.NewTable(name, schema))
+	case opDropTable:
+		d.cat.DropTable(name)
+	case opCreateIndex:
+		index, err := dec.string()
+		if err != nil {
+			return err
+		}
+		cols, err := dec.strings()
+		if err != nil {
+			return err
+		}
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		_, err = t.CreateIndex(index, cols)
+		return err
+	case opDropIndex:
+		index, err := dec.string()
+		if err != nil {
+			return err
+		}
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		t.DropIndex(index)
+	case opCreateView:
+		sql, err := dec.string()
+		if err != nil {
+			return err
+		}
+		sel, err := parser.ParseSelect(sql)
+		if err != nil {
+			return fmt.Errorf("disk: wal replay: view %s: %w", name, err)
+		}
+		return d.cat.CreateView(name, sel)
+	case opDropView:
+		d.cat.DropView(name)
+	default:
+		return fmt.Errorf("disk: wal replay: unknown op %d", op)
+	}
+	return nil
+}
+
+// append frames and commits one record; it returns after the record's
+// group fsync under SyncAlways.
+func (d *DB) append(payload []byte) error {
+	d.mu.RLock()
+	log := d.wal
+	closed := d.closed
+	d.mu.RUnlock()
+	if closed {
+		return wal.ErrClosed
+	}
+	if err := log.Append(payload); err != nil {
+		return err
+	}
+	mWalRecords.Inc()
+	return nil
+}
+
+// storage.Backend implementation — every method encodes one logical
+// record and blocks until it is durable.
+
+func (d *DB) LogInsert(table string, rows []value.Row) error {
+	b := []byte{opInsert}
+	b = appendString(b, table)
+	return d.append(appendRows(b, rows))
+}
+
+func (d *DB) LogUpdate(table string, pos []int, rows []value.Row) error {
+	b := []byte{opUpdate}
+	b = appendString(b, table)
+	b = appendPositions(b, pos)
+	return d.append(appendRows(b, rows))
+}
+
+func (d *DB) LogDelete(table string, pos []int) error {
+	b := []byte{opDelete}
+	b = appendString(b, table)
+	return d.append(appendPositions(b, pos))
+}
+
+func (d *DB) LogTruncate(table string) error {
+	b := []byte{opTruncate}
+	return d.append(appendString(b, table))
+}
+
+func (d *DB) LogCreateTable(name string, schema storage.Schema) error {
+	b := []byte{opCreateTable}
+	b = appendString(b, name)
+	return d.append(encodeSchema(b, schema))
+}
+
+func (d *DB) LogDropTable(name string) error {
+	b := []byte{opDropTable}
+	return d.append(appendString(b, name))
+}
+
+func (d *DB) LogCreateIndex(table, index string, cols []string) error {
+	b := []byte{opCreateIndex}
+	b = appendString(b, table)
+	b = appendString(b, index)
+	b = appendUvarint(b, uint64(len(cols)))
+	for _, c := range cols {
+		b = appendString(b, c)
+	}
+	return d.append(b)
+}
+
+func (d *DB) LogDropIndex(table, index string) error {
+	b := []byte{opDropIndex}
+	b = appendString(b, table)
+	return d.append(appendString(b, index))
+}
+
+func (d *DB) LogCreateView(name, sql string) error {
+	b := []byte{opCreateView}
+	b = appendString(b, name)
+	return d.append(appendString(b, sql))
+}
+
+func (d *DB) LogDropView(name string) error {
+	b := []byte{opDropView}
+	return d.append(appendString(b, name))
+}
+
+// Checkpoint writes the next generation — heap images of every table
+// through the buffer pool, a fresh empty WAL, an atomic MANIFEST swap —
+// then deletes the previous generation. The caller must hold off all
+// writers for the duration (core.DB.Checkpoint runs it under the
+// statement write lock).
+func (d *DB) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return wal.ErrClosed
+	}
+	newGen := d.gen + 1
+	m := &manifest{Gen: newGen}
+
+	for _, name := range d.cat.TableNames() {
+		tbl, ok := d.cat.Table(name)
+		if !ok {
+			continue
+		}
+		mt := manifestTable{Name: tbl.Name}
+		for _, c := range tbl.Schema.Cols {
+			mt.Cols = append(mt.Cols, manifestCol{Name: c.Name, Kind: int(c.Kind), NotNull: c.NotNull, PrimaryKey: c.PrimaryKey})
+		}
+		for _, ix := range tbl.IndexDefs() {
+			mt.Indexes = append(mt.Indexes, manifestIndex{Name: ix.Name, Cols: ix.Columns})
+		}
+		m.Tables = append(m.Tables, mt)
+
+		f, err := d.pool.Create(filepath.Join(d.dir, heapName(tbl.Name, newGen)))
+		if err != nil {
+			return err
+		}
+		var buf []byte
+		for i, r := range tbl.Rows() {
+			buf = encodeHeapTuple(buf, uint64(i), r)
+			if err := f.Append(buf); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for _, name := range d.cat.ViewNames() {
+		sel, ok := d.cat.View(name)
+		if !ok {
+			continue
+		}
+		m.Views = append(m.Views, manifestView{Name: name, SQL: sel.SQL()})
+	}
+
+	// The new WAL must exist before MANIFEST names its generation.
+	newWal, _, err := wal.Open(filepath.Join(d.dir, walName(newGen)), d.mode)
+	if err != nil {
+		return err
+	}
+	if err := writeManifest(d.dir, m); err != nil {
+		newWal.Close()
+		return err
+	}
+	// MANIFEST now names newGen: the swap is committed. Retire the old
+	// generation; failures past this point leave only orphans, which
+	// the next Open cleans up.
+	oldWal := d.wal
+	d.wal, d.gen = newWal, newGen
+	oldWal.Close()
+	if err := d.removeOtherGenerations(newGen); err != nil {
+		return err
+	}
+	mCheckpoints.Inc()
+	ps := d.pool.Stats()
+	mPoolHits.Set(int64(ps.Hits))
+	mPoolMisses.Set(int64(ps.Misses))
+	mPoolEvictions.Set(int64(ps.Evictions))
+	return nil
+}
+
+// Close checkpoints and shuts the backend down. The catalog keeps
+// working in memory afterwards, but mutations fail: close the SQL
+// layers first.
+func (d *DB) Close() error {
+	if err := d.Checkpoint(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return d.wal.Close()
+}
+
+// removeOtherGenerations deletes WAL and heap files whose embedded
+// generation differs from keep.
+func (d *DB) removeOtherGenerations(keep uint64) error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var gen uint64
+		switch {
+		case strings.HasPrefix(name, "wal.") && strings.HasSuffix(name, ".log"):
+			if _, err := fmt.Sscanf(name, "wal.%d.log", &gen); err != nil {
+				continue
+			}
+		case strings.HasSuffix(name, ".tbl"):
+			parts := strings.Split(strings.TrimSuffix(name, ".tbl"), ".")
+			if len(parts) < 2 {
+				continue
+			}
+			if _, err := fmt.Sscanf(parts[len(parts)-1], "%d", &gen); err != nil {
+				continue
+			}
+		default:
+			continue
+		}
+		if gen != keep {
+			if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("disk: %s: %w", manifestName, err)
+	}
+	return &m, nil
+}
+
+// writeManifest swaps the manifest atomically: write tmp, fsync,
+// rename over MANIFEST, fsync the directory so the rename is durable.
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	dirf, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer dirf.Close()
+	return dirf.Sync()
+}

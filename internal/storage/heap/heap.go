@@ -1,0 +1,531 @@
+// Package heap implements paged heap files underneath the durable
+// storage backend: slotted 8K pages in one file per table, accessed
+// through a fixed-capacity LRU buffer pool with pin counts and
+// dirty-page writeback, with an in-memory free-space map steering
+// appends to partially-filled pages.
+//
+// Page layout (all offsets little-endian):
+//
+//	slotted page (kind 1):
+//	  +------+--------+-----------+----------------+ ... +-------------+
+//	  | kind | nSlots | dataStart | slot directory | gap | tuple bytes |
+//	  +------+--------+-----------+----------------+ ... +-------------+
+//	  kind: 1 byte, nSlots/dataStart: uint16. Each slot is
+//	  (offset uint16, length uint16); the directory grows forward from
+//	  the header while tuple bytes grow backward from the end of the
+//	  page, the gap between them is the page's free space.
+//
+//	jumbo pages (kinds 2, 3): a record larger than a slotted page's
+//	  capacity is written as a chain of dedicated pages — the first
+//	  (kind 2) carries the total record length as a uint32 after the
+//	  kind byte, continuation pages (kind 3) carry payload only. Jumbo
+//	  pages never enter the free-space map.
+//
+// Records are opaque byte strings; ordering is the caller's problem
+// (the disk backend stamps each tuple with a rowid and sorts on load),
+// which frees the free-space map to place records wherever they fit.
+package heap
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize is the page size used by the disk backend.
+const DefaultPageSize = 8192
+
+const (
+	kindSlotted    = 1
+	kindJumboFirst = 2
+	kindJumboCont  = 3
+
+	slottedHeader = 5 // kind(1) + nSlots(2) + dataStart(2)
+	slotSize      = 4 // offset(2) + length(2)
+	jumboHeader   = 5 // kind(1) + totalLen(4)
+	contHeader    = 1 // kind(1)
+)
+
+// Stats are the cumulative buffer-pool counters.
+type Stats struct {
+	Hits       uint64 // page requests served from a resident frame
+	Misses     uint64 // page requests that went to disk
+	Evictions  uint64 // frames recycled to make room
+	Writebacks uint64 // dirty pages written during eviction or flush
+}
+
+// frame is one resident page.
+type frame struct {
+	file   *File
+	pageNo uint32
+	data   []byte
+	dirty  bool
+	pins   int
+	elem   *list.Element // position in the pool's LRU list
+}
+
+type frameKey struct {
+	fileID int
+	pageNo uint32
+}
+
+// Pool is a fixed-capacity LRU buffer pool shared by any number of heap
+// files. All file operations go through their pool, so the pool's
+// capacity bounds resident pages across the whole database, not per
+// table. Pinned frames are never evicted; if every frame is pinned the
+// pool temporarily exceeds its capacity rather than deadlock.
+type Pool struct {
+	mu       sync.Mutex
+	pageSize int
+	capacity int
+	frames   map[frameKey]*frame
+	lru      *list.List // front = most recent; back = eviction candidate
+	nextID   int
+	stats    Stats
+}
+
+// NewPool creates a pool holding at most capacity pages of pageSize
+// bytes. pageSize <= 0 selects DefaultPageSize; capacity <= 0 selects
+// 1024 frames (8 MiB at the default page size).
+func NewPool(capacity, pageSize int) *Pool {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Pool{
+		pageSize: pageSize,
+		capacity: capacity,
+		frames:   make(map[frameKey]*frame),
+		lru:      list.New(),
+	}
+}
+
+// PageSize returns the pool's page size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// File is one heap file (one table's checkpoint image) accessed through
+// a Pool.
+type File struct {
+	pool  *Pool
+	id    int
+	f     *os.File
+	path  string
+	pages uint32
+
+	// Free-space map: bytes free per slotted page, consulted on Append.
+	// Pages filled beyond ~90% are dropped from the map so the
+	// first-fit scan stays short on large files; hint is the page the
+	// last append landed on — the overwhelmingly common hit.
+	fsm  map[uint32]int
+	hint uint32
+	ok   bool // hint is valid
+}
+
+// Create creates (truncating) a heap file at path.
+func (p *Pool) Create(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	id := p.nextID
+	p.nextID++
+	p.mu.Unlock()
+	return &File{pool: p, id: id, f: f, path: path, fsm: make(map[uint32]int)}, nil
+}
+
+// Open opens an existing heap file at path, rebuilding the free-space
+// map from the page headers.
+func (p *Pool) Open(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size()%int64(p.pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("heap: %s: size %d is not a multiple of the %d-byte page size", path, info.Size(), p.pageSize)
+	}
+	p.mu.Lock()
+	id := p.nextID
+	p.nextID++
+	p.mu.Unlock()
+	hf := &File{
+		pool:  p,
+		id:    id,
+		f:     f,
+		path:  path,
+		pages: uint32(info.Size() / int64(p.pageSize)),
+		fsm:   make(map[uint32]int),
+	}
+	if err := hf.rebuildFSM(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return hf, nil
+}
+
+// Pages returns the number of pages in the file.
+func (f *File) Pages() uint32 { return f.pages }
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// get pins the frame for pageNo, reading it from disk on a miss. The
+// caller must unpin it.
+func (f *File) get(pageNo uint32) (*frame, error) {
+	p := f.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := frameKey{f.id, pageNo}
+	if fr, ok := p.frames[key]; ok {
+		p.stats.Hits++
+		fr.pins++
+		p.lru.MoveToFront(fr.elem)
+		return fr, nil
+	}
+	p.stats.Misses++
+	fr, err := p.newFrameLocked(f, pageNo)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.f.ReadAt(fr.data, int64(pageNo)*int64(p.pageSize)); err != nil {
+		p.dropLocked(fr)
+		return nil, fmt.Errorf("heap: %s page %d: %w", f.path, pageNo, err)
+	}
+	fr.pins++
+	return fr, nil
+}
+
+// alloc pins a fresh zeroed frame for a page that does not exist on
+// disk yet, extending the file's page count.
+func (f *File) alloc() (*frame, error) {
+	p := f.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pageNo := f.pages
+	f.pages++
+	fr, err := p.newFrameLocked(f, pageNo)
+	if err != nil {
+		return nil, err
+	}
+	fr.dirty = true // even an empty page must reach disk to keep the file page-aligned
+	fr.pins++
+	return fr, nil
+}
+
+// newFrameLocked claims a frame for (f, pageNo), evicting the LRU
+// unpinned frame when at capacity. Called with p.mu held.
+func (p *Pool) newFrameLocked(f *File, pageNo uint32) (*frame, error) {
+	for p.lru.Len() >= p.capacity {
+		victim := p.victimLocked()
+		if victim == nil {
+			break // everything pinned; run over capacity rather than deadlock
+		}
+		if victim.dirty {
+			if err := p.writebackLocked(victim); err != nil {
+				return nil, err
+			}
+		}
+		p.stats.Evictions++
+		p.dropLocked(victim)
+	}
+	fr := &frame{file: f, pageNo: pageNo, data: make([]byte, p.pageSize)}
+	fr.elem = p.lru.PushFront(fr)
+	p.frames[frameKey{f.id, pageNo}] = fr
+	return fr, nil
+}
+
+// victimLocked picks the least-recently-used unpinned frame.
+func (p *Pool) victimLocked() *frame {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		if fr := e.Value.(*frame); fr.pins == 0 {
+			return fr
+		}
+	}
+	return nil
+}
+
+func (p *Pool) writebackLocked(fr *frame) error {
+	if _, err := fr.file.f.WriteAt(fr.data, int64(fr.pageNo)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("heap: %s page %d writeback: %w", fr.file.path, fr.pageNo, err)
+	}
+	p.stats.Writebacks++
+	fr.dirty = false
+	return nil
+}
+
+func (p *Pool) dropLocked(fr *frame) {
+	p.lru.Remove(fr.elem)
+	delete(p.frames, frameKey{fr.file.id, fr.pageNo})
+}
+
+// unpin releases a frame obtained from get/alloc, marking it dirty when
+// the caller modified it.
+func (f *File) unpin(fr *frame, dirty bool) {
+	p := f.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// slotted-page accessors
+
+func initSlotted(data []byte) {
+	data[0] = kindSlotted
+	binary.LittleEndian.PutUint16(data[1:3], 0)
+	binary.LittleEndian.PutUint16(data[3:5], uint16(len(data)))
+}
+
+func slottedFree(data []byte) int {
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	dataStart := int(binary.LittleEndian.Uint16(data[3:5]))
+	return dataStart - (slottedHeader + n*slotSize)
+}
+
+// slottedInsert places rec on the page; the caller must have checked
+// that slottedFree(data) >= len(rec)+slotSize.
+func slottedInsert(data []byte, rec []byte) {
+	n := int(binary.LittleEndian.Uint16(data[1:3]))
+	dataStart := int(binary.LittleEndian.Uint16(data[3:5]))
+	off := dataStart - len(rec)
+	copy(data[off:], rec)
+	slot := slottedHeader + n*slotSize
+	binary.LittleEndian.PutUint16(data[slot:slot+2], uint16(off))
+	binary.LittleEndian.PutUint16(data[slot+2:slot+4], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(data[1:3], uint16(n+1))
+	binary.LittleEndian.PutUint16(data[3:5], uint16(off))
+}
+
+// maxInline is the largest record that fits a fresh slotted page;
+// anything bigger goes through a jumbo chain.
+func (p *Pool) maxInline() int { return p.pageSize - slottedHeader - slotSize }
+
+// Append stores one record in the file, using the free-space map to
+// fill partially-used pages before allocating new ones.
+func (f *File) Append(rec []byte) error {
+	if len(rec) > f.pool.maxInline() {
+		return f.appendJumbo(rec)
+	}
+	need := len(rec) + slotSize
+	pageNo, ok := f.findSpace(need)
+	var fr *frame
+	var err error
+	if ok {
+		fr, err = f.get(pageNo)
+		if err != nil {
+			return err
+		}
+	} else {
+		fr, err = f.alloc()
+		if err != nil {
+			return err
+		}
+		initSlotted(fr.data)
+		pageNo = fr.pageNo
+	}
+	slottedInsert(fr.data, rec)
+	free := slottedFree(fr.data)
+	f.unpin(fr, true)
+	// Keep the FSM lean: a page filled past ~90% is unlikely to take
+	// another record, so forget it and keep the first-fit scan short.
+	if free < f.pool.pageSize/10 {
+		delete(f.fsm, pageNo)
+		if f.ok && f.hint == pageNo {
+			f.ok = false
+		}
+	} else {
+		f.fsm[pageNo] = free
+		f.hint, f.ok = pageNo, true
+	}
+	return nil
+}
+
+// findSpace locates a slotted page with at least need free bytes: the
+// hint page first (the common, O(1) case), then a first-fit scan of the
+// free-space map.
+func (f *File) findSpace(need int) (uint32, bool) {
+	if f.ok {
+		if free, exists := f.fsm[f.hint]; exists && free >= need {
+			return f.hint, true
+		}
+	}
+	for pageNo, free := range f.fsm {
+		if free >= need {
+			return pageNo, true
+		}
+	}
+	return 0, false
+}
+
+// appendJumbo writes rec as a chain of dedicated pages at the end of
+// the file.
+func (f *File) appendJumbo(rec []byte) error {
+	first := true
+	for first || len(rec) > 0 {
+		fr, err := f.alloc()
+		if err != nil {
+			return err
+		}
+		var body []byte
+		if first {
+			fr.data[0] = kindJumboFirst
+			binary.LittleEndian.PutUint32(fr.data[1:5], uint32(len(rec)))
+			body = fr.data[jumboHeader:]
+			first = false
+		} else {
+			fr.data[0] = kindJumboCont
+			body = fr.data[contHeader:]
+		}
+		n := copy(body, rec)
+		rec = rec[n:]
+		f.unpin(fr, true)
+	}
+	return nil
+}
+
+// Scan calls fn for every record in the file in page order. The record
+// slice is only valid during the call.
+func (f *File) Scan(fn func(rec []byte) error) error {
+	var jumbo []byte // reassembly buffer reused across chains
+	for pageNo := uint32(0); pageNo < f.pages; pageNo++ {
+		fr, err := f.get(pageNo)
+		if err != nil {
+			return err
+		}
+		switch fr.data[0] {
+		case kindSlotted:
+			n := int(binary.LittleEndian.Uint16(fr.data[1:3]))
+			for i := 0; i < n; i++ {
+				slot := slottedHeader + i*slotSize
+				off := int(binary.LittleEndian.Uint16(fr.data[slot : slot+2]))
+				length := int(binary.LittleEndian.Uint16(fr.data[slot+2 : slot+4]))
+				if off+length > len(fr.data) {
+					f.unpin(fr, false)
+					return fmt.Errorf("heap: %s page %d slot %d out of bounds", f.path, pageNo, i)
+				}
+				if err := fn(fr.data[off : off+length]); err != nil {
+					f.unpin(fr, false)
+					return err
+				}
+			}
+			f.unpin(fr, false)
+		case kindJumboFirst:
+			total := int(binary.LittleEndian.Uint32(fr.data[1:5]))
+			if cap(jumbo) < total {
+				jumbo = make([]byte, total)
+			}
+			jumbo = jumbo[:0]
+			jumbo = append(jumbo, fr.data[jumboHeader:min(len(fr.data), jumboHeader+total)]...)
+			f.unpin(fr, false)
+			for len(jumbo) < total {
+				pageNo++
+				if pageNo >= f.pages {
+					return fmt.Errorf("heap: %s: jumbo chain runs past end of file", f.path)
+				}
+				cont, err := f.get(pageNo)
+				if err != nil {
+					return err
+				}
+				if cont.data[0] != kindJumboCont {
+					f.unpin(cont, false)
+					return fmt.Errorf("heap: %s page %d: jumbo chain broken (kind %d)", f.path, pageNo, cont.data[0])
+				}
+				rest := total - len(jumbo)
+				jumbo = append(jumbo, cont.data[contHeader:min(len(cont.data), contHeader+rest)]...)
+				f.unpin(cont, false)
+			}
+			if err := fn(jumbo); err != nil {
+				return err
+			}
+		default:
+			f.unpin(fr, false)
+			return fmt.Errorf("heap: %s page %d: unknown page kind %d", f.path, pageNo, fr.data[0])
+		}
+	}
+	return nil
+}
+
+// rebuildFSM scans page headers to reconstruct free-space information
+// after Open (the FSM is memory-only; it is derived state).
+func (f *File) rebuildFSM() error {
+	for pageNo := uint32(0); pageNo < f.pages; pageNo++ {
+		fr, err := f.get(pageNo)
+		if err != nil {
+			return err
+		}
+		if fr.data[0] == kindSlotted {
+			if free := slottedFree(fr.data); free >= f.pool.pageSize/10 {
+				f.fsm[pageNo] = free
+			}
+		}
+		f.unpin(fr, false)
+	}
+	return nil
+}
+
+// Flush writes every dirty resident page of this file back to disk.
+// Frames stay resident.
+func (f *File) Flush() error {
+	p := f.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		fr := e.Value.(*frame)
+		if fr.file == f && fr.dirty {
+			if err := p.writebackLocked(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sync flushes dirty pages and fsyncs the file.
+func (f *File) Sync() error {
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close flushes dirty pages, evicts the file's frames from the pool and
+// closes the descriptor. The file must not be used afterwards.
+func (f *File) Close() error {
+	flushErr := f.Flush()
+	p := f.pool
+	p.mu.Lock()
+	var mine []*frame
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		if fr := e.Value.(*frame); fr.file == f {
+			mine = append(mine, fr)
+		}
+	}
+	for _, fr := range mine {
+		p.dropLocked(fr)
+	}
+	p.mu.Unlock()
+	closeErr := f.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

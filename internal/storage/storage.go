@@ -85,6 +85,11 @@ type Table struct {
 	lmu       sync.Mutex
 	nextLsn   uint64
 	listeners atomic.Pointer[[]changeEntry]
+
+	// backend, when non-nil, receives every mutation before it is
+	// applied (see backend.go). Set via Catalog.SetBackend; nil for the
+	// default in-memory engine.
+	backend Backend
 }
 
 // NewTable creates an empty table with the given schema.
@@ -147,6 +152,23 @@ func (t *Table) Insert(row value.Row) error {
 	if err != nil {
 		return err
 	}
+	if b := t.backend; b != nil {
+		// Log-before-apply. The primary-key pre-check runs outside the
+		// table lock so the WAL fsync never holds it; writers are
+		// serialized above this layer, so the check cannot go stale
+		// between here and the locked apply below.
+		if t.pkCol >= 0 {
+			key := norm[t.pkCol].Key()
+			for _, r := range t.Rows() {
+				if r[t.pkCol].Key() == key {
+					return fmt.Errorf("table %s: duplicate primary key %v", t.Name, norm[t.pkCol])
+				}
+			}
+		}
+		if err := b.LogInsert(t.Name, []value.Row{norm}); err != nil {
+			return err
+		}
+	}
 	t.mu.Lock()
 	if t.pkCol >= 0 {
 		key := norm[t.pkCol].Key()
@@ -186,6 +208,8 @@ func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) 
 	t.mu.RUnlock()
 	watched := t.watched()
 	var added, removed []value.Row
+	var pos []int
+	var logged []value.Row
 	n := 0
 	for i, r := range rows {
 		ok, err := match(r)
@@ -207,10 +231,20 @@ func (t *Table) Update(match func(value.Row) (bool, error), set func(value.Row) 
 			removed = append(removed, r)
 			added = append(added, norm)
 		}
+		if t.backend != nil {
+			pos = append(pos, i)
+			logged = append(logged, norm)
+		}
 		rows[i] = norm
 		n++
 	}
 	if n > 0 {
+		if b := t.backend; b != nil {
+			// Log-before-apply: a log failure publishes nothing.
+			if err := b.LogUpdate(t.Name, pos, logged); err != nil {
+				return 0, err
+			}
+		}
 		t.mu.Lock()
 		t.rows = rows
 		t.rebuildIndexes()
@@ -234,8 +268,15 @@ func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
 	watched := t.watched()
 	kept := make([]value.Row, 0, len(old))
 	var removed []value.Row
+	var pos []int // ascending heap positions of the removed rows
 	n := 0
-	publish := func() {
+	publish := func() error {
+		if b := t.backend; b != nil && n > 0 {
+			// Log-before-apply: a log failure publishes nothing.
+			if err := b.LogDelete(t.Name, pos); err != nil {
+				return err
+			}
+		}
 		t.mu.Lock()
 		t.rows = kept
 		t.rebuildIndexes()
@@ -243,32 +284,45 @@ func (t *Table) Delete(match func(value.Row) (bool, error)) (int, error) {
 		if watched && len(removed) > 0 {
 			t.notify(Change{Table: t.Name, Removed: removed})
 		}
+		return nil
 	}
-	for _, r := range old {
+	for i, r := range old {
 		ok, err := match(r)
 		if err != nil {
 			// keep remaining rows intact on error
 			kept = append(kept, old[len(kept)+n:]...)
-			publish()
+			if perr := publish(); perr != nil {
+				return 0, perr
+			}
 			return n, err
 		}
 		if ok {
 			if watched {
 				removed = append(removed, r)
 			}
+			pos = append(pos, i)
 			n++
 			continue
 		}
 		kept = append(kept, r)
 	}
 	if n > 0 {
-		publish()
+		if err := publish(); err != nil {
+			return 0, err
+		}
 	}
 	return n, nil
 }
 
-// Truncate removes all rows.
-func (t *Table) Truncate() {
+// Truncate removes all rows. With a durability backend attached it can
+// fail (the truncate record must reach the log first); in-memory tables
+// always succeed.
+func (t *Table) Truncate() error {
+	if b := t.backend; b != nil {
+		if err := b.LogTruncate(t.Name); err != nil {
+			return err
+		}
+	}
 	watched := t.watched()
 	t.mu.Lock()
 	old := t.rows
@@ -278,6 +332,7 @@ func (t *Table) Truncate() {
 	if watched && len(old) > 0 {
 		t.notify(Change{Table: t.Name, Removed: old})
 	}
+	return nil
 }
 
 func (t *Table) rebuildIndexes() {
@@ -411,6 +466,12 @@ func (t *Table) CreateIndex(name string, cols []string) (*Index, error) {
 		}
 		positions[i] = pos
 	}
+	if b := t.backend; b != nil {
+		// DDL is rare enough that logging under the table lock is fine.
+		if err := b.LogCreateIndex(t.Name, name, cols); err != nil {
+			return nil, err
+		}
+	}
 	idx := &Index{Name: name, Columns: positions}
 	idx.rebuild(t.rows)
 	// Publish into a fresh map so snapshots keep their captured index set.
@@ -430,6 +491,11 @@ func (t *Table) DropIndex(name string) bool {
 	key := strings.ToLower(name)
 	if _, ok := t.indexes[key]; !ok {
 		return false
+	}
+	if b := t.backend; b != nil {
+		if err := b.LogDropIndex(t.Name, name); err != nil {
+			return false
+		}
 	}
 	next := make(map[string]*Index, len(t.indexes))
 	for k, v := range t.indexes {
@@ -533,9 +599,10 @@ func (ix *Index) Lookup(v value.Value) []int {
 // Catalog holds all tables and views of one database. It is safe for
 // concurrent use.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	views  map[string]*ast.Select
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	views   map[string]*ast.Select
+	backend Backend // nil for the in-memory engine; see SetBackend
 }
 
 // NewCatalog returns an empty catalog.
@@ -554,6 +621,12 @@ func (c *Catalog) CreateTable(t *Table) error {
 	if _, ok := c.views[key]; ok {
 		return fmt.Errorf("view %s already exists", t.Name)
 	}
+	if c.backend != nil {
+		if err := c.backend.LogCreateTable(t.Name, t.Schema); err != nil {
+			return err
+		}
+	}
+	t.backend = c.backend
 	c.tables[key] = t
 	return nil
 }
@@ -574,6 +647,11 @@ func (c *Catalog) DropTable(name string) bool {
 	if _, ok := c.tables[key]; !ok {
 		return false
 	}
+	if c.backend != nil {
+		if err := c.backend.LogDropTable(name); err != nil {
+			return false
+		}
+	}
 	delete(c.tables, key)
 	return true
 }
@@ -588,6 +666,12 @@ func (c *Catalog) CreateView(name string, sel *ast.Select) error {
 	}
 	if _, ok := c.tables[key]; ok {
 		return fmt.Errorf("table %s already exists", name)
+	}
+	if c.backend != nil {
+		// Views persist as their SQL text and are re-parsed on recovery.
+		if err := c.backend.LogCreateView(name, sel.SQL()); err != nil {
+			return err
+		}
 	}
 	c.views[key] = sel
 	return nil
@@ -608,6 +692,11 @@ func (c *Catalog) DropView(name string) bool {
 	key := strings.ToLower(name)
 	if _, ok := c.views[key]; !ok {
 		return false
+	}
+	if c.backend != nil {
+		if err := c.backend.LogDropView(name); err != nil {
+			return false
+		}
 	}
 	delete(c.views, key)
 	return true

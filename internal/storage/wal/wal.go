@@ -1,0 +1,349 @@
+// Package wal implements the write-ahead log underneath the durable
+// storage backend (internal/storage/disk): an append-only file of
+// CRC-protected records with group commit.
+//
+// Record format (little-endian):
+//
+//	+----------------+----------------+===============+
+//	| length uint32  | crc32c uint32  | payload bytes |
+//	+----------------+----------------+===============+
+//
+// The CRC (Castagnoli polynomial) covers the payload only; the length
+// field is implicitly validated by the CRC check of the bytes it
+// frames. Records carry no LSN on disk — their position is their
+// identity, and replay is strictly sequential from a checkpoint image.
+//
+// Group commit: concurrent Append callers enqueue their payloads and a
+// single flusher goroutine drains the queue, writes every pending
+// record with one write(2) and syncs them with one fsync; each Append
+// returns only after the fsync covering its record completed (under
+// SyncAlways). This batches N concurrent commits onto one disk flush,
+// the classic group-commit optimization.
+//
+// Recovery: Replay scans records from the start. A record whose frame
+// runs past the end of the file, or whose CRC fails with nothing but
+// that record left, is a torn tail — the crash interrupted the final
+// write — and replay reports the offset to truncate at. A CRC failure
+// with further bytes after the record is corruption in the middle of
+// the log and is a hard error (ErrCorrupt): silently truncating there
+// would drop committed records that follow.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// SyncMode selects the durability level of Append.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs every group-commit batch before acknowledging
+	// the appends in it: an acknowledged record survives kill -9 and
+	// power loss (modulo lying disks).
+	SyncAlways SyncMode = iota
+	// SyncOff writes without fsync: an acknowledged record survives a
+	// process crash (the OS holds the page cache) but not a host crash.
+	SyncOff
+)
+
+// String names the mode (the -fsync flag values).
+func (m SyncMode) String() string {
+	if m == SyncOff {
+		return "off"
+	}
+	return "always"
+}
+
+// ParseSyncMode parses a -fsync flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always", "on", "true":
+		return SyncAlways, nil
+	case "off", "false", "no":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync mode %q (want always|off)", s)
+}
+
+// ErrCorrupt reports a CRC-invalid record in the middle of the log —
+// bytes after it still parse, so this is not a torn tail and must not
+// be silently truncated.
+var ErrCorrupt = errors.New("wal: corrupt record in the middle of the log")
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("wal: log is closed")
+
+const (
+	headerSize = 8
+	// maxRecord bounds a single record; a length beyond it is treated
+	// like any other frame that cannot be satisfied (torn tail or, with
+	// valid data following, corruption).
+	maxRecord = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ReplayResult summarizes one recovery scan.
+type ReplayResult struct {
+	Records   int   // valid records decoded
+	Bytes     int64 // bytes of valid records (incl. headers)
+	Truncated int64 // torn-tail bytes dropped (0 for a clean log)
+}
+
+// Replay scans the log at path, invoking fn for every valid record in
+// order. The payload slice passed to fn is only valid during the call.
+// A missing file replays as an empty log. See the package comment for
+// the torn-tail vs corruption distinction.
+func Replay(path string, fn func(payload []byte) error) (ReplayResult, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ReplayResult{}, nil
+	}
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer f.Close()
+	return replay(f, fn)
+}
+
+func replay(f *os.File, fn func(payload []byte) error) (ReplayResult, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	size := info.Size()
+	var res ReplayResult
+	var header [headerSize]byte
+	var buf []byte
+	off := int64(0)
+	for off < size {
+		// A frame that cannot complete before EOF is a torn tail: the
+		// final write was cut short by the crash.
+		if size-off < headerSize {
+			res.Truncated = size - off
+			return res, nil
+		}
+		if _, err := f.ReadAt(header[:], off); err != nil {
+			return res, err
+		}
+		length := int64(binary.LittleEndian.Uint32(header[0:4]))
+		want := binary.LittleEndian.Uint32(header[4:8])
+		if length > maxRecord || off+headerSize+length > size {
+			res.Truncated = size - off
+			return res, nil
+		}
+		if int64(cap(buf)) < length {
+			buf = make([]byte, length)
+		}
+		payload := buf[:length]
+		if _, err := f.ReadAt(payload, off+headerSize); err != nil {
+			return res, err
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			if off+headerSize+length == size {
+				// The bad record is the last thing in the file: a write
+				// torn inside the payload. Truncate it away.
+				res.Truncated = size - off
+				return res, nil
+			}
+			return res, fmt.Errorf("%w (offset %d, %d bytes follow)",
+				ErrCorrupt, off, size-(off+headerSize+length))
+		}
+		if err := fn(payload); err != nil {
+			return res, err
+		}
+		res.Records++
+		off += headerSize + length
+		res.Bytes = off
+	}
+	return res, nil
+}
+
+// Stats are cumulative group-commit counters of one open log.
+type Stats struct {
+	Appends  uint64 // records acknowledged
+	Batches  uint64 // group-commit flushes (one write each)
+	Syncs    uint64 // fsync calls (== Batches under SyncAlways)
+	MaxBatch uint64 // largest records-per-flush observed
+	Bytes    uint64 // payload+header bytes written
+}
+
+// Log is an open write-ahead log accepting appends.
+type Log struct {
+	mode SyncMode
+	f    *os.File
+
+	mu     sync.Mutex
+	queue  []appendReq
+	closed bool
+
+	wake    chan struct{}
+	closeCh chan struct{}
+	done    chan struct{}
+
+	appends  atomic.Uint64
+	batches  atomic.Uint64
+	syncs    atomic.Uint64
+	maxBatch atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+type appendReq struct {
+	payload []byte
+	err     chan error
+}
+
+// Open opens (creating if absent) the log at path for appending,
+// validating the existing contents first: a torn tail is truncated
+// away, a mid-log corruption fails the open. The scan's outcome is
+// returned so callers can report recovery work.
+func Open(path string, mode SyncMode) (*Log, ReplayResult, error) {
+	return OpenReplay(path, mode, func([]byte) error { return nil })
+}
+
+// OpenReplay is Open with a replay callback: fn sees every valid record
+// before the log accepts new appends, so recovery and append-readiness
+// are one atomic step.
+func OpenReplay(path string, mode SyncMode, fn func(payload []byte) error) (*Log, ReplayResult, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, ReplayResult{}, err
+	}
+	res, err := replay(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	if err := f.Truncate(res.Bytes); err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	if _, err := f.Seek(res.Bytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	l := &Log{
+		mode:    mode,
+		f:       f,
+		wake:    make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go l.flusher()
+	return l, res, nil
+}
+
+// Append commits one record: it enqueues the payload for the flusher
+// and returns once the batch containing it has been written (and, under
+// SyncAlways, fsynced). Safe for concurrent use; concurrent appends
+// share one flush.
+func (l *Log) Append(payload []byte) error {
+	req := appendReq{payload: payload, err: make(chan error, 1)}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.queue = append(l.queue, req)
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default: // a wakeup is already pending; the flusher will see us
+	}
+	return <-req.err
+}
+
+// flusher is the single group-commit goroutine: each round drains the
+// whole pending queue, writes it with one write call, syncs once, and
+// acknowledges every waiter.
+func (l *Log) flusher() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.wake:
+			l.flushPending()
+		case <-l.closeCh:
+			l.flushPending() // drain appends that raced with Close
+			return
+		}
+	}
+}
+
+func (l *Log) flushPending() {
+	l.mu.Lock()
+	batch := l.queue
+	l.queue = nil
+	l.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	total := 0
+	for _, r := range batch {
+		total += headerSize + len(r.payload)
+	}
+	buf := make([]byte, 0, total)
+	var header [headerSize]byte
+	for _, r := range batch {
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(r.payload)))
+		binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(r.payload, castagnoli))
+		buf = append(buf, header[:]...)
+		buf = append(buf, r.payload...)
+	}
+	_, err := l.f.Write(buf)
+	if err == nil && l.mode == SyncAlways {
+		err = l.f.Sync()
+		l.syncs.Add(1)
+	}
+	l.batches.Add(1)
+	l.appends.Add(uint64(len(batch)))
+	l.bytes.Add(uint64(total))
+	for {
+		old := l.maxBatch.Load()
+		if uint64(len(batch)) <= old || l.maxBatch.CompareAndSwap(old, uint64(len(batch))) {
+			break
+		}
+	}
+	for _, r := range batch {
+		r.err <- err
+	}
+}
+
+// Sync forces an fsync regardless of mode (used by checkpoints).
+func (l *Log) Sync() error {
+	l.syncs.Add(1)
+	return l.f.Sync()
+}
+
+// Stats returns the cumulative group-commit counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:  l.appends.Load(),
+		Batches:  l.batches.Load(),
+		Syncs:    l.syncs.Load(),
+		MaxBatch: l.maxBatch.Load(),
+		Bytes:    l.bytes.Load(),
+	}
+}
+
+// Close drains pending appends, stops the flusher and closes the file.
+// Further Appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.closeCh)
+	<-l.done
+	return l.f.Close()
+}

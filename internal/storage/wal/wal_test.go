@@ -1,0 +1,317 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func appendAll(t *testing.T, path string, payloads ...string) {
+	t.Helper()
+	l, _, err := Open(path, SyncOff)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, p := range payloads {
+		if err := l.Append([]byte(p)); err != nil {
+			t.Fatalf("append %q: %v", p, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func replayAll(t *testing.T, path string) ([]string, ReplayResult) {
+	t.Helper()
+	var got []string
+	res, err := Replay(path, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, res
+}
+
+func TestEmptyLog(t *testing.T) {
+	path := tmpLog(t)
+	// Missing file.
+	got, res := replayAll(t, path)
+	if len(got) != 0 || res.Records != 0 || res.Truncated != 0 {
+		t.Fatalf("missing file: got %v, res %+v", got, res)
+	}
+	// Present but empty file.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, res = replayAll(t, path)
+	if len(got) != 0 || res.Records != 0 || res.Truncated != 0 {
+		t.Fatalf("empty file: got %v, res %+v", got, res)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	appendAll(t, path, "alpha", "beta", "", "gamma-with-a-longer-payload")
+	got, res := replayAll(t, path)
+	want := []string{"alpha", "beta", "", "gamma-with-a-longer-payload"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	if res.Truncated != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", res.Truncated)
+	}
+}
+
+// TestTornFinalRecord covers crashes mid-write: a final record cut short
+// (in the header, in the payload, or CRC-garbled in place) is truncated
+// away on reopen, and everything before it survives.
+func TestTornFinalRecord(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(data []byte) []byte
+	}{
+		{"header cut short", func(d []byte) []byte { return d[:len(d)-30] }},
+		{"payload cut short", func(d []byte) []byte { return d[:len(d)-3] }},
+		{"payload garbled in place", func(d []byte) []byte {
+			d[len(d)-2] ^= 0xff
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := tmpLog(t)
+			appendAll(t, path, "first", "second", "third-is-torn-torn-torn")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.tear(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, res := replayAll(t, path)
+			if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+				t.Fatalf("got %v, want [first second]", got)
+			}
+			if res.Truncated == 0 {
+				t.Fatal("expected truncated bytes to be reported")
+			}
+			// Reopening must physically truncate the torn tail so that
+			// new appends don't land after garbage.
+			l, res2, err := Open(path, SyncOff)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			if res2.Records != 2 {
+				t.Fatalf("reopen saw %d records, want 2", res2.Records)
+			}
+			if err := l.Append([]byte("fourth")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = replayAll(t, path)
+			want := []string{"first", "second", "fourth"}
+			if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+				t.Fatalf("after reopen+append: got %v want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestCorruptMiddleRecord: a CRC failure with valid data after it is NOT
+// a torn tail — replay must hard-error rather than silently truncate
+// away committed records.
+func TestCorruptMiddleRecord(t *testing.T) {
+	path := tmpLog(t)
+	appendAll(t, path, "first", "second", "third")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the payload of record 2 ("second").
+	off := headerSize + len("first") + headerSize
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(path, func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay error = %v, want ErrCorrupt", err)
+	}
+	// Open must refuse too.
+	if _, _, err := Open(path, SyncOff); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open error = %v, want ErrCorrupt", err)
+	}
+}
+
+// A corrupted length field whose frame still fits inside the file, with
+// valid records following, is also mid-log corruption (the CRC of the
+// misframed payload fails), not a tail to truncate.
+func TestCorruptLengthField(t *testing.T) {
+	path := tmpLog(t)
+	appendAll(t, path, "aaaaaaaaaa", "bbbbbbbbbb", "cccccccccc")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[0:4], 3) // shrink record 1's frame
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(path, func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay error = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReplayIdempotence: opening (which truncates a torn tail) and
+// re-opening must surface the identical record sequence — recovery is
+// idempotent.
+func TestReplayIdempotence(t *testing.T) {
+	path := tmpLog(t)
+	appendAll(t, path, "one", "two", "three")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail.
+	if err := os.WriteFile(path, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var first, second []string
+	l, res1, err := OpenReplay(path, SyncOff, func(p []byte) error {
+		first = append(first, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, res2, err := OpenReplay(path, SyncOff, func(p []byte) error {
+		second = append(second, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res1.Records != 2 || res2.Records != 2 {
+		t.Fatalf("records: first open %d, second open %d, want 2 both times", res1.Records, res2.Records)
+	}
+	if res1.Truncated == 0 {
+		t.Fatal("first open should report the torn tail")
+	}
+	if res2.Truncated != 0 {
+		t.Fatalf("second open reported %d truncated bytes; the first open should have removed the tail", res2.Truncated)
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("double-open divergence: %v vs %v", first, second)
+	}
+}
+
+// TestGroupCommit: 16 concurrent writers must share flushes — the batch
+// count has to come in strictly below the append count, proving that
+// multiple commits rode one write+fsync.
+func TestGroupCommit(t *testing.T) {
+	path := tmpLog(t)
+	// SyncAlways so each flush really is a commit boundary.
+	l, _, err := Open(path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 16
+	const perWriter = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("w%02d-%03d", w, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Appends != writers*perWriter {
+		t.Fatalf("appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.Batches >= st.Appends {
+		t.Fatalf("batches (%d) not below appends (%d): group commit never batched", st.Batches, st.Appends)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("max batch = %d, want >= 2", st.MaxBatch)
+	}
+	if st.Syncs != st.Batches {
+		t.Fatalf("syncs (%d) != batches (%d) under SyncAlways", st.Syncs, st.Batches)
+	}
+	// Every acknowledged record must be present exactly once.
+	seen := map[string]bool{}
+	got, res := replayAll(t, path)
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("duplicate record %q", p)
+		}
+		seen[p] = true
+	}
+	if res.Records != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", res.Records, writers*perWriter)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	path := tmpLog(t)
+	l, _, err := Open(path, SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	if m, err := ParseSyncMode("always"); err != nil || m != SyncAlways {
+		t.Fatalf("always: %v %v", m, err)
+	}
+	if m, err := ParseSyncMode("off"); err != nil || m != SyncOff {
+		t.Fatalf("off: %v %v", m, err)
+	}
+	if _, err := ParseSyncMode("sometimes"); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}
